@@ -1,0 +1,23 @@
+# Convenience targets for the M3XU reproduction.
+
+PY ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PY) examples/paper_report.py
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PY) $$ex || exit 1; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; rm -rf .pytest_cache .benchmarks

@@ -1,0 +1,12 @@
+"""Section V-B numerical-exactness study as a benchmark."""
+
+from conftest import report_once
+
+from repro.eval import accuracy_claims
+
+
+def test_accuracy_claims(benchmark):
+    result = benchmark(accuracy_claims)
+    report_once(result)
+    assert result.measured["m3xu_bits_minus_fp32_bits"] >= 0.0
+    assert result.measured["m3xu_bits_minus_3xbf16_bits"] >= 1.0

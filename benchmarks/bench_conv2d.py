@@ -1,0 +1,28 @@
+"""2-D convolution (the paper's third critical kernel): perf + functional."""
+
+from conftest import bench_print
+
+import numpy as np
+
+from repro.apps.conv import ConvShape, conv2d_direct, conv2d_im2col, conv_speedups
+
+
+def test_conv_speedups(benchmark):
+    rows = benchmark(conv_speedups)
+    bench_print("\n== 2-D convolution: M3XU speedup over SIMT im2col ==")
+    for s, sp in rows:
+        bench_print(f"  {s.c:4d}ch {s.h:3d}x{s.w:<3d} k{s.kh}x{s.kw}: {sp:4.2f}x")
+    assert all(1.5 < sp < 4.6 for _, sp in rows)
+
+
+def test_conv_functional_m3xu(benchmark):
+    from repro.gemm import mxu_sgemm
+
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(1, 8, 16, 16))
+    w = rng.normal(size=(8, 8, 3, 3))
+    out = benchmark(
+        conv2d_im2col, x, w, 1, 1, lambda a, b: mxu_sgemm(a, b)
+    )
+    ref = conv2d_direct(x, w, stride=1, padding=1)
+    assert np.allclose(out, ref, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,11 @@
+"""Figure 2: dynamic-instruction comparison, software vs hardware FP32."""
+
+from conftest import report_once
+
+from repro.eval import fig2_instruction_mix
+
+
+def test_fig2(benchmark):
+    result = benchmark(fig2_instruction_mix)
+    report_once(result)
+    assert result.measured["sw_over_hw_ratio"] > 3.0

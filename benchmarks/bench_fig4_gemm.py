@@ -1,0 +1,14 @@
+"""Figure 4: SGEMM/CGEMM speedups over SIMT, 1K^3 to 16K^3."""
+
+from conftest import report_once
+
+from repro.eval import fig4_gemm_speedups
+
+
+def test_fig4(benchmark):
+    result = benchmark(fig4_gemm_speedups)
+    report_once(result)
+    m = result.measured
+    assert abs(m["sgemm_m3xu_max"] - 3.89) < 0.15
+    assert abs(m["cgemm_m3xu_max"] - 3.82) < 0.20
+    assert m["sgemm_alternatives_max"] < 3.1

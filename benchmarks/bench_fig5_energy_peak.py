@@ -1,0 +1,19 @@
+"""Figure 5: relative energy vs FP32-MXU and %% of theoretical peak."""
+
+from conftest import report_once
+
+from repro.eval import fig5_energy_and_peak
+
+
+def test_fig5(benchmark):
+    result = benchmark(fig5_energy_and_peak)
+    report_once(result)
+    m = result.measured
+    # M3XU must beat the FP32-MXU on energy for both precisions...
+    assert m["energy.M3XU_sgemm_pipelined"] < 1.0
+    assert m["energy.M3XU_cgemm_pipelined"] < 1.0
+    # ...the non-pipelined variant must be the most frugal M3XU...
+    assert m["energy.M3XU_sgemm"] < m["energy.M3XU_sgemm_pipelined"]
+    # ...and the peak fractions must bracket the paper's 94% / 63% split.
+    assert m["peak.M3XU_sgemm_pipelined"] > 90.0
+    assert m["peak.cutlass_tensorop_sgemm"] < 70.0

@@ -1,0 +1,23 @@
+"""Figure 6: FFT speedup over cuFFT (plus a functional FFT benchmark)."""
+
+import numpy as np
+from conftest import report_once
+
+from repro.apps.fft import gemm_fft
+from repro.eval import fig6_fft
+
+
+def test_fig6_model(benchmark):
+    result = benchmark(fig6_fft)
+    report_once(result)
+    assert abs(result.measured["m3xu_fft_max"] - 1.99) < 0.12
+    assert abs(result.measured["m3xu_fft_avg"] - 1.52) < 0.15
+
+
+def test_fig6_functional_gemm_fft(benchmark):
+    """Throughput of the actual GEMM-FFT implementation (reference CGEMM)."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+    out = benchmark(gemm_fft, x)
+    ref = np.fft.fft(x)
+    assert np.max(np.abs(out - ref)) < 1e-8 * np.max(np.abs(ref)) * 4096

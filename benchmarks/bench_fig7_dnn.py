@@ -1,0 +1,17 @@
+"""Figure 7: single-iteration CNN training latency."""
+
+from conftest import report_once
+
+from repro.eval import fig7_dnn
+
+
+def test_fig7(benchmark):
+    result = benchmark(fig7_dnn)
+    report_once(result)
+    m = result.measured
+    # Calibrated fractions must reproduce the measured profile exactly.
+    assert abs(m["bwd_frac.VGG16"] - 0.396) < 0.02
+    assert abs(m["bwd_frac.ResNet50"] - 0.391) < 0.02
+    assert abs(m["bwd_frac.AlexNet"] - 0.465) < 0.02
+    # M3XU accelerates training on every network.
+    assert m["dnn_speedup_avg"] > 1.15

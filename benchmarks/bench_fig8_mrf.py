@@ -1,0 +1,22 @@
+"""Figure 8: MRF dictionary-generation speedup (plus a functional EPG run)."""
+
+import numpy as np
+from conftest import report_once
+
+from repro.apps.mrf import AtomGrid, FispSequence, generate_dictionary
+from repro.eval import fig8_mrf
+
+
+def test_fig8_model(benchmark):
+    result = benchmark(fig8_mrf)
+    report_once(result)
+    assert abs(result.measured["mrf_speedup_max"] - 1.26) < 0.08
+
+
+def test_fig8_functional_epg(benchmark):
+    """Throughput of the EPG dictionary generator itself."""
+    grid = AtomGrid.standard(12, 12)
+    seq = FispSequence.standard(120)
+    d = benchmark(generate_dictionary, grid, seq)
+    assert d.n_atoms == grid.n_atoms
+    assert np.all(np.isfinite(d.signals))

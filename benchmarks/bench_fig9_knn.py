@@ -1,0 +1,22 @@
+"""Figure 9: kNN speedup heatmap (plus a functional kNN benchmark)."""
+
+import numpy as np
+from conftest import report_once
+
+from repro.apps.knn import knn_search
+from repro.eval import fig9_knn
+
+
+def test_fig9_model(benchmark):
+    result = benchmark(fig9_knn)
+    report_once(result)
+    assert abs(result.measured["knn_speedup_max"] - 1.8) < 0.1
+
+
+def test_fig9_functional_knn(benchmark):
+    rng = np.random.default_rng(1)
+    q = rng.normal(size=(256, 64))
+    r = rng.normal(size=(2048, 64))
+    idx, dist = benchmark(knn_search, q, r, 16)
+    assert idx.shape == (256, 16)
+    assert np.all(np.diff(dist, axis=1) >= 0)

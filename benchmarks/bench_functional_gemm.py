@@ -1,0 +1,72 @@
+"""Throughput of the functional (bit-accurate) GEMM implementations.
+
+Not a paper figure: this measures the *simulator's own* speed, which is
+what bounds how large the functional accuracy studies can go.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gemm import (
+    cgemm_simt,
+    eehc_sgemm_3xbf16,
+    mxu_cgemm,
+    mxu_sgemm,
+    sgemm_simt,
+    tensorop_sgemm_3xtf32,
+)
+from repro.types import FP32, quantize, quantize_complex
+
+_N = 48
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(2)
+    a = quantize(rng.normal(size=(_N, _N)), FP32)
+    b = quantize(rng.normal(size=(_N, _N)), FP32)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def complex_operands():
+    rng = np.random.default_rng(3)
+    a = quantize_complex(rng.normal(size=(_N, _N)) + 1j * rng.normal(size=(_N, _N)), FP32)
+    b = quantize_complex(rng.normal(size=(_N, _N)) + 1j * rng.normal(size=(_N, _N)), FP32)
+    return a, b
+
+
+def test_m3xu_sgemm_functional(benchmark, operands):
+    a, b = operands
+    d = benchmark(mxu_sgemm, a, b)
+    assert np.allclose(d, a @ b, rtol=1e-4, atol=1e-5)
+
+
+def test_simt_sgemm_functional(benchmark, operands):
+    a, b = operands
+    d = benchmark(sgemm_simt, a, b)
+    assert np.allclose(d, a @ b, rtol=1e-4, atol=1e-5)
+
+
+def test_3xtf32_sgemm_functional(benchmark, operands):
+    a, b = operands
+    d = benchmark(tensorop_sgemm_3xtf32, a, b)
+    assert np.allclose(d, a @ b, rtol=1e-3, atol=1e-4)
+
+
+def test_3xbf16_sgemm_functional(benchmark, operands):
+    a, b = operands
+    d = benchmark(eehc_sgemm_3xbf16, a, b)
+    assert np.allclose(d, a @ b, rtol=3e-2, atol=1e-2)
+
+
+def test_m3xu_cgemm_functional(benchmark, complex_operands):
+    a, b = complex_operands
+    d = benchmark(mxu_cgemm, a, b)
+    assert np.allclose(d, a @ b, rtol=1e-4, atol=1e-4)
+
+
+def test_simt_cgemm_functional(benchmark, complex_operands):
+    a, b = complex_operands
+    d = benchmark(cgemm_simt, a, b)
+    assert np.allclose(d, a @ b, rtol=1e-4, atol=1e-4)

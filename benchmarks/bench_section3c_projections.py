@@ -1,0 +1,14 @@
+"""Section III-C: cross-architecture peak projections (Ampere/Hopper/CDNA)."""
+
+from conftest import report_once
+
+from repro.eval import section3c_projections
+
+
+def test_section3c(benchmark):
+    result = benchmark(section3c_projections)
+    report_once(result)
+    m = result.measured
+    assert abs(m["a100_advantage"] - 4.0) < 0.05
+    assert abs(m["h100_m3xu_tflops"] - 248.0) < 8.0
+    assert abs(m["mi100_advantage"] - 2.0) < 0.05

@@ -1,0 +1,18 @@
+"""Beyond Figure 4: M3XU speedup across rectangular GEMM shape families."""
+
+from conftest import bench_print
+
+from repro.kernels import SHAPE_FAMILIES, family_speedups
+
+
+def test_shape_families(benchmark):
+    def run():
+        return {name: family_speedups(name) for name in SHAPE_FAMILIES}
+
+    rows = benchmark(run)
+    bench_print("\n== M3XU speedup by GEMM shape family ==")
+    for name, sps in rows.items():
+        desc = SHAPE_FAMILIES[name].description
+        vals = "  ".join(f"{str(p):>22s}:{sp:5.2f}x" for p, sp in sps)
+        bench_print(f"  {name:12s} ({desc})\n    {vals}")
+    assert max(sp for _, sp in rows["square"]) > 3.7

@@ -1,0 +1,13 @@
+"""Table I + Section II-B: peak throughput and feed-bandwidth arithmetic."""
+
+from conftest import report_once
+
+from repro.eval import table1_throughput
+
+
+def test_table1(benchmark):
+    result = benchmark(table1_throughput)
+    report_once(result)
+    # A benchmark is also an acceptance check: peaks must match Table I.
+    for key, ref in result.paper.items():
+        assert abs(result.measured[key] - ref) / ref < 0.01, key

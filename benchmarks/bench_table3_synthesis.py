@@ -1,0 +1,12 @@
+"""Table III: relative area / cycle time / power of the five designs."""
+
+from conftest import report_once
+
+from repro.eval import table3_synthesis
+
+
+def test_table3(benchmark):
+    result = benchmark(table3_synthesis)
+    report_once(result)
+    for key, ref in result.paper.items():
+        assert abs(result.measured[key] - ref) / ref < 0.10, key

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Image filtering with 2-D convolution on the M3XU stack.
+
+Builds a synthetic test image, applies classic filters (Gaussian blur,
+Sobel edges, sharpen) through the im2col GEMM path running on the M3XU
+functional model, cross-checks the FFT-domain path, and reports the
+modelled speedup of convolution layers over the SIMT baseline.
+"""
+
+import numpy as np
+
+from repro.apps.conv import conv2d_direct, conv2d_fft, conv2d_im2col, conv_speedups
+from repro.gemm import mxu_sgemm
+
+
+def test_image(size: int = 64) -> np.ndarray:
+    """A synthetic image with edges and texture (1 x 1 x H x W)."""
+    y, x = np.mgrid[0:size, 0:size] / size
+    img = np.sin(8 * np.pi * x) * 0.3 + (y > 0.5) * 0.7 + 0.1 * np.cos(20 * np.pi * x * y)
+    return img[None, None, :, :]
+
+
+FILTERS = {
+    "gaussian": np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]]) / 16.0,
+    "sobel_x": np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=float),
+    "sharpen": np.array([[0, -1, 0], [-1, 5, -1], [0, -1, 0]], dtype=float),
+}
+
+
+def main() -> None:
+    img = test_image()
+    weights = np.stack([f for f in FILTERS.values()])[:, None, :, :]
+
+    out_m3xu = conv2d_im2col(img, weights, padding=1, sgemm=lambda a, b: mxu_sgemm(a, b))
+    out_ref = conv2d_direct(img, weights, padding=1)
+    # FFT path computes convolution (flipped kernel) - compare on the
+    # symmetric Gaussian where the two coincide.
+    out_fft = conv2d_fft(img, weights[:1])
+
+    print("64x64 image, 3 classic filters, M3XU FP32 GEMM path:")
+    for i, name in enumerate(FILTERS):
+        err = np.max(np.abs(out_m3xu[0, i] - out_ref[0, i]))
+        print(f"  {name:9s} max |err| vs float64 direct conv: {err:.2e}")
+    sym_err = np.max(np.abs(out_fft[0, 0] - out_ref[0, 0]))
+    print(f"  gaussian via GEMM-FFT (symmetric kernel): {sym_err:.2e}")
+
+    print("\nConv-layer speedups (M3XU vs SIMT im2col, batch 32):")
+    for s, sp in conv_speedups():
+        print(f"  {s.c:4d} ch @ {s.h:2d}x{s.w:<2d}: {sp:4.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Training-latency planner: what M3XU buys a CNN training run.
+
+Walks the Figure 7 case study: per-network single-iteration latency under
+mixed-precision training with SIMT-FP32 backward passes versus M3XU
+native-FP32 backward passes, with the per-layer GEMM breakdown of the
+heaviest layers.
+"""
+
+from repro.apps.dnn import NETWORKS, figure7
+from repro.gpusim import a100_emulation
+from repro.kernels import SGEMM_KERNELS
+
+
+def main() -> None:
+    gpu = a100_emulation()
+    data = figure7(batch=64, gpu=gpu)
+
+    print("Single-iteration training latency (batch 64, A100 @ 1.17 GHz)\n")
+    print(f"{'network':10s} {'baseline':>10s} {'m3xu':>10s} {'speedup':>8s} "
+          f"{'bwd share':>10s} {'bwd speedup':>12s}")
+    for net, d in data.items():
+        base, ours = d["mixed_precision"], d["m3xu"]
+        print(
+            f"{net:10s} {base.total_s * 1e3:8.1f}ms {ours.total_s * 1e3:8.1f}ms "
+            f"{base.total_s / ours.total_s:7.2f}x {base.backward_fraction * 100:9.1f}% "
+            f"{base.backward_s / ours.backward_s:11.2f}x"
+        )
+
+    # Per-layer view of where the backward-pass time goes for one network.
+    net = "ResNet50"
+    print(f"\nHeaviest {net} layers (forward GEMM shape and backward speedup):")
+    layers = NETWORKS[net]()
+    simt = SGEMM_KERNELS["cutlass_simt_sgemm"]
+    m3xu = SGEMM_KERNELS["M3XU_sgemm_pipelined"]
+    rows = []
+    for layer in layers:
+        p = layer.gemm(64)
+        t_simt = simt.time(p, gpu)
+        rows.append((t_simt, layer.name, p, t_simt / m3xu.time(p, gpu)))
+    rows.sort(reverse=True)
+    for t, name, p, sp in rows[:8]:
+        print(f"  {name:14s} {str(p):>22s}  simt {t * 1e3:6.2f} ms  m3xu {sp:4.2f}x")
+
+
+if __name__ == "__main__":
+    main()

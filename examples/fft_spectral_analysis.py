@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Spectral analysis on M3XU: recover tones from a noisy signal via the
+GEMM-based FFT running on the FP32C functional model.
+
+Demonstrates the Section VI-C1 case study: the same Cooley-Tukey-as-CGEMM
+transform runs on (a) float64 reference CGEMM, (b) the bit-accurate M3XU
+FP32C model, and (c) an FP16 tensor-core emulation (the tcFFT base
+precision) — and only (c) degrades the recovered spectrum. Ends with the
+Figure 6 performance projection.
+"""
+
+import numpy as np
+
+from repro.apps.fft import fft_speedups, gemm_fft
+from repro.gemm import cgemm_via_4_real, fp16_tensorcore_sgemm, mxu_cgemm
+
+
+def make_signal(n: int, rng: np.random.Generator) -> tuple[np.ndarray, list[int]]:
+    """A few tones of very different amplitudes + noise."""
+    t = np.arange(n)
+    tones = [(37, 1.0), (191, 0.05), (401, 0.002)]
+    x = sum(amp * np.exp(2j * np.pi * f * t / n) for f, amp in tones)
+    x = x + 0.0005 * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    return x, [f for f, _ in tones]
+
+
+def top_peaks(spectrum: np.ndarray, k: int) -> list[int]:
+    return sorted(np.argsort(np.abs(spectrum))[-k:].tolist())
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 1024
+    x, true_freqs = make_signal(n, rng)
+
+    def fp16_cgemm(a, b):
+        return cgemm_via_4_real(a, b, 0.0, lambda p, q, r: fp16_tensorcore_sgemm(p, q, r))
+
+    runs = {
+        "float64 reference": gemm_fft(x),
+        "M3XU FP32C": gemm_fft(x, cgemm=lambda a, b: mxu_cgemm(a, b)),
+        "FP16 tensor core": gemm_fft(x, cgemm=fp16_cgemm),
+    }
+    ref = np.fft.fft(x)
+
+    print(f"{n}-point FFT, tones at bins {true_freqs} (amplitudes 1, 0.05, 0.002)")
+    for name, spec in runs.items():
+        err = np.max(np.abs(spec - ref)) / np.max(np.abs(ref))
+        peaks = top_peaks(spec, 3)
+        found = sorted(set(peaks) & set(true_freqs))
+        print(
+            f"  {name:18s} rel err {err:.2e}   tones recovered: "
+            f"{len(found)}/3 {found}"
+        )
+
+    print("\nFigure 6 projection (speedup over cuFFT):")
+    for r in fft_speedups([2**14, 2**18, 2**22, 2**26]):
+        print(
+            f"  N=2^{r.n.bit_length() - 1:2d}: M3XU {r.m3xu_speedup:4.2f}x, "
+            f"tcFFT {r.tcfft_speedup:4.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""MR fingerprinting end to end on the M3XU stack.
+
+Simulates an EPG dictionary over a (T1, T2) grid, synthesises noisy
+"voxel" measurements, and reconstructs the tissue parameters by CGEMM
+dictionary matching running on the M3XU FP32C functional model — the
+Section VI-C3 case study in miniature. Ends with the Figure 8 projection.
+"""
+
+import numpy as np
+
+from repro.apps.mrf import (
+    AtomGrid,
+    FispSequence,
+    figure8,
+    generate_dictionary,
+    match_fingerprints,
+)
+from repro.gemm import mxu_cgemm
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    print("Generating EPG dictionary (20x20 T1/T2 grid, 200 TRs)...")
+    grid = AtomGrid.standard(20, 20)
+    seq = FispSequence.standard(200)
+    d = generate_dictionary(grid, seq)
+    print(f"  {d.n_atoms} atoms x {d.n_timepoints} timepoints")
+
+    # Synthesise voxels from known tissue parameters + noise.
+    n_voxels = 40
+    idx = rng.integers(0, d.n_atoms, size=n_voxels)
+    density = rng.uniform(0.5, 2.0, size=(n_voxels, 1))
+    voxels = d.signals[idx] * density
+    voxels += 0.01 * (rng.normal(size=voxels.shape) + 1j * rng.normal(size=voxels.shape))
+
+    print("Matching on the M3XU FP32C model...")
+    t1, t2, score = match_fingerprints(d, voxels, cgemm=lambda a, b: mxu_cgemm(a, b))
+
+    true_t1 = d.grid.t1_ms[idx]
+    true_t2 = d.grid.t2_ms[idx]
+    t1_err = np.median(np.abs(t1 - true_t1) / true_t1)
+    t2_err = np.median(np.abs(t2 - true_t2) / true_t2)
+    exact = np.mean((t1 == true_t1) & (t2 == true_t2))
+    print(f"  exact-atom matches : {exact * 100:.0f}%")
+    print(f"  median T1 error    : {t1_err * 100:.1f}%")
+    print(f"  median T2 error    : {t2_err * 100:.1f}%")
+    print(f"  mean match score   : {score.mean():.4f}")
+
+    print("\nFigure 8: dictionary-generation speedup with M3XU CGEMM")
+    for r in figure8():
+        print(
+            f"  {r.n_atoms:7d} atoms: {r.speedup:4.2f}x "
+            f"(CGEMM is {r.cgemm_fraction * 100:4.1f}% of baseline runtime)"
+        )
+
+
+if __name__ == "__main__":
+    main()

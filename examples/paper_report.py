@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper and print the full
+paper-vs-measured report (the source of EXPERIMENTS.md).
+
+Usage:
+    python examples/paper_report.py            # everything (takes a while)
+    python examples/paper_report.py fig4 fig6  # selected experiments
+"""
+
+import sys
+
+from repro.eval import ALL_EXPERIMENTS, render_report, run_all
+
+
+def main() -> None:
+    only = [a for a in sys.argv[1:] if a in ALL_EXPERIMENTS] or None
+    unknown = [a for a in sys.argv[1:] if a not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments {unknown}; available: {sorted(ALL_EXPERIMENTS)}")
+        raise SystemExit(1)
+    print(render_report(run_all(only)))
+
+
+if __name__ == "__main__":
+    main()

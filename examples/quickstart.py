@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: M3XU in five minutes.
+
+Walks the public API end to end:
+
+1. quantise data to FP32 and split it the way the hardware does,
+2. run one bit-accurate M3XU MMA and check it against exact arithmetic,
+3. run full FP32 and complex GEMMs on the M3XU functional model,
+4. ask the performance model how fast that would be on an A100,
+5. print the synthesis cost of the hardware (Table III).
+"""
+
+import numpy as np
+
+from repro import M3XU, MXUMode
+from repro.arith import exact_dot
+from repro.gemm import mxu_cgemm, mxu_sgemm, sgemm_simt
+from repro.gpusim import a100_emulation
+from repro.kernels import SGEMM_KERNELS, GemmProblem
+from repro.synthesis import synthesis_table
+from repro.types import FP32, quantize, split_fp32_m3xu
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # --- 1. Quantisation and the hardware operand split -----------------
+    x = quantize(rng.normal(size=4), FP32)
+    hi, lo = split_fp32_m3xu(x)
+    print("FP32 values      :", x)
+    print("high 12-bit parts:", hi)
+    print("low 12-bit parts :", lo)
+    print("exact recombine  :", np.array_equal(hi + lo, x))
+
+    # --- 2. One MMA instruction is correctly rounded ---------------------
+    unit = M3XU()
+    a = quantize(rng.normal(size=(8, 4)), FP32)
+    b = quantize(rng.normal(size=(4, 4)), FP32)
+    c = np.zeros((8, 4))
+    d = unit.mma(a, b, c, MXUMode.FP32)
+    ref = exact_dot(list(a[0]), list(b[:, 0]), 0.0, FP32)
+    print(f"\nM3XU MMA d[0,0] = {d[0, 0]!r}")
+    print(f"exact rounding  = {ref!r}  (equal: {d[0, 0] == ref})")
+
+    # --- 3. Full GEMMs on the functional model ---------------------------
+    A = rng.normal(size=(64, 128))
+    B = rng.normal(size=(128, 64))
+    d_m3xu = mxu_sgemm(A, B)
+    d_simt = sgemm_simt(A, B)
+    ref64 = quantize(A, FP32) @ quantize(B, FP32)
+    print("\nFP32 GEMM max |err| vs float64:")
+    print(f"  M3XU      : {np.max(np.abs(d_m3xu - ref64)):.3e}")
+    print(f"  FP32 SIMT : {np.max(np.abs(d_simt - ref64)):.3e}")
+
+    Z = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+    W = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+    d_c = mxu_cgemm(Z, W)
+    print(f"  FP32C GEMM rel err: {np.max(np.abs(d_c - Z @ W) / np.abs(Z @ W)):.3e}")
+
+    # --- 4. Performance on an A100 --------------------------------------
+    gpu = a100_emulation()
+    p = GemmProblem(8192, 8192, 8192)
+    t_simt = SGEMM_KERNELS["cutlass_simt_sgemm"].time(p, gpu)
+    t_m3xu = SGEMM_KERNELS["M3XU_sgemm_pipelined"].time(p, gpu)
+    print(f"\n8K^3 SGEMM on {gpu.name}:")
+    print(f"  CUDA cores : {t_simt * 1e3:7.2f} ms")
+    print(f"  M3XU       : {t_m3xu * 1e3:7.2f} ms  ({t_simt / t_m3xu:.2f}x speedup)")
+
+    # --- 5. What the hardware costs --------------------------------------
+    print("\nSynthesis model (relative to the baseline FP16 MXU):")
+    for row in synthesis_table():
+        print(
+            f"  {row.design:18s} area={row.area:4.2f}  cycle={row.cycle:4.2f}  "
+            f"power={row.power:4.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

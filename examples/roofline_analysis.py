@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Roofline view of the kernel zoo.
+
+Places the Figure 4 kernels (at 8K^3) and the FFT/kNN workloads in
+roofline space on the A100 and renders a text roofline — showing at a
+glance why M3XU's 4x compute advantage materialises for GEMM (far right
+of the ridge) but compresses for the memory-shadowed case studies.
+"""
+
+from repro.gpusim import (
+    RooflinePoint,
+    a100_emulation,
+    ascii_roofline,
+    estimate_time,
+    ridge_intensity,
+)
+from repro.kernels import SGEMM_KERNELS, GemmProblem
+
+
+def main() -> None:
+    gpu = a100_emulation()
+    size = 8192
+    p = GemmProblem(size, size, size)
+
+    points = []
+    for name, peak in (
+        ("cutlass_simt_sgemm", "fp32"),
+        ("M3XU_sgemm_pipelined", "m3xu_fp32"),
+    ):
+        spec = SGEMM_KERNELS[name].build(p, gpu)[0]
+        points.append(
+            RooflinePoint(
+                name=name,
+                flops=p.flops,
+                dram_bytes=spec.work.dram_bytes,
+                peak_tflops=gpu.peak_tflops(peak),
+            )
+        )
+    # A memory-shadowed workload for contrast: one FFT pass.
+    n_fft = 1 << 22
+    points.append(
+        RooflinePoint(
+            name="fft_pass",
+            flops=64 * 8 * n_fft,
+            dram_bytes=16.0 * n_fft,
+            peak_tflops=gpu.peak_tflops("m3xu_fp32c"),
+        )
+    )
+
+    print(f"A100 roofline (DRAM {gpu.dram_bw_gbs / 1000:.2f} TB/s)\n")
+    print(ascii_roofline(points, gpu))
+    print()
+    for pt in points:
+        ridge = ridge_intensity(gpu, pt.peak_tflops)
+        where = "memory-bound" if pt.memory_bound(gpu) else "compute-bound"
+        print(
+            f"  {pt.name:22s} intensity {pt.intensity:8.1f} FLOP/B "
+            f"(ridge {ridge:6.1f})  -> {where}, attainable "
+            f"{pt.attainable_tflops(gpu):6.1f} TFLOPS"
+        )
+
+    t_simt = estimate_time(SGEMM_KERNELS["cutlass_simt_sgemm"].build(p, gpu)[0], gpu)
+    t_m3xu = estimate_time(SGEMM_KERNELS["M3XU_sgemm_pipelined"].build(p, gpu)[0], gpu)
+    print(
+        f"\n8K^3 SGEMM limiters: SIMT -> {t_simt.limiter}, "
+        f"M3XU -> {t_m3xu.limiter} (speedup {t_simt.total_s / t_m3xu.total_s:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

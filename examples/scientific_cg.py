@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Conjugate gradient on M3XU: why scientific codes need true FP32.
+
+Solves a 2-D diffusion system with CG whose matrix-vector products run on
+(a) float64, (b) the M3XU FP32 model, (c) FP16 tensor cores. The FP16
+solver *believes* it converged — its recurrence residual hits the
+tolerance — while the true residual ||b - Ax||/||b|| stalls orders of
+magnitude higher: the silent failure mode Section I's scientific-
+computing motivation is about. M3XU tracks float64 convergence exactly.
+"""
+
+import numpy as np
+
+from repro.apps.scientific import conjugate_gradient, diffusion_2d
+from repro.gemm import fp16_tensorcore_sgemm, mxu_sgemm, sgemm_simt
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    n_grid = 14
+    a = diffusion_2d(n_grid) * 0.37  # entries off the FP16 grid
+    b = rng.normal(size=a.shape[0])
+    tol = 1e-7
+
+    backends = {
+        "float64": None,
+        "M3XU FP32": lambda m, v: mxu_sgemm(m, v),
+        "FP32 SIMT": lambda m, v: sgemm_simt(m, v),
+        "FP16 tensor core": lambda m, v: fp16_tensorcore_sgemm(m, v),
+    }
+
+    print(f"CG on {a.shape[0]}x{a.shape[0]} diffusion system, tol {tol:.0e}\n")
+    print(f"{'backend':18s} {'iters':>6s} {'claimed res':>12s} {'TRUE res':>10s}  verdict")
+    for name, gemm in backends.items():
+        res = conjugate_gradient(a, b, gemm=gemm, tol=tol, max_iter=3000)
+        verdict = (
+            "SILENTLY WRONG" if res.silently_wrong
+            else ("ok" if res.converged else "did not converge")
+        )
+        print(
+            f"{name:18s} {res.iterations:6d} {res.final_residual:12.2e} "
+            f"{res.true_residual:10.2e}  {verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

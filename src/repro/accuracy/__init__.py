@@ -1,0 +1,31 @@
+"""Accuracy studies for the paper's numerical claims."""
+
+from .bounds import BOUND_PARAMS, gamma, scheme_error_bound
+from .growth import (
+    GROWTH_IMPLS,
+    GrowthPoint,
+    dynamic_range_sweep,
+    error_growth_vs_k,
+)
+from .study import (
+    CGEMM_IMPLS,
+    SGEMM_IMPLS,
+    AccuracyResult,
+    cgemm_accuracy_study,
+    sgemm_accuracy_study,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "sgemm_accuracy_study",
+    "cgemm_accuracy_study",
+    "SGEMM_IMPLS",
+    "CGEMM_IMPLS",
+    "GrowthPoint",
+    "error_growth_vs_k",
+    "dynamic_range_sweep",
+    "GROWTH_IMPLS",
+    "gamma",
+    "scheme_error_bound",
+    "BOUND_PARAMS",
+]

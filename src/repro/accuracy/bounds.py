@@ -1,0 +1,77 @@
+"""Theoretical forward-error bounds for each GEMM scheme, with checkers.
+
+Standard model of floating-point error (Higham): a length-K inner product
+evaluated by a chain of roundings at unit roundoff ``u`` satisfies
+
+``|fl(a.b) - a.b| <= gamma_K * sum(|a_i||b_i|)``, ``gamma_K = K*u/(1-K*u)``.
+
+Per implementation:
+
+* FP32 SIMT chain:     u = 2^-24, one rounding per element  -> gamma_K.
+* M3XU (k_mma = 4):    exact within each MMA; one FP32 rounding per
+                       chunk -> gamma_{K/4}.
+* 3xTF32:              the residual split leaves a representation error
+                       ~2^-22 per operand plus the dropped lo*lo term
+                       ~2^-42, on top of the chunked TC accumulation.
+* 3xBF16:              representation error ~2^-16 per operand dominates.
+
+:func:`scheme_error_bound` returns the elementwise bound;
+tests verify every implementation respects its bound empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gamma", "scheme_error_bound", "BOUND_PARAMS"]
+
+_U32 = 2.0**-24  # FP32 unit roundoff
+
+#: (roundings per K elements factor, representation error per operand)
+BOUND_PARAMS: dict[str, tuple[float, float]] = {
+    "fp32_simt": (1.0, 0.0),
+    "m3xu_fp32": (0.25, 0.0),          # one rounding per K=4 chunk
+    "3xtf32": (0.125, 2.0**-21),       # TC chunk K=8; 2-term split residual
+    "3xbf16": (0.125, 2.0**-15),       # 2-term BF16 split residual
+}
+
+
+def gamma(n: float, u: float = _U32) -> float:
+    """Higham's gamma_n = n*u / (1 - n*u)."""
+    nu = n * u
+    if nu >= 1.0:
+        raise ValueError("error bound diverges: n*u >= 1")
+    return nu / (1.0 - nu)
+
+
+def scheme_error_bound(
+    scheme: str, abs_a: np.ndarray, abs_b: np.ndarray
+) -> np.ndarray:
+    """Elementwise forward-error bound for ``A @ B`` under *scheme*.
+
+    Parameters
+    ----------
+    scheme:
+        A key of :data:`BOUND_PARAMS`.
+    abs_a, abs_b:
+        |A| (m x k) and |B| (k x n).
+
+    Returns
+    -------
+    np.ndarray
+        (m x n) array bounding |computed - exact| elementwise.
+    """
+    try:
+        round_factor, rep_err = BOUND_PARAMS[scheme]
+    except KeyError:
+        raise KeyError(f"unknown scheme {scheme!r}; known: {sorted(BOUND_PARAMS)}") from None
+    abs_a = np.asarray(abs_a, dtype=np.float64)
+    abs_b = np.asarray(abs_b, dtype=np.float64)
+    k = abs_a.shape[1]
+    mag = abs_a @ abs_b  # sum |a||b| per output
+    # Accumulation rounding...
+    bound = gamma(max(1.0, round_factor * k)) * mag
+    # ...plus representation error of the split operands: first order,
+    # 2 * rep_err per product (each operand off by rep_err relatively).
+    bound += 2.0 * rep_err * mag
+    return bound

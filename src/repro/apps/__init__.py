@@ -1,0 +1,5 @@
+"""Case-study applications: FFT, DNN training, MRF, kNN, quantum."""
+
+from . import conv, dnn, fft, knn, mrf, quantum, scientific
+
+__all__ = ["fft", "dnn", "mrf", "knn", "quantum", "conv", "scientific"]

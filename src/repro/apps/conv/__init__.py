@@ -1,0 +1,14 @@
+"""2-D convolution on the MXU stack (im2col, direct, FFT-domain)."""
+
+from .conv2d import conv2d_direct, conv2d_fft, conv2d_im2col, im2col
+from .perf import ConvShape, conv_speedups, conv_time
+
+__all__ = [
+    "im2col",
+    "conv2d_im2col",
+    "conv2d_direct",
+    "conv2d_fft",
+    "ConvShape",
+    "conv_time",
+    "conv_speedups",
+]

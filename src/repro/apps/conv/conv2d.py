@@ -1,0 +1,177 @@
+"""2-D convolution on the MXU stack (the paper's third critical kernel).
+
+Section VI opens with "critical kernels, including GEMM, 2D-convolution,
+and FFT". GPU convolutions lower to GEMM via im2col; this module provides
+that lowering with an injectable SGEMM so the convolution runs on the
+M3XU functional model, the SIMT reference, or any software scheme — plus
+an FFT-domain convolution built on the GEMM-FFT, connecting the two
+non-GEMM kernels the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["im2col", "conv2d_im2col", "conv2d_direct", "conv2d_fft"]
+
+SGemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _out_hw(h: int, w: int, kh: int, kw: int, stride: int, padding: int) -> tuple[int, int]:
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError("kernel does not fit the padded input")
+    return oh, ow
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Lower NCHW activations to the im2col matrix.
+
+    Parameters
+    ----------
+    x:
+        Activations, shape ``(N, C, H, W)``.
+    kh, kw:
+        Kernel extent.
+    stride, padding:
+        Convolution geometry (symmetric padding).
+
+    Returns
+    -------
+    np.ndarray
+        Shape ``(N * OH * OW, C * KH * KW)`` — one row per output pixel,
+        one column per weight element, matching the forward-GEMM shape
+        used by :mod:`repro.apps.dnn.layers`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 4:
+        raise ValueError("expected NCHW input")
+    n, c, h, w = x.shape
+    oh, ow = _out_hw(h, w, kh, kw, stride, padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Gather all (kh, kw) shifted views; stride via slicing.
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=np.float64)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = xp[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ]
+    # (N, OH, OW, C, KH, KW) -> rows
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
+
+
+def conv2d_im2col(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    sgemm: SGemmFn | None = None,
+) -> np.ndarray:
+    """2-D convolution as one GEMM: ``im2col(x) @ weight_matrix``.
+
+    Parameters
+    ----------
+    x:
+        ``(N, C, H, W)`` activations.
+    weight:
+        ``(OC, C, KH, KW)`` filters.
+    sgemm:
+        GEMM callable executing the lowered product (defaults to float64).
+
+    Returns
+    -------
+    np.ndarray
+        ``(N, OC, OH, OW)`` outputs.
+    """
+    if sgemm is None:
+        sgemm = lambda a, b: a @ b  # noqa: E731
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 4:
+        raise ValueError("expected OIHW weights")
+    oc, c, kh, kw = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(f"channel mismatch: x has {x.shape[1]}, weight has {c}")
+    n = x.shape[0]
+    oh, ow = _out_hw(x.shape[2], x.shape[3], kh, kw, stride, padding)
+    cols = im2col(x, kh, kw, stride, padding)
+    wmat = weight.reshape(oc, c * kh * kw).T  # (CKK, OC)
+    out = sgemm(cols, wmat)  # (N*OH*OW, OC)
+    return np.asarray(out).reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
+
+
+def conv2d_direct(
+    x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Straightforward nested-loop reference convolution (float64)."""
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    n, c, h, w = x.shape
+    oc, _, kh, kw = weight.shape
+    oh, ow = _out_hw(h, w, kh, kw, stride, padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, oc, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nckl,ockl->no", patch, weight)
+    return out
+
+
+def conv2d_fft(
+    x: np.ndarray,
+    weight: np.ndarray,
+    cgemm: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """'Same'-size stride-1 convolution in the Fourier domain.
+
+    Uses the GEMM-based FFT (:mod:`repro.apps.fft`) along each image axis,
+    so with an M3XU CGEMM injected the whole transform chain exercises the
+    FP32C datapath — the frequency-domain-training motivation cited in
+    Section I ([42]). Kernel extents must be odd; sizes are padded to the
+    next power of two internally.
+
+    Note: this computes *convolution* (kernel flipped), matching
+    ``scipy.signal.convolve2d(..., mode="same")`` per channel-sum; the
+    im2col path computes cross-correlation as deep-learning frameworks do.
+    """
+    from ..fft.gemmfft import gemm_fft
+
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    n, c, h, w = x.shape
+    oc, _, kh, kw = weight.shape
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ValueError("conv2d_fft requires odd kernel extents")
+
+    size_h = 1 << int(np.ceil(np.log2(h + kh - 1)))
+    size_w = 1 << int(np.ceil(np.log2(w + kw - 1)))
+
+    def fft2(arr: np.ndarray) -> np.ndarray:
+        step1 = gemm_fft(arr, cgemm=cgemm)
+        return np.swapaxes(gemm_fft(np.swapaxes(step1, -1, -2), cgemm=cgemm), -1, -2)
+
+    def ifft2(arr: np.ndarray) -> np.ndarray:
+        step1 = gemm_fft(arr, cgemm=cgemm, inverse=True)
+        out = np.swapaxes(
+            gemm_fft(np.swapaxes(step1, -1, -2), cgemm=cgemm, inverse=True), -1, -2
+        )
+        return out / (arr.shape[-1] * arr.shape[-2])
+
+    xf = np.zeros((n, c, size_h, size_w), dtype=complex)
+    xf[:, :, :h, :w] = x
+    wf = np.zeros((oc, c, size_h, size_w), dtype=complex)
+    wf[:, :, :kh, :kw] = weight
+
+    Xf = fft2(xf)
+    Wf = fft2(wf)
+    Yf = np.einsum("nchw,ochw->nohw", Xf, Wf)
+    y = ifft2(Yf).real
+    # 'same' window: centred on the kernel anchor.
+    oh0, ow0 = kh // 2, kw // 2
+    return y[:, :, oh0 : oh0 + h, ow0 : ow0 + w]

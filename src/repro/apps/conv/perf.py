@@ -1,0 +1,87 @@
+"""Convolution performance on the kernel models.
+
+The paper evaluates 2-D convolution alongside GEMM; within its framework
+a convolution *is* its im2col GEMM, so the model reuses the Table IV
+kernels over the lowered shape, adding the im2col lowering traffic for
+kernels that materialise the column matrix (the SIMT baseline path) vs
+implicit-GEMM addressing for tensor-core kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...gpusim.config import GPUSpec, a100_emulation
+from ...kernels.base import GemmProblem
+from ...kernels.registry import SGEMM_KERNELS
+
+__all__ = ["ConvShape", "conv_time", "conv_speedups"]
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """One convolution problem (NCHW / OIHW)."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+    oc: int
+    kh: int
+    kw: int
+    stride: int = 1
+    padding: int = 1
+
+    @property
+    def oh(self) -> int:
+        return (self.h + 2 * self.padding - self.kh) // self.stride + 1
+
+    @property
+    def ow(self) -> int:
+        return (self.w + 2 * self.padding - self.kw) // self.stride + 1
+
+    def gemm(self) -> GemmProblem:
+        return GemmProblem(
+            m=self.n * self.oh * self.ow,
+            n=self.oc,
+            k=self.c * self.kh * self.kw,
+        )
+
+
+def conv_time(
+    shape: ConvShape,
+    kernel: str = "M3XU_sgemm_pipelined",
+    gpu: GPUSpec | None = None,
+) -> float:
+    """Modelled forward-convolution time with the given GEMM kernel.
+
+    SIMT kernels materialise the im2col matrix (one extra streaming write of
+    the column matrix; its reads are the GEMM's A reads); tensor-core
+    kernels use implicit GEMM (no extra traffic).
+    """
+    gpu = gpu or a100_emulation()
+    p = shape.gemm()
+    t = SGEMM_KERNELS[kernel].time(p, gpu)
+    if "simt" in kernel:
+        cols_bytes = 1.0 * p.m * p.k * 4.0
+        t += cols_bytes / (gpu.dram_bw_gbs * 1e9 * 0.8)
+    return t
+
+
+def conv_speedups(
+    shapes: list[ConvShape] | None = None, gpu: GPUSpec | None = None
+) -> list[tuple[ConvShape, float]]:
+    """M3XU speedup over the SIMT convolution per shape."""
+    gpu = gpu or a100_emulation()
+    shapes = shapes or [
+        ConvShape(32, 64, 56, 56, 64, 3, 3),
+        ConvShape(32, 128, 28, 28, 128, 3, 3),
+        ConvShape(32, 256, 14, 14, 256, 3, 3),
+        ConvShape(32, 512, 7, 7, 512, 3, 3),
+    ]
+    out = []
+    for s in shapes:
+        base = conv_time(s, "cutlass_simt_sgemm", gpu)
+        ours = conv_time(s, "M3XU_sgemm_pipelined", gpu)
+        out.append((s, base / ours))
+    return out

@@ -1,0 +1,19 @@
+"""DNN training case study (Figure 7)."""
+
+from .layers import ConvLayer, FcLayer, Layer, layer_gemms
+from .models import NETWORKS, alexnet, resnet50, vgg16
+from .training import TrainingLatency, figure7, training_latency
+
+__all__ = [
+    "ConvLayer",
+    "FcLayer",
+    "Layer",
+    "layer_gemms",
+    "alexnet",
+    "vgg16",
+    "resnet50",
+    "NETWORKS",
+    "TrainingLatency",
+    "training_latency",
+    "figure7",
+]

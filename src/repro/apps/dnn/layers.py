@@ -1,0 +1,83 @@
+"""CNN layer shapes and their im2col GEMM problems.
+
+The DNN case study (Section VI-C2, Figure 7) measures single-iteration
+training latency of AlexNet, VGG and ResNet from the Nebula benchmark.
+Convolutions lower to GEMMs:
+
+* forward:  ``[B*OH*OW, OC] = [B*OH*OW, IC*KH*KW] @ [IC*KH*KW, OC]``
+* dgrad:    same volume against the transposed filter,
+* wgrad:    ``[IC*KH*KW, OC]`` accumulated over ``B*OH*OW``.
+
+Each conv therefore contributes one forward GEMM and two backward GEMMs
+of equal MAC volume; fully-connected layers are plain GEMMs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...kernels.base import GemmProblem
+
+__all__ = ["ConvLayer", "FcLayer", "Layer", "layer_gemms"]
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One 2-D convolution layer."""
+
+    name: str
+    in_ch: int
+    out_ch: int
+    kernel: int
+    in_hw: int
+    stride: int = 1
+    padding: int | None = None  # None = "same"-ish (kernel//2)
+
+    @property
+    def out_hw(self) -> int:
+        pad = self.kernel // 2 if self.padding is None else self.padding
+        return (self.in_hw + 2 * pad - self.kernel) // self.stride + 1
+
+    def gemm(self, batch: int) -> GemmProblem:
+        m = batch * self.out_hw * self.out_hw
+        k = self.in_ch * self.kernel * self.kernel
+        return GemmProblem(m=m, n=self.out_ch, k=k)
+
+    def activation_bytes(self, batch: int) -> float:
+        """FP16 activation traffic of the layer (in + out feature maps)."""
+        inb = batch * self.in_ch * self.in_hw * self.in_hw * 2
+        outb = batch * self.out_ch * self.out_hw * self.out_hw * 2
+        return float(inb + outb)
+
+
+@dataclass(frozen=True)
+class FcLayer:
+    """One fully-connected layer."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def gemm(self, batch: int) -> GemmProblem:
+        return GemmProblem(m=batch, n=self.out_features, k=self.in_features)
+
+    def activation_bytes(self, batch: int) -> float:
+        return float(batch * (self.in_features + self.out_features) * 2)
+
+
+Layer = ConvLayer | FcLayer
+
+
+def layer_gemms(layers: list[Layer], batch: int) -> list[GemmProblem]:
+    """Forward GEMM problem per layer (backward doubles each volume)."""
+    return [layer.gemm(batch) for layer in layers]
+
+
+def total_macs(layers: list[Layer], batch: int) -> float:
+    return float(sum(p.macs for p in layer_gemms(layers, batch)))
+
+
+def round_up_pow2(x: int) -> int:
+    """Pad a GEMM dimension to the tile-friendly next power of two."""
+    return 1 << max(0, math.ceil(math.log2(max(x, 1))))

@@ -1,0 +1,79 @@
+"""Network definitions: AlexNet, VGG-16 and ResNet-50 layer tables.
+
+Shapes follow the standard ImageNet configurations (what Nebula's full-
+size networks model). ResNet-50 is expressed with its bottleneck blocks
+expanded into individual convolutions.
+"""
+
+from __future__ import annotations
+
+from .layers import ConvLayer, FcLayer, Layer
+
+__all__ = ["alexnet", "vgg16", "resnet50", "NETWORKS"]
+
+
+def alexnet() -> list[Layer]:
+    return [
+        ConvLayer("conv1", 3, 64, 11, 224, stride=4, padding=2),
+        ConvLayer("conv2", 64, 192, 5, 27, padding=2),
+        ConvLayer("conv3", 192, 384, 3, 13, padding=1),
+        ConvLayer("conv4", 384, 256, 3, 13, padding=1),
+        ConvLayer("conv5", 256, 256, 3, 13, padding=1),
+        FcLayer("fc6", 256 * 6 * 6, 4096),
+        FcLayer("fc7", 4096, 4096),
+        FcLayer("fc8", 4096, 1000),
+    ]
+
+
+def vgg16() -> list[Layer]:
+    cfg = [
+        (3, 64, 224), (64, 64, 224),
+        (64, 128, 112), (128, 128, 112),
+        (128, 256, 56), (256, 256, 56), (256, 256, 56),
+        (256, 512, 28), (512, 512, 28), (512, 512, 28),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14),
+    ]
+    layers: list[Layer] = [
+        ConvLayer(f"conv{i+1}", ic, oc, 3, hw, padding=1)
+        for i, (ic, oc, hw) in enumerate(cfg)
+    ]
+    layers += [
+        FcLayer("fc14", 512 * 7 * 7, 4096),
+        FcLayer("fc15", 4096, 4096),
+        FcLayer("fc16", 4096, 1000),
+    ]
+    return layers
+
+
+def _bottleneck(name: str, in_ch: int, mid: int, hw: int, stride: int = 1) -> list[Layer]:
+    out_ch = mid * 4
+    layers: list[Layer] = [
+        ConvLayer(f"{name}.conv1", in_ch, mid, 1, hw, padding=0),
+        ConvLayer(f"{name}.conv2", mid, mid, 3, hw, stride=stride, padding=1),
+        ConvLayer(f"{name}.conv3", mid, out_ch, 1, hw // stride, padding=0),
+    ]
+    if stride != 1 or in_ch != out_ch:
+        layers.append(
+            ConvLayer(f"{name}.down", in_ch, out_ch, 1, hw, stride=stride, padding=0)
+        )
+    return layers
+
+
+def resnet50() -> list[Layer]:
+    layers: list[Layer] = [ConvLayer("conv1", 3, 64, 7, 224, stride=2, padding=3)]
+    hw = 56
+    in_ch = 64
+    for stage, (mid, blocks, stride) in enumerate(
+        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)], start=2
+    ):
+        for b in range(blocks):
+            s = stride if b == 0 else 1
+            layers += _bottleneck(f"res{stage}.{b}", in_ch, mid, hw, s)
+            if b == 0:
+                hw //= stride
+            in_ch = mid * 4
+    layers.append(FcLayer("fc", 2048, 1000))
+    return layers
+
+
+NETWORKS = {"AlexNet": alexnet, "VGG16": vgg16, "ResNet50": resnet50}

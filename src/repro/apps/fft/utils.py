@@ -1,0 +1,76 @@
+"""Higher-level transforms on top of the GEMM-FFT core.
+
+Batched, 2-D, real-input and inverse conveniences, all built on
+:func:`~repro.apps.fft.gemmfft.gemm_fft` so any injected CGEMM (M3XU,
+software schemes, reference) drives every variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gemmfft import CGemmFn, gemm_fft
+
+__all__ = ["fft2", "ifft2", "rfft", "irfft", "ifft", "batch_fft"]
+
+
+def ifft(x: np.ndarray, cgemm: CGemmFn | None = None) -> np.ndarray:
+    """Normalised inverse FFT along the last axis."""
+    x = np.asarray(x, dtype=np.complex128)
+    return gemm_fft(x, cgemm=cgemm, inverse=True) / x.shape[-1]
+
+
+def batch_fft(x: np.ndarray, cgemm: CGemmFn | None = None) -> np.ndarray:
+    """FFT along the last axis of an arbitrary-rank batch (alias with an
+    explicit name; ``gemm_fft`` already batches)."""
+    return gemm_fft(x, cgemm=cgemm)
+
+
+def fft2(x: np.ndarray, cgemm: CGemmFn | None = None) -> np.ndarray:
+    """2-D FFT over the last two axes (both power-of-two)."""
+    x = np.asarray(x, dtype=np.complex128)
+    step = gemm_fft(x, cgemm=cgemm)
+    return np.swapaxes(gemm_fft(np.swapaxes(step, -1, -2), cgemm=cgemm), -1, -2)
+
+
+def ifft2(x: np.ndarray, cgemm: CGemmFn | None = None) -> np.ndarray:
+    """Normalised 2-D inverse FFT over the last two axes."""
+    x = np.asarray(x, dtype=np.complex128)
+    step = gemm_fft(x, cgemm=cgemm, inverse=True)
+    out = np.swapaxes(gemm_fft(np.swapaxes(step, -1, -2), cgemm=cgemm, inverse=True), -1, -2)
+    return out / (x.shape[-1] * x.shape[-2])
+
+
+def rfft(x: np.ndarray, cgemm: CGemmFn | None = None) -> np.ndarray:
+    """Real-input FFT: returns the ``n//2 + 1`` non-redundant bins.
+
+    Uses the standard packing trick: an N-point real signal becomes an
+    N/2-point complex signal, one complex FFT plus an O(N) untangling
+    stage — halving the CGEMM work versus a complex transform.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[-1]
+    if n & (n - 1) or n < 2:
+        raise ValueError("rfft requires power-of-two length >= 2")
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    zf = gemm_fft(z, cgemm=cgemm)
+    half = n // 2
+    k = np.arange(half + 1)
+    # Unpack: X[k] = (Z[k] + conj(Z[-k]))/2 - i/2 * e^{-2pi i k/N} (Z[k] - conj(Z[-k]))
+    zf_ext = np.concatenate([zf, zf[..., :1]], axis=-1)  # Z[half] = Z[0]
+    z_k = zf_ext[..., k]
+    z_nk = np.conj(zf_ext[..., (half - k) % half])
+    even = 0.5 * (z_k + z_nk)
+    odd = -0.5j * (z_k - z_nk)
+    tw = np.exp(-2j * np.pi * k / n)
+    return even + tw * odd
+
+
+def irfft(spec: np.ndarray, cgemm: CGemmFn | None = None) -> np.ndarray:
+    """Inverse of :func:`rfft` (length inferred as ``2*(bins-1)``)."""
+    spec = np.asarray(spec, dtype=np.complex128)
+    n = 2 * (spec.shape[-1] - 1)
+    full = np.concatenate(
+        [spec, np.conj(spec[..., -2:0:-1])], axis=-1
+    )
+    return ifft(full, cgemm=cgemm).real[..., :n]

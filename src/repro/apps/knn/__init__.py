@@ -1,0 +1,17 @@
+"""kNN / K-Means case study: GEMM-based statistical learning (Fig. 9)."""
+
+from .kmeans import KMeansResult, cluster_quality, kmeans
+from .knn import knn_search, pairwise_sq_distances, recall_at_k
+from .perf import KnnPerf, figure9, knn_time
+
+__all__ = [
+    "pairwise_sq_distances",
+    "knn_search",
+    "recall_at_k",
+    "KnnPerf",
+    "knn_time",
+    "figure9",
+    "kmeans",
+    "KMeansResult",
+    "cluster_quality",
+]

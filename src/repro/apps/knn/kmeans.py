@@ -1,0 +1,107 @@
+"""K-Means clustering via the GEMM distance trick (statistical learning).
+
+Section VI-C4: "Conventional statistical learning methods, like
+K-Nearest Neighbor (KNN) and K-Means, are also SGEMM intensive but
+precision-sensitive." The assignment step of Lloyd's algorithm is the
+same ``|x|^2 + |c|^2 - 2 x.c`` GEMM as kNN; this implementation routes it
+through an injectable SGEMM so the clustering runs on the M3XU model —
+and exposes the same small-magnitude failure of FP16 tensor cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .knn import pairwise_sq_distances
+
+__all__ = ["KMeansResult", "kmeans", "cluster_quality"]
+
+SGemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one K-Means run."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    sgemm: SGemmFn | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: int = 0,
+) -> KMeansResult:
+    """Lloyd's algorithm with GEMM-based assignment.
+
+    Parameters
+    ----------
+    x:
+        (N, D) points.
+    k:
+        Cluster count (k-means++-style farthest-point init, deterministic
+        per *seed*).
+    sgemm:
+        GEMM callable for the assignment distances (float64 default).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n, _ = x.shape
+    if not (1 <= k <= n):
+        raise ValueError("k must be in [1, n_points]")
+    rng = np.random.default_rng(seed)
+
+    # k-means++ seeding (distances in float64; the study targets the
+    # iteration loop's GEMMs, not the init).
+    centroids = [x[rng.integers(n)]]
+    for _ in range(1, k):
+        d2 = np.min(
+            ((x[:, None, :] - np.array(centroids)[None, :, :]) ** 2).sum(-1), axis=1
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(x[rng.integers(n)])
+            continue
+        centroids.append(x[rng.choice(n, p=d2 / total)])
+    c = np.array(centroids)
+
+    labels = np.zeros(n, dtype=int)
+    inertia = np.inf
+    for it in range(1, max_iter + 1):
+        d = pairwise_sq_distances(x, c, sgemm)
+        labels = np.argmin(d, axis=1)
+        new_inertia = float(d[np.arange(n), labels].sum())
+        new_c = np.empty_like(c)
+        for j in range(k):
+            members = x[labels == j]
+            new_c[j] = members.mean(axis=0) if len(members) else x[rng.integers(n)]
+        moved = float(np.max(np.abs(new_c - c)))
+        c = new_c
+        if abs(inertia - new_inertia) <= tol * max(abs(inertia), 1.0) or moved <= tol:
+            return KMeansResult(c, labels, new_inertia, it, True)
+        inertia = new_inertia
+    return KMeansResult(c, labels, inertia, max_iter, False)
+
+
+def cluster_quality(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Best-case label agreement (purity): the fraction of points whose
+    cluster's majority true class matches their own."""
+    labels = np.asarray(labels)
+    truth = np.asarray(truth)
+    if labels.shape != truth.shape:
+        raise ValueError("shapes must match")
+    correct = 0
+    for lab in np.unique(labels):
+        members = truth[labels == lab]
+        if members.size:
+            counts = np.bincount(members)
+            correct += counts.max()
+    return correct / truth.size

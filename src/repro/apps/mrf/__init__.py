@@ -1,0 +1,18 @@
+"""MRF case study: EPG dictionary generation + CGEMM matching (Figure 8)."""
+
+from .dictionary import AtomGrid, MrfDictionary, generate_dictionary, match_fingerprints
+from .epg import EpgSimulator, FispSequence, rf_rotation_matrix
+from .perf import MrfPerf, dictgen_time, figure8
+
+__all__ = [
+    "EpgSimulator",
+    "FispSequence",
+    "rf_rotation_matrix",
+    "AtomGrid",
+    "MrfDictionary",
+    "generate_dictionary",
+    "match_fingerprints",
+    "MrfPerf",
+    "dictgen_time",
+    "figure8",
+]

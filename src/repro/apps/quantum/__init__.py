@@ -1,0 +1,5 @@
+"""Quantum statevector simulation on complex GEMM (Section I motivation)."""
+
+from .statevector import Statevector, apply_gate
+
+__all__ = ["Statevector", "apply_gate"]

@@ -1,0 +1,106 @@
+"""Statevector quantum-circuit simulation via complex GEMM.
+
+Section I motivates FP32C with quantum simulation: "simulating quantum
+computing needs complex matrix multiplications to represent qubits and
+their operations". This module is the corresponding extension workload
+(not part of the paper's evaluation): gate application is expressed as a
+batched complex matrix multiply, so the whole simulator runs on any
+injected CGEMM — including the M3XU functional model.
+
+Applying a k-qubit gate U (2^k x 2^k) to qubits Q of an n-qubit state:
+reshape the 2^n amplitudes so the target-qubit axes are contiguous, view
+them as a (2^k, 2^(n-k)) matrix, and left-multiply by U — one CGEMM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Statevector", "apply_gate"]
+
+CGemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def apply_gate(
+    state: np.ndarray,
+    gate: np.ndarray,
+    qubits: Sequence[int],
+    cgemm: CGemmFn | None = None,
+) -> np.ndarray:
+    """Apply a k-qubit gate to the given qubits of an n-qubit statevector.
+
+    Qubit 0 is the least-significant amplitude index bit.
+    """
+    if cgemm is None:
+        cgemm = lambda a, b: a @ b  # noqa: E731
+    state = np.asarray(state, dtype=np.complex128)
+    n_amp = state.shape[0]
+    n = n_amp.bit_length() - 1
+    if 1 << n != n_amp:
+        raise ValueError("state length must be a power of two")
+    k = len(qubits)
+    if gate.shape != (1 << k, 1 << k):
+        raise ValueError(f"gate must be {1 << k}x{1 << k} for {k} qubits")
+    if len(set(qubits)) != k or any(q < 0 or q >= n for q in qubits):
+        raise ValueError("invalid qubit indices")
+
+    # Move the target-qubit axes to the front. Tensor axes are reversed
+    # relative to bit indices (axis 0 = most significant bit).
+    tensor = state.reshape([2] * n)
+    axes = [n - 1 - q for q in qubits]
+    rest = [a for a in range(n) if a not in axes]
+    perm = axes + rest
+    moved = np.transpose(tensor, perm).reshape(1 << k, -1)
+    out = cgemm(np.asarray(gate, dtype=np.complex128), moved)
+    # Undo the permutation.
+    out_t = out.reshape([2] * n)
+    inv = np.argsort(perm)
+    return np.transpose(out_t, inv).reshape(-1)
+
+
+class Statevector:
+    """A mutable n-qubit statevector with CGEMM-backed gate application."""
+
+    #: Common gates.
+    H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
+    X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+    Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+    S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+    CNOT = np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+        dtype=np.complex128,
+    )
+
+    def __init__(self, n_qubits: int, cgemm: CGemmFn | None = None) -> None:
+        if n_qubits < 1 or n_qubits > 24:
+            raise ValueError("n_qubits must be in [1, 24]")
+        self.n_qubits = n_qubits
+        self.cgemm = cgemm
+        self.state = np.zeros(1 << n_qubits, dtype=np.complex128)
+        self.state[0] = 1.0
+
+    def apply(self, gate: np.ndarray, *qubits: int) -> "Statevector":
+        self.state = apply_gate(self.state, gate, qubits, self.cgemm)
+        return self
+
+    def h(self, q: int) -> "Statevector":
+        return self.apply(self.H, q)
+
+    def x(self, q: int) -> "Statevector":
+        return self.apply(self.X, q)
+
+    def z(self, q: int) -> "Statevector":
+        return self.apply(self.Z, q)
+
+    def cnot(self, control: int, target: int) -> "Statevector":
+        # CNOT's matrix uses |control, target> ordering: the control is
+        # the most-significant gate bit, which is qubits[0] in apply().
+        return self.apply(self.CNOT, control, target)
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.state) ** 2
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.state))

@@ -1,0 +1,5 @@
+"""Scientific-computing case study: FP32-sensitive iterative solvers."""
+
+from .cg import CgResult, conjugate_gradient, diffusion_2d, poisson_1d
+
+__all__ = ["CgResult", "conjugate_gradient", "poisson_1d", "diffusion_2d"]

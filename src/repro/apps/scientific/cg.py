@@ -1,0 +1,118 @@
+"""Conjugate-gradient solver: the scientific-computing motivation.
+
+Section I motivates native FP32 with "scientific applications ... are
+sensitive to numerical errors and most existing implementations must rely
+on IEEE 754 standard single-precision floating-point numbers to function
+correctly" (citing, among others, GPU preconditioned CG [29]). This case
+study makes the sensitivity concrete: a CG solve whose matrix products run
+through an injectable GEMM converges normally on the M3XU FP32 model and
+stalls (or diverges) when the products drop to FP16 tensor-core precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CgResult", "conjugate_gradient", "poisson_1d", "diffusion_2d"]
+
+MatVecGemm = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CgResult:
+    """Outcome of one CG solve.
+
+    ``residual_history`` tracks the *recurrence* residual CG maintains
+    internally; ``true_residual`` is ``||b - A x|| / ||b||`` recomputed in
+    float64 at exit. Low-precision mat-vecs make the two diverge — the
+    recurrence claims convergence while the actual solution has stalled,
+    the silent failure mode that forces scientific codes onto FP32.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: tuple[float, ...]
+    true_residual: float
+
+    @property
+    def final_residual(self) -> float:
+        """Final recurrence residual (what the solver believes)."""
+        return self.residual_history[-1]
+
+    @property
+    def silently_wrong(self) -> bool:
+        """Converged by its own account, but the true residual disagrees
+        by more than an order of magnitude."""
+        return self.converged and self.true_residual > 10 * self.final_residual
+
+
+def poisson_1d(n: int) -> np.ndarray:
+    """The 1-D Poisson (tridiagonal [-1, 2, -1]) SPD matrix, dense."""
+    a = 2.0 * np.eye(n)
+    idx = np.arange(n - 1)
+    a[idx, idx + 1] = -1.0
+    a[idx + 1, idx] = -1.0
+    return a
+
+
+def diffusion_2d(n: int) -> np.ndarray:
+    """The 2-D 5-point Laplacian on an n x n grid (SPD, size n^2)."""
+    one_d = poisson_1d(n)
+    eye = np.eye(n)
+    return np.kron(one_d, eye) + np.kron(eye, one_d)
+
+
+def conjugate_gradient(
+    a: np.ndarray,
+    b: np.ndarray,
+    gemm: MatVecGemm | None = None,
+    tol: float = 1e-5,
+    max_iter: int | None = None,
+) -> CgResult:
+    """Solve ``A x = b`` (SPD ``A``) by CG, mat-vecs through *gemm*.
+
+    The matrix-vector products — the GEMM-shaped work a GPU implementation
+    offloads — run through the injected GEMM callable; the scalar
+    recurrences stay in float64 (they are negligible work and isolating
+    the product precision is the point of the study).
+    """
+    if gemm is None:
+        gemm = lambda m, v: m @ v  # noqa: E731
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    if a.shape != (n, n):
+        raise ValueError(f"A must be {n}x{n}, got {a.shape}")
+    max_iter = max_iter or 4 * n
+
+    def _finish(x, it, converged, history):
+        true_res = float(np.linalg.norm(b - a @ x)) / b_norm
+        return CgResult(x, it, converged, tuple(history), true_res)
+
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rs = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.sqrt(rs)) / b_norm]
+
+    for it in range(1, max_iter + 1):
+        ap = np.asarray(gemm(a, p[:, None]))[:, 0]
+        denom = float(p @ ap)
+        if denom <= 0 or not np.isfinite(denom):
+            # Lost positive-definiteness to rounding: hard failure.
+            return _finish(x, it, False, history)
+        alpha = rs / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(r @ r)
+        history.append(float(np.sqrt(rs_new)) / b_norm)
+        if history[-1] < tol:
+            return _finish(x, it, True, history)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return _finish(x, max_iter, False, history)

@@ -1,0 +1,27 @@
+"""Exact and hardware-modelled arithmetic primitives."""
+
+from .accumulator import M3XU_ACC_BITS, TENSORCORE_ACC_BITS, aligned_sum
+from .dotproduct import dot_product_unit, fma_chain_dot, pairwise_tree_dot
+from .exact import (
+    chunked_dot,
+    exact_dot,
+    fma_round,
+    round_fraction,
+    sequential_fma_dot,
+    to_fraction,
+)
+
+__all__ = [
+    "aligned_sum",
+    "M3XU_ACC_BITS",
+    "TENSORCORE_ACC_BITS",
+    "dot_product_unit",
+    "fma_chain_dot",
+    "pairwise_tree_dot",
+    "exact_dot",
+    "fma_round",
+    "round_fraction",
+    "sequential_fma_dot",
+    "chunked_dot",
+    "to_fraction",
+]

@@ -1,0 +1,158 @@
+"""Vectorised dot-product-unit and FMA-chain models.
+
+Two accumulation disciplines appear throughout the paper:
+
+* **Dot-product units** (Tensor Cores, M3XU): all partial products of one
+  MMA step are multiplied exactly, aligned, summed through a wide datapath
+  (:func:`~repro.arith.accumulator.aligned_sum`) and rounded once into the
+  accumulator format.
+* **FMA chains** (CUDA/SIMT cores): one rounding to FP32 after *every*
+  multiply-add.
+
+Exactness note (why float64 carries the products): the multiplier inputs
+are at most 24-bit significands (FP32 split parts are <= 12 bits; FP16/
+BF16/TF32 are <= 11 bits; full FP32 is 24 bits), so every product has at
+most 48 significant bits and is exact in float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types.formats import FloatFormat
+from ..types.quantize import quantize
+from ..types.rounding import RoundingMode
+from .accumulator import aligned_sum
+
+__all__ = ["dot_product_unit", "fma_chain_dot", "pairwise_tree_dot"]
+
+_MAX_SIG_BITS = 24  # largest multiplier input significand in any mode
+
+
+def _check_product_exactness(a: np.ndarray, b: np.ndarray) -> None:
+    """Guard: inputs wider than 24-bit significands would make float64
+    products inexact and silently corrupt the model."""
+    # Cheap structural check on a sample (full check would quantise twice).
+    for arr in (a, b):
+        flat = arr.reshape(-1)
+        sample = flat[:: max(1, flat.size // 64)]
+        finite = sample[np.isfinite(sample) & (sample != 0.0)]
+        if finite.size == 0:
+            continue
+        m, _ = np.frexp(np.abs(finite))
+        sig = np.ldexp(m, _MAX_SIG_BITS)
+        if not np.all(sig == np.rint(sig)):
+            raise ValueError(
+                "dot_product_unit inputs must have <= 24-bit significands "
+                "(quantise or split operands first)"
+            )
+
+
+def dot_product_unit(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float = 0.0,
+    *,
+    out_fmt: FloatFormat,
+    acc_bits: int | None = None,
+    include_c_in_wide_sum: bool = True,
+    check_inputs: bool = False,
+) -> np.ndarray:
+    """One dot-product-unit reduction: ``round(sum_k a_k*b_k [+ c])``.
+
+    Parameters
+    ----------
+    a, b:
+        Broadcast-compatible float64 arrays; the reduction runs over the
+        **last axis**. Elements must carry at most 24 significand bits.
+    c:
+        Accumulator input (shape of ``a``/``b`` without the last axis).
+    out_fmt:
+        Format of the result register (FP32 for every mode in the paper).
+    acc_bits:
+        Finite adder-tree width; ``None`` = float64 wide path (default for
+        performance; see :mod:`repro.arith.accumulator`).
+    include_c_in_wide_sum:
+        If True the C operand joins the aligned wide sum (the M3XU
+        behaviour — C is held in the 48-bit accumulation register). If
+        False the wide product sum is rounded to *out_fmt* first and C is
+        added with a second *out_fmt* rounding (a stricter model of units
+        whose C path is a plain FP32 adder).
+    check_inputs:
+        Enable the significand-width guard (used by tests).
+
+    Returns
+    -------
+    np.ndarray
+        float64 values exactly representable in *out_fmt*.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if check_inputs:
+        _check_product_exactness(a, b)
+    products = a * b  # exact by the significand-width precondition
+
+    if include_c_in_wide_sum:
+        c_arr = np.broadcast_to(
+            np.asarray(c, dtype=np.float64), products.shape[:-1]
+        )[..., None]
+        addends = np.concatenate(
+            [products, c_arr], axis=-1
+        ) if products.shape[-1] else c_arr
+        wide = aligned_sum(addends, axis=-1, acc_bits=acc_bits)
+        return quantize(wide, out_fmt)
+
+    wide = aligned_sum(products, axis=-1, acc_bits=acc_bits)
+    partial = quantize(wide, out_fmt)
+    return quantize(partial + np.asarray(c, dtype=np.float64), out_fmt)
+
+
+def fma_chain_dot(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float,
+    fmt: FloatFormat,
+) -> np.ndarray:
+    """Dot product over the last axis as a chain of *fmt*-rounded FMAs.
+
+    The SIMT/CUDA-core model: each step performs one fused multiply-add
+    with a single rounding to *fmt* (products of *fmt* values are exact in
+    float64, so ``quantize(acc + a*b)`` is a true FMA for fmt <= FP32).
+    Vectorised over all leading axes; the K loop is sequential, as it is
+    in the hardware.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a, b = np.broadcast_arrays(a, b)
+    acc = np.broadcast_to(
+        quantize(np.asarray(c, dtype=np.float64), fmt), a.shape[:-1]
+    ).copy()
+    for k in range(a.shape[-1]):
+        acc = quantize(acc + a[..., k] * b[..., k], fmt)
+    return acc
+
+
+def pairwise_tree_dot(
+    a: np.ndarray,
+    b: np.ndarray,
+    fmt: FloatFormat,
+) -> np.ndarray:
+    """Dot product over the last axis via a balanced binary add tree with
+    *fmt* rounding at every node.
+
+    Models reduction trees used by SIMT kernels that accumulate partial
+    sums across threads (e.g. split-K epilogues); error grows like
+    ``log2(K)`` ulps instead of ``K`` ulps for the sequential chain.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    vals = quantize(a * b, fmt)
+    while vals.shape[-1] > 1:
+        n = vals.shape[-1]
+        even = vals[..., 0 : n - (n % 2) : 2]
+        odd = vals[..., 1::2]
+        paired = quantize(even + odd, fmt)
+        if n % 2:
+            paired = np.concatenate([paired, vals[..., -1:]], axis=-1)
+        vals = paired
+    return vals[..., 0]

@@ -1,0 +1,143 @@
+"""Arbitrary-precision exact reference arithmetic.
+
+This is the ground truth against which every vectorised hardware model in
+:mod:`repro.arith` and :mod:`repro.mxu` is validated. Values are carried
+as exact rationals (:class:`fractions.Fraction`); rounding to a target
+format is performed once, with explicit round-to-nearest-even on the real
+result — i.e. *correct rounding*.
+
+It is deliberately scalar and slow; tests use it on small operands.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..types.formats import FloatFormat
+from ..types.rounding import RoundingMode, round_significand_scalar
+
+__all__ = [
+    "to_fraction",
+    "round_fraction",
+    "exact_dot",
+    "fma_round",
+    "sequential_fma_dot",
+    "chunked_dot",
+]
+
+
+def to_fraction(x: float) -> Fraction:
+    """Convert a finite float64 to an exact rational."""
+    if not np.isfinite(x):
+        raise ValueError("exact arithmetic is defined for finite values only")
+    return Fraction(float(x))
+
+
+def round_fraction(
+    value: Fraction, fmt: FloatFormat, mode: RoundingMode = RoundingMode.NEAREST_EVEN
+) -> float:
+    """Correctly round an exact rational to *fmt*, returned as float64.
+
+    Overflow saturates to ±inf under RNE (matching IEEE conversions) and to
+    ±max_value under truncation.
+    """
+    if value == 0:
+        return 0.0
+    sign = -1.0 if value < 0 else 1.0
+    mag = -value if value < 0 else value
+
+    # Find unbiased exponent e with mag in [2^e, 2^(e+1)).
+    e = mag.numerator.bit_length() - mag.denominator.bit_length()
+    if mag >= Fraction(2) ** (e + 1):
+        e += 1
+    elif mag < Fraction(2) ** e:
+        e -= 1
+    assert Fraction(2) ** e <= mag < Fraction(2) ** (e + 1)
+
+    e_eff = max(e, fmt.emin)  # subnormal grid floor
+    grid_exp = e_eff - fmt.mantissa_bits
+    scaled = mag / Fraction(2) ** grid_exp
+
+    # Round the exact rational to an integer on the grid.
+    n, d = scaled.numerator, scaled.denominator
+    q, r = divmod(n, d)
+    if mode is RoundingMode.NEAREST_EVEN:
+        if 2 * r > d or (2 * r == d and q % 2 == 1):
+            q += 1
+    result = float(sign) * float(q) * 2.0**grid_exp
+
+    if abs(result) > fmt.max_value:
+        if mode is RoundingMode.NEAREST_EVEN:
+            return float(np.copysign(np.inf, sign))
+        return float(np.copysign(fmt.max_value, sign))
+    return result
+
+
+def exact_dot(
+    a: Sequence[float],
+    b: Sequence[float],
+    c: float,
+    out_fmt: FloatFormat,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> float:
+    """Correctly-rounded dot product: ``round(sum(a*b) + c)``.
+
+    The single-rounding ideal — the most accurate result any hardware could
+    produce. M3XU's wide accumulators approach this; FP32 FMA chains and
+    the software schemes fall short of it.
+    """
+    acc = to_fraction(c)
+    for x, y in zip(a, b, strict=True):
+        acc += to_fraction(x) * to_fraction(y)
+    return round_fraction(acc, out_fmt, mode)
+
+
+def fma_round(a: float, b: float, c: float, fmt: FloatFormat) -> float:
+    """A single fused multiply-add with one correct rounding to *fmt*."""
+    return round_fraction(to_fraction(a) * to_fraction(b) + to_fraction(c), fmt)
+
+
+def sequential_fma_dot(
+    a: Iterable[float], b: Iterable[float], c: float, fmt: FloatFormat
+) -> float:
+    """Dot product as a chain of format-rounded FMAs (the SIMT-core model).
+
+    ``acc = fma(a_k, b_k, acc)`` with *fmt* rounding at every step — exactly
+    what one CUDA-core thread does when accumulating a K-loop in FP32.
+    """
+    acc = float(c)
+    for x, y in zip(a, b):
+        acc = fma_round(float(x), float(y), acc, fmt)
+    return acc
+
+
+def chunked_dot(
+    a: Sequence[float],
+    b: Sequence[float],
+    c: float,
+    chunk: int,
+    acc_fmt: FloatFormat,
+    out_fmt: FloatFormat,
+) -> float:
+    """Dot product accumulated in exact chunks with *acc_fmt* rounding between.
+
+    Models an MXU that computes each K-``chunk`` exactly in a wide internal
+    path, rounds the running total to *acc_fmt* after every chunk (the
+    accumulator register format), and finally rounds to *out_fmt*. With
+    ``acc_fmt == FP32`` and ``chunk == K_mma`` this is the tensor-core GEMM
+    accumulation model; with ``acc_fmt == FP64`` it approximates M3XU's
+    48-bit accumulation registers.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    acc = to_fraction(c)
+    n = len(a)
+    for start in range(0, n, chunk):
+        part = Fraction(0)
+        for x, y in zip(a[start : start + chunk], b[start : start + chunk], strict=True):
+            part += to_fraction(x) * to_fraction(y)
+        acc = to_fraction(round_fraction(acc + part, acc_fmt))
+    return round_fraction(acc, out_fmt)

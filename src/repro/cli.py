@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report [names...]``
+    Regenerate paper tables/figures (default: all) and print the
+    paper-vs-measured report.
+``gemm --m --n --k [--complex] [--kernel ...]``
+    Model one GEMM on every (or one) Table IV kernel.
+``synthesis``
+    Print the Table III synthesis model.
+``accuracy``
+    Run the Section V-B exactness study.
+``design-space``
+    Tabulate the Section IV-C higher-bitwidth design points.
+``peaks [--gpu a100|h100|mi100]``
+    Print the device peak-throughput table (Table I).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="M3XU reproduction: models, experiments, reports.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="regenerate paper tables/figures")
+    rep.add_argument("names", nargs="*", help="experiment names (default: all)")
+
+    gemm = sub.add_parser("gemm", help="model one GEMM problem")
+    gemm.add_argument("--m", type=int, required=True)
+    gemm.add_argument("--n", type=int, required=True)
+    gemm.add_argument("--k", type=int, required=True)
+    gemm.add_argument("--complex", action="store_true", dest="is_complex")
+    gemm.add_argument("--kernel", default=None, help="single kernel name")
+    gemm.add_argument("--gpu", default="a100_emulation",
+                      choices=["a100", "a100_emulation", "h100", "mi100"])
+
+    sub.add_parser("synthesis", help="print the Table III model")
+    sub.add_parser("accuracy", help="run the Section V-B study")
+    sub.add_parser("design-space", help="Section IV-C design points")
+
+    peaks = sub.add_parser("peaks", help="device peak throughput (Table I)")
+    peaks.add_argument("--gpu", default="a100",
+                       choices=["a100", "a100_emulation", "h100", "mi100"])
+    return p
+
+
+def _get_gpu(name: str):
+    from . import gpusim
+
+    return getattr(gpusim, name)()
+
+
+def _cmd_report(args) -> int:
+    from .eval import ALL_EXPERIMENTS, render_report, run_all
+
+    unknown = [n for n in args.names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments {unknown}; available: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    print(render_report(run_all(args.names or None)))
+    return 0
+
+
+def _cmd_gemm(args) -> int:
+    from .kernels import ALL_KERNELS, CGEMM_KERNELS, SGEMM_KERNELS, GemmProblem
+
+    gpu = _get_gpu(args.gpu)
+    problem = GemmProblem(args.m, args.n, args.k, complex=args.is_complex)
+    pool = CGEMM_KERNELS if args.is_complex else SGEMM_KERNELS
+    if args.kernel:
+        if args.kernel not in ALL_KERNELS:
+            print(f"unknown kernel {args.kernel!r}; known: {sorted(ALL_KERNELS)}")
+            return 2
+        pool = {args.kernel: ALL_KERNELS[args.kernel]}
+    print(f"GEMM {problem} on {gpu.name}:")
+    base_time = None
+    for name, kernel in pool.items():
+        t = kernel.time(problem, gpu)
+        if base_time is None:
+            base_time = t
+        print(
+            f"  {name:26s} {t * 1e3:10.3f} ms  {kernel.tflops(problem, gpu):7.1f} TFLOPS"
+            f"  ({base_time / t:5.2f}x)"
+        )
+    return 0
+
+
+def _cmd_synthesis(_args) -> int:
+    from .synthesis import PAPER_TABLE3, synthesis_table
+
+    print(f"{'design':20s} {'area':>6s} {'cycle':>6s} {'power':>6s}   (paper)")
+    for r in synthesis_table():
+        ref = PAPER_TABLE3[r.design]
+        print(
+            f"{r.design:20s} {r.area:6.2f} {r.cycle:6.2f} {r.power:6.2f}   "
+            f"({ref['area']:.2f}/{ref['cycle']:.2f}/{ref['power']:.2f})"
+        )
+    return 0
+
+
+def _cmd_accuracy(_args) -> int:
+    from .accuracy import cgemm_accuracy_study, sgemm_accuracy_study
+
+    print("FP32 GEMM implementations vs float64 reference:")
+    for r in sgemm_accuracy_study():
+        print(f"  {r.name:12s} matching_bits={r.matching_bits:5.1f}  "
+              f"max_rel={r.max_rel_error:.2e}")
+    print("FP32C GEMM implementations vs complex128 reference:")
+    for r in cgemm_accuracy_study():
+        print(f"  {r.name:12s} matching_bits={r.matching_bits:5.1f}  "
+              f"max_rel={r.max_rel_error:.2e}")
+    return 0
+
+
+def _cmd_design_space(_args) -> int:
+    from .mxu import design_space
+
+    print(f"{'point':12s} {'slices':>6s} {'steps':>6s} {'tput':>8s} {'bits':>6s}")
+    for p in design_space():
+        print(
+            f"{p.name:12s} {p.n_slices:6d} {p.steps:6d} "
+            f"{p.throughput_fraction:8.4f} {p.matching_bits:6.1f}"
+        )
+    return 0
+
+
+def _cmd_peaks(args) -> int:
+    gpu = _get_gpu(args.gpu)
+    print(f"{gpu.name}: peak throughput")
+    for path in ("fp32", "fp16", "bf16", "tf32_tc", "fp16_tc", "bf16_tc",
+                 "m3xu_fp32", "m3xu_fp32c"):
+        print(f"  {path:12s} {gpu.peak_tflops(path):8.1f} TFLOPS")
+    return 0
+
+
+_COMMANDS = {
+    "report": _cmd_report,
+    "gemm": _cmd_gemm,
+    "synthesis": _cmd_synthesis,
+    "accuracy": _cmd_accuracy,
+    "design-space": _cmd_design_space,
+    "peaks": _cmd_peaks,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Export experiment results as CSV / JSON artifacts.
+
+The benchmark harness prints human-readable reports; downstream plotting
+or regression tracking wants machine-readable artifacts. ``export_csv``
+writes one CSV per experiment's row table, ``export_json`` a single JSON
+document with rows + paper-vs-measured per experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .experiments import ExperimentResult
+
+__all__ = ["export_csv", "export_json", "rows_to_csv_text"]
+
+
+def rows_to_csv_text(result: ExperimentResult) -> str:
+    """Render one experiment's row table as CSV text."""
+    if not result.rows:
+        return ""
+    # Union of keys across rows, first-row order first.
+    fields = list(result.rows[0])
+    for row in result.rows[1:]:
+        for k in row:
+            if k not in fields:
+                fields.append(k)
+    import io
+
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, restval="")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def export_csv(
+    results: dict[str, ExperimentResult], out_dir: str | Path
+) -> list[Path]:
+    """Write ``<name>.csv`` per experiment; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, result in results.items():
+        path = out / f"{name}.csv"
+        path.write_text(rows_to_csv_text(result))
+        written.append(path)
+    return written
+
+
+def export_json(
+    results: dict[str, ExperimentResult], path: str | Path
+) -> Path:
+    """Write all experiments (rows + paper/measured/notes) as one JSON."""
+    doc = {
+        name: {
+            "experiment": r.experiment,
+            "rows": r.rows,
+            "paper": r.paper,
+            "measured": r.measured,
+            "notes": r.notes,
+        }
+        for name, r in results.items()
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc, indent=2, default=float))
+    return p

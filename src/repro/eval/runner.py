@@ -1,0 +1,52 @@
+"""Run every experiment and render the full paper-vs-measured report."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .experiments import (
+    ExperimentResult,
+    accuracy_claims,
+    fig2_instruction_mix,
+    fig4_gemm_speedups,
+    fig5_energy_and_peak,
+    fig6_fft,
+    fig7_dnn,
+    fig8_mrf,
+    fig9_knn,
+    section3c_projections,
+    table1_throughput,
+    table3_synthesis,
+)
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "render_report"]
+
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_throughput,
+    "section3c": section3c_projections,
+    "fig2": fig2_instruction_mix,
+    "table3": table3_synthesis,
+    "fig4": fig4_gemm_speedups,
+    "fig5": fig5_energy_and_peak,
+    "fig6": fig6_fft,
+    "fig7": fig7_dnn,
+    "fig8": fig8_mrf,
+    "fig9": fig9_knn,
+    "accuracy": accuracy_claims,
+}
+
+
+def run_all(only: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Execute the selected (default: all) experiments."""
+    names = only or list(ALL_EXPERIMENTS)
+    return {name: ALL_EXPERIMENTS[name]() for name in names}
+
+
+def render_report(results: dict[str, ExperimentResult] | None = None) -> str:
+    """The full text report (what EXPERIMENTS.md summarises)."""
+    results = results or run_all()
+    return "\n\n".join(r.render() for r in results.values())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render_report())

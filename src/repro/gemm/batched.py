@@ -1,0 +1,67 @@
+"""Batched GEMM on the MXU functional models.
+
+Batched small GEMMs are the execution pattern of the FFT stages (many
+radix-matrix multiplies), the EPG recursion and the quantum simulator —
+"embarrassingly parallel matrix operations" in the paper's words. The
+batch axis maps across dot-product units, so numerics per matrix are
+identical to the single-GEMM driver; this module provides the batched
+entry points and a strided view helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mxu.m3xu import M3XU
+from ..mxu.modes import MXUMode
+from ..types.formats import FP32
+from ..types.quantize import quantize, quantize_complex
+
+__all__ = ["batched_mxu_sgemm", "batched_mxu_cgemm", "strided_batch_view"]
+
+
+def _batched(a: np.ndarray, b: np.ndarray, mode: MXUMode, mxu: M3XU | None) -> np.ndarray:
+    unit = mxu or M3XU()
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError("batched GEMM expects 3-D operands (batch, rows, cols)")
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(f"batch mismatch: {a.shape[0]} vs {b.shape[0]}")
+    if a.shape[2] != b.shape[1]:
+        raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+    k = a.shape[2]
+    chunk = unit.config.tile(mode).k
+    if mode is MXUMode.FP32C:
+        acc = np.zeros((a.shape[0], a.shape[1], b.shape[2]), dtype=np.complex128)
+    else:
+        acc = np.zeros((a.shape[0], a.shape[1], b.shape[2]))
+    for k0 in range(0, k, chunk):
+        acc = unit.mma(a[:, :, k0 : k0 + chunk], b[:, k0 : k0 + chunk, :], acc, mode)
+    return acc
+
+
+def batched_mxu_sgemm(
+    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None
+) -> np.ndarray:
+    """FP32 batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``."""
+    a = quantize(np.asarray(a, dtype=np.float64), FP32)
+    b = quantize(np.asarray(b, dtype=np.float64), FP32)
+    return _batched(a, b, MXUMode.FP32, mxu)
+
+
+def batched_mxu_cgemm(
+    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None
+) -> np.ndarray:
+    """FP32C batched GEMM over complex128 operands."""
+    a = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
+    b = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
+    return _batched(a, b, MXUMode.FP32C, mxu)
+
+
+def strided_batch_view(x: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Reshape a contiguous matrix-panel buffer into a (B, rows, cols)
+    batch without copying — the layout batched kernels consume."""
+    x = np.ascontiguousarray(x)
+    if x.size % (rows * cols):
+        raise ValueError(f"buffer of {x.size} elements is not a whole number "
+                         f"of {rows}x{cols} matrices")
+    return x.reshape(-1, rows, cols)

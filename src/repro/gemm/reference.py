@@ -1,0 +1,84 @@
+"""Reference GEMM implementations.
+
+Two levels of ground truth:
+
+* :func:`gemm_fp64` / :func:`cgemm_fp64` — float64 matmul, the numerical
+  reference every accuracy study measures against.
+* :func:`sgemm_simt` / :func:`cgemm_simt` — the functional model of the
+  paper's *performance baseline*, ``cutlass_simt_sgemm``/``_cgemm``: FP32
+  CUDA-core kernels, i.e. per-element FP32 FMA chains over K. These are
+  also the *numerical* baseline for the paper's exactness claim ("M3XU
+  instructions introduce no additional error compared to conventional
+  FP32 ALUs").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arith.dotproduct import fma_chain_dot
+from ..types.formats import FP32
+from ..types.quantize import quantize
+
+__all__ = ["gemm_fp64", "cgemm_fp64", "sgemm_simt", "cgemm_simt"]
+
+
+def gemm_fp64(a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0) -> np.ndarray:
+    """Float64 GEMM reference: ``A @ B + C``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a @ b + np.asarray(c, dtype=np.float64)
+
+
+def cgemm_fp64(a: np.ndarray, b: np.ndarray, c: np.ndarray | complex = 0.0) -> np.ndarray:
+    """Complex128 GEMM reference."""
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    return a @ b + np.asarray(c, dtype=np.complex128)
+
+
+def sgemm_simt(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0
+) -> np.ndarray:
+    """FP32 SIMT-core GEMM: one FP32-rounded FMA per K element.
+
+    ``d[i, j] = fma(a[i, K-1], b[K-1, j], ... fma(a[i, 0], b[0, j], c[i, j]))``
+    — the accumulation order of a CUDA-core K-loop. Inputs are quantised to
+    FP32 on entry (the kernels read FP32 registers).
+    """
+    a = quantize(a, FP32)
+    b = quantize(b, FP32)
+    c = quantize(np.asarray(c, dtype=np.float64), FP32)
+    # fma_chain_dot reduces the last axis: arrange (M, N, K) broadcast.
+    return fma_chain_dot(a[:, None, :], np.swapaxes(b, 0, 1)[None, :, :], c, FP32)
+
+
+def cgemm_simt(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | complex = 0.0
+) -> np.ndarray:
+    """FP32C SIMT-core GEMM: complex MACs from scalar FP32 FMAs.
+
+    Per K element each output accumulates four FP32 FMAs, the schedule a
+    compiler emits for ``acc += a*b`` on complex floats:
+
+    ``re = fma(-ai, bi, fma(ar, br, re));  im = fma(ai, br, fma(ar, bi, im))``
+    """
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    ar = quantize(a.real, FP32)
+    ai = quantize(a.imag, FP32)
+    br = quantize(b.real, FP32)
+    bi = quantize(b.imag, FP32)
+    c = np.asarray(c, dtype=np.complex128)
+    re = np.broadcast_to(quantize(c.real, FP32), (a.shape[0], b.shape[1])).copy()
+    im = np.broadcast_to(quantize(c.imag, FP32), (a.shape[0], b.shape[1])).copy()
+    for k in range(a.shape[1]):
+        ark = ar[:, k][:, None]
+        aik = ai[:, k][:, None]
+        brk = br[k][None, :]
+        bik = bi[k][None, :]
+        re = quantize(re + ark * brk, FP32)
+        re = quantize(re - aik * bik, FP32)
+        im = quantize(im + ark * bik, FP32)
+        im = quantize(im + aik * brk, FP32)
+    return re + 1j * im

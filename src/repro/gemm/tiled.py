@@ -1,0 +1,118 @@
+"""Host-level tiled GEMM driver over MXU MMA instructions.
+
+A GEMM of arbitrary K is executed as a chain of instruction-sized K-chunks;
+between chunks the running total lives in FP32 accumulator registers (the
+C operand of the next MMA), so each chunk boundary is an FP32 rounding
+point — the numerically significant part of mapping GEMM onto an MXU.
+The M/N dimensions are purely data-parallel across dot-product units and
+are therefore processed whole (tiling them would not change a single bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..mxu.baseline import TensorCoreMXU
+from ..mxu.m3xu import M3XU
+from ..mxu.modes import MXUMode
+from ..types.formats import FP32
+from ..types.quantize import quantize, quantize_complex
+
+__all__ = ["MXULike", "TiledGEMM", "mxu_sgemm", "mxu_cgemm", "tensorcore_gemm"]
+
+
+class MXULike(Protocol):
+    """Anything exposing the MMA contract of the functional MXU models."""
+
+    def mma(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float, mode: MXUMode
+    ) -> np.ndarray: ...
+
+
+@dataclass
+class TiledGEMM:
+    """GEMM driver binding an MXU model to a mode.
+
+    Parameters
+    ----------
+    mxu:
+        The MXU functional model executing each MMA.
+    mode:
+        Operating mode (decides the instruction K and input handling).
+    k_chunk:
+        K elements consumed per MMA instruction. Defaults to the MXU's
+        instruction tile K for the mode.
+    """
+
+    mxu: MXULike
+    mode: MXUMode
+    k_chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k_chunk is None:
+            self.k_chunk = self.mxu.config.tile(self.mode).k  # type: ignore[attr-defined]
+        if self.k_chunk < 1:
+            raise ValueError("k_chunk must be >= 1")
+
+    def run(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0
+    ) -> np.ndarray:
+        """Compute ``A @ B + C`` by chaining MMA instructions along K."""
+        is_complex = self.mode is MXUMode.FP32C
+        if is_complex:
+            a = quantize_complex(np.asarray(a), FP32)
+            b = quantize_complex(np.asarray(b), FP32)
+            acc = np.broadcast_to(
+                quantize_complex(np.asarray(c, dtype=np.complex128), FP32),
+                (a.shape[0], b.shape[1]),
+            ).copy()
+        else:
+            a = np.asarray(a, dtype=np.float64)
+            b = np.asarray(b, dtype=np.float64)
+            if self.mode is MXUMode.FP32:
+                # FP32 register operands: quantise on the way in.
+                a = quantize(a, FP32)
+                b = quantize(b, FP32)
+            acc = np.broadcast_to(
+                quantize(np.asarray(c, dtype=np.float64), FP32),
+                (a.shape[0], b.shape[1]),
+            ).copy()
+        k_total = a.shape[1]
+        if b.shape[0] != k_total:
+            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+        step = int(self.k_chunk)
+        for k0 in range(0, k_total, step):
+            acc = self.mxu.mma(a[:, k0 : k0 + step], b[k0 : k0 + step, :], acc, self.mode)
+        return acc
+
+
+def mxu_sgemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0, mxu: M3XU | None = None
+) -> np.ndarray:
+    """FP32 GEMM on M3XU hardware (the functional ``M3XU_sgemm`` kernel)."""
+    return TiledGEMM(mxu or M3XU(), MXUMode.FP32).run(a, b, c)
+
+
+def mxu_cgemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | complex = 0.0, mxu: M3XU | None = None
+) -> np.ndarray:
+    """FP32C GEMM on M3XU hardware (the functional ``M3XU_cgemm`` kernel)."""
+    return TiledGEMM(mxu or M3XU(), MXUMode.FP32C).run(a, b, c)
+
+
+def tensorcore_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float,
+    mode: MXUMode,
+    mxu: TensorCoreMXU | None = None,
+) -> np.ndarray:
+    """Low-precision GEMM on the baseline Tensor Core (FP16/BF16/TF32).
+
+    Inputs are quantised to the mode's format by the MMA model — this is
+    where TF32's 13 dropped mantissa bits (and FP16's range limits) bite.
+    """
+    return TiledGEMM(mxu or TensorCoreMXU(), mode).run(a, b, c)

@@ -1,0 +1,55 @@
+"""Analytic GPU performance/energy model (the evaluation substrate)."""
+
+from .config import (
+    GPUSpec,
+    a100,
+    a100_emulation,
+    h100,
+    mi100,
+    required_feed_bandwidth,
+)
+from .energy import DESIGN_POWER, EnergyBreakdown, EnergyModel, estimate_energy
+from .instrmix import APPROACHES, InstructionBreakdown, tile_instruction_breakdown
+from .mainloop import MainloopParams, MainloopResult, simulate_gemm_cta, simulate_mainloop
+from .roofline import RooflinePoint, ascii_roofline, ridge_intensity, roofline_point
+from .kernelmodel import (
+    KernelSpec,
+    PipeWork,
+    TimeBreakdown,
+    estimate_time,
+    sequence_time,
+)
+from .tiling import GemmGrid, TileConfig, dram_bytes_wave_model, plan_grid
+
+__all__ = [
+    "GPUSpec",
+    "a100",
+    "a100_emulation",
+    "h100",
+    "mi100",
+    "required_feed_bandwidth",
+    "KernelSpec",
+    "PipeWork",
+    "TimeBreakdown",
+    "estimate_time",
+    "sequence_time",
+    "TileConfig",
+    "GemmGrid",
+    "plan_grid",
+    "dram_bytes_wave_model",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "estimate_energy",
+    "DESIGN_POWER",
+    "InstructionBreakdown",
+    "tile_instruction_breakdown",
+    "APPROACHES",
+    "RooflinePoint",
+    "roofline_point",
+    "ridge_intensity",
+    "ascii_roofline",
+    "MainloopParams",
+    "MainloopResult",
+    "simulate_mainloop",
+    "simulate_gemm_cta",
+]

@@ -1,0 +1,184 @@
+"""GPU hardware specifications for the performance model.
+
+The paper's testbed is an NVIDIA A100 (Ampere) in a DGX Station; Section
+III-C also argues peaks for Hopper and AMD MI100/MI250. The spec captures
+exactly the quantities the paper reasons with: SM/tensor-core counts,
+clocks, per-clock MAC rates per data path, and the memory hierarchy.
+
+Peak-throughput arithmetic reproduces Table I, and
+:func:`required_feed_bandwidth` reproduces the Section II-B bandwidth
+formula (B = (M*K + K*N + M*N) * p/8 * F * X = 156 TB/s for A100 at 16-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..mxu.modes import MXUMode
+
+__all__ = [
+    "GPUSpec",
+    "a100",
+    "a100_emulation",
+    "h100",
+    "mi100",
+    "required_feed_bandwidth",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU for the analytic performance model."""
+
+    name: str
+    n_sms: int
+    tensor_cores_per_sm: int
+    fp32_cores_per_sm: int
+    clock_ghz: float
+    #: MACs per cycle per tensor core at 16-bit input (8x4x8 tile = 256).
+    tc_macs_per_cycle: int
+    #: TF32 MACs per cycle per tensor core (half the 16-bit rate on A100).
+    tc_tf32_macs_per_cycle: int
+    #: Vector-pipe FLOP rate multipliers relative to the FP32 FMA rate.
+    fp16_vector_ratio: float = 4.0   # A100: 78 / 19.5
+    bf16_vector_ratio: float = 2.0   # A100: 39 / 19.5
+    warp_schedulers_per_sm: int = 4
+    warp_width: int = 32
+    dram_bw_gbs: float = 1555.0
+    l2_bytes: int = 40 * 2**20
+    smem_per_sm_bytes: int = 164 * 1024
+    regfile_per_sm_bytes: int = 256 * 1024
+    max_threads_per_sm: int = 2048
+    max_ctas_per_sm: int = 32
+    #: Shared-memory bandwidth per SM (bytes/cycle): 32 banks x 4 B.
+    smem_bytes_per_cycle: float = 128.0
+    #: Fixed kernel-launch + tail latency (seconds).
+    launch_overhead_s: float = 4.0e-6
+
+    # ------------------------------------------------------------------
+    # Per-SM MAC rates (MACs / cycle / SM)
+    # ------------------------------------------------------------------
+    @property
+    def sm_fp16_tc_macs(self) -> float:
+        return self.tensor_cores_per_sm * self.tc_macs_per_cycle
+
+    @property
+    def sm_tf32_tc_macs(self) -> float:
+        return self.tensor_cores_per_sm * self.tc_tf32_macs_per_cycle
+
+    @property
+    def sm_fp32_simt_macs(self) -> float:
+        return float(self.fp32_cores_per_sm)
+
+    def sm_m3xu_macs(self, mode: MXUMode) -> float:
+        """M3XU MAC rate per SM per cycle in a multi-step mode.
+
+        Corollary 2: FP32 runs at 1/4 of the 16-bit MAC rate (2 steps and
+        half the K per op). Corollary 3: FP32C complex-MACs at 1/16 of the
+        16-bit rate (each complex MAC = 4 real MACs on the unit).
+        """
+        if mode is MXUMode.FP32:
+            return self.sm_fp16_tc_macs / 4.0
+        if mode is MXUMode.FP32C:
+            return self.sm_fp16_tc_macs / 16.0
+        if mode is MXUMode.FP64:
+            return self.sm_fp16_tc_macs / 16.0
+        return self.sm_fp16_tc_macs
+
+    # ------------------------------------------------------------------
+    # Device peaks (Table I)
+    # ------------------------------------------------------------------
+    def peak_tflops(self, what: str) -> float:
+        """Peak TFLOPS by datapath name, reproducing Table I.
+
+        Accepted names: ``fp32``, ``fp16``, ``bf16`` (vector pipes),
+        ``fp16_tc``, ``bf16_tc``, ``tf32_tc`` (tensor cores),
+        ``m3xu_fp32``, ``m3xu_fp32c`` (M3XU modes; FP32C counts the 8
+        real flops of each complex MAC).
+        """
+        base = self.n_sms * self.clock_ghz * 1e9 / 1e12  # cycles/s in T-units
+        table = {
+            "fp32": self.sm_fp32_simt_macs * 2,
+            "fp16": self.sm_fp32_simt_macs * 2 * self.fp16_vector_ratio,
+            "bf16": self.sm_fp32_simt_macs * 2 * self.bf16_vector_ratio,
+            "fp16_tc": self.sm_fp16_tc_macs * 2,
+            "bf16_tc": self.sm_fp16_tc_macs * 2,
+            "tf32_tc": self.sm_tf32_tc_macs * 2,
+            "m3xu_fp32": self.sm_m3xu_macs(MXUMode.FP32) * 2,
+            "m3xu_fp32c": self.sm_m3xu_macs(MXUMode.FP32C) * 8,
+        }
+        try:
+            return base * table[what]
+        except KeyError:
+            raise KeyError(f"unknown datapath {what!r}; known: {sorted(table)}") from None
+
+    def with_clock(self, clock_ghz: float) -> "GPUSpec":
+        """Copy of this spec at a different SM clock (frequency derating)."""
+        return replace(self, name=f"{self.name}@{clock_ghz:.3f}GHz", clock_ghz=clock_ghz)
+
+
+def a100() -> GPUSpec:
+    """NVIDIA A100-40GB (Ampere), the paper's testbed GPU."""
+    return GPUSpec(
+        name="a100",
+        n_sms=108,
+        tensor_cores_per_sm=4,
+        fp32_cores_per_sm=64,
+        clock_ghz=1.41,
+        tc_macs_per_cycle=256,
+        tc_tf32_macs_per_cycle=128,
+        dram_bw_gbs=1555.0,
+    )
+
+
+def a100_emulation() -> GPUSpec:
+    """The paper's emulation clock: Tensor-core frequency locked to 1170 MHz
+    (Section V-C). Used when reproducing the emulated experiments."""
+    return a100().with_clock(1.17)
+
+
+def h100() -> GPUSpec:
+    """NVIDIA H100 SXM (Hopper) for the Section III-C projection
+    (M3XU FP32 peak ~248 TFLOPS)."""
+    return GPUSpec(
+        name="h100",
+        n_sms=132,
+        tensor_cores_per_sm=4,
+        fp32_cores_per_sm=128,
+        clock_ghz=1.83,
+        tc_macs_per_cycle=512,
+        tc_tf32_macs_per_cycle=256,
+        dram_bw_gbs=3350.0,
+        l2_bytes=50 * 2**20,
+    )
+
+
+def mi100() -> GPUSpec:
+    """AMD MI100 (CDNA) for the Section III-C projection: Matrix Core TOPS
+    are 8x the SIMT cores, so M3XU FP32 retains a 2x advantage."""
+    return GPUSpec(
+        name="mi100",
+        n_sms=120,  # compute units
+        tensor_cores_per_sm=4,
+        fp32_cores_per_sm=64,
+        clock_ghz=1.502,
+        tc_macs_per_cycle=128,  # 8x SIMT FMA rate total
+        tc_tf32_macs_per_cycle=64,
+        dram_bw_gbs=1228.8,
+        l2_bytes=8 * 2**20,
+    )
+
+
+def required_feed_bandwidth(
+    gpu: GPUSpec, m: int, n: int, k: int, bits: int
+) -> float:
+    """Section II-B: bytes/second needed to keep every MXU fed.
+
+    ``B = (M*K + K*N + M*N) * p/8 * F * X`` with X the tensor-core count
+    and the per-cycle tile (M, N, K). For the A100 at 16-bit this is
+    156 TB/s — two orders of magnitude above HBM.
+    """
+    elements = m * k + k * n + m * n
+    bytes_per_cycle = elements * bits / 8
+    x = gpu.n_sms * gpu.tensor_cores_per_sm
+    return bytes_per_cycle * gpu.clock_ghz * 1e9 * x

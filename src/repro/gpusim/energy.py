@@ -1,0 +1,117 @@
+"""Energy model for kernel executions (Figure 5a/b).
+
+Energy is composed per pipe: ``E = sum_class ops * e_class + P_static * t``.
+The MXU MAC energies are tied to the synthesis model's power ratios
+(Table III): a design with relative power ``P`` at relative MAC rate ``R``
+spends ``P / R`` baseline-MAC-energies per MAC.
+
+Constants are order-of-magnitude literature values for a 40-45 nm-class
+datapath (the paper synthesises at FreePDK45); only *ratios* between
+designs matter for Figure 5 and those come from Table III's power column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GPUSpec
+from .kernelmodel import KernelSpec, TimeBreakdown, estimate_time
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "DESIGN_POWER", "estimate_energy"]
+
+#: (relative power, relative native-cycle rate) per MXU design, from the
+#: synthesis model (Table III). "rate" is MAC throughput relative to the
+#: baseline FP16 MXU *for the data type the kernel runs*.
+DESIGN_POWER: dict[str, tuple[float, float]] = {
+    # tc_mode -> (power vs baseline FP16 MXU, MACs/cycle vs baseline)
+    "fp16": (1.00, 1.0),
+    "bf16": (1.00, 1.0),
+    "tf32": (1.00, 0.5),
+    "m3xu_fp32": (1.07, 0.25),       # pipelined M3XU, Table III col 5
+    "m3xu_fp32c": (1.07, 0.0625),
+    "m3xu_fp64": (1.07, 0.0625),
+    # Non-pipelined variants: the rate column includes the 1/1.21 clock
+    # derate, so power/rate is the true per-MAC energy at the operating
+    # point (Table III power is quoted at the lowered frequency).
+    "m3xu_fp32_np": (0.69, 0.25 / 1.21),
+    "m3xu_fp32c_np": (0.69, 0.0625 / 1.21),
+    "fp32_mxu": (7.97, 1.0),         # naive full-width FP32 MXU
+    "fp32c_mxu": (7.97, 0.25),
+}
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energies (picojoules) and static power (watts)."""
+
+    e_fp16_mac_pj: float = 0.8       # baseline MXU FP16 MAC (incl. operand feed)
+    e_lane_op_pj: float = 1.2        # FP32 vector lane op
+    e_warp_instr_pj: float = 6.0     # fetch/decode/issue per warp instruction
+    e_smem_byte_pj: float = 1.0
+    e_dram_byte_pj: float = 14.0     # HBM2e access + PHY
+    static_w: float = 25.0           # leakage (dynamic power is per-op above)
+    #: Fraction of active power an MXU burns during dependency-stall
+    #: cycles (clock network + partially-gated datapath). Kernels with low
+    #: tensor-pipe utilisation pay for the idle cycles too.
+    stall_burn: float = 0.7
+
+    def mxu_mac_energy_pj(self, tc_mode: str) -> float:
+        """Energy per MAC on the MXU for a mode/design (pJ)."""
+        try:
+            power, rate = DESIGN_POWER[tc_mode]
+        except KeyError:
+            raise KeyError(f"unknown tc_mode {tc_mode!r}") from None
+        return self.e_fp16_mac_pj * power / rate
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by component."""
+
+    mxu_j: float
+    vector_j: float
+    issue_j: float
+    smem_j: float
+    dram_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.mxu_j
+            + self.vector_j
+            + self.issue_j
+            + self.smem_j
+            + self.dram_j
+            + self.static_j
+        )
+
+
+def estimate_energy(
+    spec: KernelSpec,
+    gpu: GPUSpec,
+    model: EnergyModel | None = None,
+    time: TimeBreakdown | None = None,
+    tc_mode_override: str | None = None,
+) -> EnergyBreakdown:
+    """Energy of one kernel launch.
+
+    ``tc_mode_override`` lets callers charge the non-pipelined M3XU rates
+    (``*_np``) while the timing spec carries the plain mode key.
+    """
+    model = model or EnergyModel()
+    time = time or estimate_time(spec, gpu)
+    w = spec.work
+    mode = tc_mode_override or w.tc_mode
+    # Note: complex modes' per-MAC energy already reflects their 16x unit
+    # cycle cost through the DESIGN_POWER rate column. Stall cycles
+    # (1 - tc_util of the kernel) burn stall_burn of active power.
+    util = max(min(spec.tc_util, 1.0), 1e-3)
+    stall_factor = (util + model.stall_burn * (1.0 - util)) / util
+    mxu_j = w.tc_macs * model.mxu_mac_energy_pj(mode) * stall_factor * 1e-12
+    vector_j = (w.fma_lane_ops + w.aux_lane_ops) * model.e_lane_op_pj * 1e-12
+    issue_j = w.warp_instructions * model.e_warp_instr_pj * 1e-12
+    smem_j = w.smem_bytes * model.e_smem_byte_pj * 1e-12
+    dram_j = w.dram_bytes * model.e_dram_byte_pj * 1e-12
+    static_j = model.static_w * time.total_s
+    return EnergyBreakdown(mxu_j, vector_j, issue_j, smem_j, dram_j, static_j)

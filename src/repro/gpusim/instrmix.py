@@ -1,0 +1,77 @@
+"""Dynamic-instruction comparison of software vs hardware FP32 solutions.
+
+Figure 2 of the paper contrasts the instruction streams: "the software
+solution needs additional instructions to compute, shift, and split the
+exponent, mantissa parts, and flipping sign bits before feeding data into
+MXUs ... hardware solutions can perform the same computation within a
+single stream, with fewer loads/stores and fewer instructions."
+
+:func:`tile_instruction_breakdown` counts the warp-level instructions each
+approach issues to compute one warp-tile MMA worth of FP32 GEMM, by
+category. These counts also feed the kernel models' issue/vector pipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["InstructionBreakdown", "tile_instruction_breakdown", "APPROACHES"]
+
+
+@dataclass(frozen=True)
+class InstructionBreakdown:
+    """Warp instructions per logical 16x8x8 FP32 warp-tile MMA."""
+
+    approach: str
+    loads: float          # global + shared loads of operands
+    stores: float         # stores of decoupled operands / results
+    split_arith: float    # cvt/sub/shift/sign ops decoupling operands
+    mma: float            # MMA instructions issued
+    other: float          # address/bookkeeping
+
+    @property
+    def total(self) -> float:
+        return sum(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "approach"
+        )
+
+
+def tile_instruction_breakdown(approach: str) -> InstructionBreakdown:
+    """Instruction mix per logical FP32 m16n8k8 MMA (128 A + 64 B elements).
+
+    Counts are warp-level (32 lanes/instruction):
+
+    * operand elements: A 16x8=128, B 8x8=64 -> 6 x 32-lane register
+      fragments; loading them once is 6 ``ldmatrix``-equivalents.
+    * ``m3xu``: hardware splits operands in the data-assignment stage —
+      1 MMA, no split arithmetic (Section II-C.1).
+    * ``simt``: no MXU; the 1024 MACs are 1024/32 = 32 FFMA warp
+      instructions plus operand loads.
+    * 2-term split schemes (``3xtf32``, ``3xbf16``): each of the 6 operand
+      fragments costs a round-to-base conversion, a subtract and a second
+      conversion (3 ops), results live in twice the registers (extra
+      moves), and 3 MMAs replace 1; EEHC additionally stores/reloads the
+      split terms through shared memory (+6 stores, +6 loads).
+    """
+    if approach == "m3xu":
+        return InstructionBreakdown("m3xu", loads=6, stores=0, split_arith=0, mma=1, other=2)
+    if approach == "simt":
+        return InstructionBreakdown("simt", loads=6, stores=0, split_arith=0, mma=0, other=34)
+    if approach == "3xtf32":
+        return InstructionBreakdown(
+            "3xtf32", loads=6, stores=0, split_arith=18, mma=3, other=6
+        )
+    if approach == "3xbf16":
+        return InstructionBreakdown(
+            "3xbf16", loads=12, stores=6, split_arith=18, mma=3, other=6
+        )
+    if approach == "fp32_mxu":
+        return InstructionBreakdown(
+            "fp32_mxu", loads=12, stores=0, split_arith=0, mma=1, other=2
+        )
+    raise ValueError(f"unknown approach {approach!r}")
+
+
+APPROACHES = ("simt", "3xtf32", "3xbf16", "m3xu", "fp32_mxu")

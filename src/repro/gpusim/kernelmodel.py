@@ -1,0 +1,169 @@
+"""Analytic kernel timing: the performance-emulation engine.
+
+The paper evaluates M3XU by *emulation*: it instruments real Tensor-Core
+kernels so that instruction counts, MMA latencies and memory traffic match
+what M3XU hardware would execute (Section V-B1 a-c), then measures time.
+This model computes time from the same quantities directly:
+
+``time = max(pipe times) * wave quantisation + launch overhead``
+
+with one pipe time per hardware resource an SM arbitrates:
+
+* tensor pipe   — MAC throughput of the MXU in the kernel's mode,
+* FP32/vector pipe — FMA-equivalent lane operations (SIMT math,
+  decoupling/conversion arithmetic of the software schemes),
+* issue         — warp instructions against scheduler slots,
+* shared memory — bytes against bank bandwidth,
+* DRAM          — bytes against HBM bandwidth.
+
+Utilisation factors (documented per kernel in :mod:`repro.kernels`)
+derate the tensor/vector pipes for dependency stalls the throughput model
+cannot see; they are the only calibrated constants in the timing path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from .config import GPUSpec
+from .tiling import TileConfig
+
+__all__ = ["PipeWork", "KernelSpec", "TimeBreakdown", "estimate_time", "sequence_time"]
+
+
+@dataclass(frozen=True)
+class PipeWork:
+    """Total work of one kernel, bucketed by SM pipe."""
+
+    #: MACs executed on the MXU (complex MACs count as 1 in FP32C mode).
+    tc_macs: float = 0.0
+    #: MAC rate key resolving the per-SM tensor throughput (see
+    #: GPUSpec / ``_tc_rate``): "fp16", "bf16", "tf32", "m3xu_fp32",
+    #: "m3xu_fp32c", or "fp32_mxu" (the naive full-width FP32 MXU).
+    tc_mode: str = "fp16"
+    #: FMA-equivalent lane operations on the FP32/vector pipe.
+    fma_lane_ops: float = 0.0
+    #: Other vector-lane operations (conversions, shuffles, address math).
+    aux_lane_ops: float = 0.0
+    #: Warp-level instructions issued (all classes).
+    warp_instructions: float = 0.0
+    #: Shared-memory bytes moved (loads + stores).
+    smem_bytes: float = 0.0
+    #: DRAM bytes moved.
+    dram_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Everything the timing model needs about one kernel launch."""
+
+    name: str
+    work: PipeWork
+    tile: TileConfig = field(default_factory=TileConfig)
+    n_ctas: int = 1
+    #: Tensor-pipe utilisation (dependency stalls, fragment shuffles).
+    tc_util: float = 1.0
+    #: Vector-pipe utilisation.
+    fma_util: float = 1.0
+    #: SM clock multiplier for this kernel (e.g. 960/1170 for the
+    #: non-pipelined M3XU whose cycle time is 1.21x — Table III).
+    clock_scale: float = 1.0
+
+    def scaled(self, **changes) -> "KernelSpec":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Per-limiter times (seconds) and the resulting kernel time."""
+
+    tensor_s: float
+    vector_s: float
+    issue_s: float
+    smem_s: float
+    dram_s: float
+    wave_factor: float
+    launch_s: float
+    total_s: float
+
+    @property
+    def limiter(self) -> str:
+        pairs = {
+            "tensor": self.tensor_s,
+            "vector": self.vector_s,
+            "issue": self.issue_s,
+            "smem": self.smem_s,
+            "dram": self.dram_s,
+        }
+        return max(pairs, key=pairs.get)  # type: ignore[arg-type]
+
+
+def _tc_rate(gpu: GPUSpec, mode: str) -> float:
+    """Per-SM MAC/cycle rate of the tensor pipe for a mode key."""
+    rates = {
+        "fp16": gpu.sm_fp16_tc_macs,
+        "bf16": gpu.sm_fp16_tc_macs,
+        "tf32": gpu.sm_tf32_tc_macs,
+        "m3xu_fp32": gpu.sm_fp16_tc_macs / 4.0,
+        "m3xu_fp32c": gpu.sm_fp16_tc_macs / 16.0,
+        "m3xu_fp64": gpu.sm_fp16_tc_macs / 16.0,
+        # The naive FP32-MXU alternative of Section II-B: full-width
+        # multipliers matching the FP16 MAC rate.
+        "fp32_mxu": gpu.sm_fp16_tc_macs,
+        "fp32c_mxu": gpu.sm_fp16_tc_macs / 4.0,
+    }
+    try:
+        return rates[mode]
+    except KeyError:
+        raise KeyError(f"unknown tc_mode {mode!r}; known: {sorted(rates)}") from None
+
+
+def estimate_time(spec: KernelSpec, gpu: GPUSpec) -> TimeBreakdown:
+    """Model the execution time of one kernel launch on *gpu*."""
+    clock = gpu.clock_ghz * 1e9 * spec.clock_scale
+    w = spec.work
+
+    tensor_cycles = 0.0
+    if w.tc_macs:
+        rate = _tc_rate(gpu, w.tc_mode) * gpu.n_sms * max(spec.tc_util, 1e-9)
+        tensor_cycles = w.tc_macs / rate
+    vector_cycles = 0.0
+    if w.fma_lane_ops or w.aux_lane_ops:
+        rate = gpu.fp32_cores_per_sm * gpu.n_sms * max(spec.fma_util, 1e-9)
+        vector_cycles = (w.fma_lane_ops + w.aux_lane_ops) / rate
+    issue_cycles = w.warp_instructions / (gpu.warp_schedulers_per_sm * gpu.n_sms)
+    smem_cycles = w.smem_bytes / (gpu.smem_bytes_per_cycle * gpu.n_sms)
+
+    tensor_s = tensor_cycles / clock
+    vector_s = vector_cycles / clock
+    issue_s = issue_cycles / clock
+    smem_s = smem_cycles / clock
+    dram_s = w.dram_bytes / (gpu.dram_bw_gbs * 1e9)
+
+    busy = max(tensor_s, vector_s, issue_s, smem_s, dram_s)
+
+    # Wave quantisation: CTAs distribute round-robin over SMs; a grid that
+    # does not fill a whole number of SM-waves leaves SMs idle for part of
+    # the kernel, so the device runs at n_ctas / (ceil-waves * n_sms)
+    # utilisation of the throughput assumed by the busy times above.
+    sm_waves = max(1, math.ceil(spec.n_ctas / gpu.n_sms))
+    wave_factor = sm_waves * gpu.n_sms / max(spec.n_ctas, 1)
+
+    total = busy * wave_factor + gpu.launch_overhead_s
+    return TimeBreakdown(
+        tensor_s=tensor_s,
+        vector_s=vector_s,
+        issue_s=issue_s,
+        smem_s=smem_s,
+        dram_s=dram_s,
+        wave_factor=wave_factor,
+        launch_s=gpu.launch_overhead_s,
+        total_s=total,
+    )
+
+
+def sequence_time(specs: list[KernelSpec], gpu: GPUSpec) -> float:
+    """Total time of a dependent kernel sequence (software-scheme pattern:
+    decouple pass, several GEMM launches, combine epilogues)."""
+    return float(sum(estimate_time(s, gpu).total_s for s in specs))

@@ -1,0 +1,103 @@
+"""Roofline analysis for the kernel models.
+
+Section I frames MXUs as having "lifted the roofline of core neural
+network operations to the memory bandwidth"; Section II-B derives the
+memory wall quantitatively. This module provides the standard roofline
+quantities for any kernel spec or GEMM problem — operational intensity,
+the ridge point per datapath, and the roofline-limited throughput — plus
+a plain-text roofline chart for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GPUSpec
+from .kernelmodel import KernelSpec
+
+__all__ = ["RooflinePoint", "roofline_point", "ridge_intensity", "ascii_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position in roofline space."""
+
+    name: str
+    flops: float
+    dram_bytes: float
+    peak_tflops: float
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity (FLOP per DRAM byte)."""
+        return self.flops / max(self.dram_bytes, 1.0)
+
+    def attainable_tflops(self, gpu: GPUSpec) -> float:
+        """min(peak, BW * intensity), the roofline bound."""
+        bw_tflops = gpu.dram_bw_gbs * 1e9 * self.intensity / 1e12
+        return min(self.peak_tflops, bw_tflops)
+
+    def memory_bound(self, gpu: GPUSpec) -> bool:
+        return self.intensity < ridge_intensity(gpu, self.peak_tflops)
+
+
+def ridge_intensity(gpu: GPUSpec, peak_tflops: float) -> float:
+    """Intensity at which the compute roof meets the bandwidth roof."""
+    return peak_tflops * 1e12 / (gpu.dram_bw_gbs * 1e9)
+
+
+def roofline_point(
+    spec: KernelSpec, gpu: GPUSpec, flops: float, peak_path: str
+) -> RooflinePoint:
+    """Place one kernel launch in roofline space.
+
+    ``flops`` is the useful arithmetic (the caller knows the semantics);
+    ``peak_path`` a :meth:`GPUSpec.peak_tflops` key for the compute roof.
+    """
+    return RooflinePoint(
+        name=spec.name,
+        flops=flops,
+        dram_bytes=spec.work.dram_bytes,
+        peak_tflops=gpu.peak_tflops(peak_path) * spec.clock_scale,
+    )
+
+
+def ascii_roofline(
+    points: list[RooflinePoint], gpu: GPUSpec, width: int = 64, height: int = 16
+) -> str:
+    """A log-log text roofline with the points marked by index.
+
+    Intensity spans 2^-2..2^12 FLOP/B; throughput 2^-2..2^9 TFLOPS —
+    covering everything an A100-class device can reach.
+    """
+    import math
+
+    x_lo, x_hi = -2.0, 12.0   # log2 intensity
+    y_lo, y_hi = -2.0, 9.0    # log2 TFLOPS
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def to_row(y: float) -> int:
+        return height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    bw = gpu.dram_bw_gbs * 1e9 / 1e12  # TFLOP per unit intensity
+    peak = max((p.peak_tflops for p in points), default=gpu.peak_tflops("fp16_tc"))
+    for col in range(width):
+        xi = x_lo + col / (width - 1) * (x_hi - x_lo)
+        roof = min(peak, bw * 2.0**xi)
+        row = to_row(math.log2(max(roof, 2.0**y_lo)))
+        if 0 <= row < height:
+            grid[row][col] = "-" if roof >= peak else "/"
+
+    for i, p in enumerate(points):
+        col = to_col(math.log2(max(p.intensity, 2.0**x_lo)))
+        tf = p.flops and p.attainable_tflops(gpu)
+        row = to_row(math.log2(max(tf, 2.0**y_lo)))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = str(i % 10)
+
+    lines = ["".join(r) for r in grid]
+    legend = "  ".join(f"{i}:{p.name}" for i, p in enumerate(points))
+    return "\n".join(lines) + f"\n[x: log2 FLOP/B {x_lo}..{x_hi}] {legend}"

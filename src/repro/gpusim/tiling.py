@@ -1,0 +1,127 @@
+"""CUTLASS-style GEMM tiling and grid/occupancy arithmetic.
+
+Every GEMM kernel in the evaluation is a hierarchical blocked kernel
+(Section V-B2: "Our framework utilizes CUTLASS to efficiently implement
+hierarchical blocked GEMM kernels"). The performance model needs the
+tiling to derive instruction counts, shared-memory traffic, DRAM traffic
+(with L2 reuse inside a CTA wave) and occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import GPUSpec
+
+__all__ = ["TileConfig", "GemmGrid", "plan_grid", "dram_bytes_wave_model"]
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One kernel's tile hierarchy.
+
+    ``tb_*`` are the threadblock-tile extents; ``warps`` the warp count per
+    threadblock; ``stages`` the software-pipeline depth (multiplies the
+    shared-memory footprint); ``element_bytes`` the storage size of one
+    operand element in shared memory.
+    """
+
+    tb_m: int = 128
+    tb_n: int = 128
+    tb_k: int = 32
+    warps: int = 8
+    stages: int = 3
+    element_bytes: int = 4
+
+    @property
+    def threads(self) -> int:
+        return self.warps * 32
+
+    @property
+    def smem_bytes(self) -> int:
+        """Double/triple-buffered A and B tile storage per CTA."""
+        per_stage = (self.tb_m * self.tb_k + self.tb_k * self.tb_n) * self.element_bytes
+        return per_stage * self.stages
+
+    def regs_per_thread(self, accum_bytes: int = 4) -> int:
+        """Accumulator-dominated register estimate per thread."""
+        accum = self.tb_m * self.tb_n // self.threads  # outputs per thread
+        # accumulator registers + operand fragments + addressing (~24)
+        return min(255, accum * accum_bytes // 4 + 24)
+
+
+@dataclass(frozen=True)
+class GemmGrid:
+    """Grid decomposition of one GEMM problem under a tile config."""
+
+    m: int
+    n: int
+    k: int
+    tile: TileConfig
+
+    @property
+    def ctas_m(self) -> int:
+        return math.ceil(self.m / self.tile.tb_m)
+
+    @property
+    def ctas_n(self) -> int:
+        return math.ceil(self.n / self.tile.tb_n)
+
+    @property
+    def n_ctas(self) -> int:
+        return self.ctas_m * self.ctas_n
+
+    @property
+    def mainloop_iters(self) -> int:
+        return math.ceil(self.k / self.tile.tb_k)
+
+
+def plan_grid(m: int, n: int, k: int, tile: TileConfig) -> GemmGrid:
+    """Build the grid plan for a problem under *tile*."""
+    if min(m, n, k) < 1:
+        raise ValueError("problem dimensions must be positive")
+    return GemmGrid(m, n, k, tile)
+
+
+def occupancy_ctas_per_sm(tile: TileConfig, gpu: GPUSpec) -> int:
+    """CTAs resident per SM, limited by threads, smem and registers."""
+    by_threads = gpu.max_threads_per_sm // tile.threads
+    by_smem = max(1, gpu.smem_per_sm_bytes // max(tile.smem_bytes, 1))
+    regs = tile.regs_per_thread() * tile.threads * 4  # bytes
+    by_regs = max(1, gpu.regfile_per_sm_bytes // max(regs, 1))
+    return max(1, min(by_threads, by_smem, by_regs, gpu.max_ctas_per_sm))
+
+
+def dram_bytes_wave_model(
+    grid: GemmGrid, gpu: GPUSpec, element_bytes: int, out_bytes: int
+) -> float:
+    """DRAM traffic of a tiled GEMM with L2 reuse inside each CTA wave.
+
+    CTAs resident at the same time form a roughly square window of the
+    output tile grid; within the window each A row-panel and B col-panel
+    is fetched from DRAM once and re-used through L2. The output is
+    written once. This is the standard wave-reuse traffic model; it
+    reduces to perfect reuse for single-wave problems and to the
+    (M*K*N/tb_n + K*N*M/tb_m) cold model when the window is 1x1.
+    """
+    tile = grid.tile
+    resident = occupancy_ctas_per_sm(tile, gpu) * gpu.n_sms
+    wave = max(1, min(resident, grid.n_ctas))
+    # Shape the wave window like the CTA grid so narrow problems behave.
+    aspect = grid.ctas_m / grid.ctas_n
+    wave_m = min(grid.ctas_m, max(1, round(math.sqrt(wave * aspect))))
+    wave_n = min(grid.ctas_n, max(1, math.ceil(wave / wave_m)))
+    n_waves = grid.n_ctas / (wave_m * wave_n)
+
+    a_panel = tile.tb_m * grid.k * element_bytes
+    b_panel = tile.tb_n * grid.k * element_bytes
+    per_wave = wave_m * a_panel + wave_n * b_panel
+    traffic = n_waves * per_wave + grid.m * grid.n * out_bytes
+    # L2 cannot help if even one wave's panels exceed it: fall back to the
+    # cold reload model, bounded by compulsory traffic.
+    if per_wave > gpu.l2_bytes:
+        spill = min(per_wave / gpu.l2_bytes, 4.0)
+        traffic *= spill ** 0.5  # partial-thrash derate
+    compulsory = (grid.m * grid.k + grid.k * grid.n) * element_bytes + grid.m * grid.n * out_bytes
+    return max(traffic, compulsory)

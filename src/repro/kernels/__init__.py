@@ -1,0 +1,44 @@
+"""GEMM kernel models (performance + functional) for the evaluation."""
+
+from .base import GemmKernelModel, GemmProblem, gemm_kernel_spec
+from .cgemm import (
+    baseline_mxu_cgemm,
+    cutlass_simt_cgemm,
+    cutlass_tensorop_cgemm,
+    m3xu_cgemm,
+    m3xu_cgemm_pipelined,
+)
+from .registry import ALL_KERNELS, CGEMM_KERNELS, SGEMM_KERNELS, get_kernel
+from .shapes import SHAPE_FAMILIES, ShapeFamily, family_speedups
+from .sgemm import (
+    baseline_mxu_sgemm,
+    cutlass_simt_sgemm,
+    cutlass_tensorop_sgemm,
+    eehc_sgemm_fp32b,
+    m3xu_sgemm,
+    m3xu_sgemm_pipelined,
+)
+
+__all__ = [
+    "GemmProblem",
+    "GemmKernelModel",
+    "gemm_kernel_spec",
+    "SGEMM_KERNELS",
+    "CGEMM_KERNELS",
+    "ALL_KERNELS",
+    "get_kernel",
+    "ShapeFamily",
+    "SHAPE_FAMILIES",
+    "family_speedups",
+    "cutlass_simt_sgemm",
+    "cutlass_tensorop_sgemm",
+    "eehc_sgemm_fp32b",
+    "m3xu_sgemm",
+    "m3xu_sgemm_pipelined",
+    "baseline_mxu_sgemm",
+    "cutlass_simt_cgemm",
+    "cutlass_tensorop_cgemm",
+    "m3xu_cgemm",
+    "m3xu_cgemm_pipelined",
+    "baseline_mxu_cgemm",
+]

@@ -1,0 +1,218 @@
+"""Kernel-model scaffolding shared by the Table II / Table IV kernels.
+
+A :class:`GemmKernelModel` turns a GEMM problem into the
+:class:`~repro.gpusim.kernelmodel.KernelSpec` sequence the timing/energy
+models consume. The instruction/byte accounting follows the CUTLASS
+hierarchical-GEMM structure (Section V-B2); the per-family utilisation
+constants live in :mod:`repro.kernels.constants` with their calibration
+rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..gpusim.config import GPUSpec
+from ..gpusim.kernelmodel import KernelSpec, PipeWork, estimate_time, sequence_time
+from ..gpusim.tiling import TileConfig, dram_bytes_wave_model, plan_grid
+
+__all__ = ["GemmProblem", "GemmKernelModel", "gemm_kernel_spec", "adaptive_tiles", "best_spec"]
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One GEMM problem instance. For complex problems the dimensions
+    count complex elements."""
+
+    m: int
+    n: int
+    k: int
+    complex: bool = False
+
+    @property
+    def macs(self) -> float:
+        """Logical MACs (complex MACs count 1; they expand per datapath)."""
+        return float(self.m) * self.n * self.k
+
+    @property
+    def flops(self) -> float:
+        return self.macs * (8.0 if self.complex else 2.0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "c" if self.complex else ""
+        return f"{self.m}x{self.n}x{self.k}{tag}"
+
+
+def gemm_kernel_spec(
+    name: str,
+    problem: GemmProblem,
+    gpu: GPUSpec,
+    *,
+    tile: TileConfig,
+    tc_mode: str,
+    tc_macs: float,
+    macs_per_mma: float,
+    tc_util: float,
+    fma_lane_ops: float = 0.0,
+    aux_lane_ops_per_loaded_elem: float = 0.0,
+    fma_util: float = 1.0,
+    clock_scale: float = 1.0,
+    element_bytes: int = 4,
+    out_bytes: int = 4,
+    dram_scale: float = 1.0,
+    split_k: int = 1,
+) -> KernelSpec:
+    """Assemble a KernelSpec for one hierarchical GEMM launch.
+
+    Accounting (all totals for the whole launch):
+
+    * MMA warp instructions: ``tc_macs / macs_per_mma``.
+    * Shared-memory: each mainloop stage stores the A/B tiles once and the
+      warps read each A element across the warp columns (and B across warp
+      rows); a 4x2 warp grid is assumed for 8-warp tiles.
+    * Global loads/stores: 128-byte warp transactions over the wave-reuse
+      DRAM traffic model.
+    * ``aux_lane_ops_per_loaded_elem`` charges the software schemes'
+      decouple arithmetic per operand element brought into registers.
+    """
+    grid = plan_grid(problem.m, problem.n, problem.k, tile)
+    iters = grid.mainloop_iters
+    # Split-K: K-slices run on separate CTAs and their partial outputs are
+    # reduced through global memory (the CUTLASS parallel-split-K pattern).
+    split_k = max(1, min(split_k, iters))
+    ctas = grid.n_ctas * split_k
+
+    # Shared-memory traffic per CTA mainloop iteration.
+    tile_bytes = (tile.tb_m * tile.tb_k + tile.tb_k * tile.tb_n) * element_bytes
+    warp_cols, warp_rows = 2, max(1, tile.warps // 2)
+    smem_reads = (
+        tile.tb_m * tile.tb_k * warp_cols + tile.tb_k * tile.tb_n * warp_rows
+    ) * element_bytes
+    smem_bytes = float(ctas) * iters * (tile_bytes + smem_reads)
+
+    dram_bytes = dram_scale * dram_bytes_wave_model(grid, gpu, element_bytes, out_bytes)
+    if split_k > 1:
+        # Partial accumulators written then re-read by the reduction pass.
+        dram_bytes += 2.0 * split_k * problem.m * problem.n * out_bytes
+
+    mma_instr = tc_macs / macs_per_mma
+    ldsm_instr = 2.5 * mma_instr  # ldmatrix A/B fragments (+ reuse misses)
+    ldg_instr = float(ctas) * iters * tile_bytes / 128.0
+    sts_instr = ldg_instr
+    epilogue_instr = problem.m * problem.n * out_bytes / 128.0
+    loaded_elems = float(ctas) * iters * (tile.tb_m + tile.tb_n) * tile.tb_k
+    aux_ops = aux_lane_ops_per_loaded_elem * loaded_elems
+    fma_warp_instr = fma_lane_ops / 32.0
+    aux_warp_instr = aux_ops / 32.0
+    bookkeeping = 0.15 * (ldg_instr + sts_instr + ldsm_instr)
+    warp_instructions = (
+        mma_instr
+        + ldsm_instr
+        + ldg_instr
+        + sts_instr
+        + epilogue_instr
+        + fma_warp_instr
+        + aux_warp_instr
+        + bookkeeping
+    )
+
+    work = PipeWork(
+        tc_macs=tc_macs,
+        tc_mode=tc_mode,
+        fma_lane_ops=fma_lane_ops,
+        aux_lane_ops=aux_ops,
+        warp_instructions=warp_instructions,
+        smem_bytes=smem_bytes,
+        dram_bytes=dram_bytes,
+    )
+    return KernelSpec(
+        name=name,
+        work=work,
+        tile=tile,
+        n_ctas=ctas,
+        tc_util=tc_util,
+        fma_util=fma_util,
+        clock_scale=clock_scale,
+    )
+
+
+def adaptive_tiles(base: TileConfig) -> list[TileConfig]:
+    """Tile candidates a library heuristic would consider for one kernel.
+
+    cuBLAS/CUTLASS pick smaller threadblock tiles for small problems to
+    keep the device occupied; the model mirrors that by evaluating the
+    base tile plus its halved-M/N variants and keeping the fastest.
+    """
+    from dataclasses import replace
+
+    cands = [base]
+    if base.tb_n >= 2 * 32:
+        cands.append(replace(base, tb_n=base.tb_n // 2))
+    if base.tb_m >= 2 * 32:
+        cands.append(replace(base, tb_m=base.tb_m // 2))
+    if base.tb_m >= 2 * 32 and base.tb_n >= 2 * 32:
+        cands.append(replace(base, tb_m=base.tb_m // 2, tb_n=base.tb_n // 2, warps=max(4, base.warps // 2)))
+    return cands
+
+
+def best_spec(specs: Sequence[KernelSpec], gpu: GPUSpec) -> KernelSpec:
+    """The fastest candidate under the timing model (tile heuristic)."""
+    return min(specs, key=lambda s: estimate_time(s, gpu).total_s)
+
+
+def adaptive_gemm_spec(
+    name: str,
+    problem: GemmProblem,
+    gpu: GPUSpec,
+    base_tile: TileConfig,
+    **kwargs,
+) -> KernelSpec:
+    """Build one GEMM KernelSpec, letting the tile heuristic pick the
+    fastest threadblock shape for this problem size."""
+    cands = []
+    for t in adaptive_tiles(base_tile):
+        for split_k in (1, 4, 16, 64):
+            cands.append(
+                gemm_kernel_spec(name, problem, gpu, tile=t, split_k=split_k, **kwargs)
+            )
+    return best_spec(cands, gpu)
+
+
+@dataclass
+class GemmKernelModel:
+    """A named kernel with a perf model and (optionally) a functional run.
+
+    Parameters
+    ----------
+    name:
+        Table II / Table IV kernel name.
+    build:
+        ``(problem, gpu) -> [KernelSpec, ...]`` — the launch sequence.
+    functional:
+        Optional numerical implementation ``(a, b, c) -> d`` used by the
+        accuracy studies (None for perf-only designs like the hypothetical
+        FP32-MXU which is numerically identical to SIMT FP32).
+    description:
+        One-line description matching the paper's kernel table.
+    """
+
+    name: str
+    build: Callable[[GemmProblem, GPUSpec], Sequence[KernelSpec]]
+    functional: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray] | None = None
+    description: str = ""
+    energy_mode_override: str | None = field(default=None)
+
+    def time(self, problem: GemmProblem, gpu: GPUSpec) -> float:
+        """Modelled execution time (seconds) for *problem* on *gpu*."""
+        return sequence_time(list(self.build(problem, gpu)), gpu)
+
+    def tflops(self, problem: GemmProblem, gpu: GPUSpec) -> float:
+        """Achieved TFLOPS under the model."""
+        return problem.flops / self.time(problem, gpu) / 1e12
+
+    def breakdowns(self, problem: GemmProblem, gpu: GPUSpec):
+        """Per-launch TimeBreakdowns (for limiter analysis)."""
+        return [estimate_time(s, gpu) for s in self.build(problem, gpu)]

@@ -1,0 +1,168 @@
+"""FP32-complex GEMM kernel models (Table IV FP32C kernels + Table II).
+
+A complex problem of logical size M x N x K performs 4*M*N*K real MACs.
+SIMT executes them as FP32 FMAs; the software tensor-core baseline
+decomposes into 4 real GEMMs each emulated with 3xTF32 (12 real-GEMM
+volumes total); M3XU executes complex MACs natively at 1/16 of the 16-bit
+unit rate (Corollary 3).
+"""
+
+from __future__ import annotations
+
+from ..gemm.reference import cgemm_simt
+from ..gemm.schemes import tensorop_cgemm_3xtf32
+from ..gemm.tiled import mxu_cgemm
+from ..gpusim.config import GPUSpec
+from ..gpusim.kernelmodel import KernelSpec
+from ..gpusim.tiling import TileConfig
+from .base import GemmKernelModel, GemmProblem, adaptive_gemm_spec
+from .constants import (
+    DECOUPLE_OPS_PER_ELEM,
+    FMA_UTIL_SIMT,
+    NONPIPELINED_CLOCK_SCALE,
+    TC_UTIL_COMPLEX_SPLIT,
+    TC_UTIL_M3XU,
+    TC_UTIL_NATIVE,
+    TC_UTIL_SPLIT_TF32,
+)
+
+__all__ = [
+    "cutlass_simt_cgemm",
+    "cutlass_tensorop_cgemm",
+    "m3xu_cgemm",
+    "m3xu_cgemm_pipelined",
+    "baseline_mxu_cgemm",
+]
+
+_TC_TILE = TileConfig(tb_m=128, tb_n=128, tb_k=32, warps=8, stages=3)
+_SIMT_TILE = TileConfig(tb_m=64, tb_n=128, tb_k=8, warps=8, stages=2)
+_SPLIT_TILE = TileConfig(tb_m=64, tb_n=64, tb_k=32, warps=8, stages=3)
+
+
+def _require_complex(problem: GemmProblem) -> None:
+    if not problem.complex:
+        raise ValueError("cgemm kernel models require a complex GemmProblem")
+
+
+def _simt_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """cutlass_simt_cgemm: 4 FP32 FMAs per complex MAC in one kernel."""
+    _require_complex(problem)
+    spec = adaptive_gemm_spec(
+        "cutlass_simt_cgemm",
+        problem,
+        gpu,
+        base_tile=_SIMT_TILE,
+        tc_mode="fp16",
+        tc_macs=0.0,
+        macs_per_mma=1.0,
+        tc_util=1.0,
+        fma_lane_ops=4.0 * problem.macs,
+        fma_util=FMA_UTIL_SIMT,
+        element_bytes=8,
+        out_bytes=8,
+    )
+    return [spec]
+
+
+def _tensorop_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """cutlass_tensorop_cgemm: 4 real GEMMs (planarised complex), each via
+    the 3xTF32 split -> 12 real GEMM volumes + planarise/combine passes."""
+    _require_complex(problem)
+    real = GemmProblem(problem.m, problem.n, problem.k, complex=False)
+    specs: list[KernelSpec] = []
+    for i in range(4):
+        specs.append(
+            adaptive_gemm_spec(
+                f"tensorop_cgemm_pass{i}",
+                real,
+                gpu,
+                base_tile=_SPLIT_TILE,
+                tc_mode="tf32",
+                tc_macs=3.0 * real.macs,
+                macs_per_mma=16 * 8 * 8,
+                tc_util=TC_UTIL_SPLIT_TF32 * TC_UTIL_COMPLEX_SPLIT,
+                aux_lane_ops_per_loaded_elem=DECOUPLE_OPS_PER_ELEM,
+                fma_util=FMA_UTIL_SIMT,
+            )
+        )
+    return specs
+
+
+def _m3xu_build_factory(pipelined: bool):
+    clock_scale = 1.0 if pipelined else NONPIPELINED_CLOCK_SCALE
+    name = "M3XU_cgemm_pipelined" if pipelined else "M3XU_cgemm"
+
+    def build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+        _require_complex(problem)
+        spec = adaptive_gemm_spec(
+            name,
+            problem,
+            gpu,
+            base_tile=_TC_TILE,
+            tc_mode="m3xu_fp32c",
+            tc_macs=problem.macs,  # complex MACs; the mode rate is 1/16
+            macs_per_mma=16 * 8 * 2,  # one FP32C MMA covers 16x8x2 complex
+            tc_util=TC_UTIL_M3XU,
+            clock_scale=clock_scale,
+            element_bytes=8,
+            out_bytes=8,
+        )
+        return [spec]
+
+    return build
+
+
+def _fp32c_mxu_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """baseline_MXU_cgemm: full-width FP32 MXU running the 4-real-GEMM
+    complex decomposition at FP16 MAC rate (energy reference in Fig. 5b)."""
+    _require_complex(problem)
+    spec = adaptive_gemm_spec(
+        "baseline_MXU_cgemm",
+        problem,
+        gpu,
+        base_tile=_TC_TILE,
+        tc_mode="fp32c_mxu",
+        tc_macs=problem.macs,
+        macs_per_mma=16 * 8 * 4,
+        tc_util=TC_UTIL_NATIVE,
+        element_bytes=8,
+        out_bytes=8,
+    )
+    return [spec]
+
+
+cutlass_simt_cgemm = GemmKernelModel(
+    name="cutlass_simt_cgemm",
+    build=_simt_build,
+    functional=cgemm_simt,
+    description="cutlass fp32 complex gemm kernel using CUDA cores",
+)
+
+cutlass_tensorop_cgemm = GemmKernelModel(
+    name="cutlass_tensorop_cgemm",
+    build=_tensorop_build,
+    functional=tensorop_cgemm_3xtf32,
+    description="cutlass software emulation fp32 complex gemm using 3 tf32 gemms",
+)
+
+m3xu_cgemm = GemmKernelModel(
+    name="M3XU_cgemm",
+    build=_m3xu_build_factory(pipelined=False),
+    functional=mxu_cgemm,
+    description="FP32 complex GEMM kernel with controlled clock frequency",
+    energy_mode_override="m3xu_fp32c_np",
+)
+
+m3xu_cgemm_pipelined = GemmKernelModel(
+    name="M3XU_cgemm_pipelined",
+    build=_m3xu_build_factory(pipelined=True),
+    functional=mxu_cgemm,
+    description="FP32 complex GEMM kernel, pipelined data-assignment stage",
+)
+
+baseline_mxu_cgemm = GemmKernelModel(
+    name="baseline_MXU_cgemm",
+    build=_fp32c_mxu_build,
+    functional=cgemm_simt,
+    description="hypothetical full-bit-width FP32 MXU complex GEMM (energy reference)",
+)

@@ -1,0 +1,57 @@
+"""Kernel registry: every Table II / Table IV kernel by name."""
+
+from __future__ import annotations
+
+from .base import GemmKernelModel
+from .cgemm import (
+    baseline_mxu_cgemm,
+    cutlass_simt_cgemm,
+    cutlass_tensorop_cgemm,
+    m3xu_cgemm,
+    m3xu_cgemm_pipelined,
+)
+from .sgemm import (
+    baseline_mxu_sgemm,
+    cutlass_simt_sgemm,
+    cutlass_tensorop_sgemm,
+    eehc_sgemm_fp32b,
+    m3xu_sgemm,
+    m3xu_sgemm_pipelined,
+)
+
+__all__ = ["SGEMM_KERNELS", "CGEMM_KERNELS", "ALL_KERNELS", "get_kernel"]
+
+SGEMM_KERNELS: dict[str, GemmKernelModel] = {
+    k.name: k
+    for k in (
+        cutlass_simt_sgemm,
+        cutlass_tensorop_sgemm,
+        eehc_sgemm_fp32b,
+        m3xu_sgemm,
+        m3xu_sgemm_pipelined,
+        baseline_mxu_sgemm,
+    )
+}
+
+CGEMM_KERNELS: dict[str, GemmKernelModel] = {
+    k.name: k
+    for k in (
+        cutlass_simt_cgemm,
+        cutlass_tensorop_cgemm,
+        m3xu_cgemm,
+        m3xu_cgemm_pipelined,
+        baseline_mxu_cgemm,
+    )
+}
+
+ALL_KERNELS: dict[str, GemmKernelModel] = {**SGEMM_KERNELS, **CGEMM_KERNELS}
+
+
+def get_kernel(name: str) -> GemmKernelModel:
+    """Look up a kernel model by its paper name."""
+    try:
+        return ALL_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(ALL_KERNELS)}"
+        ) from None

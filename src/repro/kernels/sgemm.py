@@ -1,0 +1,191 @@
+"""FP32 GEMM kernel models (Table IV FP32 kernels + Table II M3XU kernels).
+
+Five performance models plus the hypothetical full-width FP32-MXU used as
+the energy reference in Figure 5. Each pairs with its functional
+implementation from :mod:`repro.gemm` where numerics matter.
+"""
+
+from __future__ import annotations
+
+from ..gemm.reference import sgemm_simt
+from ..gemm.schemes import eehc_sgemm_3xbf16, tensorop_sgemm_3xtf32
+from ..gemm.tiled import mxu_sgemm
+from ..gpusim.config import GPUSpec
+from ..gpusim.kernelmodel import KernelSpec, PipeWork
+from ..gpusim.tiling import TileConfig
+from .base import GemmKernelModel, GemmProblem, adaptive_gemm_spec
+from .constants import (
+    DECOUPLE_BW_EFF,
+    DECOUPLE_OPS_PER_ELEM,
+    FMA_UTIL_SIMT,
+    NONPIPELINED_CLOCK_SCALE,
+    TC_UTIL_M3XU,
+    TC_UTIL_NATIVE,
+    TC_UTIL_SPLIT_BF16,
+    TC_UTIL_SPLIT_TF32,
+)
+
+__all__ = [
+    "cutlass_simt_sgemm",
+    "cutlass_tensorop_sgemm",
+    "eehc_sgemm_fp32b",
+    "m3xu_sgemm",
+    "m3xu_sgemm_pipelined",
+    "baseline_mxu_sgemm",
+]
+
+_TC_TILE = TileConfig(tb_m=128, tb_n=128, tb_k=32, warps=8, stages=3)
+_SIMT_TILE = TileConfig(tb_m=128, tb_n=128, tb_k=8, warps=8, stages=2)
+# Software split schemes double the operand register/smem footprint, which
+# forces a smaller threadblock tile (more DRAM traffic per flop).
+_SPLIT_TILE = TileConfig(tb_m=128, tb_n=64, tb_k=32, warps=8, stages=3)
+
+
+def _simt_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """cutlass_simt_sgemm: every MAC is one FFMA lane op."""
+    spec = adaptive_gemm_spec(
+        "cutlass_simt_sgemm",
+        problem,
+        gpu,
+        base_tile=_SIMT_TILE,
+        tc_mode="fp16",
+        tc_macs=0.0,
+        macs_per_mma=1.0,
+        tc_util=1.0,
+        fma_lane_ops=problem.macs,
+        fma_util=FMA_UTIL_SIMT,
+    )
+    return [spec]
+
+
+def _tensorop_3xtf32_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """cutlass_tensorop_sgemm: 3 TF32 GEMMs fused in one kernel, operands
+    split in registers (3 decouple ops per loaded element)."""
+    spec = adaptive_gemm_spec(
+        "cutlass_tensorop_sgemm",
+        problem,
+        gpu,
+        base_tile=_SPLIT_TILE,
+        tc_mode="tf32",
+        tc_macs=3.0 * problem.macs,
+        macs_per_mma=16 * 8 * 8,
+        tc_util=TC_UTIL_SPLIT_TF32,
+        aux_lane_ops_per_loaded_elem=DECOUPLE_OPS_PER_ELEM,
+        fma_util=FMA_UTIL_SIMT,
+    )
+    return [spec]
+
+
+def _eehc_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """EEHC_sgemm_fp32B: an explicit decouple pass materialising two BF16
+    term matrices, then a 3-GEMM warp-level BF16 kernel."""
+    elems = float(problem.m * problem.k + problem.k * problem.n)
+    # Read FP32 operands (4 B), write two term matrices with headroom
+    # scaling (8 B); strided layout keeps the pass at DECOUPLE_BW_EFF of
+    # HBM peak, modelled as inflated effective traffic.
+    decouple = KernelSpec(
+        name="eehc_decouple",
+        work=PipeWork(
+            fma_lane_ops=0.0,
+            aux_lane_ops=DECOUPLE_OPS_PER_ELEM * elems,
+            warp_instructions=(DECOUPLE_OPS_PER_ELEM + 2) * elems / 32.0,
+            dram_bytes=elems * (4.0 + 8.0) / DECOUPLE_BW_EFF,
+        ),
+        tile=TileConfig(tb_m=256, tb_n=1, tb_k=1, warps=8, stages=1),
+        n_ctas=max(1, int(elems // (256 * 32))),
+        fma_util=FMA_UTIL_SIMT,
+    )
+    gemm = adaptive_gemm_spec(
+        "eehc_3xbf16_gemm",
+        problem,
+        gpu,
+        base_tile=_SPLIT_TILE,
+        tc_mode="bf16",
+        tc_macs=3.0 * problem.macs,
+        macs_per_mma=16 * 8 * 16,
+        tc_util=TC_UTIL_SPLIT_BF16,
+        element_bytes=4,  # two BF16 terms per logical element
+        fma_util=FMA_UTIL_SIMT,
+    )
+    return [decouple, gemm]
+
+
+def _m3xu_build_factory(pipelined: bool):
+    clock_scale = 1.0 if pipelined else NONPIPELINED_CLOCK_SCALE
+    name = "M3XU_sgemm_pipelined" if pipelined else "M3XU_sgemm"
+
+    def build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+        spec = adaptive_gemm_spec(
+            name,
+            problem,
+            gpu,
+            base_tile=_TC_TILE,
+            tc_mode="m3xu_fp32",
+            tc_macs=problem.macs,
+            macs_per_mma=16 * 8 * 8,  # each M3XU FP32 MMA is m16n8k8 (§V-B1b)
+            tc_util=TC_UTIL_M3XU,
+            clock_scale=clock_scale,
+        )
+        return [spec]
+
+    return build
+
+
+def _fp32_mxu_build(problem: GemmProblem, gpu: GPUSpec) -> list[KernelSpec]:
+    """baseline_MXU_sgemm: the naive full-width FP32 MXU (Section II-B)
+    with doubled front-end bandwidth — FP16-rate FP32 MMAs."""
+    spec = adaptive_gemm_spec(
+        "baseline_MXU_sgemm",
+        problem,
+        gpu,
+        base_tile=_TC_TILE,
+        tc_mode="fp32_mxu",
+        tc_macs=problem.macs,
+        macs_per_mma=16 * 8 * 16,
+        tc_util=TC_UTIL_NATIVE,
+    )
+    return [spec]
+
+
+cutlass_simt_sgemm = GemmKernelModel(
+    name="cutlass_simt_sgemm",
+    build=_simt_build,
+    functional=sgemm_simt,
+    description="cutlass fp32 gemm kernel using CUDA cores",
+)
+
+cutlass_tensorop_sgemm = GemmKernelModel(
+    name="cutlass_tensorop_sgemm",
+    build=_tensorop_3xtf32_build,
+    functional=tensorop_sgemm_3xtf32,
+    description="cutlass software emulation fp32 gemm kernel using 3 tf32 gemm",
+)
+
+eehc_sgemm_fp32b = GemmKernelModel(
+    name="EEHC_sgemm_fp32B",
+    build=_eehc_build,
+    functional=eehc_sgemm_3xbf16,
+    description="prior software emulation using three bf16 warp level gemm",
+)
+
+m3xu_sgemm = GemmKernelModel(
+    name="M3XU_sgemm",
+    build=_m3xu_build_factory(pipelined=False),
+    functional=mxu_sgemm,
+    description="FP32 GEMM kernel with controlled clock frequency (non-pipelined M3XU)",
+    energy_mode_override="m3xu_fp32_np",
+)
+
+m3xu_sgemm_pipelined = GemmKernelModel(
+    name="M3XU_sgemm_pipelined",
+    build=_m3xu_build_factory(pipelined=True),
+    functional=mxu_sgemm,
+    description="FP32 GEMM kernel, pipelined data-assignment stage",
+)
+
+baseline_mxu_sgemm = GemmKernelModel(
+    name="baseline_MXU_sgemm",
+    build=_fp32_mxu_build,
+    functional=sgemm_simt,  # numerically an FP32 FMA-tree unit
+    description="hypothetical full-bit-width FP32 MXU (energy reference)",
+)

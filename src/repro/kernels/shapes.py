@@ -1,0 +1,94 @@
+"""GEMM shape families beyond the Figure 4 cubes.
+
+The paper sweeps square problems; real workloads are rectangular. These
+families — motivated by the application studies — let the benchmark
+harness characterise where M3XU's advantage holds, shrinks or inverts:
+
+* ``square``       — the Figure 4 sweep itself,
+* ``tall_skinny``  — kNN/attention-style (huge M, small N),
+* ``wide_k``       — wgrad-style reductions (small M*N, huge K),
+* ``small_batch``  — FC layers at inference batch sizes,
+* ``conv_like``    — im2col shapes from the CNN layer tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.config import GPUSpec, a100_emulation
+from .base import GemmProblem
+from .registry import SGEMM_KERNELS
+
+__all__ = ["ShapeFamily", "SHAPE_FAMILIES", "family_speedups"]
+
+
+@dataclass(frozen=True)
+class ShapeFamily:
+    """A named list of GEMM problems."""
+
+    name: str
+    description: str
+    problems: tuple[GemmProblem, ...]
+
+
+SHAPE_FAMILIES: dict[str, ShapeFamily] = {
+    "square": ShapeFamily(
+        "square",
+        "the Figure 4 cubes",
+        tuple(GemmProblem(s, s, s) for s in (1024, 4096, 16384)),
+    ),
+    "tall_skinny": ShapeFamily(
+        "tall_skinny",
+        "huge M, narrow N (kNN distance panels, attention scores)",
+        (
+            GemmProblem(262144, 128, 512),
+            GemmProblem(1048576, 64, 256),
+            GemmProblem(65536, 256, 1024),
+        ),
+    ),
+    "wide_k": ShapeFamily(
+        "wide_k",
+        "small output, huge reduction (weight gradients)",
+        (
+            GemmProblem(576, 64, 802816),
+            GemmProblem(2304, 256, 200704),
+            GemmProblem(4608, 512, 50176),
+        ),
+    ),
+    "small_batch": ShapeFamily(
+        "small_batch",
+        "FC layers at small batch (latency-bound inference)",
+        (
+            GemmProblem(8, 4096, 4096),
+            GemmProblem(32, 4096, 1024),
+            GemmProblem(64, 1000, 2048),
+        ),
+    ),
+    "conv_like": ShapeFamily(
+        "conv_like",
+        "im2col forward shapes from the CNN tables",
+        (
+            GemmProblem(200704, 64, 576),
+            GemmProblem(50176, 128, 1152),
+            GemmProblem(12544, 256, 2304),
+        ),
+    ),
+}
+
+
+def family_speedups(
+    family: str, gpu: GPUSpec | None = None
+) -> list[tuple[GemmProblem, float]]:
+    """M3XU-pipelined speedup over SIMT for every problem in a family."""
+    gpu = gpu or a100_emulation()
+    try:
+        fam = SHAPE_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {family!r}; known: {sorted(SHAPE_FAMILIES)}"
+        ) from None
+    base = SGEMM_KERNELS["cutlass_simt_sgemm"]
+    ours = SGEMM_KERNELS["M3XU_sgemm_pipelined"]
+    return [
+        (p, base.time(p, gpu) / ours.time(p, gpu)) for p in fam.problems
+    ]

@@ -1,0 +1,57 @@
+"""Hardware functional models: baseline Tensor Core MXU and M3XU."""
+
+from .baseline import TensorCoreMXU
+from .bitlevel import (
+    BitAccumulator,
+    bit_level_fp32_dot,
+    bit_level_fp32c_dot,
+    split_fp32_bits,
+)
+from .config import (
+    AMPERE_MXU,
+    M3XU_CONFIG,
+    M3XU_PIPELINED_CONFIG,
+    MXUConfig,
+    TileShape,
+)
+from .dataflow import lane_products, resolve_parts, verify_plan_weights
+from .faults import FaultImpact, FaultSite, inject_operand_fault, slice_fault_study
+from .extension import DesignPoint, MultiStepScheme, composed_gemm, design_space
+from .isa import MMA_DESCRIPTORS, EmulationCosts, MmaDescriptor, emulation_costs
+from .m3xu import M3XU
+from .modes import MODE_INFO, MXUMode, Step, StepPlan, StepProduct, step_plan
+
+__all__ = [
+    "TensorCoreMXU",
+    "BitAccumulator",
+    "bit_level_fp32_dot",
+    "bit_level_fp32c_dot",
+    "split_fp32_bits",
+    "MultiStepScheme",
+    "composed_gemm",
+    "design_space",
+    "DesignPoint",
+    "MmaDescriptor",
+    "MMA_DESCRIPTORS",
+    "EmulationCosts",
+    "emulation_costs",
+    "FaultSite",
+    "FaultImpact",
+    "inject_operand_fault",
+    "slice_fault_study",
+    "M3XU",
+    "MXUConfig",
+    "TileShape",
+    "AMPERE_MXU",
+    "M3XU_CONFIG",
+    "M3XU_PIPELINED_CONFIG",
+    "MXUMode",
+    "MODE_INFO",
+    "StepPlan",
+    "Step",
+    "StepProduct",
+    "step_plan",
+    "lane_products",
+    "resolve_parts",
+    "verify_plan_weights",
+]

@@ -1,0 +1,84 @@
+"""Functional model of the baseline Tensor Core MXU (Section II-A).
+
+One MMA instruction multiplies low-precision operand tiles and accumulates
+into FP32: products are formed exactly by the dot-product units, aligned
+and summed through the wide internal datapath, and rounded once into the
+FP32 accumulator (together with the C operand).
+
+The baseline supports FP16, BF16 and TF32 inputs only — "Current Tensor
+Cores provide no hardware support for true FP32 arithmetic or complex
+numbers". Feeding FP32 data in TF32 mode silently drops 13 mantissa bits,
+which is exactly the precision loss the software baselines must repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arith.accumulator import aligned_sum
+from ..types.formats import FP32
+from ..types.quantize import quantize
+from .config import AMPERE_MXU, MXUConfig
+from .dataflow import lane_products
+from .modes import MXUMode
+
+__all__ = ["TensorCoreMXU"]
+
+
+class TensorCoreMXU:
+    """Baseline Ampere-class Tensor Core: FP16/BF16/TF32 MMA, FP32 accumulate.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration; defaults to the Ampere baseline.
+
+    Notes
+    -----
+    ``mma`` accepts arbitrary (batched) operand shapes. The *numerical*
+    contract of one hardware instruction — exact products, one wide
+    accumulation, one FP32 rounding — is honoured for whatever K is passed;
+    GEMM drivers in :mod:`repro.gemm` chop K into instruction-sized chunks
+    so that the inter-instruction FP32 rounding is modelled faithfully.
+    """
+
+    def __init__(self, config: MXUConfig = AMPERE_MXU) -> None:
+        self.config = config
+
+    def supported_modes(self) -> frozenset[MXUMode]:
+        return self.config.modes
+
+    def mma(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | float,
+        mode: MXUMode,
+    ) -> np.ndarray:
+        """One MMA: ``D = round_fp32(A @ B + C)`` with mode-format inputs.
+
+        Inputs are quantised to the mode's input format on the way in
+        (modelling the register-file conversion; pre-quantised data passes
+        through unchanged).
+        """
+        if not self.config.supports(mode):
+            raise ValueError(
+                f"{self.config.name} has no hardware support for {mode.value}; "
+                f"supported: {sorted(m.value for m in self.config.modes)}"
+            )
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+        products = lane_products(a, b, mode)["real"]
+        c_arr = np.broadcast_to(
+            quantize(np.asarray(c, dtype=np.float64), FP32), products.shape[:-1]
+        )[..., None]
+        addends = np.concatenate([products, c_arr], axis=-1)
+        wide = aligned_sum(
+            addends,
+            axis=-1,
+            acc_bits=self.config.acc_bits,
+            mode=self.config.acc_rounding,
+        )
+        return quantize(wide, FP32)

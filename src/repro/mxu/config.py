@@ -1,0 +1,141 @@
+"""MXU configuration: instruction tile shapes and accumulator widths.
+
+The baseline MXU "resembles the capability of a Tensor Core in Ampere …
+as it can perform 8x8x4 matrix multiplications on FP16/BF16 input elements
+and accumulates results in FP32" (Section V-A); the paper also quotes the
+equivalent 8x4x8 dot-product-unit view (Section II-A). We parameterise the
+native tile as (M, N, K) = (8, 4, 8) — an 8x8 A-tile times an 8x4 B-tile —
+and derive the multi-step mode shapes from it:
+
+* FP32: K halves  -> 8x4x4 per 2-step op (Section IV-A),
+* FP32C: K quarters -> 8x4x2 complex per 4-step op (Section IV-B),
+* FP64: K quarters -> 8x4x2 per 4-step op (Section IV-C analogy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arith.accumulator import M3XU_ACC_BITS, TENSORCORE_ACC_BITS
+from ..types.rounding import RoundingMode
+from .modes import MODE_INFO, MXUMode
+
+__all__ = ["TileShape", "MXUConfig", "AMPERE_MXU", "M3XU_CONFIG", "M3XU_PIPELINED_CONFIG"]
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """An M x N x K matrix-multiply tile (C[MxN] += A[MxK] @ B[KxN])."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates in the tile."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.m}x{self.n}x{self.k}"
+
+
+@dataclass(frozen=True)
+class MXUConfig:
+    """Static configuration of one MXU instance.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    native_tile:
+        The (M, N, K) tile of one native-precision single-step operation.
+    modes:
+        The modes this unit supports.
+    acc_bits:
+        Accumulator datapath width for multi-step modes (48 for M3XU).
+        ``None`` selects the float64 wide path in the functional models.
+    multiplier_mantissa_bits:
+        Significand width of each multiplier input lane, hidden bit
+        included (11 for baseline Tensor Cores, 12 for M3XU).
+    pipelined:
+        Whether the data-assignment stage is a separate pipeline stage
+        (Table III design C) — affects cycle time, not function.
+    acc_rounding:
+        How the alignment datapath rounds shifted-out product bits.
+        Reverse-engineering of Ampere Tensor Cores (Ootomo & Yokota)
+        shows truncation (round-toward-zero); M3XU's extended
+        accumulators round to nearest even.
+    """
+
+    name: str
+    native_tile: TileShape = field(default_factory=lambda: TileShape(8, 4, 8))
+    modes: frozenset[MXUMode] = frozenset(
+        {MXUMode.FP16, MXUMode.BF16, MXUMode.TF32}
+    )
+    acc_bits: int | None = None
+    multiplier_mantissa_bits: int = 11
+    pipelined: bool = True
+    acc_rounding: RoundingMode = RoundingMode.NEAREST_EVEN
+
+    def supports(self, mode: MXUMode) -> bool:
+        return mode in self.modes
+
+    def tile(self, mode: MXUMode) -> TileShape:
+        """Instruction tile shape in *mode* (K scales down per Corollary 1)."""
+        if not self.supports(mode):
+            raise ValueError(f"{self.name} does not support {mode}")
+        _, k_den, _ = MODE_INFO[mode]
+        if self.native_tile.k % k_den:
+            raise ValueError(
+                f"native K={self.native_tile.k} not divisible by {k_den} for {mode}"
+            )
+        return TileShape(self.native_tile.m, self.native_tile.n, self.native_tile.k // k_den)
+
+    def steps(self, mode: MXUMode) -> int:
+        """Cycles (steps) per operation in *mode* relative to native."""
+        n_steps, _, _ = MODE_INFO[mode]
+        return n_steps
+
+
+#: The baseline Ampere-class Tensor Core (Section II-A / V-A): a finite
+#: ~27-bit aligned accumulation datapath that truncates shifted-out bits —
+#: the source of the "one to several bits of precision loss" the software
+#: emulation schemes inherit (Section V-B).
+AMPERE_MXU = MXUConfig(
+    name="ampere_tensor_core",
+    acc_bits=TENSORCORE_ACC_BITS,
+    acc_rounding=RoundingMode.TOWARD_ZERO,
+)
+
+#: The full M3XU: baseline modes + FP32, FP32C, FP64 sketch.
+M3XU_CONFIG = MXUConfig(
+    name="m3xu",
+    modes=frozenset(
+        {
+            MXUMode.FP16,
+            MXUMode.BF16,
+            MXUMode.TF32,
+            MXUMode.FP32,
+            MXUMode.FP32C,
+            MXUMode.FP64,
+        }
+    ),
+    acc_bits=M3XU_ACC_BITS,
+    multiplier_mantissa_bits=12,
+    pipelined=False,
+)
+
+#: Table III design C: pipelined data-assignment stage (same function,
+#: baseline cycle time, more area).
+M3XU_PIPELINED_CONFIG = MXUConfig(
+    name="m3xu_pipelined",
+    modes=M3XU_CONFIG.modes,
+    acc_bits=M3XU_ACC_BITS,
+    multiplier_mantissa_bits=12,
+    pipelined=True,
+)

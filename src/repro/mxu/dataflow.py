@@ -1,0 +1,136 @@
+"""The data-assignment stage: operand-part routing for multi-step MMAs.
+
+This is the functional model of Fig. 3(a)/(c): it splits each register
+operand into the slices a mode's :class:`~repro.mxu.modes.StepPlan` calls
+for and routes the right slice pair (with the right sign) to every
+multiplier lane on every step.
+
+Value-level modelling note: in hardware the low mantissa slice is stored
+with the operand's *shared* exponent, which is "artificially small … the
+hardware must later correct for this, post-multiplication" via the 24/16/
+12-bit accumulator shifts of Fig. 3(b). Our slices are float64 *values*
+that already carry their true binary weight, so no post-multiplication
+shift is needed — the `weight_shift` recorded in the step plan documents
+the hardware bookkeeping and is checked for consistency by
+:func:`verify_plan_weights`, not applied a second time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types.decompose import split_complex, split_fp32_m3xu, split_n_parts
+from ..types.quantize import quantize
+from .modes import MXUMode, StepPlan, step_plan
+
+__all__ = ["resolve_parts", "lane_products", "verify_plan_weights", "FP64_PART_BITS"]
+
+#: Slice width of the FP64 two-way split (Section IV-C, generic multiplier
+#: option). 27 + 26 explicit bits cover the 53-bit FP64 significand.
+FP64_PART_BITS = 27
+
+
+def resolve_parts(x: np.ndarray, mode: MXUMode) -> dict[str, np.ndarray]:
+    """Split one operand matrix into the named slices used by *mode*.
+
+    Returns a mapping from part label (as used in the mode's step plan) to
+    a float64 array of the operand's shape.
+    """
+    if mode in (MXUMode.FP16, MXUMode.BF16, MXUMode.TF32):
+        return {"X": quantize(np.asarray(x, dtype=np.float64), step_plan(mode).input_format)}
+    if mode is MXUMode.FP32:
+        hi, lo = split_fp32_m3xu(np.asarray(x, dtype=np.float64))
+        return {"H": hi, "L": lo}
+    if mode is MXUMode.FP32C:
+        re, im = split_complex(np.asarray(x, dtype=np.complex128))
+        rh, rl = split_fp32_m3xu(re)
+        ih, il = split_fp32_m3xu(im)
+        return {"RH": rh, "RL": rl, "IH": ih, "IL": il}
+    if mode is MXUMode.FP64:
+        hi, lo = split_n_parts(np.asarray(x, dtype=np.float64), FP64_PART_BITS, 2)
+        return {"H": hi, "L": lo}
+    raise ValueError(f"unknown mode {mode}")
+
+
+def lane_products(
+    a: np.ndarray, b: np.ndarray, mode: MXUMode
+) -> dict[str, np.ndarray]:
+    """All multiplier-lane products of one MMA, grouped by accumulator.
+
+    Parameters
+    ----------
+    a:
+        Operand A, shape ``(..., M, K)``.
+    b:
+        Operand B, shape ``(..., K, N)``.
+    mode:
+        Operating mode; complex inputs are expected for FP32C.
+
+    Returns
+    -------
+    dict
+        ``accumulator -> products`` where products has shape
+        ``(..., M, N, K * lanes_per_pair)``: every partial product that the
+        mode's step plan feeds into that accumulator, sign flips applied.
+        Summing that axis through the accumulator model and rounding yields
+        the MMA result.
+    """
+    plan: StepPlan = step_plan(mode)
+    a_parts = resolve_parts(a, mode)
+    b_parts = resolve_parts(b, mode)
+
+    grouped: dict[str, list[np.ndarray]] = {}
+    for step in plan.steps:
+        for prod in step.products:
+            pa = a_parts[prod.a_part][..., :, None, :]  # (..., M, 1, K)
+            pb = np.swapaxes(b_parts[prod.b_part], -1, -2)[..., None, :, :]  # (...,1,N,K)
+            p = pa * pb
+            if prod.negate:
+                p = -p
+            grouped.setdefault(prod.accumulator, []).append(p)
+    return {
+        acc: np.concatenate(parts, axis=-1) for acc, parts in grouped.items()
+    }
+
+
+def verify_plan_weights(mode: MXUMode) -> None:
+    """Consistency check tying the value-level model to the hardware shifts.
+
+    For each lane the step plan records the accumulator left-shift the
+    hardware applies (relative to the least-significant lane). In the
+    value-level model that shift is implicit in the slice magnitudes:
+    slicing a unit-magnitude operand, the product of lane ``(a_part,
+    b_part)`` must be ``2**(weight_shift - max_shift)`` times the
+    highest-weight lane's product. Raises ``AssertionError`` on mismatch.
+    """
+    plan = step_plan(mode)
+    if mode in (MXUMode.FP16, MXUMode.BF16, MXUMode.TF32):
+        return  # single lane, nothing to check
+
+    # Probe operands whose every slice is an exact power of two so lane
+    # magnitudes expose their binary weights directly.
+    if mode is MXUMode.FP32C:
+        slice_width = 12
+        probe = (1.0 + 2.0**-slice_width) * (1 + 1j)
+    elif mode is MXUMode.FP32:
+        slice_width = 12
+        probe = 1.0 + 2.0**-slice_width
+    else:  # FP64
+        slice_width = FP64_PART_BITS
+        probe = 1.0 + 2.0**-slice_width
+
+    x = np.array([[probe]])
+    a_parts = resolve_parts(x, mode)
+    b_parts = resolve_parts(x, mode)
+    shifts = [p.weight_shift for s in plan.steps for p in s.products]
+    max_shift = max(shifts)
+    for step in plan.steps:
+        for prod in step.products:
+            pa = abs(float(a_parts[prod.a_part][0, 0]))
+            pb = abs(float(b_parts[prod.b_part][0, 0]))
+            got = pa * pb
+            want = 2.0 ** (prod.weight_shift - max_shift)
+            assert got == want, (
+                f"{mode}: lane ({prod.a_part},{prod.b_part}) has magnitude "
+                f"{got}, but weight_shift={prod.weight_shift} implies {want}"
+            )

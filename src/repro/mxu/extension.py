@@ -1,0 +1,169 @@
+"""Section IV-C: extending the M3XU approach to higher bitwidths.
+
+"The M3XU approach ... extends effectively to even higher bitwidth
+floating-point formats. ... Furthermore, the original arithmetic unit
+requirements remain flexible, accommodating options like 8-bit or 32-bit
+multipliers for composing higher bitwidth datatypes, thereby broadening
+the design exploration space."
+
+This module generalises the two-step FP32 scheme to an arbitrary
+``(multiplier significand width) x (target significand width)`` pair:
+
+* operands split into ``ceil(target_bits / slice_bits)`` truncated slices,
+* every slice-pair product executes on the narrow multipliers,
+* an optional product-pruning threshold drops cross terms whose weight
+  falls below the target precision (the CUTLASS-3xTF32 trick, offered
+  here as an accuracy/steps trade-off),
+* products accumulate in a wide (float64-modelled) path and round once.
+
+:func:`design_space` tabulates the resulting steps-per-MMA / throughput /
+accuracy trade-offs for the paper's suggested design points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types.decompose import split_n_parts
+from ..types.errors import matching_bits
+from ..types.formats import FP32, FP64, FloatFormat
+from ..types.quantize import quantize
+
+__all__ = ["MultiStepScheme", "composed_gemm", "design_space", "DesignPoint"]
+
+
+@dataclass(frozen=True)
+class MultiStepScheme:
+    """A multi-slice composition of a wide GEMM on narrow multipliers.
+
+    Parameters
+    ----------
+    target:
+        The emulated format (e.g. FP64).
+    slice_bits:
+        Significand width of one multiplier input (12 for M3XU's units;
+        8 or 32 for the Section IV-C alternatives).
+    prune_below:
+        Drop slice-product terms whose combined weight is more than this
+        many bits below the leading term (None = keep all — exact).
+    """
+
+    target: FloatFormat
+    slice_bits: int
+    prune_below: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.slice_bits < 4:
+            raise ValueError("slice_bits must be >= 4")
+
+    @property
+    def n_slices(self) -> int:
+        return math.ceil(self.target.significand_bits / self.slice_bits)
+
+    @property
+    def kept_products(self) -> int:
+        """Slice-product terms retained per operand pair."""
+        n = self.n_slices
+        if self.prune_below is None:
+            return n * n
+        kept = 0
+        for i in range(n):
+            for j in range(n):
+                if (i + j) * self.slice_bits <= self.prune_below:
+                    kept += 1
+        return kept
+
+    @property
+    def steps(self) -> int:
+        """Steps per MMA: each step drives every lane once, so the step
+        count equals the kept product terms per pair divided by the
+        lanes-per-pair the unit provides (2 in M3XU's K-halving layout);
+        conservatively we count one step per kept diagonal pair-group,
+        matching Corollary 1's 2-step FP32 (4 products / 2 lanes)."""
+        return max(1, math.ceil(self.kept_products / 2))
+
+    @property
+    def throughput_fraction(self) -> float:
+        """MAC throughput vs the native narrow mode (Corollary 2
+        generalised): K shrinks by n_slices and the op takes `steps`."""
+        return 1.0 / (self.n_slices * self.steps)
+
+
+def composed_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    scheme: MultiStepScheme,
+) -> np.ndarray:
+    """Functional multi-slice GEMM under *scheme* (wide accumulation).
+
+    Models the arithmetic of the generalised data-assignment stage: exact
+    slice products (float64 carries up to 24-bit x 24-bit exactly; wider
+    slices document their modelling error), pruned per the scheme, summed
+    in the wide path, rounded to the target format.
+    """
+    a = quantize(np.asarray(a, dtype=np.float64), scheme.target)
+    b = quantize(np.asarray(b, dtype=np.float64), scheme.target)
+    n = scheme.n_slices
+    a_parts = split_n_parts(a, scheme.slice_bits, n)
+    b_parts = split_n_parts(b, scheme.slice_bits, n)
+    acc = np.zeros((a.shape[0], b.shape[1]))
+    for i in range(n):
+        for j in range(n):
+            if (
+                scheme.prune_below is not None
+                and (i + j) * scheme.slice_bits > scheme.prune_below
+            ):
+                continue
+            acc = acc + a_parts[i] @ b_parts[j]
+    return quantize(acc, scheme.target)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One row of the Section IV-C design-space table."""
+
+    name: str
+    target: str
+    slice_bits: int
+    n_slices: int
+    steps: int
+    throughput_fraction: float
+    matching_bits: float
+
+
+def design_space(
+    seed: int = 17, size: int = 24
+) -> list[DesignPoint]:
+    """Tabulate the paper's suggested design points.
+
+    Covers FP32 and FP64 targets composed from 8-, 12-, 16- and 32-bit
+    slice multipliers, with the exact (unpruned) schedule; accuracy is
+    measured on a well-conditioned random GEMM against float64 (float128
+    is unavailable, so FP64 targets report the bits the *model* resolves,
+    capped by the float64 reference).
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.5, 1.5, size=(size, size))
+    b = rng.uniform(0.5, 1.5, size=(size, size))
+    ref = a @ b
+
+    points = []
+    for target, slices in ((FP32, (8, 12, 16)), (FP64, (12, 16, 27))):
+        for sb in slices:
+            scheme = MultiStepScheme(target=target, slice_bits=sb)
+            got = composed_gemm(a, b, scheme)
+            points.append(
+                DesignPoint(
+                    name=f"{target.name}@{sb}b",
+                    target=target.name,
+                    slice_bits=sb,
+                    n_slices=scheme.n_slices,
+                    steps=scheme.steps,
+                    throughput_fraction=scheme.throughput_fraction,
+                    matching_bits=matching_bits(got, ref),
+                )
+            )
+    return points

@@ -1,0 +1,117 @@
+"""The MMA instruction set and the paper's emulation arithmetic (§V-B).
+
+The paper evaluates M3XU by instrumenting real Tensor-Core kernels so
+that three quantities match what M3XU hardware would execute:
+
+(a) **MMA latency** — an M3XU FP32 MMA takes 2x the cycles of an FP16
+    MMA, an FP32C MMA 4x;
+(b) **instruction count** — each M3XU FP32 MMA computes a 16x8x8 tile
+    (half an FP16 m16n8k16), so an FP32 GEMM issues 2x the MMA
+    instructions of the same-shape FP16 GEMM; FP32C issues 4x;
+(c) **memory behaviour** — per-MMA traffic equals an FP16 MMA's, so the
+    total traffic is 2x (FP32) / 4x (FP32C) the FP16 GEMM's.
+
+This module encodes the instruction descriptors and derives (a)-(c) for
+arbitrary problems, so tests can verify the paper's emulation identities
+hold in the models, and the Table II kernel list can be generated rather
+than transcribed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .modes import MXUMode
+
+__all__ = ["MmaDescriptor", "MMA_DESCRIPTORS", "EmulationCosts", "emulation_costs"]
+
+
+@dataclass(frozen=True)
+class MmaDescriptor:
+    """One warp-level MMA instruction shape and cost.
+
+    ``m/n/k`` are the per-instruction tile extents (complex elements in
+    FP32C); ``steps`` the dot-product-unit steps (= FP16-MMA latency
+    multiples); ``operand_bytes`` the A+B register bytes one instruction
+    consumes (equal across modes by construction — requirement (c)).
+    """
+
+    mode: MXUMode
+    m: int
+    n: int
+    k: int
+    steps: int
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def operand_bytes(self) -> int:
+        # Storage per element: FP16/BF16 2 B; TF32 occupies a full 32-bit
+        # register; FP32 4 B; FP32C/FP64 8 B.
+        elem = {
+            MXUMode.FP16: 2,
+            MXUMode.BF16: 2,
+            MXUMode.TF32: 4,
+            MXUMode.FP32: 4,
+            MXUMode.FP32C: 8,
+            MXUMode.FP64: 8,
+        }[self.mode]
+        return (self.m * self.k + self.k * self.n) * elem
+
+    @property
+    def name(self) -> str:
+        return f"mma.{self.mode.value}.m{self.m}n{self.n}k{self.k}"
+
+
+#: The warp-level MMA shapes of Section V-B1: FP16 m16n8k16 as the unit,
+#: M3XU FP32 as m16n8k8 at 2 steps, M3XU FP32C as m16n8k4 (complex) at 4.
+MMA_DESCRIPTORS: dict[MXUMode, MmaDescriptor] = {
+    MXUMode.FP16: MmaDescriptor(MXUMode.FP16, 16, 8, 16, steps=1),
+    MXUMode.BF16: MmaDescriptor(MXUMode.BF16, 16, 8, 16, steps=1),
+    MXUMode.TF32: MmaDescriptor(MXUMode.TF32, 16, 8, 8, steps=1),
+    MXUMode.FP32: MmaDescriptor(MXUMode.FP32, 16, 8, 8, steps=2),
+    MXUMode.FP32C: MmaDescriptor(MXUMode.FP32C, 16, 8, 4, steps=4),
+    MXUMode.FP64: MmaDescriptor(MXUMode.FP64, 16, 8, 4, steps=4),
+}
+
+
+@dataclass(frozen=True)
+class EmulationCosts:
+    """The (a)/(b)/(c) quantities for one GEMM problem in one mode."""
+
+    mode: MXUMode
+    mma_instructions: float
+    latency_units: float     # total steps, in FP16-MMA latency multiples
+    operand_traffic_bytes: float
+
+    def ratio_to(self, other: "EmulationCosts") -> tuple[float, float, float]:
+        """(instruction, latency, traffic) ratios vs another mode."""
+        return (
+            self.mma_instructions / other.mma_instructions,
+            self.latency_units / other.latency_units,
+            self.operand_traffic_bytes / other.operand_traffic_bytes,
+        )
+
+
+def emulation_costs(m: int, n: int, k: int, mode: MXUMode) -> EmulationCosts:
+    """Instruction/latency/traffic totals for an ``m x n x k`` GEMM.
+
+    ``k`` counts complex elements for FP32C (the paper's "problem shape
+    of M x K x N ... launches M x K x N x 2 or x 4" scaling emerges from
+    the per-instruction K shrinkage).
+    """
+    if min(m, n, k) < 1:
+        raise ValueError("problem dimensions must be positive")
+    d = MMA_DESCRIPTORS[mode]
+    tiles = (
+        math.ceil(m / d.m) * math.ceil(n / d.n) * math.ceil(k / d.k)
+    )
+    return EmulationCosts(
+        mode=mode,
+        mma_instructions=float(tiles),
+        latency_units=float(tiles * d.steps),
+        operand_traffic_bytes=float(tiles * d.operand_bytes),
+    )

@@ -1,0 +1,45 @@
+"""Synthesis cost model: Table III area / cycle-time / power."""
+
+from .components import Component, Inventory
+from .designs import (
+    all_designs,
+    baseline_mxu,
+    fp32_mxu,
+    m3xu_full,
+    m3xu_no_complex,
+    m3xu_pipelined,
+)
+from .gates import CAL, GateCosts
+from .report import (
+    PAPER_TABLE3,
+    SynthesisRow,
+    absolute_frequency_mhz,
+    sm_area_overhead,
+    synthesis_table,
+)
+from .sweep import (
+    MantissaSweepPoint,
+    area_vs_multiplier_width,
+    m3xu_overhead_vs_baseline_mantissa,
+)
+
+__all__ = [
+    "GateCosts",
+    "CAL",
+    "Component",
+    "Inventory",
+    "baseline_mxu",
+    "fp32_mxu",
+    "m3xu_no_complex",
+    "m3xu_full",
+    "m3xu_pipelined",
+    "all_designs",
+    "synthesis_table",
+    "SynthesisRow",
+    "PAPER_TABLE3",
+    "sm_area_overhead",
+    "absolute_frequency_mhz",
+    "MantissaSweepPoint",
+    "m3xu_overhead_vs_baseline_mantissa",
+    "area_vs_multiplier_width",
+]

@@ -1,0 +1,136 @@
+"""Component inventories of the synthesised designs.
+
+Each design is a bag of :class:`Component` entries (area in NAND2-eq
+gates, switched capacitance in activity-weighted gates) plus a critical
+path. Inventories follow the microarchitecture descriptions of Sections
+II-A and IV; one dot-product unit (DPU) is modelled and all designs scale
+by the same DPU count, so ratios are per-DPU ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gates import CAL, GateCosts
+
+__all__ = ["Component", "Inventory"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One inventory line item."""
+
+    name: str
+    area: float
+    cap: float  # switched capacitance (area x activity), per cycle at f=1
+
+    def scaled(self, count: float) -> "Component":
+        return Component(self.name, self.area * count, self.cap * count)
+
+
+@dataclass
+class Inventory:
+    """A design's components and critical-path delay (gate delays)."""
+
+    name: str
+    components: list[Component] = field(default_factory=list)
+    critical_path: float = 0.0
+    costs: GateCosts = field(default_factory=lambda: CAL)
+
+    # -- builders ------------------------------------------------------
+    #: residual switching of operand-gated logic (clock tree + leakage
+    #: shadow) relative to its active-mode capacitance.
+    GATED_RESIDUAL = 0.1
+
+    def add(
+        self, name: str, area: float, activity: float, count: float = 1,
+        gated: bool = False,
+    ) -> None:
+        """Add *count* copies of a component.
+
+        ``gated=True`` marks logic exercised only by the FP32/FP32C modes;
+        Table III power characterises the designs on the *native* FP16
+        workload (like-for-like with the baseline), where such logic is
+        operand-gated and contributes only residual switching.
+        """
+        cap = area * activity * count
+        if gated:
+            cap *= self.GATED_RESIDUAL
+        self.components.append(Component(name, area * count, cap))
+
+    def add_multipliers(self, width: int, count: int, active_width: int | None = None) -> None:
+        """Multiplier array. ``active_width`` is the significand width
+        toggling in the characterised (FP16) mode: M3XU's 12th mantissa
+        bit is zero-padded in FP16 mode, so it adds area but almost no
+        switching."""
+        c = self.costs
+        aw = active_width or width
+        self.components.append(
+            Component(
+                f"mult{width}x{width}",
+                c.multiplier_area(width) * count,
+                c.multiplier_cap(aw) * count,
+            )
+        )
+
+    def add_adders(self, width: int, count: int, name: str = "adder", gated: bool = False) -> None:
+        c = self.costs
+        self.add(f"{name}{width}", c.adder_area(width), c.activity_adder, count, gated)
+
+    def add_shifters(
+        self, width: int, max_shift: int, count: int, name: str = "shift",
+        gated: bool = False,
+    ) -> None:
+        c = self.costs
+        self.add(
+            f"{name}{width}",
+            c.shifter_area(width, max_shift),
+            c.activity_shifter,
+            count,
+            gated,
+        )
+
+    def add_registers(self, bits: float, count: float = 1, name: str = "reg", gated: bool = False) -> None:
+        c = self.costs
+        self.add(name, c.register_area(bits), c.activity_register, count, gated)
+
+    def add_latches(self, bits: float, count: float = 1, name: str = "latch", gated: bool = False) -> None:
+        c = self.costs
+        self.add(name, c.latch_area(bits), c.activity_latch, count, gated)
+
+    def add_muxes(self, bits: float, ways: int, count: float, name: str = "mux", gated: bool = False) -> None:
+        c = self.costs
+        self.add(name, c.mux_area(bits, ways), c.activity_mux, count, gated)
+
+    def add_xors(self, bits: float, count: float, name: str = "sgnflip", gated: bool = False) -> None:
+        c = self.costs
+        self.add(name, c.xor_area(bits), c.activity_mux, count, gated)
+
+    # -- results -------------------------------------------------------
+    @property
+    def area(self) -> float:
+        return sum(c.area for c in self.components)
+
+    @property
+    def cap(self) -> float:
+        return sum(c.cap for c in self.components)
+
+    def power(self, freq_rel: float = 1.0) -> float:
+        """Relative power at a relative frequency.
+
+        Dynamic power follows ``C * f * V(f)^2`` with an (approximately)
+        linear DVFS voltage curve ``V ~ f_rel`` near the nominal point —
+        a lower clock permits a proportionally lower supply on the 45 nm
+        node; leakage scales with area.
+        """
+        v = freq_rel
+        dyn = self.cap * freq_rel * v * v
+        leak = self.costs.leakage_frac * self.area
+        return dyn + leak
+
+    def breakdown(self) -> dict[str, float]:
+        """Area by component name (merged)."""
+        out: dict[str, float] = {}
+        for c in self.components:
+            out[c.name] = out.get(c.name, 0.0) + c.area
+        return out

@@ -1,0 +1,157 @@
+"""The five Table III designs as component inventories.
+
+All designs model one 4-element dot-product unit (DPU) with its share of
+accumulation and operand-staging logic. The microarchitectural content
+follows Section II-A (baseline), Section II-B (naive FP32-MXU) and
+Section IV (M3XU variants). Power is characterised on the native FP16
+workload (like-for-like with the baseline, as Table III compares designs
+running their common modes): mode-specific logic is operand-gated and the
+M3XU multiplier's 12th mantissa bit is zero in FP16 mode.
+"""
+
+from __future__ import annotations
+
+from .components import Inventory
+from .gates import CAL, GateCosts
+
+__all__ = [
+    "baseline_mxu",
+    "fp32_mxu",
+    "m3xu_no_complex",
+    "m3xu_full",
+    "m3xu_pipelined",
+    "all_designs",
+]
+
+_DP_ELEMS = 4  # dot-product width of one unit (Fig. 1)
+_ENTRY_BITS = 1 + 8 + 12  # data-assignment buffer entry (Section IV-A)
+
+
+def _compute_path(costs: GateCosts, mant_bits: int, tree_width: int) -> float:
+    """Multiply -> align -> 2-level add tree -> accumulate critical path."""
+    return (
+        costs.multiplier_delay(mant_bits)
+        + costs.shifter_delay(tree_width)
+        + 2 * costs.adder_delay(tree_width)
+        + costs.adder_delay(tree_width + 4)
+    )
+
+
+def baseline_mxu(costs: GateCosts = CAL) -> Inventory:
+    """Ampere-class Tensor Core DPU: 11-bit significand multipliers,
+    8-bit exponent adders, FP32 accumulation (Section II-A)."""
+    inv = Inventory("baseline_mxu", costs=costs)
+    w = 11
+    tree = 2 * w + 6  # aligned product window + carries
+    inv.add_multipliers(w, _DP_ELEMS)
+    inv.add_adders(8, _DP_ELEMS, name="expadd")
+    inv.add_shifters(tree, 32, _DP_ELEMS, name="align")
+    inv.add_adders(tree, _DP_ELEMS - 1, name="tree")
+    inv.add_adders(tree + 4, 1, name="accadd")
+    inv.add_shifters(32, 32, 1, name="normalize")
+    inv.add_registers(32, 1, name="accreg")
+    inv.add_latches((1 + 8 + w) * 2, _DP_ELEMS, name="operand_stage")
+    inv.critical_path = _compute_path(costs, w, tree)
+    return inv
+
+
+def fp32_mxu(costs: GateCosts = CAL) -> Inventory:
+    """Naive FP32-MXU (Section II-B): 24-bit significand multipliers at
+    the same MAC rate, doubled operand front-end. Synthesised with an
+    extra pipeline stage to hold the baseline clock (its Table III cycle
+    time is 1.00), whose staging registers are included."""
+    inv = Inventory("fp32_mxu", costs=costs)
+    w = 24
+    tree = 2 * w + 6
+    inv.add_multipliers(w, _DP_ELEMS)
+    inv.add_adders(8, _DP_ELEMS, name="expadd")
+    inv.add_shifters(tree, 64, _DP_ELEMS, name="align")
+    inv.add_adders(tree, _DP_ELEMS - 1, name="tree")
+    inv.add_adders(tree + 4, 1, name="accadd")
+    inv.add_shifters(32, 64, 1, name="normalize")
+    inv.add_registers(32, 1, name="accreg")
+    # Doubled front-end: 32-bit operands staged for every lane at twice
+    # the baseline input bandwidth.
+    inv.add_latches(32 * 2, _DP_ELEMS * 2, name="operand_stage")
+    # Mid-datapath pipeline registers (product register per lane).
+    inv.add_registers(tree, _DP_ELEMS, name="pipe_regs")
+    inv.critical_path = _compute_path(costs, 11, 2 * 11 + 6)  # retimed
+    return inv
+
+
+def _m3xu_core(inv: Inventory) -> tuple[int, int]:
+    """Shared M3XU arithmetic (Section IV-A requirements 2-4): 12-bit
+    multipliers (+1 mantissa bit over the baseline), weight-shift muxes at
+    the multiplier outputs, 48-bit shifted accumulation."""
+    w = 12
+    tree = 2 * w + 6
+    inv.add_multipliers(w, _DP_ELEMS, active_width=11)
+    inv.add_adders(8, _DP_ELEMS, name="expadd")
+    inv.add_shifters(tree, 32, _DP_ELEMS, name="align")
+    inv.add_adders(tree, _DP_ELEMS - 1, name="tree")
+    inv.add_muxes(tree, 2, _DP_ELEMS, name="shiftmux", gated=True)
+    inv.add_adders(48, 1, name="accadd48")
+    inv.add_shifters(48, 32, 1, name="accshift", gated=True)
+    inv.add_registers(48, 1, name="accreg48")
+    inv.add_shifters(32, 64, 1, name="normalize")
+    return w, tree
+
+
+def m3xu_no_complex(costs: GateCosts = CAL) -> Inventory:
+    """M3XU supporting FP16/BF16/TF32 + FP32 only (Table III col 4).
+
+    Data-assignment stage: 2 x m x s buffer entries per DPU (m=4 lanes,
+    s=2 steps -> 16 entries of 21 bits, Section IV-A) plus input muxes.
+    """
+    inv = Inventory("m3xu_no_complex", costs=costs)
+    w, tree = _m3xu_core(inv)
+    inv.add_latches(_ENTRY_BITS, 2 * _DP_ELEMS * 2, name="assign_buffers")
+    inv.add_muxes(_ENTRY_BITS, 2, 2 * _DP_ELEMS, name="assign_mux")
+    inv.add("assign_ctrl", 220, 0.3)
+    inv.critical_path = _compute_path(costs, w, tree) + costs.assign_stage_delay
+    return inv
+
+
+def m3xu_full(costs: GateCosts = CAL) -> Inventory:
+    """Complete M3XU with FP32C (Table III col 5): 4-step buffers (twice
+    the FP32 buffer depth), sign-flip logic, wider mux selects."""
+    inv = Inventory("m3xu", costs=costs)
+    w, tree = _m3xu_core(inv)
+    inv.add_latches(_ENTRY_BITS, 2 * _DP_ELEMS * 2, name="assign_buffers")
+    inv.add_latches(_ENTRY_BITS, 2 * _DP_ELEMS * 2, name="assign_buffers_cplx", gated=True)
+    inv.add_muxes(_ENTRY_BITS, 2, 2 * _DP_ELEMS, name="assign_mux")
+    inv.add_muxes(_ENTRY_BITS, 2, 2 * _DP_ELEMS, name="assign_mux_cplx", gated=True)
+    inv.add_xors(1, 2 * _DP_ELEMS, name="sgnflip", gated=True)
+    inv.add("assign_ctrl", 300, 0.3)
+    inv.critical_path = _compute_path(costs, w, tree) + costs.assign_stage_delay
+    return inv
+
+
+def m3xu_pipelined(costs: GateCosts = CAL) -> Inventory:
+    """Pipelined M3XU (Table III col 6): the data-assignment stage gets
+    its own pipeline stage — staging registers on every multiplier input
+    plus retimed control — restoring (nearly) the baseline cycle time."""
+    inv = m3xu_full(costs)
+    inv.name = "m3xu_pipelined"
+    # Only the re-muxed B-side inputs need staging (Fig. 3: the step-2
+    # reassignment flips one input vector); A-side buffers already hold
+    # their values across steps.
+    inv.add_registers(_ENTRY_BITS, _DP_ELEMS, name="pipe_regs")
+    inv.add_registers(24, 1, name="pipe_ctrl")
+    # The assignment muxing overlaps compute; the cycle is set by the
+    # (slightly deeper) 12-bit compute path.
+    inv.critical_path = _compute_path(costs, 12, 2 * 12 + 6)
+    return inv
+
+
+def all_designs(costs: GateCosts = CAL) -> dict[str, Inventory]:
+    return {
+        d.name: d
+        for d in (
+            baseline_mxu(costs),
+            fp32_mxu(costs),
+            m3xu_no_complex(costs),
+            m3xu_full(costs),
+            m3xu_pipelined(costs),
+        )
+    }

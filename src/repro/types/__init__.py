@@ -1,0 +1,63 @@
+"""Floating-point formats, quantisation, bit codecs and operand splits."""
+
+from .formats import (
+    BF16,
+    FP8_E4M3,
+    FP8_E5M2,
+    FP16,
+    FP32,
+    FP64,
+    FORMATS,
+    M3XU_IN,
+    TENSORCORE_IN,
+    TF32,
+    FloatFormat,
+    format_by_name,
+)
+from .rounding import RoundingMode, round_significand, round_significand_scalar
+from .quantize import quantize, quantize_complex, representable
+from .bits import decode, decode_fields, encode, encode_fields
+from .decompose import (
+    deinterleave_complex,
+    interleave_complex,
+    split_complex,
+    split_fp32_m3xu,
+    split_n_parts,
+    split_round_residual,
+)
+from .errors import matching_bits, max_relative_error, relative_error, ulp_error
+
+__all__ = [
+    "FloatFormat",
+    "FP16",
+    "BF16",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "TF32",
+    "FP32",
+    "FP64",
+    "M3XU_IN",
+    "TENSORCORE_IN",
+    "FORMATS",
+    "format_by_name",
+    "RoundingMode",
+    "round_significand",
+    "round_significand_scalar",
+    "quantize",
+    "quantize_complex",
+    "representable",
+    "encode",
+    "decode",
+    "encode_fields",
+    "decode_fields",
+    "split_fp32_m3xu",
+    "split_round_residual",
+    "split_n_parts",
+    "split_complex",
+    "interleave_complex",
+    "deinterleave_complex",
+    "ulp_error",
+    "relative_error",
+    "max_relative_error",
+    "matching_bits",
+]

@@ -1,0 +1,129 @@
+"""Bit-level encode/decode between float64 values and format bit patterns.
+
+The data-assignment stage of M3XU (Fig. 3a) is specified at the bit level:
+it wires the sign, the 8 exponent bits and slices of the 23-bit mantissa of
+an FP32 register operand into multiplier input buffers. This module gives
+the models (and their tests) a faithful view of those bit fields.
+
+Values representable in a format round-trip exactly through
+``encode``/``decode``; values that are not representable must be
+:func:`~repro.types.quantize.quantize`-d first (``encode`` raises
+otherwise, to catch modelling bugs early).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import FloatFormat
+from .quantize import representable
+
+__all__ = ["encode", "decode", "decode_fields", "encode_fields"]
+
+
+def encode(x: np.ndarray | float, fmt: FloatFormat) -> np.ndarray:
+    """Encode representable float64 values into *fmt* bit patterns.
+
+    Returns
+    -------
+    np.ndarray
+        ``uint64`` array of bit patterns laid out as
+        ``[sign | exponent | mantissa]`` in the low ``fmt.total_bits`` bits.
+
+    Raises
+    ------
+    ValueError
+        If any finite element is not exactly representable in *fmt*.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not bool(np.all(representable(x, fmt))):
+        raise ValueError(f"input contains values not representable in {fmt}")
+
+    sign = (np.signbit(x)).astype(np.uint64)
+    out = np.zeros(x.shape, dtype=np.uint64)
+
+    nan = np.isnan(x)
+    inf = np.isinf(x)
+    zero = x == 0.0
+    finite = ~(nan | inf | zero)
+
+    exp_all_ones = np.uint64((1 << fmt.exponent_bits) - 1)
+    mant_shift = np.uint64(fmt.mantissa_bits)
+    exp_shift = exp_all_ones << mant_shift
+
+    # Specials -------------------------------------------------------------
+    out[inf] = exp_shift
+    # Canonical quiet NaN: exponent all ones, mantissa MSB set.
+    out[nan] = exp_shift | (np.uint64(1) << np.uint64(fmt.mantissa_bits - 1))
+
+    # Finite non-zero -------------------------------------------------------
+    if np.any(finite):
+        v = np.abs(x[finite])
+        _, e = np.frexp(v)
+        exp = e.astype(np.int64) - 1  # unbiased exponent, |v| in [2^exp, 2^(exp+1))
+        is_norm = exp >= fmt.emin
+        exp_eff = np.maximum(exp, fmt.emin)
+        # significand as integer: v = sig * 2**(exp_eff - mantissa_bits)
+        sig = np.ldexp(v, fmt.mantissa_bits - exp_eff)
+        sig_int = np.rint(sig).astype(np.int64)
+        if not np.all(np.ldexp(sig_int.astype(np.float64), exp_eff - fmt.mantissa_bits) == v):
+            raise AssertionError("internal encode error: non-integral significand")
+        biased = np.where(is_norm, exp_eff + fmt.bias, 0).astype(np.uint64)
+        hidden = np.int64(1) << np.int64(fmt.mantissa_bits)
+        mant = np.where(is_norm, sig_int - hidden, sig_int).astype(np.uint64)
+        out[finite] = (biased << mant_shift) | mant
+
+    out |= sign << np.uint64(fmt.total_bits - 1)
+    return out
+
+
+def decode(bits: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Decode *fmt* bit patterns (``uint64``) into float64 values."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    sign, biased, mant = decode_fields(bits, fmt)
+
+    exp_all_ones = (1 << fmt.exponent_bits) - 1
+    out = np.empty(bits.shape, dtype=np.float64)
+
+    is_special = biased == exp_all_ones
+    is_sub = biased == 0
+
+    # Normal numbers: (1 + mant/2^m) * 2^(biased - bias)
+    sig = np.where(is_sub, mant, mant + (np.int64(1) << np.int64(fmt.mantissa_bits)))
+    exp = np.where(is_sub, fmt.emin, biased.astype(np.int64) - fmt.bias)
+    out = np.ldexp(sig.astype(np.float64), (exp - fmt.mantissa_bits).astype(np.int64))
+
+    out[is_special & (mant == 0)] = np.inf
+    out[is_special & (mant != 0)] = np.nan
+    return np.where(sign == 1, -out, out)
+
+
+def decode_fields(
+    bits: np.ndarray, fmt: FloatFormat
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split bit patterns into ``(sign, biased_exponent, mantissa)`` int64 arrays."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    mant_mask = np.uint64((1 << fmt.mantissa_bits) - 1)
+    exp_mask = np.uint64((1 << fmt.exponent_bits) - 1)
+    mant = (bits & mant_mask).astype(np.int64)
+    biased = ((bits >> np.uint64(fmt.mantissa_bits)) & exp_mask).astype(np.int64)
+    sign = ((bits >> np.uint64(fmt.total_bits - 1)) & np.uint64(1)).astype(np.int64)
+    return sign, biased, mant
+
+
+def encode_fields(
+    sign: np.ndarray, biased_exp: np.ndarray, mantissa: np.ndarray, fmt: FloatFormat
+) -> np.ndarray:
+    """Assemble ``(sign, biased_exponent, mantissa)`` fields into bit patterns."""
+    sign = np.asarray(sign, dtype=np.uint64)
+    biased = np.asarray(biased_exp, dtype=np.uint64)
+    mant = np.asarray(mantissa, dtype=np.uint64)
+    if np.any(mant >> np.uint64(fmt.mantissa_bits)):
+        raise ValueError("mantissa field overflows the format width")
+    if np.any(biased >> np.uint64(fmt.exponent_bits)):
+        raise ValueError("exponent field overflows the format width")
+    return (
+        (sign << np.uint64(fmt.total_bits - 1))
+        | (biased << np.uint64(fmt.mantissa_bits))
+        | mant
+    )

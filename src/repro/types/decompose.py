@@ -1,0 +1,159 @@
+"""Operand decompositions (the mathematical heart of the paper).
+
+Section III derives that a ``2p``-bit GEMM can be computed on a ``p``-bit
+MXU by splitting each operand into high/low parts (Eq. 3) and re-assigning
+which part feeds which multiplier on each step (Eq. 4-8); complex GEMM
+splits into real/imaginary parts the same way (Eq. 9). This module holds
+every split used anywhere in the reproduction:
+
+* :func:`split_fp32_m3xu` — the hardware split of Fig. 3(a): mantissa bits
+  ``m[22:12]`` (plus the hidden bit) become the high part, ``m[11:0]`` the
+  low part; both parts reuse the operand's sign and 8-bit exponent. The
+  split is *exact*: ``hi + lo == x``.
+* :func:`split_round_residual` — the software-scheme split used by
+  CUTLASS 3xTF32 and EEHC 3xBF16: ``hi = rne(x, base)``,
+  ``lo = rne(x - hi, base)``. Not exact in general (the residual itself is
+  rounded), which is why those schemes lose precision.
+* :func:`split_n_parts` — generic n-way truncation split for the FP64
+  extension of Section IV-C.
+* complex interleaving helpers for the FP32C layout of Section IV-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bits import decode, encode
+from .formats import FP32, FloatFormat
+from .quantize import quantize
+
+__all__ = [
+    "split_fp32_m3xu",
+    "split_round_residual",
+    "split_n_parts",
+    "split_complex",
+    "interleave_complex",
+    "deinterleave_complex",
+]
+
+
+def split_fp32_m3xu(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split FP32 values into M3XU high/low multiplier inputs (Fig. 3a).
+
+    The data-assignment stage zeroes the low 12 mantissa bits to form the
+    high part (hidden bit + 11 explicit bits -> a 12-bit significand) and
+    the low part is the exact remainder (the low 12 mantissa bits at their
+    original binary weight, i.e. an unnormalised 12-bit significand sharing
+    the operand's exponent).
+
+    Parameters
+    ----------
+    x:
+        float64 array of values exactly representable in FP32
+        (quantise first if unsure). NaN/inf flow through in the high part.
+
+    Returns
+    -------
+    (hi, lo):
+        float64 arrays with ``hi + lo == x`` exactly for finite inputs;
+        ``hi`` has <= 12 significant bits, ``lo`` has <= 12 significant bits.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    bits = encode(x, FP32)
+    hi_bits = bits & ~np.uint64(0xFFF)  # zero mantissa bits m[11:0]
+    hi = decode(hi_bits, FP32)
+    finite = np.isfinite(x)
+    lo = np.where(finite, x - np.where(finite, hi, 0.0), 0.0)
+    return hi, lo
+
+
+def split_round_residual(
+    x: np.ndarray, base: FloatFormat, n_terms: int = 2
+) -> list[np.ndarray]:
+    """Software-scheme split: repeated round-to-*base* + residual.
+
+    This is the decomposition that the paper's software baselines perform
+    with explicit instructions (Fig. 2): ``t0 = rne(x)``,
+    ``t1 = rne(x - t0)``, ... Each term is representable in *base*; the
+    final residual (information the scheme loses) is discarded.
+
+    Returns a list of ``n_terms`` float64 arrays, most significant first.
+    """
+    if n_terms < 1:
+        raise ValueError("n_terms must be >= 1")
+    x = np.asarray(x, dtype=np.float64)
+    terms: list[np.ndarray] = []
+    rem = x
+    for _ in range(n_terms):
+        t = quantize(rem, base)
+        # Residuals of non-finite values are meaningless; keep them in the
+        # leading term only.
+        t = np.where(np.isfinite(rem), t, rem if not terms else 0.0)
+        terms.append(t)
+        rem = np.where(np.isfinite(rem), rem - t, 0.0)
+    return terms
+
+
+def split_n_parts(x: np.ndarray, part_bits: int, n_parts: int) -> list[np.ndarray]:
+    """Split significands into *n_parts* truncated slices of *part_bits* bits.
+
+    Generalisation of :func:`split_fp32_m3xu` used for the FP64 extension
+    (Section IV-C): part ``i`` holds significand bits
+    ``[i*part_bits, (i+1)*part_bits)`` counted from the most significant
+    end, at their original binary weight. The split is exact when
+    ``n_parts * part_bits`` covers the significand width of the source
+    values; otherwise the last part absorbs nothing beyond its width and
+    the remainder is dropped (callers choose coverage).
+
+    Returns a list of float64 arrays, most significant first, whose sum
+    reconstructs *x* up to the covered width.
+    """
+    if part_bits < 1 or n_parts < 1:
+        raise ValueError("part_bits and n_parts must be >= 1")
+    x = np.asarray(x, dtype=np.float64)
+    finite = np.isfinite(x)
+    _, e = np.frexp(np.abs(np.where(finite, x, 1.0)))
+    exp = e.astype(np.int64) - 1  # |x| in [2^exp, 2^(exp+1))
+    parts: list[np.ndarray] = []
+    rem = np.where(finite, x, 0.0)
+    for i in range(n_parts):
+        # Truncate the remainder onto the grid of the i-th slice.
+        grid = exp - (i + 1) * part_bits + 1
+        scaled = np.ldexp(rem, -grid)
+        part = np.ldexp(np.trunc(scaled), grid)
+        parts.append(np.where(finite, part, np.where(np.isnan(x), np.nan, x) if i == 0 else 0.0))
+        rem = rem - part
+    return parts
+
+
+def split_complex(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a complex array into (real, imag) float64 arrays (Eq. 9)."""
+    x = np.asarray(x, dtype=np.complex128)
+    return np.ascontiguousarray(x.real), np.ascontiguousarray(x.imag)
+
+
+def interleave_complex(x: np.ndarray) -> np.ndarray:
+    """Pack complex matrices into the interleaved real layout of §IV-B.
+
+    An ``m x n`` complex matrix becomes an ``m x 2n`` real matrix where
+    columns ``2j`` and ``2j+1`` hold the real and imaginary part of column
+    ``j`` — "a pair of consecutive elements store a complex number's real
+    and imaginary parts". (An 8x4 FP32 tile therefore carries a 4x4 FP32C
+    tile when both dimensions interleave; the row dimension is handled by
+    the MXU tile mapping.)
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    m, n = x.shape
+    out = np.empty((m, 2 * n), dtype=np.float64)
+    out[:, 0::2] = x.real
+    out[:, 1::2] = x.imag
+    return out
+
+
+def deinterleave_complex(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`interleave_complex`."""
+    x = np.asarray(x, dtype=np.float64)
+    m, n2 = x.shape
+    if n2 % 2:
+        raise ValueError("interleaved matrix must have an even column count")
+    return x[:, 0::2] + 1j * x[:, 1::2]

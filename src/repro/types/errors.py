@@ -1,0 +1,68 @@
+"""Error metrics used throughout the accuracy studies.
+
+The paper's central numerical claim (Section V-B) is that M3XU introduces
+*no additional error* relative to conventional FP32 ALUs, while the
+software alternatives lose "between one and several bits of precision".
+These metrics quantify exactly that: ulp distance in a target format,
+relative error, and "matching mantissa bits".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import FloatFormat
+
+__all__ = ["ulp_error", "relative_error", "max_relative_error", "matching_bits"]
+
+
+def ulp_error(
+    approx: np.ndarray, exact: np.ndarray, fmt: FloatFormat
+) -> np.ndarray:
+    """Elementwise |approx - exact| measured in ulps of *fmt* at *exact*.
+
+    The ulp is evaluated at the exponent of the exact value (clamped to the
+    subnormal spacing below the normal range), the conventional definition
+    for accuracy studies. Exact zeros with non-zero approximations report
+    the error in units of the smallest subnormal.
+    """
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    nonzero = exact != 0.0
+    _, e = np.frexp(np.abs(np.where(nonzero, exact, 1.0)))
+    exp = np.maximum(e.astype(np.int64) - 1, fmt.emin)
+    ulp = np.ldexp(1.0, (exp - fmt.mantissa_bits).astype(np.int64))
+    ulp = np.where(nonzero, ulp, fmt.min_subnormal)
+    return np.abs(approx - exact) / ulp
+
+
+def relative_error(approx: np.ndarray, exact: np.ndarray) -> np.ndarray:
+    """Elementwise relative error, with exact zeros mapped to absolute error."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    denom = np.where(exact != 0.0, np.abs(exact), 1.0)
+    return np.abs(approx - exact) / denom
+
+
+def max_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Maximum relative error over the array (ignoring non-finite refs)."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    mask = np.isfinite(exact) & np.isfinite(approx)
+    if not np.any(mask):
+        return np.nan
+    return float(np.max(relative_error(approx[mask], exact[mask])))
+
+
+def matching_bits(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Average number of correct significand bits: -log2(max rel. error).
+
+    Conventionally reported by mixed-precision GEMM papers (e.g. the EEHC
+    and Ootomo baselines). Caps at 53 (float64 resolution of the reference).
+    """
+    err = max_relative_error(approx, exact)
+    if np.isnan(err):
+        return np.nan
+    if err == 0.0:
+        return 53.0
+    return float(min(53.0, -np.log2(err)))

@@ -1,0 +1,184 @@
+"""Floating-point format descriptors.
+
+Every numeric model in this package is parameterised by a
+:class:`FloatFormat`, a frozen description of an IEEE-754-style binary
+floating-point format: one sign bit, ``exponent_bits`` exponent bits with the
+usual bias, and ``mantissa_bits`` *explicit* fraction bits (the hidden
+leading 1 is implied for normal numbers).
+
+The formats that matter to the paper:
+
+========  ==============  =====================================
+Name      (s, e, m)       Role in the paper
+========  ==============  =====================================
+FP16      (1, 5, 10)      baseline Tensor Core input type
+BF16      (1, 8, 7)       baseline input type; EEHC split base
+TF32      (1, 8, 10)      Tensor Core "FP32-ish" input type
+FP32      (1, 8, 23)      the precision M3XU adds natively
+FP64      (1, 11, 52)     accumulator standard / M3XU extension
+M3XU_IN   (1, 8, 11)      M3XU multiplier input: 12-bit mantissa
+                          including the hidden bit (11 explicit)
+========  ==============  =====================================
+
+``M3XU_IN`` encodes the paper's requirement (Section IV-A) that each input
+buffer entry hold a 1-bit sign, an 8-bit exponent and **12 bits of
+mantissa** (hidden bit included), i.e. one more mantissa bit than the
+(1, 8, 10+hidden=11) union format of existing Tensor Cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = [
+    "FloatFormat",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "FP16",
+    "BF16",
+    "TF32",
+    "FP32",
+    "FP64",
+    "M3XU_IN",
+    "TENSORCORE_IN",
+    "FORMATS",
+    "format_by_name",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-style binary floating-point format.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"fp32"``.
+    exponent_bits:
+        Width of the biased exponent field.
+    mantissa_bits:
+        Number of *explicit* fraction bits (excludes the hidden bit).
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError(f"exponent_bits must be >= 2, got {self.exponent_bits}")
+        if self.mantissa_bits < 1:
+            raise ValueError(f"mantissa_bits must be >= 1, got {self.mantissa_bits}")
+        if self.exponent_bits > 11 or self.mantissa_bits > 52:
+            raise ValueError(
+                "formats wider than FP64 cannot be represented exactly by the "
+                f"float64-backed models: {self!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Storage width in bits (sign + exponent + explicit mantissa)."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def significand_bits(self) -> int:
+        """Significand width including the hidden bit."""
+        return self.mantissa_bits + 1
+
+    @property
+    def bias(self) -> int:
+        """The IEEE exponent bias, ``2**(e-1) - 1``."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Maximum unbiased exponent of a normal number."""
+        return self.bias
+
+    @property
+    def emin(self) -> int:
+        """Minimum unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        frac = 2.0 - 2.0 ** (-self.mantissa_bits)
+        return frac * 2.0**self.emax
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0**self.emin
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return 2.0 ** (self.emin - self.mantissa_bits)
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Distance from 1.0 to the next representable value."""
+        return 2.0 ** (-self.mantissa_bits)
+
+    # ------------------------------------------------------------------
+    # Relationships between formats
+    # ------------------------------------------------------------------
+    def contains(self, other: "FloatFormat") -> bool:
+        """True when every finite value of *other* is representable here."""
+        return (
+            self.exponent_bits >= other.exponent_bits
+            and self.mantissa_bits >= other.mantissa_bits
+        )
+
+    def ulp(self, exponent: int) -> float:
+        """The unit in the last place for values with the given unbiased
+        exponent (normal range)."""
+        return 2.0 ** (exponent - self.mantissa_bits)
+
+    def with_name(self, name: str) -> "FloatFormat":
+        """A copy of this format under a different name."""
+        return dataclasses.replace(self, name=name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(1,{self.exponent_bits},{self.mantissa_bits})"
+
+
+FP16 = FloatFormat("fp16", exponent_bits=5, mantissa_bits=10)
+BF16 = FloatFormat("bf16", exponent_bits=8, mantissa_bits=7)
+TF32 = FloatFormat("tf32", exponent_bits=8, mantissa_bits=10)
+FP32 = FloatFormat("fp32", exponent_bits=8, mantissa_bits=23)
+FP64 = FloatFormat("fp64", exponent_bits=11, mantissa_bits=52)
+
+#: Input format of a single M3XU multiplier lane: 12-bit significand
+#: (11 explicit fraction bits + hidden bit) with the full FP32 exponent.
+M3XU_IN = FloatFormat("m3xu_in", exponent_bits=8, mantissa_bits=11)
+
+#: 8-bit formats (OCP FP8): candidates for the Section IV-C "8-bit
+#: multipliers" design option when composing wider datatypes.
+FP8_E4M3 = FloatFormat("fp8_e4m3", exponent_bits=4, mantissa_bits=3)
+FP8_E5M2 = FloatFormat("fp8_e5m2", exponent_bits=5, mantissa_bits=2)
+
+#: The union input format of a baseline Ampere-class Tensor Core
+#: dot-product unit: 8-bit exponent (covers BF16/TF32), 11-bit significand
+#: (covers FP16/TF32's 10 explicit bits + hidden bit).
+TENSORCORE_IN = FloatFormat("tensorcore_in", exponent_bits=8, mantissa_bits=10)
+
+FORMATS: dict[str, FloatFormat] = {
+    f.name: f
+    for f in (FP16, BF16, TF32, FP32, FP64, M3XU_IN, TENSORCORE_IN, FP8_E4M3, FP8_E5M2)
+}
+
+
+def format_by_name(name: str) -> FloatFormat:
+    """Look up one of the predefined formats by (case-insensitive) name."""
+    try:
+        return FORMATS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; known formats: {sorted(FORMATS)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Vectorised quantisation of float64 arrays to arbitrary formats.
+
+The numeric models in this package keep every value as a float64 that is
+*exactly representable* in the format it claims to be. :func:`quantize`
+is the enforcement point: it rounds an arbitrary float64 array to the
+target :class:`~repro.types.formats.FloatFormat` (round-to-nearest-even by
+default, matching IEEE conversion hardware), handling subnormals, overflow
+to infinity, and NaN propagation.
+
+This is the model of every down-conversion in the paper's pipelines:
+
+* FP32 -> TF32 inside a Tensor Core TF32 MMA (13 mantissa bits dropped),
+* FP32 -> BF16 for the EEHC software scheme,
+* FP64 -> FP32 result write-back,
+* FP32 -> FP16 for mixed-precision forward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import FP16, FP32, FP64, FloatFormat
+from .rounding import RoundingMode
+
+__all__ = ["quantize", "representable", "quantize_complex"]
+
+
+def _quantize_generic(
+    x: np.ndarray, fmt: FloatFormat, mode: RoundingMode
+) -> np.ndarray:
+    """Grid-rounding implementation for arbitrary formats.
+
+    For each finite value the representable grid spacing (ulp) is derived
+    from the clamped exponent; the value is scaled onto that grid with
+    ``np.ldexp`` (exact), rounded, and scaled back.
+    """
+    out = np.array(x, dtype=np.float64, copy=True)
+    finite = np.isfinite(out) & (out != 0.0)
+    if not np.any(finite):
+        return out
+
+    v = out[finite]
+    # |v| = m * 2**e with m in [0.5, 1)  =>  unbiased exponent E = e - 1.
+    _, e = np.frexp(np.abs(v))
+    exp = e.astype(np.int64) - 1
+    # Below the normal range the grid stops shrinking: subnormal spacing.
+    exp_eff = np.maximum(exp, fmt.emin)
+    ulp_exp = exp_eff - fmt.mantissa_bits
+
+    scaled = np.ldexp(v, -ulp_exp)
+    if mode is RoundingMode.NEAREST_EVEN:
+        snapped = np.rint(scaled)  # rint = round half to even
+    else:
+        snapped = np.trunc(scaled)
+    q = np.ldexp(snapped, ulp_exp)
+
+    # Overflow handling: anything that rounded past the largest finite
+    # value becomes +/-inf (this matches RNE conversion: the rounding above
+    # already decided between max and the next grid point, 2**(emax+1)).
+    over = np.abs(q) > fmt.max_value
+    if np.any(over):
+        if mode is RoundingMode.NEAREST_EVEN:
+            q[over] = np.copysign(np.inf, q[over])
+        else:
+            q[over] = np.copysign(fmt.max_value, q[over])
+
+    out[finite] = q
+    return out
+
+
+def quantize(
+    x: np.ndarray | float,
+    fmt: FloatFormat,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> np.ndarray:
+    """Round *x* to the nearest value representable in *fmt*.
+
+    Parameters
+    ----------
+    x:
+        Input values (any real dtype; converted to float64).
+    fmt:
+        Target format.
+    mode:
+        Rounding mode; RNE by default.
+
+    Returns
+    -------
+    np.ndarray
+        float64 array of the same shape whose every element is exactly
+        representable in *fmt* (or ±inf / NaN).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    # Fast paths through native dtypes (bit-exact IEEE conversions). The
+    # overflow-to-inf these casts perform is exactly the wanted semantics,
+    # so the overflow warning is silenced.
+    if mode is RoundingMode.NEAREST_EVEN:
+        with np.errstate(over="ignore"):
+            if fmt == FP64:
+                return x.copy()
+            if fmt == FP32:
+                return x.astype(np.float32).astype(np.float64)
+            if fmt == FP16:
+                return x.astype(np.float16).astype(np.float64)
+    return _quantize_generic(x, fmt, mode)
+
+
+def quantize_complex(
+    x: np.ndarray,
+    fmt: FloatFormat,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> np.ndarray:
+    """Quantise the real and imaginary parts of a complex array to *fmt*.
+
+    This models the interleaved FP32C layout of Section IV-B: a complex
+    number is a pair of independent reals, each stored in *fmt*.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    return quantize(x.real, fmt, mode) + 1j * quantize(x.imag, fmt, mode)
+
+
+def representable(x: np.ndarray | float, fmt: FloatFormat) -> np.ndarray:
+    """Elementwise test: is the value exactly representable in *fmt*?
+
+    NaN and ±inf count as representable (they exist in every IEEE format).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    q = quantize(x, fmt)
+    same = (q == x) | ~np.isfinite(x)
+    # NaN != NaN, so patch those in explicitly.
+    return same | np.isnan(x)

@@ -1,0 +1,97 @@
+"""Rounding primitives shared by the quantisation and arithmetic models.
+
+All hardware modelled in this package rounds to nearest, ties to even
+(RNE) unless stated otherwise; truncation (round toward zero) is used by
+the operand-splitting data paths, where the "low" part carries exactly the
+truncated-away bits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["RoundingMode", "round_significand", "round_significand_scalar"]
+
+
+class RoundingMode(enum.Enum):
+    """Rounding modes supported by the models."""
+
+    #: Round to nearest, ties to even — IEEE default, used by FP units.
+    NEAREST_EVEN = "rne"
+    #: Truncate (round toward zero) — used by operand splitters and by the
+    #: "discard low bits" behaviour of TF32-style downconversion paths.
+    TOWARD_ZERO = "rtz"
+
+
+def round_significand(
+    sig: np.ndarray, shift: np.ndarray | int, mode: RoundingMode
+) -> np.ndarray:
+    """Round away the low ``shift`` bits of non-negative integer significands.
+
+    Parameters
+    ----------
+    sig:
+        Non-negative integer significands, any integer dtype (worked on as
+        ``int64``; callers must ensure no overflow: ``sig < 2**62``).
+    shift:
+        Number of low-order bits to remove (scalar or array, >= 0). A shift
+        of 0 returns ``sig`` unchanged; shifts >= 63 round the whole value
+        away (result 0 or 1 depending on magnitude for RNE).
+    mode:
+        The rounding mode.
+
+    Returns
+    -------
+    np.ndarray
+        ``round(sig / 2**shift)`` under the requested mode, as ``int64``.
+
+    Notes
+    -----
+    RNE on integers: let ``q = sig >> shift`` and ``r = sig & mask``. Round
+    up when ``r > half`` or (``r == half`` and ``q`` odd).
+    """
+    sig = np.asarray(sig, dtype=np.int64)
+    shift = np.asarray(shift, dtype=np.int64)
+    if np.any(shift < 0):
+        raise ValueError("shift must be non-negative")
+    if np.any(sig < 0):
+        raise ValueError("significands must be non-negative")
+    # Clip to avoid undefined behaviour of >> 64; shifts this large mean the
+    # entire value is below the rounding point.
+    big = shift >= 62
+    eff = np.where(big, 0, shift)
+    q = sig >> eff
+    if mode is RoundingMode.TOWARD_ZERO:
+        return np.where(big, 0, q)
+    mask = (np.int64(1) << eff) - 1
+    r = sig & mask
+    half = np.int64(1) << np.maximum(eff - 1, 0)
+    has_half = eff > 0
+    round_up = has_half & ((r > half) | ((r == half) & ((q & 1) == 1)))
+    out = q + round_up.astype(np.int64)
+    # For absurdly large shifts everything rounds to zero (magnitudes in this
+    # codebase never sit exactly at the half point of a 62-bit shift).
+    return np.where(big, 0, out)
+
+
+def round_significand_scalar(sig: int, shift: int, mode: RoundingMode) -> int:
+    """Arbitrary-precision scalar version of :func:`round_significand`.
+
+    Used by the exact integer reference path, where significands may exceed
+    64 bits.
+    """
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if sig < 0:
+        raise ValueError("significands must be non-negative")
+    if shift == 0:
+        return sig
+    q, r = divmod(sig, 1 << shift)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return q
+    half = 1 << (shift - 1)
+    if r > half or (r == half and (q & 1)):
+        return q + 1
+    return q

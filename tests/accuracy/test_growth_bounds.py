@@ -1,0 +1,109 @@
+"""Error-growth studies and theoretical bound checkers."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import (
+    BOUND_PARAMS,
+    GROWTH_IMPLS,
+    dynamic_range_sweep,
+    error_growth_vs_k,
+    gamma,
+    scheme_error_bound,
+)
+from repro.types import FP32, quantize
+
+
+class TestGrowth:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return error_growth_vs_k(ks=[16, 64, 256])
+
+    def _series(self, points, impl):
+        return [p.mean_rel_error for p in points if p.impl == impl]
+
+    def test_simt_error_grows_with_k(self, points):
+        s = self._series(points, "fp32_simt")
+        assert s[0] < s[1] < s[2]
+
+    def test_m3xu_below_simt_at_every_k(self, points):
+        simt = self._series(points, "fp32_simt")
+        m3 = self._series(points, "m3xu_fp32")
+        for a, b in zip(m3, simt):
+            assert a <= b * 1.05
+
+    def test_bf16_scheme_worst_at_short_k(self, points):
+        # At short K the BF16 representation error dominates everything.
+        bf = self._series(points, "3xbf16")
+        for impl in ("fp32_simt", "m3xu_fp32", "3xtf32"):
+            other = self._series(points, impl)
+            assert bf[0] > other[0], impl
+
+    def test_3xtf32_truncation_bias_grows(self, points):
+        # The baseline TC's round-toward-zero accumulation biases every
+        # chunk the same way, so the 3xTF32 error grows *faster* than the
+        # SIMT chain's (whose RNE errors partially cancel) — the RZ
+        # effect Ootomo & Yokota analyse.
+        tf = self._series(points, "3xtf32")
+        simt = self._series(points, "fp32_simt")
+        assert tf[2] / tf[0] > simt[2] / simt[0]
+
+    def test_growth_roughly_linear_for_chain(self, points):
+        # 16 -> 256 is 16x K; the chain error should grow by roughly
+        # an order of magnitude (sqrt(K) to K statistically).
+        s = self._series(points, "fp32_simt")
+        assert 2.0 < s[2] / s[0] < 64.0
+
+
+class TestDynamicRange:
+    def test_bf16_degrades_fastest(self):
+        sweep = dynamic_range_sweep(range_pows=[0, 4])
+        bf_growth = sweep["3xbf16"][1] / sweep["3xbf16"][0]
+        m3_growth = sweep["m3xu_fp32"][1] / max(sweep["m3xu_fp32"][0], 1e-30)
+        assert sweep["3xbf16"][1] > sweep["m3xu_fp32"][1]
+        assert bf_growth > 0  # sanity
+
+    def test_all_impls_present(self):
+        sweep = dynamic_range_sweep(range_pows=[0])
+        assert set(sweep) == set(GROWTH_IMPLS)
+
+
+class TestBounds:
+    def test_gamma_small_n(self):
+        assert gamma(1) == pytest.approx(2.0**-24, rel=1e-6)
+
+    def test_gamma_monotone(self):
+        assert gamma(10) < gamma(100) < gamma(1000)
+
+    def test_gamma_divergence_guard(self):
+        with pytest.raises(ValueError):
+            gamma(2.0**25)
+
+    @pytest.mark.parametrize("scheme", sorted(BOUND_PARAMS))
+    def test_empirical_error_within_bound(self, rng, scheme):
+        m = n = 16
+        k = 128
+        a = quantize(rng.uniform(0.1, 1.0, size=(m, k)), FP32)
+        b = quantize(rng.uniform(0.1, 1.0, size=(k, n)), FP32)
+        got = GROWTH_IMPLS[{
+            "fp32_simt": "fp32_simt",
+            "m3xu_fp32": "m3xu_fp32",
+            "3xtf32": "3xtf32",
+            "3xbf16": "3xbf16",
+        }[scheme]](a, b, np.zeros((m, n)))
+        bound = scheme_error_bound(scheme, np.abs(a), np.abs(b))
+        err = np.abs(got - a @ b)
+        assert np.all(err <= bound + 1e-12), scheme
+
+    def test_bound_orders_match_accuracy_orders(self, rng):
+        a = np.abs(rng.normal(size=(4, 64))) + 0.1
+        b = np.abs(rng.normal(size=(64, 4))) + 0.1
+        b_simt = scheme_error_bound("fp32_simt", a, b)
+        b_m3 = scheme_error_bound("m3xu_fp32", a, b)
+        b_bf = scheme_error_bound("3xbf16", a, b)
+        assert np.all(b_m3 < b_simt)
+        assert np.all(b_simt < b_bf)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            scheme_error_bound("int8", np.ones((2, 2)), np.ones((2, 2)))

@@ -1,0 +1,75 @@
+"""Accuracy study: the Section V-B claims as assertions."""
+
+import pytest
+
+from repro.accuracy import cgemm_accuracy_study, sgemm_accuracy_study
+
+
+@pytest.fixture(scope="module")
+def sgemm():
+    return {r.name: r for r in sgemm_accuracy_study()}
+
+
+@pytest.fixture(scope="module")
+def cgemm():
+    return {r.name: r for r in cgemm_accuracy_study()}
+
+
+class TestSgemmClaims:
+    def test_all_impls_present(self, sgemm):
+        assert set(sgemm) == {
+            "fp32_simt",
+            "m3xu_fp32",
+            "3xtf32",
+            "3xbf16",
+            "4xfp16",
+            "fp16_tc",
+        }
+
+    def test_m3xu_no_additional_error(self, sgemm):
+        # "computation results using M3XU instructions introduce no
+        # additional error compared to conventional FP32 ALUs".
+        assert sgemm["m3xu_fp32"].matching_bits >= sgemm["fp32_simt"].matching_bits
+
+    def test_m3xu_fp32_level_accuracy(self, sgemm):
+        assert sgemm["m3xu_fp32"].matching_bits > 19.0
+
+    def test_bf16_scheme_loses_bits(self, sgemm):
+        # "between one and several bits of precision loss".
+        loss = sgemm["m3xu_fp32"].matching_bits - sgemm["3xbf16"].matching_bits
+        assert 1.0 <= loss <= 8.0
+
+    def test_plain_fp16_unusable(self, sgemm):
+        assert sgemm["fp16_tc"].matching_bits < 15.0
+
+    def test_max_rel_error_ordering(self, sgemm):
+        assert sgemm["m3xu_fp32"].max_rel_error <= sgemm["3xbf16"].max_rel_error
+        assert sgemm["3xbf16"].max_rel_error <= sgemm["fp16_tc"].max_rel_error
+
+
+class TestCgemmClaims:
+    def test_m3xu_no_additional_error_complex(self, cgemm):
+        assert cgemm["m3xu_fp32c"].matching_bits >= cgemm["fp32c_simt"].matching_bits
+
+    def test_all_complex_impls_reasonable(self, cgemm):
+        for r in cgemm.values():
+            assert r.matching_bits > 15.0, r.name
+
+    def test_mean_abs_error_finite(self, cgemm):
+        for r in cgemm.values():
+            assert r.mean_abs_error >= 0.0
+
+
+class TestStudyConfig:
+    def test_custom_impl_subset(self):
+        from repro.accuracy import SGEMM_IMPLS
+
+        res = sgemm_accuracy_study(
+            m=8, n=8, k=16, impls={"fp32_simt": SGEMM_IMPLS["fp32_simt"]}
+        )
+        assert len(res) == 1 and res[0].name == "fp32_simt"
+
+    def test_deterministic(self):
+        a = sgemm_accuracy_study(m=8, n=8, k=8, seed=3)
+        b = sgemm_accuracy_study(m=8, n=8, k=8, seed=3)
+        assert [r.max_rel_error for r in a] == [r.max_rel_error for r in b]

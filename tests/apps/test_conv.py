@@ -1,0 +1,122 @@
+"""2-D convolution: im2col lowering, MXU execution, FFT-domain path."""
+
+import numpy as np
+import pytest
+
+from repro.apps.conv import (
+    ConvShape,
+    conv2d_direct,
+    conv2d_fft,
+    conv2d_im2col,
+    conv_speedups,
+    conv_time,
+    im2col,
+)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_stride_and_padding(self, rng):
+        x = rng.normal(size=(1, 2, 9, 9))
+        cols = im2col(x, 3, 3, stride=2, padding=0)
+        assert cols.shape == (4 * 4, 2 * 9)
+
+    def test_identity_kernel_columns(self, rng):
+        # 1x1 kernel, no padding: each row is just the pixel's channels.
+        x = rng.normal(size=(1, 4, 5, 5))
+        cols = im2col(x, 1, 1)
+        np.testing.assert_array_equal(
+            cols, x.transpose(0, 2, 3, 1).reshape(25, 4)
+        )
+
+    def test_rejects_bad_geometry(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 1, 2, 2)), 5, 5)
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(3, 4, 5)), 3, 3)
+
+
+class TestConv2d:
+    def test_matches_direct(self, rng):
+        x = rng.normal(size=(2, 3, 10, 12))
+        w = rng.normal(size=(5, 3, 3, 3))
+        got = conv2d_im2col(x, w, stride=1, padding=1)
+        ref = conv2d_direct(x, w, stride=1, padding=1)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+    def test_strided(self, rng):
+        x = rng.normal(size=(1, 2, 11, 11))
+        w = rng.normal(size=(4, 2, 3, 3))
+        got = conv2d_im2col(x, w, stride=2, padding=1)
+        ref = conv2d_direct(x, w, stride=2, padding=1)
+        assert got.shape == (1, 4, 6, 6)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+    def test_on_m3xu_sgemm(self, rng):
+        from repro.gemm import mxu_sgemm
+
+        x = rng.normal(size=(1, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        got = conv2d_im2col(x, w, padding=1, sgemm=lambda a, b: mxu_sgemm(a, b))
+        ref = conv2d_direct(x, w, padding=1)
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-5)
+
+    def test_m3xu_beats_fp16_on_small_values(self, rng):
+        from repro.gemm import fp16_tensorcore_sgemm, mxu_sgemm
+
+        x = rng.normal(size=(1, 3, 6, 6)) * 1e-7
+        w = rng.normal(size=(2, 3, 3, 3)) * 1e-7
+        ref = conv2d_direct(x, w, padding=1)
+        err_m3 = np.abs(
+            conv2d_im2col(x, w, padding=1, sgemm=lambda a, b: mxu_sgemm(a, b)) - ref
+        ).max()
+        err_16 = np.abs(
+            conv2d_im2col(
+                x, w, padding=1, sgemm=lambda a, b: fp16_tensorcore_sgemm(a, b)
+            )
+            - ref
+        ).max()
+        assert err_m3 < err_16 / 10
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_im2col(rng.normal(size=(1, 3, 4, 4)), rng.normal(size=(2, 4, 3, 3)))
+
+
+class TestFftConv:
+    def test_matches_scipy(self, rng):
+        from scipy.signal import convolve2d
+
+        x = rng.normal(size=(1, 2, 10, 10))
+        w = rng.normal(size=(3, 2, 3, 3))
+        got = conv2d_fft(x, w)
+        for o in range(3):
+            ref = sum(convolve2d(x[0, c], w[o, c], mode="same") for c in range(2))
+            np.testing.assert_allclose(got[0, o], ref, rtol=1e-9, atol=1e-9)
+
+    def test_rejects_even_kernel(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_fft(rng.normal(size=(1, 1, 8, 8)), rng.normal(size=(1, 1, 2, 2)))
+
+
+class TestConvPerf:
+    def test_shape_arithmetic(self):
+        s = ConvShape(32, 64, 56, 56, 64, 3, 3, padding=1)
+        assert (s.oh, s.ow) == (56, 56)
+        p = s.gemm()
+        assert p.m == 32 * 56 * 56 and p.n == 64 and p.k == 576
+
+    def test_m3xu_speedup_band(self):
+        # Convolution speedups track the Figure 4 GEMM band.
+        for s, sp in conv_speedups():
+            assert 2.0 < sp < 4.6, s
+
+    def test_simt_pays_im2col(self):
+        s = ConvShape(32, 128, 28, 28, 128, 3, 3)
+        t_simt = conv_time(s, "cutlass_simt_sgemm")
+        t_m3xu = conv_time(s, "M3XU_sgemm_pipelined")
+        assert t_simt > t_m3xu

@@ -1,0 +1,140 @@
+"""DNN layer tables and the Figure 7 latency model."""
+
+import pytest
+
+from repro.apps.dnn import (
+    NETWORKS,
+    ConvLayer,
+    FcLayer,
+    alexnet,
+    figure7,
+    resnet50,
+    training_latency,
+    vgg16,
+)
+from repro.apps.dnn.training import PAPER_BWD_FRACTION
+
+
+class TestLayerShapes:
+    def test_conv_output_size(self):
+        # AlexNet conv1: 224 -> 55 with k=11, s=4, p=2.
+        c = ConvLayer("c1", 3, 64, 11, 224, stride=4, padding=2)
+        assert c.out_hw == 55
+
+    def test_same_padding_conv(self):
+        c = ConvLayer("c", 64, 64, 3, 56, padding=1)
+        assert c.out_hw == 56
+
+    def test_conv_gemm_shape(self):
+        c = ConvLayer("c", 64, 128, 3, 28, padding=1)
+        p = c.gemm(batch=32)
+        assert p.m == 32 * 28 * 28
+        assert p.n == 128
+        assert p.k == 64 * 9
+
+    def test_fc_gemm_shape(self):
+        f = FcLayer("fc", 4096, 1000)
+        p = f.gemm(batch=64)
+        assert (p.m, p.n, p.k) == (64, 1000, 4096)
+
+    def test_activation_bytes_positive(self):
+        assert ConvLayer("c", 3, 64, 3, 32, padding=1).activation_bytes(8) > 0
+        assert FcLayer("f", 128, 10).activation_bytes(8) > 0
+
+
+class TestNetworks:
+    def test_alexnet_structure(self):
+        layers = alexnet()
+        assert len(layers) == 8  # 5 conv + 3 fc
+        assert sum(isinstance(l, FcLayer) for l in layers) == 3
+
+    def test_vgg16_structure(self):
+        layers = vgg16()
+        assert len(layers) == 16
+        assert sum(isinstance(l, ConvLayer) for l in layers) == 13
+
+    def test_resnet50_conv_count(self):
+        layers = resnet50()
+        convs = [l for l in layers if isinstance(l, ConvLayer)]
+        # 1 stem + 3*3+4*3+6*3+3*3 bottleneck convs + 4 downsamples = 53.
+        assert len(convs) == 53
+
+    def test_resnet50_flops_ballpark(self):
+        # ~4.1 GMACs per image (the commonly quoted "4 GFLOPs" counts a
+        # multiply-add once); im2col GEMMs only, fc included.
+        layers = resnet50()
+        macs = sum(l.gemm(1).macs for l in layers)
+        assert 3.0e9 < macs < 5.5e9
+
+    def test_vgg16_flops_ballpark(self):
+        # ~15.5 GMACs per image (the commonly quoted "15.5 GFLOPs" counts
+        # a multiply-add once); our flops count both ops.
+        macs = sum(l.gemm(1).macs for l in vgg16())
+        assert 13e9 < macs < 18e9
+
+    def test_networks_registry(self):
+        assert set(NETWORKS) == {"AlexNet", "VGG16", "ResNet50"}
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figure7(batch=32)
+
+    def test_backward_fractions_match_paper(self, data):
+        for net, frac in PAPER_BWD_FRACTION.items():
+            got = data[net]["mixed_precision"].backward_fraction
+            assert got == pytest.approx(frac, abs=0.02), net
+
+    def test_m3xu_faster_everywhere(self, data):
+        for net, d in data.items():
+            assert d["m3xu"].total_s < d["mixed_precision"].total_s
+
+    def test_only_backward_changes(self, data):
+        for net, d in data.items():
+            base, ours = d["mixed_precision"], d["m3xu"]
+            assert ours.forward_s == pytest.approx(base.forward_s)
+            assert ours.other_s == pytest.approx(base.other_s)
+            assert ours.backward_s < base.backward_s
+
+    def test_backward_speedup_band(self, data):
+        # Paper reports 3.6x on its Nebula variants; our full-size layer
+        # tables include memory-bound convs that cap the aggregate lower
+        # (see EXPERIMENTS.md), but it must be well above 1.5x.
+        for net, d in data.items():
+            sp = d["mixed_precision"].backward_s / d["m3xu"].backward_s
+            assert 1.5 < sp < 4.0, net
+
+    def test_alexnet_highest_bwd_fraction(self, data):
+        fr = {n: d["mixed_precision"].backward_fraction for n, d in data.items()}
+        assert fr["AlexNet"] > fr["VGG16"]
+        assert fr["AlexNet"] > fr["ResNet50"]
+
+    def test_custom_backward_kernel(self):
+        lat = training_latency("AlexNet", "cutlass_tensorop_sgemm", batch=16)
+        assert lat.total_s > 0
+
+
+class TestLayerHelpers:
+    def test_layer_gemms_one_per_layer(self):
+        from repro.apps.dnn import layer_gemms, vgg16
+
+        layers = vgg16()
+        gemms = layer_gemms(layers, batch=8)
+        assert len(gemms) == len(layers)
+        assert all(p.macs > 0 for p in gemms)
+
+    def test_total_macs_scales_with_batch(self):
+        from repro.apps.dnn.layers import total_macs
+        from repro.apps.dnn import alexnet
+
+        layers = alexnet()
+        assert total_macs(layers, 16) == pytest.approx(2 * total_macs(layers, 8))
+
+    def test_round_up_pow2(self):
+        from repro.apps.dnn.layers import round_up_pow2
+
+        assert round_up_pow2(1) == 1
+        assert round_up_pow2(3) == 4
+        assert round_up_pow2(1024) == 1024
+        assert round_up_pow2(1025) == 2048

@@ -1,0 +1,121 @@
+"""GEMM-FFT: functional correctness and the Figure 6 perf model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import (
+    cufft_time,
+    dft_matrix,
+    fft_speedups,
+    gemm_fft,
+    m3xu_fft_time,
+    tcfft_time,
+)
+from repro.gpusim import a100_emulation
+
+
+class TestDftMatrix:
+    def test_unitary_scaled(self):
+        f = dft_matrix(16)
+        np.testing.assert_allclose(f @ f.conj().T, 16 * np.eye(16), atol=1e-10)
+
+    def test_inverse_is_conjugate(self):
+        np.testing.assert_allclose(
+            dft_matrix(8, inverse=True), np.conj(dft_matrix(8)), atol=1e-15
+        )
+
+    def test_size_one(self):
+        np.testing.assert_array_equal(dft_matrix(1), [[1.0 + 0j]])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dft_matrix(0)
+
+
+class TestGemmFft:
+    @pytest.mark.parametrize("n", [2, 4, 16, 128, 512, 2048])
+    def test_matches_numpy(self, rng, n):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        got = gemm_fft(x)
+        ref = np.fft.fft(x)
+        assert np.max(np.abs(got - ref)) < 1e-10 * np.max(np.abs(ref)) * n
+
+    def test_batched(self, rng):
+        x = rng.normal(size=(3, 64)) + 1j * rng.normal(size=(3, 64))
+        got = gemm_fft(x)
+        np.testing.assert_allclose(got, np.fft.fft(x, axis=-1), rtol=1e-10, atol=1e-9)
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        back = gemm_fft(gemm_fft(x), inverse=True) / 256
+        np.testing.assert_allclose(back, x, atol=1e-11)
+
+    def test_parseval(self, rng):
+        x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+        X = gemm_fft(x)
+        assert np.sum(np.abs(X) ** 2) == pytest.approx(1024 * np.sum(np.abs(x) ** 2))
+
+    def test_rejects_non_power_of_two(self, rng):
+        with pytest.raises(ValueError):
+            gemm_fft(np.ones(24, dtype=complex))
+
+    def test_radix_independence(self, rng):
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        a = gemm_fft(x, base_radix=8)
+        b = gemm_fft(x, base_radix=32)
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-10)
+
+    def test_on_m3xu_cgemm_fp32_accuracy(self, rng):
+        # "M3XU can directly perform FFT calculations without
+        # approximations": FP32-level accuracy end to end.
+        from repro.gemm import mxu_cgemm
+
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        got = gemm_fft(x, cgemm=lambda a, b: mxu_cgemm(a, b))
+        ref = np.fft.fft(x)
+        rel = np.max(np.abs(got - ref)) / np.max(np.abs(ref))
+        assert rel < 1e-5
+
+    def test_m3xu_fft_beats_fp16_fft(self, rng):
+        # The tcFFT contrast: FP16 complex GEMMs lose far more accuracy.
+        from repro.gemm import cgemm_via_4_real, fp16_tensorcore_sgemm, mxu_cgemm
+
+        x = rng.normal(size=256) + 1j * rng.normal(size=256)
+        ref = np.fft.fft(x)
+
+        def fp16_cgemm(a, b):
+            return cgemm_via_4_real(a, b, 0.0, lambda p, q, r: fp16_tensorcore_sgemm(p, q, r))
+
+        err16 = np.max(np.abs(gemm_fft(x, cgemm=fp16_cgemm) - ref))
+        err_m3 = np.max(np.abs(gemm_fft(x, cgemm=lambda a, b: mxu_cgemm(a, b)) - ref))
+        assert err_m3 < err16 / 50
+
+
+class TestFigure6Perf:
+    def test_speedup_band(self):
+        rows = fft_speedups()
+        sp = [r.m3xu_speedup for r in rows]
+        assert max(sp) == pytest.approx(1.99, abs=0.12)
+        assert np.mean(sp) == pytest.approx(1.52, abs=0.15)
+
+    def test_speedup_grows_with_size(self):
+        rows = fft_speedups()
+        assert rows[-1].m3xu_speedup > rows[0].m3xu_speedup
+
+    def test_tcfft_no_improvement(self):
+        # "tcFFT does not improve performance over cuFFT".
+        rows = fft_speedups()
+        tc = [r.tcfft_speedup for r in rows]
+        assert np.mean(tc) < 1.15
+
+    def test_times_positive_and_ordered(self):
+        g = a100_emulation()
+        n = 1 << 22
+        assert 0 < m3xu_fft_time(n, g) < cufft_time(n, g)
+        assert tcfft_time(n, g) > 0
+
+    def test_small_sizes_launch_bound(self):
+        g = a100_emulation()
+        # At 1K points one pass + launch: speedup ~ 1.
+        ratio = cufft_time(1 << 10, g) / m3xu_fft_time(1 << 10, g)
+        assert 0.9 < ratio < 1.15

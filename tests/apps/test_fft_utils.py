@@ -1,0 +1,64 @@
+"""Batched / 2-D / real-input FFT conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import batch_fft, fft2, ifft, ifft2, irfft, rfft
+
+
+class TestFft2:
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=(2, 16, 32)) + 1j * rng.normal(size=(2, 16, 32))
+        np.testing.assert_allclose(fft2(x), np.fft.fft2(x), rtol=1e-9, atol=1e-9)
+
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        np.testing.assert_allclose(ifft2(fft2(x)), x, atol=1e-12)
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [8, 64, 512])
+    def test_matches_numpy(self, rng, n):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), rtol=1e-8, atol=1e-9)
+
+    def test_batched(self, rng):
+        x = rng.normal(size=(4, 128))
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x, axis=-1), rtol=1e-8, atol=1e-9)
+
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=256)
+        np.testing.assert_allclose(irfft(rfft(x)), x, atol=1e-11)
+
+    def test_half_the_cgemm_work(self, rng):
+        # The packing trick runs an N/2 complex FFT: count CGEMM MACs.
+        macs = {"n": 0}
+
+        def counting(a, b):
+            macs["n"] += a.shape[0] * a.shape[1] * b.shape[1]
+            return a @ b
+
+        x = rng.normal(size=1024)
+        rfft(x, cgemm=counting)
+        n_real = macs["n"]
+        macs["n"] = 0
+        batch_fft(x.astype(complex), cgemm=counting)
+        n_complex = macs["n"]
+        assert n_real < 0.7 * n_complex
+
+    def test_rejects_odd_length(self, rng):
+        with pytest.raises(ValueError):
+            rfft(rng.normal(size=24))
+
+
+class TestIfft:
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        np.testing.assert_allclose(ifft(batch_fft(x)), x, atol=1e-12)
+
+    def test_on_m3xu(self, rng):
+        from repro.gemm import mxu_cgemm
+
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        got = ifft(np.fft.fft(x), cgemm=lambda a, b: mxu_cgemm(a, b))
+        np.testing.assert_allclose(got, x, atol=1e-5)

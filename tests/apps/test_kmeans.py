@@ -1,0 +1,64 @@
+"""K-Means via GEMM distances (the second statistical-learning workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import cluster_quality, kmeans
+
+
+def _blobs(rng, k=3, per=40, dim=8, sep=8.0, scale=1.0):
+    centers = rng.normal(size=(k, dim)) * sep
+    pts = np.concatenate([centers[i] + rng.normal(size=(per, dim)) for i in range(k)])
+    truth = np.repeat(np.arange(k), per)
+    return pts * scale, truth
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, rng):
+        x, truth = _blobs(rng)
+        res = kmeans(x, 3, seed=1)
+        assert res.converged
+        assert cluster_quality(res.labels, truth) > 0.95
+
+    def test_deterministic_per_seed(self, rng):
+        x, _ = _blobs(rng)
+        a = kmeans(x, 3, seed=5)
+        b = kmeans(x, 3, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_inertia_reasonable(self, rng):
+        x, _ = _blobs(rng)
+        res3 = kmeans(x, 3, seed=1)
+        res1 = kmeans(x, 1, seed=1)
+        assert res3.inertia < res1.inertia
+
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), 6)
+
+    def test_on_m3xu_matches_reference_assignment(self, rng):
+        from repro.gemm import mxu_sgemm
+
+        x, truth = _blobs(rng)
+        ref = kmeans(x, 3, seed=2)
+        m3 = kmeans(x, 3, seed=2, sgemm=lambda a, b: mxu_sgemm(a, b))
+        # Same clustering decision-for-decision (ties aside).
+        assert cluster_quality(m3.labels, ref.labels) > 0.99
+
+    def test_fp16_degrades_on_small_magnitudes(self, rng):
+        from repro.gemm import fp16_tensorcore_sgemm, mxu_sgemm
+
+        x, truth = _blobs(rng, scale=1e-8, sep=4.0)
+        m3 = kmeans(x, 3, seed=3, sgemm=lambda a, b: mxu_sgemm(a, b))
+        f16 = kmeans(x, 3, seed=3, sgemm=lambda a, b: fp16_tensorcore_sgemm(a, b))
+        q_m3 = cluster_quality(m3.labels, truth)
+        q_16 = cluster_quality(f16.labels, truth)
+        assert q_m3 > 0.9
+        assert q_m3 >= q_16
+
+    def test_quality_metric(self):
+        assert cluster_quality(np.array([0, 0, 1, 1]), np.array([1, 1, 0, 0])) == 1.0
+        with pytest.raises(ValueError):
+            cluster_quality(np.array([0]), np.array([0, 1]))

@@ -1,0 +1,131 @@
+"""kNN (Figure 9) and the quantum statevector extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import figure9, knn_search, knn_time, pairwise_sq_distances, recall_at_k
+from repro.apps.quantum import Statevector, apply_gate
+
+
+class TestKnnFunctional:
+    def test_distances_match_bruteforce(self, rng):
+        q = rng.normal(size=(10, 8))
+        r = rng.normal(size=(20, 8))
+        d = pairwise_sq_distances(q, r)
+        brute = ((q[:, None, :] - r[None, :, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(d, brute, rtol=1e-10, atol=1e-10)
+
+    def test_knn_matches_bruteforce(self, rng):
+        q = rng.normal(size=(16, 12))
+        r = rng.normal(size=(100, 12))
+        idx, dist = knn_search(q, r, k=5)
+        brute = ((q[:, None, :] - r[None, :, :]) ** 2).sum(-1)
+        np.testing.assert_array_equal(idx, np.argsort(brute, axis=1)[:, :5])
+        assert np.all(np.diff(dist, axis=1) >= 0)
+
+    def test_self_query_finds_self(self, rng):
+        pts = rng.normal(size=(30, 4))
+        idx, dist = knn_search(pts, pts, k=1)
+        np.testing.assert_array_equal(idx[:, 0], np.arange(30))
+        np.testing.assert_allclose(dist, 0.0, atol=1e-12)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_sq_distances(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            knn_search(np.ones((2, 3)), np.ones((4, 3)), k=5)
+
+    def test_recall_metric(self):
+        a = np.array([[0, 1], [2, 3]])
+        b = np.array([[1, 0], [2, 9]])
+        assert recall_at_k(a, b) == 0.75
+        with pytest.raises(ValueError):
+            recall_at_k(a, b[:1])
+
+    def test_fp16_fails_small_magnitudes_m3xu_does_not(self, rng):
+        # Section VI-C4: "the reduced precision will produce meaningless
+        # computation results for input data with extremely small values".
+        from repro.gemm import fp16_tensorcore_sgemm, mxu_sgemm
+
+        q = rng.normal(size=(32, 16)) * 1e-8
+        r = rng.normal(size=(128, 16)) * 1e-8
+        truth, _ = knn_search(q, r, k=8)
+        fp16_idx, _ = knn_search(q, r, k=8, sgemm=lambda a, b: fp16_tensorcore_sgemm(a, b))
+        m3xu_idx, _ = knn_search(q, r, k=8, sgemm=lambda a, b: mxu_sgemm(a, b))
+        assert recall_at_k(m3xu_idx, truth) == 1.0
+        assert recall_at_k(fp16_idx, truth) < 0.5
+
+
+class TestFigure9Perf:
+    def test_tops_near_1p8(self):
+        rows = figure9()
+        assert max(r.speedup for r in rows) == pytest.approx(1.8, abs=0.1)
+
+    def test_speedup_grows_with_dim(self):
+        rows = figure9(point_counts=[16384], dims=[512, 1024, 2048, 4096])
+        sp = [r.speedup for r in rows]
+        assert sp == sorted(sp)
+
+    def test_all_speedups_above_one(self):
+        assert all(r.speedup > 1.0 for r in figure9())
+
+    def test_m3xu_time_smaller(self):
+        assert knn_time(8192, 1024, use_m3xu=True) < knn_time(8192, 1024, use_m3xu=False)
+
+
+class TestQuantum:
+    def test_bell_state(self):
+        sv = Statevector(2).h(0).cnot(0, 1)
+        probs = sv.probabilities()
+        np.testing.assert_allclose(probs, [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_ghz_norm_preserved(self):
+        sv = Statevector(4).h(0)
+        for q in range(1, 4):
+            sv.cnot(0, q)
+        assert sv.norm() == pytest.approx(1.0)
+        probs = sv.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_x_gate(self):
+        sv = Statevector(1).x(0)
+        np.testing.assert_allclose(sv.probabilities(), [0, 1], atol=1e-12)
+
+    def test_hzh_equals_x(self):
+        a = Statevector(1).h(0).z(0).h(0).state
+        b = Statevector(1).x(0).state
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_gate_on_middle_qubit(self, rng):
+        n = 3
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state /= np.linalg.norm(state)
+        got = apply_gate(state, Statevector.X, [1])
+        # X on qubit 1 swaps amplitude pairs differing in bit 1.
+        want = state.copy()
+        for i in range(8):
+            want[i] = state[i ^ 2]
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_m3xu_backed_circuit(self):
+        from repro.gemm import mxu_cgemm
+
+        sv = Statevector(3, cgemm=lambda a, b: mxu_cgemm(a, b))
+        sv.h(0).cnot(0, 1).cnot(1, 2)
+        probs = sv.probabilities()
+        assert probs[0] == pytest.approx(0.5, abs=1e-6)
+        assert probs[7] == pytest.approx(0.5, abs=1e-6)
+        assert sv.norm() == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Statevector(0)
+        with pytest.raises(ValueError):
+            apply_gate(np.ones(3, dtype=complex), Statevector.X, [0])
+        with pytest.raises(ValueError):
+            apply_gate(np.ones(4, dtype=complex), Statevector.X, [0, 1])
+        with pytest.raises(ValueError):
+            apply_gate(np.ones(4, dtype=complex), Statevector.X, [5])

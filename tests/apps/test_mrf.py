@@ -1,0 +1,134 @@
+"""MRF: EPG physics, dictionary matching, Figure 8 perf."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mrf import (
+    AtomGrid,
+    EpgSimulator,
+    FispSequence,
+    dictgen_time,
+    figure8,
+    generate_dictionary,
+    match_fingerprints,
+    rf_rotation_matrix,
+)
+
+
+class TestEpgPhysics:
+    def test_rf_matrix_preserves_magnetisation(self):
+        # The RF mixing matrix acts unitarily on (F+, F-, Z) magnitude
+        # invariants: zero flip = identity.
+        np.testing.assert_allclose(rf_rotation_matrix(0.0), np.eye(3), atol=1e-12)
+
+    def test_180_pulse_inverts_z(self):
+        rot = rf_rotation_matrix(np.pi)
+        z = np.array([0.0, 0.0, 1.0])
+        out = rot @ z
+        assert out[2].real == pytest.approx(-1.0, abs=1e-12)
+
+    def test_90_pulse_tips_into_transverse(self):
+        rot = rf_rotation_matrix(np.pi / 2)
+        out = rot @ np.array([0.0, 0.0, 1.0])
+        assert abs(out[2]) == pytest.approx(0.0, abs=1e-12)
+        assert abs(out[0]) == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_flip_train_gives_zero_signal(self):
+        sim = EpgSimulator()
+        seq = FispSequence(flip_deg=np.zeros(50))
+        sig = sim.simulate(np.array([1000.0]), np.array([100.0]), seq)
+        np.testing.assert_allclose(np.abs(sig), 0.0, atol=1e-14)
+
+    def test_signal_bounded_by_equilibrium(self):
+        sim = EpgSimulator()
+        seq = FispSequence.standard(200)
+        sig = sim.simulate(np.array([800.0]), np.array([80.0]), seq)
+        assert np.all(np.abs(sig) <= 1.0 + 1e-9)
+
+    def test_longer_t2_stronger_late_signal(self):
+        sim = EpgSimulator()
+        seq = FispSequence.standard(300)
+        sig = sim.simulate(np.array([1000.0, 1000.0]), np.array([40.0, 200.0]), seq)
+        late = slice(150, 300)
+        assert np.mean(np.abs(sig[1, late])) > np.mean(np.abs(sig[0, late]))
+
+    def test_distinct_params_distinct_signals(self):
+        sim = EpgSimulator()
+        seq = FispSequence.standard(150)
+        sig = sim.simulate(np.array([500.0, 2000.0]), np.array([50.0, 50.0]), seq)
+        n0 = sig[0] / np.linalg.norm(sig[0])
+        n1 = sig[1] / np.linalg.norm(sig[1])
+        assert abs(np.vdot(n0, n1)) < 0.999
+
+    def test_input_validation(self):
+        sim = EpgSimulator()
+        seq = FispSequence.standard(10)
+        with pytest.raises(ValueError):
+            sim.simulate(np.array([100.0]), np.array([-5.0]), seq)
+        with pytest.raises(ValueError):
+            sim.simulate(np.array([[100.0]]), np.array([[50.0]]), seq)
+        with pytest.raises(ValueError):
+            EpgSimulator(n_states=1)
+
+
+class TestDictionary:
+    @pytest.fixture(scope="class")
+    def dictionary(self):
+        return generate_dictionary(AtomGrid.standard(8, 8), FispSequence.standard(100))
+
+    def test_grid_respects_t2_below_t1(self):
+        g = AtomGrid.standard(10, 10)
+        assert np.all(g.t2_ms < g.t1_ms)
+
+    def test_rows_normalised(self, dictionary):
+        norms = np.linalg.norm(dictionary.signals, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+    def test_match_recovers_atoms(self, dictionary, rng):
+        idx = rng.integers(0, dictionary.n_atoms, size=16)
+        voxels = dictionary.signals[idx] * 2.5  # arbitrary proton density
+        t1, t2, score = match_fingerprints(dictionary, voxels)
+        np.testing.assert_array_equal(t1, dictionary.grid.t1_ms[idx])
+        np.testing.assert_array_equal(t2, dictionary.grid.t2_ms[idx])
+        np.testing.assert_allclose(score, 1.0, atol=1e-9)
+
+    def test_match_robust_to_noise(self, dictionary, rng):
+        idx = rng.integers(0, dictionary.n_atoms, size=16)
+        sig = dictionary.signals[idx]
+        noise = 0.02 * (rng.normal(size=sig.shape) + 1j * rng.normal(size=sig.shape))
+        t1, _, _ = match_fingerprints(dictionary, sig + noise)
+        # Most matches land on the right atom or a neighbour in T1.
+        rel = np.abs(t1 - dictionary.grid.t1_ms[idx]) / dictionary.grid.t1_ms[idx]
+        assert np.median(rel) < 0.35
+
+    def test_match_through_m3xu_cgemm(self, dictionary, rng):
+        from repro.gemm import mxu_cgemm
+
+        idx = rng.integers(0, dictionary.n_atoms, size=8)
+        voxels = dictionary.signals[idx]
+        t1_ref, _, _ = match_fingerprints(dictionary, voxels)
+        t1_m3, _, _ = match_fingerprints(
+            dictionary, voxels, cgemm=lambda a, b: mxu_cgemm(a, b)
+        )
+        np.testing.assert_array_equal(t1_m3, t1_ref)
+
+
+class TestFigure8Perf:
+    def test_speedup_band(self):
+        rows = figure8()
+        sp = [r.speedup for r in rows]
+        assert 1.15 < max(sp) < 1.30  # paper: "up to 1.26x"
+        assert all(s >= 1.0 for s in sp)
+
+    def test_speedup_grows_with_dictionary(self):
+        rows = figure8()
+        assert rows[-1].speedup > rows[0].speedup
+
+    def test_cgemm_fraction_near_paper(self):
+        rows = figure8()
+        # "CGEMM accounts for 22% of the runtime" at production scales.
+        assert rows[-1].cgemm_fraction == pytest.approx(0.22, abs=0.06)
+
+    def test_dictgen_time_positive(self):
+        t, frac = dictgen_time(1000)
+        assert t > 0 and 0 < frac < 1

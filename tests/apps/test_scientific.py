@@ -1,0 +1,64 @@
+"""CG case study: FP32-sensitivity of scientific computing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.scientific import conjugate_gradient, diffusion_2d, poisson_1d
+from repro.gemm import fp16_tensorcore_sgemm, mxu_sgemm
+
+
+class TestMatrices:
+    def test_poisson_spd(self):
+        a = poisson_1d(16)
+        np.testing.assert_array_equal(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_diffusion_size_and_spd(self):
+        a = diffusion_2d(6)
+        assert a.shape == (36, 36)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+
+class TestCg:
+    def test_solves_float64(self, rng):
+        a = poisson_1d(32)
+        b = rng.normal(size=32)
+        res = conjugate_gradient(a, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-8)
+
+    def test_exact_in_n_iterations(self, rng):
+        # CG on an n x n SPD system converges within n iterations.
+        a = poisson_1d(24)
+        res = conjugate_gradient(a, rng.normal(size=24), tol=1e-12)
+        assert res.iterations <= 24
+
+    def test_true_residual_matches_recurrence_fp64(self, rng):
+        a = diffusion_2d(8)
+        res = conjugate_gradient(a, rng.normal(size=64), tol=1e-8)
+        assert res.true_residual == pytest.approx(res.final_residual, rel=10.0)
+        assert not res.silently_wrong
+
+    def test_m3xu_matches_fp64_quality(self, rng):
+        a = diffusion_2d(10) * 0.37
+        b = rng.normal(size=100)
+        res = conjugate_gradient(a, b, gemm=lambda m, v: mxu_sgemm(m, v), tol=1e-7, max_iter=1500)
+        assert res.converged
+        assert res.true_residual < 1e-5
+        assert not res.silently_wrong
+
+    def test_fp16_is_silently_wrong(self, rng):
+        # The headline failure: FP16's recurrence claims 1e-7 convergence
+        # while the actual residual stalls orders of magnitude higher.
+        a = diffusion_2d(12) * 0.37
+        b = rng.normal(size=144)
+        res = conjugate_gradient(
+            a, b, gemm=lambda m, v: fp16_tensorcore_sgemm(m, v), tol=1e-7, max_iter=2000
+        )
+        assert res.silently_wrong or not res.converged
+        if res.converged:
+            assert res.true_residual > 50 * res.final_residual
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            conjugate_gradient(np.ones((3, 4)), np.ones(3))

@@ -1,0 +1,73 @@
+"""The finite-width aligned accumulation model."""
+
+import numpy as np
+import pytest
+
+from repro.arith import M3XU_ACC_BITS, TENSORCORE_ACC_BITS, aligned_sum
+from repro.types.rounding import RoundingMode
+
+
+class TestWideEnough:
+    def test_float64_path_is_plain_sum(self, rng):
+        p = rng.normal(size=(32, 8))
+        np.testing.assert_array_equal(aligned_sum(p, acc_bits=None), p.sum(axis=-1))
+
+    def test_48bit_exact_for_24bit_products(self, rng):
+        # Products of 12-bit significands (<= 24 bits) spanning < 24 bits of
+        # exponent fit a 48-bit accumulator exactly.
+        sig = rng.integers(1, 1 << 24, size=(64, 4)).astype(np.float64)
+        exps = rng.integers(0, 20, size=(64, 4))
+        p = np.ldexp(sig, exps - 24)
+        got = aligned_sum(p, acc_bits=M3XU_ACC_BITS)
+        np.testing.assert_array_equal(got, p.sum(axis=-1))
+
+    def test_narrow_width_loses_low_bits(self):
+        p = np.array([[1.0, 2.0**-30]])
+        wide = aligned_sum(p, acc_bits=M3XU_ACC_BITS)
+        narrow = aligned_sum(p, acc_bits=TENSORCORE_ACC_BITS)
+        assert wide[0] == 1.0 + 2.0**-30
+        assert narrow[0] == 1.0  # shifted past the 27-bit window
+
+    def test_truncation_vs_rne(self):
+        p = np.array([[1.0, 1.5 * 2.0**-27]])
+        rne = aligned_sum(p, acc_bits=27, mode=RoundingMode.NEAREST_EVEN)
+        rtz = aligned_sum(p, acc_bits=27, mode=RoundingMode.TOWARD_ZERO)
+        assert rne[0] >= rtz[0]
+
+    def test_zero_group(self):
+        p = np.zeros((4, 8))
+        np.testing.assert_array_equal(aligned_sum(p, acc_bits=48), 0.0)
+
+
+class TestAxes:
+    def test_reduce_other_axis(self, rng):
+        p = rng.normal(size=(5, 7, 3))
+        got = aligned_sum(p, axis=1, acc_bits=None)
+        np.testing.assert_allclose(got, p.sum(axis=1))
+
+    def test_shape(self, rng):
+        p = rng.normal(size=(2, 3, 4))
+        assert aligned_sum(p, acc_bits=48).shape == (2, 3)
+
+
+class TestSpecials:
+    def test_nan_propagates(self):
+        p = np.array([[1.0, np.nan, 2.0]])
+        assert np.isnan(aligned_sum(p, acc_bits=48)[0])
+
+    def test_inf_propagates(self):
+        assert aligned_sum(np.array([[np.inf, 1.0]]), acc_bits=48)[0] == np.inf
+        assert aligned_sum(np.array([[-np.inf, 1.0]]), acc_bits=48)[0] == -np.inf
+
+    def test_opposing_infs_are_nan(self):
+        assert np.isnan(aligned_sum(np.array([[np.inf, -np.inf]]), acc_bits=48)[0])
+
+
+class TestGuards:
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError):
+            aligned_sum(np.ones((1, 1 << 14)), acc_bits=60)
+
+    def test_large_k_ok_with_narrow_acc(self):
+        p = np.ones((1, 1024))
+        assert aligned_sum(p, acc_bits=40)[0] == 1024.0

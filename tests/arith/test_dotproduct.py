@@ -1,0 +1,108 @@
+"""Vectorised dot-product-unit and FMA-chain models vs the exact reference."""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    dot_product_unit,
+    exact_dot,
+    fma_chain_dot,
+    pairwise_tree_dot,
+    sequential_fma_dot,
+)
+from repro.types import FP16, FP32, quantize
+
+
+class TestDotProductUnit:
+    def test_matches_exact_reference(self, rng):
+        k = 8
+        a = quantize(rng.normal(size=(16, k)), FP16)
+        b = quantize(rng.normal(size=(16, k)), FP16)
+        c = quantize(rng.normal(size=16), FP32)
+        got = dot_product_unit(a, b, c, out_fmt=FP32)
+        for i in range(16):
+            ref = exact_dot(list(a[i]), list(b[i]), float(c[i]), FP32)
+            assert got[i] == ref
+
+    def test_split_fp32_inputs_accepted(self, rng):
+        from repro.types import split_fp32_m3xu
+
+        x = quantize(rng.normal(size=(4, 8)), FP32)
+        hi, lo = split_fp32_m3xu(x)
+        # 12-bit parts pass the width guard.
+        dot_product_unit(hi, lo, 0.0, out_fmt=FP32, check_inputs=True)
+
+    def test_width_guard_rejects_full_fp64(self, rng):
+        x = rng.normal(size=(4, 8))  # 53-bit significands
+        with pytest.raises(ValueError):
+            dot_product_unit(x, x, 0.0, out_fmt=FP32, check_inputs=True)
+
+    def test_c_outside_wide_sum_double_rounds(self):
+        # With c excluded from the wide sum the result can differ by the
+        # extra FP32 rounding.
+        a = np.array([[1.0, 2.0**-12]])
+        b = np.array([[1.0, 1.0]])
+        c = 2.0**-24
+        inside = dot_product_unit(a, b, c, out_fmt=FP32, include_c_in_wide_sum=True)
+        outside = dot_product_unit(a, b, c, out_fmt=FP32, include_c_in_wide_sum=False)
+        assert inside.shape == outside.shape == (1,)
+
+    def test_finite_acc_bits_plumbed(self):
+        a = np.array([[1.0, 2.0**-20]])
+        b = np.array([[1.0, 1.0]])
+        wide = dot_product_unit(a, b, 0.0, out_fmt=FP32, acc_bits=None)
+        narrow = dot_product_unit(a, b, 0.0, out_fmt=FP32, acc_bits=16)
+        assert wide[0] == 1.0 + 2.0**-20
+        assert narrow[0] == 1.0
+
+
+class TestFmaChain:
+    def test_matches_scalar_reference(self, rng):
+        k = 16
+        a = quantize(rng.normal(size=(8, k)), FP32)
+        b = quantize(rng.normal(size=(8, k)), FP32)
+        got = fma_chain_dot(a, b, 0.0, FP32)
+        for i in range(8):
+            assert got[i] == sequential_fma_dot(list(a[i]), list(b[i]), 0.0, FP32)
+
+    def test_broadcasting(self, rng):
+        a = quantize(rng.normal(size=(4, 1, 8)), FP32)
+        b = quantize(rng.normal(size=(1, 5, 8)), FP32)
+        assert fma_chain_dot(a, b, 0.0, FP32).shape == (4, 5)
+
+    def test_c_is_quantized(self):
+        got = fma_chain_dot(
+            np.array([[1.0]]), np.array([[0.0]]), 1.0 + 2.0**-30, FP32
+        )
+        assert got[0] == 1.0
+
+
+class TestPairwiseTree:
+    def test_matches_exact_for_short(self, rng):
+        a = quantize(rng.normal(size=(8, 2)), FP32)
+        b = quantize(rng.normal(size=(8, 2)), FP32)
+        got = pairwise_tree_dot(a, b, FP32)
+        for i in range(8):
+            ref = float(
+                np.float32(
+                    np.float32(a[i, 0] * b[i, 0]) + np.float32(a[i, 1] * b[i, 1])
+                )
+            )
+            assert got[i] == pytest.approx(ref, rel=2**-22)
+
+    def test_odd_lengths(self, rng):
+        a = quantize(rng.normal(size=(4, 7)), FP32)
+        b = quantize(rng.normal(size=(4, 7)), FP32)
+        got = pairwise_tree_dot(a, b, FP32)
+        assert got.shape == (4,)
+        np.testing.assert_allclose(got, np.sum(a * b, axis=-1), rtol=1e-5)
+
+    def test_tree_less_error_than_chain_long_k(self, rng):
+        # log2(K) vs K error growth: statistical, use many dots.
+        k = 512
+        a = quantize(np.abs(rng.normal(size=(64, k))) + 0.1, FP32)
+        b = quantize(np.abs(rng.normal(size=(64, k))) + 0.1, FP32)
+        ref = np.sum(a * b, axis=-1)
+        chain = fma_chain_dot(a, b, 0.0, FP32)
+        tree = pairwise_tree_dot(a, b, FP32)
+        assert np.mean(np.abs(tree - ref)) < np.mean(np.abs(chain - ref))

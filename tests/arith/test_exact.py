@@ -1,0 +1,129 @@
+"""The arbitrary-precision reference arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    chunked_dot,
+    exact_dot,
+    fma_round,
+    round_fraction,
+    sequential_fma_dot,
+    to_fraction,
+)
+from repro.types import FP16, FP32, FP64, quantize
+from repro.types.rounding import RoundingMode
+
+
+class TestRoundFraction:
+    def test_matches_numpy_fp32_cast(self, rng):
+        for v in rng.normal(size=200) * 10.0 ** rng.uniform(-20, 20, 200):
+            assert round_fraction(to_fraction(v), FP32) == float(np.float32(v))
+
+    def test_matches_numpy_fp16_cast(self, rng):
+        for v in rng.normal(size=200):
+            assert round_fraction(to_fraction(v), FP16) == float(np.float16(v))
+
+    def test_overflow_to_inf(self):
+        assert round_fraction(to_fraction(1e39), FP32) == np.inf
+        assert round_fraction(to_fraction(-1e39), FP32) == -np.inf
+
+    def test_truncation_saturates(self):
+        got = round_fraction(to_fraction(1e39), FP32, RoundingMode.TOWARD_ZERO)
+        assert got == FP32.max_value
+
+    def test_subnormal_rounding(self):
+        v = FP32.min_subnormal * 1.4
+        assert round_fraction(to_fraction(v), FP32) == FP32.min_subnormal
+
+    def test_zero(self):
+        assert round_fraction(to_fraction(0.0), FP32) == 0.0
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            to_fraction(np.inf)
+
+
+class TestExactDot:
+    def test_single_element_is_fma(self, rng):
+        a, b, c = (float(quantize(np.array(rng.normal()), FP32)) for _ in range(3))
+        assert exact_dot([a], [b], c, FP32) == fma_round(a, b, c, FP32)
+
+    def test_cancellation_handled_exactly(self):
+        # (1 + eps)*(1) + (-1)*(1) = eps exactly; any naive FP32 chain
+        # computing (1+eps) + (-1) would still get eps here, but with a
+        # large c the exact path differs.
+        eps = 2.0**-23
+        got = exact_dot([1.0 + eps, -1.0], [1.0, 1.0], 0.0, FP32)
+        assert got == eps
+
+    def test_correct_rounding_beats_chain(self, rng):
+        # The exact dot is within half an ulp; a long FMA chain is not.
+        k = 64
+        a = quantize(rng.normal(size=k), FP32)
+        b = quantize(rng.normal(size=k), FP32)
+        exact = exact_dot(list(a), list(b), 0.0, FP32)
+        f64 = float(np.float32(np.dot(a, b)))
+        # The exact result equals the float64-then-round result here
+        # (float64 has 29 spare bits over FP32 for K=64 sums).
+        assert exact == pytest.approx(f64, rel=2.0**-22)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_dot([1.0, 2.0], [1.0], 0.0, FP32)
+
+
+class TestSequentialFma:
+    def test_order_dependence(self):
+        # Sequential FP32 FMA is order-dependent; exact_dot is not.
+        big, small = 2.0**13, 2.0**-11
+        a1 = [big, small, -big]
+        a2 = [big, -big, small]
+        ones = [1.0, 1.0, 1.0]
+        r1 = sequential_fma_dot(a1, ones, 0.0, FP32)
+        r2 = sequential_fma_dot(a2, ones, 0.0, FP32)
+        assert r2 == small
+        # r1 lost `small` when it was absorbed into `big`:
+        assert r1 != r2
+
+    def test_matches_numpy_float32_loop(self, rng):
+        k = 32
+        a = quantize(rng.normal(size=k), FP32)
+        b = quantize(rng.normal(size=k), FP32)
+        acc = np.float32(0.0)
+        for x, y in zip(a, b):
+            # float32 FMA modelled as exact product + rounded add (the
+            # products here fit float32's ability to be recovered after
+            # one rounding of the double-precision sum).
+            acc = np.float32(np.float64(acc) + np.float64(x) * np.float64(y))
+        ours = sequential_fma_dot(list(a), list(b), 0.0, FP32)
+        assert ours == pytest.approx(float(acc), rel=2.0**-22)
+
+
+class TestChunkedDot:
+    def test_chunk_full_length_equals_exact(self, rng):
+        k = 16
+        a = list(quantize(rng.normal(size=k), FP32))
+        b = list(quantize(rng.normal(size=k), FP32))
+        assert chunked_dot(a, b, 0.0, k, FP64, FP32) == exact_dot(a, b, 0.0, FP32)
+
+    def test_chunk1_equals_fma_chain(self, rng):
+        k = 12
+        a = list(quantize(rng.normal(size=k), FP32))
+        b = list(quantize(rng.normal(size=k), FP32))
+        assert chunked_dot(a, b, 0.0, 1, FP32, FP32) == sequential_fma_dot(
+            a, b, 0.0, FP32
+        )
+
+    def test_wider_acc_no_worse(self, rng):
+        k = 64
+        a = list(quantize(rng.normal(size=k), FP32))
+        b = list(quantize(rng.normal(size=k), FP32))
+        ref = exact_dot(a, b, 0.0, FP64)
+        err32 = abs(chunked_dot(a, b, 0.0, 8, FP32, FP32) - ref)
+        err64 = abs(chunked_dot(a, b, 0.0, 8, FP64, FP32) - ref)
+        assert err64 <= err32 + 1e-30
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            chunked_dot([1.0], [1.0], 0.0, 0, FP32, FP32)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; per-test isolation via a fixed seed."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def fp32_array(rng: np.random.Generator, shape, scale: float = 1.0) -> np.ndarray:
+    """Random FP32-representable values (float64 storage)."""
+    from repro.types import FP32, quantize
+
+    return quantize(rng.normal(size=shape) * scale, FP32)
+
+
+def fp32c_array(rng: np.random.Generator, shape, scale: float = 1.0) -> np.ndarray:
+    from repro.types import FP32, quantize_complex
+
+    return quantize_complex(
+        (rng.normal(size=shape) + 1j * rng.normal(size=shape)) * scale, FP32
+    )

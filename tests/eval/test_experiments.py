@@ -1,0 +1,122 @@
+"""End-to-end experiment runners: the headline paper-vs-measured checks.
+
+These are the reproduction's acceptance tests: each asserts that the
+measured headline statistics land within stated bands of the paper's
+numbers (bands documented per experiment in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.eval import (
+    ALL_EXPERIMENTS,
+    accuracy_claims,
+    fig2_instruction_mix,
+    fig4_gemm_speedups,
+    fig6_fft,
+    fig8_mrf,
+    fig9_knn,
+    render_report,
+    table1_throughput,
+    table3_synthesis,
+)
+
+
+class TestTable1:
+    def test_peaks_exact(self):
+        r = table1_throughput()
+        for key, ref in r.paper.items():
+            assert r.measured[key] == pytest.approx(ref, rel=0.01), key
+
+
+class TestTable3:
+    def test_cells_within_10pct(self):
+        r = table3_synthesis()
+        for key, ref in r.paper.items():
+            assert r.measured[key] == pytest.approx(ref, rel=0.10), key
+
+
+class TestFig2:
+    def test_software_needs_multiple_of_hw_instructions(self):
+        r = fig2_instruction_mix()
+        assert r.measured["sw_over_hw_ratio"] > 3.0
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    # Smaller sweep keeps the suite fast; bands below account for it.
+    return fig4_gemm_speedups(sizes=[1024, 4096, 8192, 16384])
+
+
+class TestFig4:
+    def test_sgemm_max_speedup(self, fig4):
+        assert fig4.measured["sgemm_m3xu_max"] == pytest.approx(3.89, abs=0.15)
+
+    def test_sgemm_avg_speedup(self, fig4):
+        assert fig4.measured["sgemm_m3xu_avg"] == pytest.approx(3.64, abs=0.35)
+
+    def test_cgemm_max_speedup(self, fig4):
+        assert fig4.measured["cgemm_m3xu_max"] == pytest.approx(3.82, abs=0.2)
+
+    def test_cgemm_avg_speedup(self, fig4):
+        assert fig4.measured["cgemm_m3xu_avg"] == pytest.approx(3.51, abs=0.35)
+
+    def test_software_alternatives_max(self, fig4):
+        assert fig4.measured["sgemm_alternatives_max"] == pytest.approx(2.67, abs=0.35)
+
+    def test_cgemm_tensorop_max(self, fig4):
+        assert fig4.measured["cgemm_tensorop_max"] == pytest.approx(2.1, abs=0.25)
+
+    def test_nonpipelined_lower_than_pipelined(self, fig4):
+        assert (
+            fig4.measured["sgemm_m3xu_nonpipelined_avg"]
+            < fig4.measured["sgemm_m3xu_avg"]
+        )
+
+
+class TestFig6:
+    def test_fft_bands(self):
+        r = fig6_fft()
+        assert r.measured["m3xu_fft_max"] == pytest.approx(1.99, abs=0.12)
+        assert r.measured["m3xu_fft_avg"] == pytest.approx(1.52, abs=0.15)
+        assert r.measured["tcfft_avg"] == pytest.approx(1.0, abs=0.15)
+
+
+class TestFig8:
+    def test_mrf_band(self):
+        r = fig8_mrf()
+        assert r.measured["mrf_speedup_max"] == pytest.approx(1.26, abs=0.08)
+
+
+class TestFig9:
+    def test_knn_band(self):
+        r = fig9_knn()
+        assert r.measured["knn_speedup_max"] == pytest.approx(1.8, abs=0.1)
+
+
+class TestAccuracy:
+    def test_claims(self):
+        r = accuracy_claims()
+        assert r.measured["m3xu_bits_minus_fp32_bits"] >= 0.0
+        assert r.measured["m3xu_bits_minus_3xbf16_bits"] >= 1.0
+        assert r.measured["m3xu_c_bits_minus_fp32c_bits"] >= 0.0
+
+
+class TestInfrastructure:
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1",
+            "section3c",
+            "fig2",
+            "table3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "accuracy",
+        }
+
+    def test_render_contains_paper_refs(self):
+        txt = table1_throughput().render()
+        assert "paper" in txt and "Table I" in txt

@@ -1,0 +1,34 @@
+"""Result export artifacts."""
+
+import json
+
+from repro.eval import export_csv, export_json, rows_to_csv_text, table1_throughput
+
+
+class TestCsv:
+    def test_rows_to_csv(self):
+        r = table1_throughput()
+        text = rows_to_csv_text(r)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("path,")
+        assert len(lines) == 1 + len(r.rows)
+
+    def test_export_csv_files(self, tmp_path):
+        r = table1_throughput()
+        paths = export_csv({"table1": r}, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].read_text().startswith("path,")
+
+    def test_empty_rows(self):
+        r = table1_throughput()
+        r.rows = []
+        assert rows_to_csv_text(r) == ""
+
+
+class TestJson:
+    def test_export_roundtrip(self, tmp_path):
+        r = table1_throughput()
+        p = export_json({"table1": r}, tmp_path / "out" / "results.json")
+        doc = json.loads(p.read_text())
+        assert doc["table1"]["paper"]["fp32_tflops"] == 19.5
+        assert len(doc["table1"]["rows"]) == len(r.rows)

@@ -1,0 +1,77 @@
+"""The BLAS-style front-end."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import cgemm, sgemm
+from repro.types import FP32, quantize
+from tests.conftest import fp32_array, fp32c_array
+
+
+class TestSgemm:
+    def test_plain(self, rng):
+        a = fp32_array(rng, (8, 12))
+        b = fp32_array(rng, (12, 8))
+        d = sgemm(a, b)
+        np.testing.assert_allclose(d, a @ b, rtol=1e-5, atol=1e-6)
+
+    def test_transposes(self, rng):
+        a = fp32_array(rng, (12, 8))
+        b = fp32_array(rng, (8, 12))
+        d = sgemm(a, b, transa="T", transb="T")
+        np.testing.assert_allclose(d, a.T @ b.T, rtol=1e-5, atol=1e-6)
+
+    def test_alpha_beta(self, rng):
+        a = fp32_array(rng, (4, 4))
+        b = fp32_array(rng, (4, 4))
+        c = fp32_array(rng, (4, 4))
+        d = sgemm(a, b, c, alpha=2.0, beta=-0.5)
+        np.testing.assert_allclose(d, 2 * (a @ b) - 0.5 * c, rtol=1e-5, atol=1e-5)
+
+    def test_beta_zero_ignores_c(self, rng):
+        a = fp32_array(rng, (4, 4))
+        b = fp32_array(rng, (4, 4))
+        c = np.full((4, 4), np.pi)
+        d = sgemm(a, b, c, beta=0.0)
+        np.testing.assert_allclose(d, a @ b, rtol=1e-5, atol=1e-6)
+
+    def test_backends_agree_closely(self, rng):
+        a = fp32_array(rng, (8, 16))
+        b = fp32_array(rng, (16, 8))
+        d1 = sgemm(a, b, backend="m3xu")
+        d2 = sgemm(a, b, backend="simt")
+        np.testing.assert_allclose(d1, d2, rtol=1e-5, atol=1e-6)
+
+    def test_invalid_flags(self, rng):
+        with pytest.raises(ValueError):
+            sgemm(np.ones((2, 2)), np.ones((2, 2)), transa="C")
+        with pytest.raises(KeyError):
+            sgemm(np.ones((2, 2)), np.ones((2, 2)), backend="cublas")
+
+    def test_result_fp32(self, rng):
+        from repro.types import representable
+
+        d = sgemm(fp32_array(rng, (4, 4)), fp32_array(rng, (4, 4)), alpha=1.7)
+        assert np.all(representable(d, FP32))
+
+
+class TestCgemm:
+    def test_conjugate_transpose(self, rng):
+        a = fp32c_array(rng, (6, 4))
+        b = fp32c_array(rng, (6, 4))
+        d = cgemm(a, b, transa="C")
+        np.testing.assert_allclose(d, np.conj(a.T) @ b, rtol=1e-5, atol=1e-5)
+
+    def test_complex_alpha(self, rng):
+        a = fp32c_array(rng, (4, 4))
+        b = fp32c_array(rng, (4, 4))
+        d = cgemm(a, b, alpha=1j)
+        np.testing.assert_allclose(d, 1j * (a @ b), rtol=1e-5, atol=1e-5)
+
+    def test_hermitian_product(self, rng):
+        # A^H A is Hermitian positive semidefinite.
+        a = fp32c_array(rng, (8, 5))
+        d = cgemm(a, a, transa="C")
+        np.testing.assert_allclose(d, np.conj(d.T), rtol=1e-4, atol=1e-5)
+        eig = np.linalg.eigvalsh((d + np.conj(d.T)) / 2)
+        assert np.all(eig > -1e-4)

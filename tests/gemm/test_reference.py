@@ -1,0 +1,77 @@
+"""SIMT reference GEMMs."""
+
+import numpy as np
+import pytest
+
+from repro.arith import sequential_fma_dot
+from repro.gemm import cgemm_fp64, cgemm_simt, gemm_fp64, sgemm_simt
+from repro.types import FP32, quantize
+from tests.conftest import fp32_array, fp32c_array
+
+
+class TestFp64Reference:
+    def test_gemm_matches_numpy(self, rng):
+        a, b, c = rng.normal(size=(8, 5)), rng.normal(size=(5, 7)), rng.normal(size=(8, 7))
+        np.testing.assert_array_equal(gemm_fp64(a, b, c), a @ b + c)
+
+    def test_cgemm_matches_numpy(self, rng):
+        a = rng.normal(size=(4, 3)) + 1j * rng.normal(size=(4, 3))
+        b = rng.normal(size=(3, 5)) + 1j * rng.normal(size=(3, 5))
+        np.testing.assert_array_equal(cgemm_fp64(a, b, 0.0), a @ b)
+
+
+class TestSgemmSimt:
+    def test_matches_scalar_fma_chain(self, rng):
+        m, n, k = 4, 3, 9
+        a = fp32_array(rng, (m, k))
+        b = fp32_array(rng, (k, n))
+        c = fp32_array(rng, (m, n))
+        d = sgemm_simt(a, b, c)
+        for i in range(m):
+            for j in range(n):
+                assert d[i, j] == sequential_fma_dot(
+                    list(a[i]), list(b[:, j]), float(c[i, j]), FP32
+                )
+
+    def test_quantizes_inputs(self, rng):
+        a = rng.normal(size=(2, 4))  # raw float64
+        b = rng.normal(size=(4, 2))
+        d = sgemm_simt(a, b, 0.0)
+        dq = sgemm_simt(quantize(a, FP32), quantize(b, FP32), 0.0)
+        np.testing.assert_array_equal(d, dq)
+
+    def test_close_to_fp64(self, rng):
+        a = fp32_array(rng, (16, 64))
+        b = fp32_array(rng, (64, 16))
+        d = sgemm_simt(a, b, 0.0)
+        np.testing.assert_allclose(d, a @ b, rtol=1e-5, atol=1e-6)
+
+    def test_scalar_c_broadcast(self, rng):
+        d = sgemm_simt(fp32_array(rng, (3, 2)), fp32_array(rng, (2, 3)), 0.0)
+        assert d.shape == (3, 3)
+
+
+class TestCgemmSimt:
+    def test_close_to_complex128(self, rng):
+        a = fp32c_array(rng, (8, 16))
+        b = fp32c_array(rng, (16, 8))
+        d = cgemm_simt(a, b, 0.0)
+        ref = a @ b
+        assert np.max(np.abs(d - ref) / np.abs(ref)) < 1e-5
+
+    def test_components_fp32(self, rng):
+        from repro.types import representable
+
+        d = cgemm_simt(fp32c_array(rng, (4, 4)), fp32c_array(rng, (4, 4)), 0.0)
+        assert np.all(representable(d.real, FP32))
+        assert np.all(representable(d.imag, FP32))
+
+    def test_pure_real_reduces_to_sgemm_schedule(self, rng):
+        ar = fp32_array(rng, (4, 8))
+        br = fp32_array(rng, (8, 4))
+        dc = cgemm_simt(ar.astype(complex), br.astype(complex), 0.0)
+        np.testing.assert_array_equal(dc.imag, 0.0)
+        # real part: the complex schedule does re += ar*br then re -= 0,
+        # so it matches the plain FMA chain exactly.
+        dr = sgemm_simt(ar, br, 0.0)
+        np.testing.assert_array_equal(dc.real, dr)

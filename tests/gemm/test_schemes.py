@@ -1,0 +1,103 @@
+"""Software emulation schemes: functionality and precision ordering."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import (
+    cgemm_via_4_real,
+    eehc_sgemm_3xbf16,
+    fp16_tensorcore_sgemm,
+    gemm_fp64,
+    markidis_sgemm_4xfp16,
+    mxu_sgemm,
+    split_gemm,
+    tensorop_cgemm_3xtf32,
+    tensorop_sgemm_3xtf32,
+)
+from repro.types import BF16, FP32, matching_bits, quantize
+from tests.conftest import fp32_array, fp32c_array
+
+
+def _bits(fn, a, b, ref):
+    return matching_bits(fn(a, b, np.zeros((a.shape[0], b.shape[1]))), ref)
+
+
+class TestPrecisionOrdering:
+    def test_hierarchy(self, rng):
+        m = n = 24
+        k = 48
+        a = quantize(rng.uniform(0.5, 1.5, (m, k)), FP32)
+        b = quantize(rng.uniform(0.5, 1.5, (k, n)), FP32)
+        ref = gemm_fp64(a, b, np.zeros((m, n)))
+        bits = {
+            "m3xu": _bits(mxu_sgemm, a, b, ref),
+            "3xtf32": _bits(tensorop_sgemm_3xtf32, a, b, ref),
+            "3xbf16": _bits(eehc_sgemm_3xbf16, a, b, ref),
+            "fp16_tc": _bits(fp16_tensorcore_sgemm, a, b, ref),
+        }
+        # M3XU >= every software scheme; BF16 split worse than TF32 split;
+        # plain FP16 far worse than everything.
+        assert bits["m3xu"] >= bits["3xtf32"] - 0.5
+        assert bits["m3xu"] >= bits["3xbf16"] + 1.0
+        assert bits["3xtf32"] > bits["3xbf16"]
+        assert bits["3xbf16"] > bits["fp16_tc"]
+
+    def test_3xtf32_recovers_most_fp32_bits(self, rng):
+        a = quantize(rng.uniform(0.5, 1.5, (16, 32)), FP32)
+        b = quantize(rng.uniform(0.5, 1.5, (32, 16)), FP32)
+        ref = gemm_fp64(a, b, np.zeros((16, 16)))
+        assert _bits(tensorop_sgemm_3xtf32, a, b, ref) > 17.0
+
+    def test_fp16_4x_range_failure(self, rng):
+        # FP16's 5-bit exponent can't carry large-magnitude splits.
+        a = quantize(rng.normal(size=(8, 8)) * 1e6, FP32)
+        b = quantize(rng.normal(size=(8, 8)) * 1e6, FP32)
+        ref = gemm_fp64(a, b, np.zeros((8, 8)))
+        got = markidis_sgemm_4xfp16(a, b, 0.0)
+        assert not np.allclose(got, ref, rtol=1e-3)  # inf/garbage
+        # ...while the BF16 split (8-bit exponent) survives the range.
+        got_bf = eehc_sgemm_3xbf16(a, b, 0.0)
+        assert np.all(np.isfinite(got_bf))
+
+
+class TestSplitGemm:
+    def test_four_gemms_at_least_as_accurate_as_three(self, rng):
+        from repro.mxu import MXUMode
+
+        a = quantize(rng.uniform(0.5, 1.5, (12, 24)), FP32)
+        b = quantize(rng.uniform(0.5, 1.5, (24, 12)), FP32)
+        ref = gemm_fp64(a, b, np.zeros((12, 12)))
+        three = split_gemm(a, b, 0.0, BF16, MXUMode.BF16, 3)
+        four = split_gemm(a, b, 0.0, BF16, MXUMode.BF16, 4)
+        assert matching_bits(four, ref) >= matching_bits(three, ref) - 0.1
+
+    def test_invalid_n_gemms(self):
+        from repro.mxu import MXUMode
+
+        with pytest.raises(ValueError):
+            split_gemm(np.ones((2, 2)), np.ones((2, 2)), 0.0, BF16, MXUMode.BF16, 2)
+
+
+class TestComplexDecomposition:
+    def test_4_real_matches_direct(self, rng):
+        # With an exact real GEMM the 4-multiplication decomposition is
+        # exactly the complex product.
+        a = fp32c_array(rng, (6, 10))
+        b = fp32c_array(rng, (10, 6))
+        got = cgemm_via_4_real(a, b, 0.0, lambda x, y, z: x @ y + z)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-14)
+
+    def test_tensorop_cgemm_accuracy(self, rng):
+        a = fp32c_array(rng, (8, 16))
+        b = fp32c_array(rng, (16, 8))
+        got = tensorop_cgemm_3xtf32(a, b, 0.0)
+        ref = a @ b
+        rel = np.max(np.abs(got - ref) / np.abs(ref))
+        assert rel < 1e-4  # TF32-split level, not FP16 level
+
+    def test_subtraction_sign(self):
+        # (i)(i) = -1 must come out of the negated accumulation.
+        a = np.array([[1j]])
+        b = np.array([[1j]])
+        got = cgemm_via_4_real(a, b, 0.0, lambda x, y, z: x @ y + z)
+        assert got[0, 0] == -1.0 + 0.0j

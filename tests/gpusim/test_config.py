@@ -1,0 +1,100 @@
+"""GPU spec arithmetic: Table I, Section II-B, Section III-C."""
+
+import pytest
+
+from repro.gpusim import a100, a100_emulation, h100, mi100, required_feed_bandwidth
+from repro.mxu import MXUMode
+
+
+class TestTable1:
+    """Table I must reproduce to within rounding of the datasheet."""
+
+    def test_fp32_simt(self):
+        assert a100().peak_tflops("fp32") == pytest.approx(19.5, rel=0.01)
+
+    def test_fp16_vector(self):
+        assert a100().peak_tflops("fp16") == pytest.approx(78.0, rel=0.01)
+
+    def test_bf16_vector(self):
+        assert a100().peak_tflops("bf16") == pytest.approx(39.0, rel=0.01)
+
+    def test_tf32_tensor(self):
+        assert a100().peak_tflops("tf32_tc") == pytest.approx(156.0, rel=0.01)
+
+    def test_fp16_tensor(self):
+        assert a100().peak_tflops("fp16_tc") == pytest.approx(312.0, rel=0.01)
+
+    def test_bf16_tensor(self):
+        assert a100().peak_tflops("bf16_tc") == pytest.approx(312.0, rel=0.01)
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(KeyError):
+            a100().peak_tflops("int4")
+
+
+class TestSection3C:
+    """Performance expectations on modern hardware."""
+
+    def test_m3xu_fp32_is_78_tflops_on_ampere(self):
+        # "equivalent to 78 TFLOPS on the Ampere architecture"
+        assert a100().peak_tflops("m3xu_fp32") == pytest.approx(78.0, rel=0.01)
+
+    def test_m3xu_4x_over_cuda_cores(self):
+        g = a100()
+        assert g.peak_tflops("m3xu_fp32") / g.peak_tflops("fp32") == pytest.approx(4.0)
+
+    def test_m3xu_fp32c_4x_over_cuda_cores(self):
+        g = a100()
+        assert g.peak_tflops("m3xu_fp32c") / g.peak_tflops("fp32") == pytest.approx(4.0)
+
+    def test_hopper_projection(self):
+        # "or 248 TFLOPS on the Hopper architecture"
+        assert h100().peak_tflops("m3xu_fp32") == pytest.approx(248.0, rel=0.03)
+
+    def test_mi100_2x_projection(self):
+        # "M3XU would have a 2x advantage over SIMT cores on those GPUs"
+        g = mi100()
+        assert g.peak_tflops("m3xu_fp32") / g.peak_tflops("fp32") == pytest.approx(2.0)
+
+    def test_fp16_tc_15x_to_16x_over_fp32(self):
+        # "the peak FP16 FLOPS on Tensor Cores ... are 15x-16x higher than
+        # that of the FP32 CUDA/SIMT cores".
+        g = a100()
+        ratio = g.peak_tflops("fp16_tc") / g.peak_tflops("fp32")
+        assert 15.0 <= ratio <= 16.5
+
+
+class TestFeedBandwidth:
+    def test_156_tb_per_sec(self):
+        # Section II-B: B = 156 TB/s at 16-bit for 432 TCs @ 1.41 GHz.
+        b = required_feed_bandwidth(a100(), 8, 4, 8, 16)
+        assert b == pytest.approx(156e12, rel=0.01)
+
+    def test_doubles_with_bitwidth(self):
+        g = a100()
+        b16 = required_feed_bandwidth(g, 8, 4, 8, 16)
+        b32 = required_feed_bandwidth(g, 8, 4, 8, 32)
+        assert b32 == pytest.approx(2 * b16)
+
+    def test_vastly_exceeds_hbm(self):
+        g = a100()
+        assert required_feed_bandwidth(g, 8, 4, 8, 16) > 50 * g.dram_bw_gbs * 1e9
+
+
+class TestClockControl:
+    def test_emulation_clock(self):
+        # Section V-C: Tensor-core frequency locked at 1170 MHz.
+        assert a100_emulation().clock_ghz == pytest.approx(1.17)
+
+    def test_with_clock_scales_peaks(self):
+        g = a100()
+        derated = g.with_clock(g.clock_ghz / 2)
+        assert derated.peak_tflops("fp16_tc") == pytest.approx(
+            g.peak_tflops("fp16_tc") / 2
+        )
+
+    def test_m3xu_mode_rates(self):
+        g = a100()
+        assert g.sm_m3xu_macs(MXUMode.FP32) == g.sm_fp16_tc_macs / 4
+        assert g.sm_m3xu_macs(MXUMode.FP32C) == g.sm_fp16_tc_macs / 16
+        assert g.sm_m3xu_macs(MXUMode.FP16) == g.sm_fp16_tc_macs

@@ -1,0 +1,123 @@
+"""Kernel timing model mechanics."""
+
+import pytest
+
+from repro.gpusim import (
+    KernelSpec,
+    PipeWork,
+    TileConfig,
+    a100,
+    estimate_time,
+    sequence_time,
+)
+
+
+def _spec(**kw) -> KernelSpec:
+    defaults = dict(
+        name="t",
+        work=PipeWork(tc_macs=1e9, tc_mode="fp16"),
+        tile=TileConfig(),
+        n_ctas=4096,
+    )
+    defaults.update(kw)
+    return KernelSpec(**defaults)
+
+
+class TestLimiters:
+    def test_tensor_bound(self):
+        t = estimate_time(_spec(work=PipeWork(tc_macs=1e12, tc_mode="fp16")), a100())
+        assert t.limiter == "tensor"
+
+    def test_dram_bound(self):
+        w = PipeWork(tc_macs=1e6, tc_mode="fp16", dram_bytes=10e9)
+        t = estimate_time(_spec(work=w), a100())
+        assert t.limiter == "dram"
+
+    def test_vector_bound(self):
+        w = PipeWork(fma_lane_ops=1e12)
+        t = estimate_time(_spec(work=w), a100())
+        assert t.limiter == "vector"
+
+    def test_issue_counts(self):
+        w = PipeWork(warp_instructions=1e11)
+        t = estimate_time(_spec(work=w), a100())
+        assert t.limiter == "issue"
+
+    def test_smem(self):
+        w = PipeWork(smem_bytes=1e13)
+        t = estimate_time(_spec(work=w), a100())
+        assert t.limiter == "smem"
+
+
+class TestScaling:
+    def test_time_linear_in_macs(self):
+        g = a100()
+        t1 = estimate_time(_spec(work=PipeWork(tc_macs=1e12, tc_mode="fp16")), g)
+        t2 = estimate_time(_spec(work=PipeWork(tc_macs=2e12, tc_mode="fp16")), g)
+        busy1 = t1.total_s - t1.launch_s
+        busy2 = t2.total_s - t2.launch_s
+        assert busy2 == pytest.approx(2 * busy1, rel=1e-6)
+
+    def test_clock_scale_slows_compute(self):
+        g = a100()
+        w = PipeWork(tc_macs=1e12, tc_mode="fp16")
+        fast = estimate_time(_spec(work=w, clock_scale=1.0), g)
+        slow = estimate_time(_spec(work=w, clock_scale=1 / 1.21), g)
+        assert slow.tensor_s == pytest.approx(fast.tensor_s * 1.21, rel=1e-6)
+
+    def test_clock_scale_does_not_slow_dram(self):
+        g = a100()
+        w = PipeWork(dram_bytes=1e9)
+        fast = estimate_time(_spec(work=w, clock_scale=1.0), g)
+        slow = estimate_time(_spec(work=w, clock_scale=0.5), g)
+        assert slow.dram_s == fast.dram_s
+
+    def test_util_derates_tensor(self):
+        g = a100()
+        w = PipeWork(tc_macs=1e12, tc_mode="fp16")
+        full = estimate_time(_spec(work=w, tc_util=1.0), g)
+        half = estimate_time(_spec(work=w, tc_util=0.5), g)
+        assert half.tensor_s == pytest.approx(2 * full.tensor_s)
+
+    def test_mode_rates(self):
+        g = a100()
+        t16 = estimate_time(_spec(work=PipeWork(tc_macs=1e12, tc_mode="fp16")), g)
+        t32 = estimate_time(_spec(work=PipeWork(tc_macs=1e12, tc_mode="m3xu_fp32")), g)
+        tcx = estimate_time(_spec(work=PipeWork(tc_macs=1e12, tc_mode="m3xu_fp32c")), g)
+        assert t32.tensor_s == pytest.approx(4 * t16.tensor_s)
+        assert tcx.tensor_s == pytest.approx(16 * t16.tensor_s)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(KeyError):
+            estimate_time(_spec(work=PipeWork(tc_macs=1e9, tc_mode="int8")), a100())
+
+
+class TestWaveQuantisation:
+    def test_full_waves_no_penalty(self):
+        g = a100()
+        t = estimate_time(_spec(n_ctas=g.n_sms * 10), g)
+        assert t.wave_factor == pytest.approx(1.0)
+
+    def test_partial_wave_penalised(self):
+        g = a100()
+        t = estimate_time(_spec(n_ctas=g.n_sms // 2), g)
+        assert t.wave_factor == pytest.approx(2.0)
+
+    def test_just_over_one_wave(self):
+        g = a100()
+        t = estimate_time(_spec(n_ctas=g.n_sms + 1), g)
+        assert 1.9 < t.wave_factor < 2.0
+
+
+class TestSequence:
+    def test_sum_of_launches(self):
+        g = a100()
+        s1 = _spec(work=PipeWork(tc_macs=1e10, tc_mode="fp16"))
+        s2 = _spec(work=PipeWork(dram_bytes=1e9))
+        total = sequence_time([s1, s2], g)
+        assert total == pytest.approx(
+            estimate_time(s1, g).total_s + estimate_time(s2, g).total_s
+        )
+
+    def test_empty_sequence(self):
+        assert sequence_time([], a100()) == 0.0

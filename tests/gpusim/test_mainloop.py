@@ -1,0 +1,76 @@
+"""The cycle-approximate mainloop simulator vs the analytic model."""
+
+import pytest
+
+from repro.gpusim import (
+    MainloopParams,
+    a100_emulation,
+    simulate_gemm_cta,
+    simulate_mainloop,
+)
+from repro.kernels import SGEMM_KERNELS, GemmProblem
+
+
+class TestPipelineDynamics:
+    def test_single_stage_serialises(self):
+        p = MainloopParams(ldg_cycles=100, sts_cycles=20, lds_cycles=30,
+                           mma_cycles=100, stages=1, ldg_latency=0)
+        res = simulate_mainloop(p, 50)
+        # No overlap: every iteration pays fetch + mma.
+        assert res.steady_cycles_per_iter == pytest.approx(250, rel=0.05)
+
+    def test_deep_pipeline_reaches_max_of_paths(self):
+        p = MainloopParams(ldg_cycles=100, sts_cycles=20, lds_cycles=30,
+                           mma_cycles=100, stages=3, ldg_latency=0)
+        res = simulate_mainloop(p, 200)
+        # Steady state = max(memory path 150, mma path 100).
+        assert res.steady_cycles_per_iter == pytest.approx(150, rel=0.05)
+
+    def test_mma_bound_when_memory_cheap(self):
+        p = MainloopParams(ldg_cycles=10, sts_cycles=5, lds_cycles=5,
+                           mma_cycles=200, stages=2, ldg_latency=0)
+        res = simulate_mainloop(p, 100)
+        assert res.steady_cycles_per_iter == pytest.approx(200, rel=0.05)
+        assert res.efficiency > 0.95
+
+    def test_two_stages_suffice_for_double_buffering(self):
+        kw = dict(ldg_cycles=80, sts_cycles=10, lds_cycles=10,
+                  mma_cycles=120, ldg_latency=0)
+        one = simulate_mainloop(MainloopParams(stages=1, **kw), 100)
+        two = simulate_mainloop(MainloopParams(stages=2, **kw), 100)
+        three = simulate_mainloop(MainloopParams(stages=3, **kw), 100)
+        assert two.total_cycles < one.total_cycles
+        assert three.total_cycles == pytest.approx(two.total_cycles, rel=0.02)
+
+    def test_cold_latency_in_prologue_only(self):
+        p = MainloopParams(ldg_cycles=10, sts_cycles=5, lds_cycles=5,
+                           mma_cycles=50, stages=2, ldg_latency=400)
+        res = simulate_mainloop(p, 100)
+        assert res.prologue_cycles >= 400
+        assert res.steady_cycles_per_iter < 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MainloopParams(1, 1, 1, 1, stages=0)
+        with pytest.raises(ValueError):
+            simulate_mainloop(MainloopParams(1, 1, 1, 1), 0)
+
+
+class TestCrossValidation:
+    """The simulator independently reproduces the analytic model's times."""
+
+    @pytest.mark.parametrize("size", [2048, 8192])
+    def test_within_20pct_of_analytic(self, size):
+        gpu = a100_emulation()
+        _, sim_s = simulate_gemm_cta(size, size, size, gpu)
+        analytic = SGEMM_KERNELS["M3XU_sgemm_pipelined"].time(
+            GemmProblem(size, size, size), gpu
+        )
+        assert sim_s == pytest.approx(analytic, rel=0.20)
+
+    def test_pipeline_ablation_on_gemm(self):
+        gpu = a100_emulation()
+        res1, t1 = simulate_gemm_cta(4096, 4096, 4096, gpu, stages=1)
+        res3, t3 = simulate_gemm_cta(4096, 4096, 4096, gpu, stages=3)
+        assert t1 > 1.3 * t3
+        assert res3.efficiency > res1.efficiency

@@ -1,0 +1,56 @@
+"""Roofline analysis helpers."""
+
+import pytest
+
+from repro.gpusim import (
+    KernelSpec,
+    PipeWork,
+    RooflinePoint,
+    a100,
+    ascii_roofline,
+    ridge_intensity,
+    roofline_point,
+)
+
+
+class TestRooflineMath:
+    def test_ridge_point_a100_fp16_tc(self):
+        g = a100()
+        # 312 TFLOPS / 1.555 TB/s ~ 200 FLOP/B.
+        assert ridge_intensity(g, g.peak_tflops("fp16_tc")) == pytest.approx(200, rel=0.05)
+
+    def test_memory_bound_detection(self):
+        g = a100()
+        p = RooflinePoint("x", flops=1e9, dram_bytes=1e9, peak_tflops=312.0)
+        assert p.intensity == 1.0
+        assert p.memory_bound(g)
+        assert p.attainable_tflops(g) == pytest.approx(1.555, rel=0.01)
+
+    def test_compute_bound_gemm(self):
+        g = a100()
+        # 8K^3 GEMM: ~2.2e12 flops over ~3 GB -> intensity ~360 FLOP/B.
+        p = RooflinePoint("gemm", flops=2 * 8192.0**3, dram_bytes=3.2e9, peak_tflops=78.0)
+        assert not p.memory_bound(g)
+        assert p.attainable_tflops(g) == 78.0
+
+    def test_from_kernel_spec(self):
+        g = a100()
+        spec = KernelSpec(
+            name="k", work=PipeWork(tc_macs=1e9, dram_bytes=1e8), n_ctas=100
+        )
+        p = roofline_point(spec, g, flops=2e9, peak_path="m3xu_fp32")
+        assert p.intensity == pytest.approx(20.0)
+        assert p.name == "k"
+
+
+class TestAsciiRoofline:
+    def test_renders_points_and_roofs(self):
+        g = a100()
+        pts = [
+            RooflinePoint("mem", flops=1e9, dram_bytes=1e9, peak_tflops=78.0),
+            RooflinePoint("cmp", flops=1e13, dram_bytes=1e9, peak_tflops=78.0),
+        ]
+        art = ascii_roofline(pts, g)
+        assert "0" in art and "1" in art
+        assert "mem" in art and "cmp" in art
+        assert "/" in art and "-" in art

@@ -1,0 +1,142 @@
+"""Tiling/occupancy/DRAM model, energy model, and Figure 2 instruction mix."""
+
+import pytest
+
+from repro.gpusim import (
+    APPROACHES,
+    DESIGN_POWER,
+    EnergyModel,
+    KernelSpec,
+    PipeWork,
+    TileConfig,
+    a100,
+    dram_bytes_wave_model,
+    estimate_energy,
+    plan_grid,
+    tile_instruction_breakdown,
+)
+from repro.gpusim.tiling import occupancy_ctas_per_sm
+
+
+class TestTiling:
+    def test_grid_counts(self):
+        g = plan_grid(1024, 1024, 512, TileConfig(tb_m=128, tb_n=128, tb_k=32))
+        assert g.ctas_m == 8 and g.ctas_n == 8 and g.n_ctas == 64
+        assert g.mainloop_iters == 16
+
+    def test_ragged_grid_rounds_up(self):
+        g = plan_grid(129, 100, 33, TileConfig(tb_m=128, tb_n=128, tb_k=32))
+        assert g.ctas_m == 2 and g.ctas_n == 1 and g.mainloop_iters == 2
+
+    def test_invalid_problem(self):
+        with pytest.raises(ValueError):
+            plan_grid(0, 4, 4, TileConfig())
+
+    def test_smem_footprint(self):
+        t = TileConfig(tb_m=128, tb_n=128, tb_k=32, stages=3, element_bytes=4)
+        assert t.smem_bytes == (128 * 32 + 32 * 128) * 4 * 3
+
+    def test_occupancy_bounded(self):
+        g = a100()
+        occ = occupancy_ctas_per_sm(TileConfig(), g)
+        assert 1 <= occ <= g.max_ctas_per_sm
+
+    def test_smaller_tile_higher_occupancy(self):
+        g = a100()
+        big = occupancy_ctas_per_sm(TileConfig(tb_m=128, tb_n=128), g)
+        small = occupancy_ctas_per_sm(TileConfig(tb_m=64, tb_n=64, warps=4), g)
+        assert small >= big
+
+
+class TestDramWaveModel:
+    def test_at_least_compulsory(self):
+        g = a100()
+        grid = plan_grid(4096, 4096, 4096, TileConfig())
+        traffic = dram_bytes_wave_model(grid, g, 4, 4)
+        compulsory = (4096 * 4096 * 2 + 4096 * 4096) * 4
+        assert traffic >= compulsory
+
+    def test_less_than_naive_reload(self):
+        g = a100()
+        grid = plan_grid(8192, 8192, 8192, TileConfig())
+        traffic = dram_bytes_wave_model(grid, g, 4, 4)
+        naive = (
+            8192 * 8192 * (8192 / 128) * 4 * 2 + 8192 * 8192 * 4
+        )  # reload per tile row/col
+        assert traffic < naive
+
+    def test_monotone_in_k(self):
+        g = a100()
+        t1 = dram_bytes_wave_model(plan_grid(2048, 2048, 1024, TileConfig()), g, 4, 4)
+        t2 = dram_bytes_wave_model(plan_grid(2048, 2048, 4096, TileConfig()), g, 4, 4)
+        assert t2 > t1
+
+
+class TestEnergy:
+    def test_components_positive(self):
+        g = a100()
+        spec = KernelSpec(
+            name="e",
+            work=PipeWork(
+                tc_macs=1e10,
+                tc_mode="fp16",
+                fma_lane_ops=1e8,
+                warp_instructions=1e7,
+                smem_bytes=1e8,
+                dram_bytes=1e8,
+            ),
+            n_ctas=1024,
+        )
+        e = estimate_energy(spec, g)
+        for field in ("mxu_j", "vector_j", "issue_j", "smem_j", "dram_j", "static_j"):
+            assert getattr(e, field) > 0
+        assert e.total_j == pytest.approx(
+            e.mxu_j + e.vector_j + e.issue_j + e.smem_j + e.dram_j + e.static_j
+        )
+
+    def test_fp32_mxu_mac_energy_8x(self):
+        m = EnergyModel()
+        ratio = m.mxu_mac_energy_pj("fp32_mxu") / m.mxu_mac_energy_pj("fp16")
+        assert ratio == pytest.approx(DESIGN_POWER["fp32_mxu"][0], rel=1e-9)
+
+    def test_m3xu_fp32_mac_cheaper_than_fp32_mxu(self):
+        m = EnergyModel()
+        assert m.mxu_mac_energy_pj("m3xu_fp32") < m.mxu_mac_energy_pj("fp32_mxu")
+
+    def test_nonpipelined_cheapest_m3xu(self):
+        m = EnergyModel()
+        assert m.mxu_mac_energy_pj("m3xu_fp32_np") < m.mxu_mac_energy_pj("m3xu_fp32")
+
+    def test_unknown_mode(self):
+        with pytest.raises(KeyError):
+            EnergyModel().mxu_mac_energy_pj("unobtainium")
+
+
+class TestInstructionMix:
+    def test_all_approaches_defined(self):
+        for ap in APPROACHES:
+            assert tile_instruction_breakdown(ap).total > 0
+
+    def test_hardware_needs_no_split_arith(self):
+        assert tile_instruction_breakdown("m3xu").split_arith == 0
+        assert tile_instruction_breakdown("fp32_mxu").split_arith == 0
+
+    def test_software_needs_split_arith(self):
+        assert tile_instruction_breakdown("3xtf32").split_arith > 0
+        assert tile_instruction_breakdown("3xbf16").split_arith > 0
+
+    def test_m3xu_fewest_instructions_of_mxu_approaches(self):
+        m3xu = tile_instruction_breakdown("m3xu").total
+        assert m3xu < tile_instruction_breakdown("3xtf32").total
+        assert m3xu < tile_instruction_breakdown("3xbf16").total
+        assert m3xu < tile_instruction_breakdown("simt").total
+
+    def test_eehc_extra_loads_stores(self):
+        # "fewer loads/stores" for hardware (Fig. 2).
+        hw = tile_instruction_breakdown("m3xu")
+        sw = tile_instruction_breakdown("3xbf16")
+        assert sw.loads + sw.stores > hw.loads + hw.stores
+
+    def test_unknown_approach(self):
+        with pytest.raises(ValueError):
+            tile_instruction_breakdown("magic")

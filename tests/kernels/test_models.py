@@ -1,0 +1,173 @@
+"""Kernel performance models: the Figure 4/5 relationships."""
+
+import pytest
+
+from repro.gpusim import a100_emulation, estimate_time
+from repro.kernels import (
+    ALL_KERNELS,
+    CGEMM_KERNELS,
+    SGEMM_KERNELS,
+    GemmProblem,
+    get_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return a100_emulation()
+
+
+def _speedup(kernels, name, base, problem, gpu):
+    return kernels[base].time(problem, gpu) / kernels[name].time(problem, gpu)
+
+
+class TestRegistry:
+    def test_all_table_kernels_present(self):
+        for name in (
+            "cutlass_simt_sgemm",
+            "cutlass_tensorop_sgemm",
+            "EEHC_sgemm_fp32B",
+            "M3XU_sgemm",
+            "M3XU_sgemm_pipelined",
+            "cutlass_simt_cgemm",
+            "cutlass_tensorop_cgemm",
+            "M3XU_cgemm",
+            "M3XU_cgemm_pipelined",
+        ):
+            assert get_kernel(name).name == name
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel("cublas_hgemm")
+
+    def test_descriptions_nonempty(self):
+        for k in ALL_KERNELS.values():
+            assert k.description
+
+
+class TestGemmProblem:
+    def test_macs_and_flops(self):
+        p = GemmProblem(100, 200, 300)
+        assert p.macs == 100 * 200 * 300
+        assert p.flops == 2 * p.macs
+
+    def test_complex_flops(self):
+        p = GemmProblem(10, 10, 10, complex=True)
+        assert p.flops == 8 * p.macs
+
+    def test_cgemm_kernels_require_complex(self, gpu):
+        with pytest.raises(ValueError):
+            CGEMM_KERNELS["M3XU_cgemm"].time(GemmProblem(64, 64, 64), gpu)
+
+
+class TestFigure4Sgemm:
+    def test_m3xu_speedup_saturation(self, gpu):
+        # Paper: "saturates at about 3.89x when the problem size is larger
+        # than 8Kx8Kx8K".
+        s8 = _speedup(SGEMM_KERNELS, "M3XU_sgemm_pipelined", "cutlass_simt_sgemm",
+                      GemmProblem(8192, 8192, 8192), gpu)
+        s16 = _speedup(SGEMM_KERNELS, "M3XU_sgemm_pipelined", "cutlass_simt_sgemm",
+                       GemmProblem(16384, 16384, 16384), gpu)
+        assert 3.7 < s8 < 4.0
+        assert abs(s16 - s8) < 0.05
+
+    def test_m3xu_speedup_grows_with_size(self, gpu):
+        s1 = _speedup(SGEMM_KERNELS, "M3XU_sgemm_pipelined", "cutlass_simt_sgemm",
+                      GemmProblem(1024, 1024, 1024), gpu)
+        s8 = _speedup(SGEMM_KERNELS, "M3XU_sgemm_pipelined", "cutlass_simt_sgemm",
+                      GemmProblem(8192, 8192, 8192), gpu)
+        assert s1 < s8
+
+    def test_ranking_at_large_size(self, gpu):
+        # M3XU pipelined > M3XU (derated clock) > software schemes > SIMT.
+        p = GemmProblem(8192, 8192, 8192)
+        times = {name: k.time(p, gpu) for name, k in SGEMM_KERNELS.items()
+                 if name != "baseline_MXU_sgemm"}
+        assert times["M3XU_sgemm_pipelined"] < times["M3XU_sgemm"]
+        assert times["M3XU_sgemm"] < times["cutlass_tensorop_sgemm"]
+        assert times["M3XU_sgemm"] < times["EEHC_sgemm_fp32B"]
+        assert times["cutlass_tensorop_sgemm"] < times["cutlass_simt_sgemm"]
+
+    def test_software_alternatives_capped(self, gpu):
+        # "Other alternatives only achieve up to 2.67x" (+ tolerance).
+        for name in ("cutlass_tensorop_sgemm", "EEHC_sgemm_fp32B"):
+            for s in (2048, 8192):
+                sp = _speedup(SGEMM_KERNELS, name, "cutlass_simt_sgemm",
+                              GemmProblem(s, s, s), gpu)
+                assert sp < 3.2
+
+    def test_nonpipelined_clock_penalty(self, gpu):
+        p = GemmProblem(8192, 8192, 8192)
+        ratio = (SGEMM_KERNELS["M3XU_sgemm"].time(p, gpu)
+                 / SGEMM_KERNELS["M3XU_sgemm_pipelined"].time(p, gpu))
+        assert ratio == pytest.approx(1.21, rel=0.05)
+
+    def test_eehc_decouple_fraction(self, gpu):
+        # "spend 14% execution time in decoupling inputs on average".
+        p = GemmProblem(8192, 8192, 8192)
+        specs = SGEMM_KERNELS["EEHC_sgemm_fp32B"].build(p, gpu)
+        assert len(specs) == 2
+        ts = [estimate_time(s, gpu).total_s for s in specs]
+        frac = ts[0] / sum(ts)
+        assert 0.08 < frac < 0.20
+
+
+class TestFigure4Cgemm:
+    def test_m3xu_cgemm_speedup(self, gpu):
+        p = GemmProblem(8192, 8192, 8192, complex=True)
+        sp = _speedup(CGEMM_KERNELS, "M3XU_cgemm_pipelined", "cutlass_simt_cgemm", p, gpu)
+        assert 3.5 < sp < 4.0
+
+    def test_tensorop_cgemm_near_2x(self, gpu):
+        # "Software alternatives ... can only outperform baseline for up
+        # to 2.1x".
+        p = GemmProblem(8192, 8192, 8192, complex=True)
+        sp = _speedup(CGEMM_KERNELS, "cutlass_tensorop_cgemm", "cutlass_simt_cgemm", p, gpu)
+        assert 1.7 < sp < 2.3
+
+    def test_tensorop_cgemm_is_four_launches(self, gpu):
+        specs = CGEMM_KERNELS["cutlass_tensorop_cgemm"].build(
+            GemmProblem(2048, 2048, 2048, complex=True), gpu
+        )
+        assert len(specs) == 4
+
+
+class TestFigure5Peak:
+    def test_m3xu_above_94pct_of_target(self, gpu):
+        # Fig 5(c)/(d): "reach more than 94% of the theoretical performance".
+        p = GemmProblem(8192, 8192, 8192)
+        frac = SGEMM_KERNELS["M3XU_sgemm_pipelined"].tflops(p, gpu) / gpu.peak_tflops("m3xu_fp32")
+        assert frac > 0.90
+        pc = GemmProblem(8192, 8192, 8192, complex=True)
+        frac_c = CGEMM_KERNELS["M3XU_cgemm_pipelined"].tflops(pc, gpu) / gpu.peak_tflops("m3xu_fp32c")
+        assert frac_c > 0.90
+
+    def test_software_below_70pct(self, gpu):
+        # Fig 5(c): "all prior software solutions only reach up to 63%".
+        p = GemmProblem(8192, 8192, 8192)
+        for name in ("cutlass_tensorop_sgemm", "EEHC_sgemm_fp32B"):
+            frac = SGEMM_KERNELS[name].tflops(p, gpu) / gpu.peak_tflops("m3xu_fp32")
+            assert frac < 0.70
+
+
+class TestSplitK:
+    def test_skinny_wgrad_benefits_from_splitk(self, gpu):
+        # A wgrad-shaped GEMM (tiny M*N grid, huge K) must not serialise
+        # onto a handful of SMs: the adaptive spec must beat a forced
+        # split_k=1 launch and keep the wave quantisation modest.
+        from repro.gpusim.tiling import TileConfig
+        from repro.kernels.base import gemm_kernel_spec
+        from repro.kernels.constants import TC_UTIL_M3XU
+
+        p = GemmProblem(576, 64, 200704)
+        adaptive = SGEMM_KERNELS["M3XU_sgemm_pipelined"].build(p, gpu)[0]
+        no_split = gemm_kernel_spec(
+            "no_split", p, gpu,
+            tile=TileConfig(tb_m=64, tb_n=64, tb_k=32, warps=4),
+            tc_mode="m3xu_fp32", tc_macs=p.macs, macs_per_mma=16 * 8 * 8,
+            tc_util=TC_UTIL_M3XU, split_k=1,
+        )
+        t_adaptive = estimate_time(adaptive, gpu).total_s
+        t_no_split = estimate_time(no_split, gpu).total_s
+        assert t_adaptive < t_no_split
+        assert estimate_time(adaptive, gpu).wave_factor < 4.0

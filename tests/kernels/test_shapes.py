@@ -1,0 +1,42 @@
+"""GEMM shape-family characterisation."""
+
+import pytest
+
+from repro.kernels import SHAPE_FAMILIES, family_speedups
+
+
+class TestFamilies:
+    def test_all_defined(self):
+        assert set(SHAPE_FAMILIES) == {
+            "square", "tall_skinny", "wide_k", "small_batch", "conv_like"
+        }
+
+    def test_descriptions(self):
+        for fam in SHAPE_FAMILIES.values():
+            assert fam.description and len(fam.problems) >= 3
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            family_speedups("cursed")
+
+
+class TestCharacterisation:
+    def test_square_near_four(self):
+        sps = [sp for _, sp in family_speedups("square")]
+        assert max(sps) > 3.7
+
+    def test_small_batch_limited(self):
+        # Latency/memory-bound FC shapes cannot approach the 4x peak ratio.
+        sps = [sp for _, sp in family_speedups("small_batch")]
+        assert all(sp < 2.5 for sp in sps)
+        assert all(sp >= 0.95 for sp in sps)  # but never slower
+
+    def test_never_slower_anywhere(self):
+        for name in SHAPE_FAMILIES:
+            for p, sp in family_speedups(name):
+                assert sp >= 0.95, (name, p)
+
+    def test_compute_dense_beats_memory_bound(self):
+        square = max(sp for _, sp in family_speedups("square"))
+        small = max(sp for _, sp in family_speedups("small_batch"))
+        assert square > small

@@ -1,0 +1,101 @@
+"""Baseline Tensor Core functional model."""
+
+import numpy as np
+import pytest
+
+from repro.arith import exact_dot
+from repro.mxu import AMPERE_MXU, MXUMode, TensorCoreMXU
+from repro.types import FP16, FP32, TF32, quantize
+from tests.conftest import fp32_array
+
+
+@pytest.fixture
+def tc() -> TensorCoreMXU:
+    return TensorCoreMXU()
+
+
+class TestSupportedModes:
+    def test_supports_three_low_precision_modes(self, tc):
+        assert tc.supported_modes() == frozenset(
+            {MXUMode.FP16, MXUMode.BF16, MXUMode.TF32}
+        )
+
+    @pytest.mark.parametrize("mode", [MXUMode.FP32, MXUMode.FP32C, MXUMode.FP64])
+    def test_rejects_high_precision(self, tc, rng, mode):
+        # "Current Tensor Cores provide no hardware support for true FP32
+        # arithmetic or complex numbers."
+        a = np.zeros((8, 4))
+        b = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            tc.mma(a, b, 0.0, mode)
+
+
+class TestNumerics:
+    def test_fp16_mma_near_exact(self, tc, rng):
+        a = quantize(rng.normal(size=(8, 8)), FP16)
+        b = quantize(rng.normal(size=(8, 4)), FP16)
+        c = fp32_array(rng, (8, 4))
+        d = tc.mma(a, b, c, MXUMode.FP16)
+        for i in range(8):
+            for j in range(4):
+                ref = exact_dot(list(a[i]), list(b[:, j]), float(c[i, j]), FP32)
+                # Finite truncating accumulation over K=8 products plus C:
+                # within a few FP32 ulps of the correctly-rounded result.
+                assert abs(d[i, j] - ref) <= 8 * abs(ref) * 2.0**-23 + 2.0**-126
+
+    def test_tf32_mode_quantizes_fp32_inputs(self, tc, rng):
+        # Feeding FP32 data through TF32 silently drops 13 mantissa bits.
+        a = fp32_array(rng, (8, 8))
+        b = fp32_array(rng, (8, 4))
+        d = tc.mma(a, b, 0.0, MXUMode.TF32)
+        dq = tc.mma(quantize(a, TF32), quantize(b, TF32), 0.0, MXUMode.TF32)
+        np.testing.assert_array_equal(d, dq)
+
+    def test_tf32_precision_loss_visible(self, tc, rng):
+        a = fp32_array(rng, (8, 8))
+        b = fp32_array(rng, (8, 4))
+        d = tc.mma(a, b, 0.0, MXUMode.TF32)
+        ref = a @ b
+        # TF32's 10-bit mantissa: errors around 2^-11 relative.
+        err = np.max(np.abs(d - ref) / np.abs(ref))
+        assert 2.0**-14 < err < 2.0**-7
+
+    def test_fp32_accumulator_avoids_fp16_overflow(self, tc):
+        # Products exceed FP16 range but the FP32 accumulator holds them —
+        # the reason mixed-precision MMA accumulates in FP32.
+        a = np.full((1, 2), 60000.0)
+        b = np.full((2, 1), 60000.0)
+        d = tc.mma(quantize(a, FP16), quantize(b, FP16), 0.0, MXUMode.FP16)
+        assert d[0, 0] == pytest.approx(2 * 60000.0**2, rel=1e-6)
+        assert np.isfinite(d[0, 0])
+
+    def test_truncating_accumulator_biases_toward_zero(self, tc, rng):
+        # RTZ alignment never increases the wide sum for positive addends;
+        # only the final FP32 RNE rounding can nudge upward (<= 1/2 ulp).
+        a = quantize(np.abs(rng.normal(size=(64, 8))) + 0.1, FP16)
+        b = quantize(np.abs(rng.normal(size=(8, 1))) + 0.1, FP16)
+        d = tc.mma(a, b, 0.0, MXUMode.FP16)
+        exact = a @ b
+        half_ulp = np.abs(exact) * 2.0**-24
+        assert np.all(d <= exact + half_ulp + 1e-12)
+        # and the truncation bias is visible: the mean error is negative.
+        assert np.mean(d - exact) < 0.0
+
+    def test_k_mismatch(self, tc):
+        with pytest.raises(ValueError):
+            tc.mma(np.zeros((2, 3)), np.zeros((2, 3)), 0.0, MXUMode.FP16)
+
+
+class TestConfig:
+    def test_ampere_tile_shapes(self):
+        t = AMPERE_MXU.tile(MXUMode.FP16)
+        assert (t.m, t.n, t.k) == (8, 4, 8)
+        assert t.macs == 256
+        assert t.flops == 512
+
+    def test_acc_is_truncating_27_bit(self):
+        from repro.arith import TENSORCORE_ACC_BITS
+        from repro.types.rounding import RoundingMode
+
+        assert AMPERE_MXU.acc_bits == TENSORCORE_ACC_BITS
+        assert AMPERE_MXU.acc_rounding is RoundingMode.TOWARD_ZERO

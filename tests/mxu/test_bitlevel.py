@@ -1,0 +1,173 @@
+"""The bit-level (RTL-fidelity) FP32 datapath vs the value-level model."""
+
+import numpy as np
+import pytest
+
+from repro.arith import exact_dot
+from repro.mxu import M3XU, BitAccumulator, bit_level_fp32_dot, split_fp32_bits
+from repro.types import FP32, quantize
+from repro.types.rounding import RoundingMode
+
+
+class TestSliceWiring:
+    def test_one_point_five(self):
+        # 1.5 = sign 0, exp 127, mantissa 0x400000.
+        hi, lo = split_fp32_bits(1.5)
+        assert hi.sign == 0 and hi.biased_exp == 127
+        assert hi.significand == 0b110000000000  # hidden 1 + m[22:12]
+        assert lo.significand == 0
+
+    def test_low_bits_land_in_low_slice(self):
+        x = float(np.float32(1.0 + 2.0**-23))  # mantissa LSB set
+        hi, lo = split_fp32_bits(x)
+        assert lo.significand == 1
+        assert hi.significand == 1 << 11
+
+    def test_exponent_shared(self, rng):
+        for v in quantize(rng.normal(size=50) * 1e3, FP32):
+            hi, lo = split_fp32_bits(float(v))
+            assert hi.biased_exp == lo.biased_exp
+            assert hi.sign == lo.sign
+
+    def test_subnormal_no_hidden_bit(self):
+        hi, lo = split_fp32_bits(2.0**-140)
+        assert hi.biased_exp == 0
+        assert (hi.significand >> 11) == 0  # no hidden 1
+
+    def test_values_reconstruct(self, rng):
+        for v in quantize(rng.normal(size=100) * 10.0 ** rng.uniform(-20, 20, 100), FP32):
+            hi, lo = split_fp32_bits(float(v))
+            e = (hi.biased_exp - 127) if hi.biased_exp else -126
+            recon = (
+                (-1.0) ** hi.sign
+                * (hi.significand * 2.0 ** (e - 11) + lo.significand * 2.0 ** (e - 23))
+            )
+            assert recon == float(v)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            split_fp32_bits(float("inf"))
+
+
+class TestBitAccumulator:
+    def test_simple_sum(self):
+        acc = BitAccumulator(width=48)
+        acc.add(0, 3, 0)
+        acc.add(0, 5, 0)
+        assert acc.to_float() == 8.0
+
+    def test_subtraction(self):
+        acc = BitAccumulator(width=48)
+        acc.add(0, 10, 0)
+        acc.add(1, 3, 0)
+        assert acc.to_float() == 7.0
+
+    def test_weighted_add(self):
+        acc = BitAccumulator(width=48)
+        acc.add(0, 1, 10)  # 1024
+        acc.add(0, 1, 0)   # 1
+        assert acc.to_float() == 1025.0
+
+    def test_window_drops_far_low_bits(self):
+        acc = BitAccumulator(width=16)
+        acc.add(0, 1, 0)
+        acc.add(0, 1, -40)  # far below a 16-bit window anchored at 2^0
+        assert acc.to_float() == 1.0
+
+    def test_48_bit_window_holds_m3xu_span(self):
+        # H*H at 2^24 relative and L*L at 2^0 relative: 48 bits exactly.
+        acc = BitAccumulator(width=48)
+        acc.add(0, 1, 24)
+        acc.add(0, 1, 0)
+        assert acc.to_float() == float(np.float32(2.0**24 + 1.0))
+
+    def test_zero_contribution_ignored(self):
+        acc = BitAccumulator(width=48)
+        acc.add(0, 0, 5)
+        assert acc.to_float() == 0.0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            BitAccumulator(width=4)
+
+    def test_truncation_mode(self):
+        acc = BitAccumulator(width=8, mode=RoundingMode.TOWARD_ZERO)
+        acc.add(0, 255, 0)
+        acc.add(0, 3, -4)  # below the window LSB -> truncated away
+        assert acc.to_float() == 255.0
+
+
+class TestCrossValidation:
+    def test_matches_value_level_and_exact(self, rng):
+        unit = M3XU()
+        for _ in range(40):
+            k = int(rng.integers(1, 9))
+            a = quantize(rng.normal(size=k) * 10.0 ** rng.uniform(-8, 8), FP32)
+            b = quantize(rng.normal(size=k) * 10.0 ** rng.uniform(-8, 8), FP32)
+            c = float(quantize(np.array(rng.normal()), FP32))
+            bit = bit_level_fp32_dot(a, b, c)
+            val = float(unit.mma_fp32(a.reshape(1, -1), b.reshape(-1, 1), c)[0, 0])
+            ref = exact_dot(list(a), list(b), c, FP32)
+            assert bit == val == ref
+
+    def test_cancellation(self):
+        eps = 2.0**-23
+        got = bit_level_fp32_dot(np.array([1.0 + eps, -1.0]), np.array([1.0, 1.0]))
+        assert got == eps
+
+    def test_subnormal_operands(self):
+        a = np.array([2.0**-130, 2.0**-149])
+        b = np.array([4.0, 8.0])
+        ref = exact_dot(list(a), list(b), 0.0, FP32)
+        assert bit_level_fp32_dot(a, b) == ref
+
+    def test_narrow_accumulator_degrades(self, rng):
+        # With a 24-bit window the datapath must lose bits a 48-bit one
+        # keeps — the Observation-2 motivation for extending accumulators.
+        a = quantize(np.array([1.0 + 2.0**-12, 2.0**-20]), FP32)
+        b = quantize(np.array([1.0 + 2.0**-12, 1.0]), FP32)
+        ref = exact_dot(list(a), list(b), 0.0, FP32)
+        assert bit_level_fp32_dot(a, b, acc_bits=48) == ref
+        assert bit_level_fp32_dot(a, b, acc_bits=20) != ref
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bit_level_fp32_dot(np.ones(3), np.ones(4))
+
+
+class TestComplexBitLevel:
+    def test_matches_value_level(self, rng):
+        from repro.mxu import bit_level_fp32c_dot
+        from repro.types import quantize_complex
+
+        unit = M3XU()
+        for _ in range(20):
+            k = int(rng.integers(1, 5))
+            a = quantize_complex(rng.normal(size=k) + 1j * rng.normal(size=k), FP32)
+            b = quantize_complex(rng.normal(size=k) + 1j * rng.normal(size=k), FP32)
+            c = complex(quantize_complex(np.array(rng.normal() + 1j * rng.normal()), FP32))
+            bit = bit_level_fp32c_dot(a, b, c)
+            val = complex(unit.mma_fp32c(a.reshape(1, -1), b.reshape(-1, 1), c)[0, 0])
+            assert bit == val
+
+    def test_i_times_i_is_minus_one(self):
+        from repro.mxu import bit_level_fp32c_dot
+
+        got = bit_level_fp32c_dot(np.array([1j]), np.array([1j]))
+        assert got == -1.0 + 0.0j
+
+    def test_pure_real_reduces_to_fp32_path(self, rng):
+        from repro.mxu import bit_level_fp32c_dot
+        from tests.conftest import fp32_array
+
+        a = fp32_array(rng, (4,))
+        b = fp32_array(rng, (4,))
+        got = bit_level_fp32c_dot(a.astype(complex), b.astype(complex))
+        assert got.imag == 0.0
+        assert got.real == bit_level_fp32_dot(a, b)
+
+    def test_shape_validation(self):
+        from repro.mxu import bit_level_fp32c_dot
+
+        with pytest.raises(ValueError):
+            bit_level_fp32c_dot(np.ones(2, dtype=complex), np.ones(3, dtype=complex))

@@ -1,0 +1,88 @@
+"""Section IV-C: higher-bitwidth composition and design space."""
+
+import numpy as np
+import pytest
+
+from repro.mxu import MultiStepScheme, composed_gemm, design_space
+from repro.types import FP32, FP64, quantize
+
+
+class TestScheme:
+    def test_m3xu_point_matches_corollaries(self):
+        # FP32 on 12-bit slices IS the paper's design: 2 slices, 2 steps,
+        # 1/4 of native throughput (Corollaries 1-2).
+        s = MultiStepScheme(FP32, 12)
+        assert s.n_slices == 2
+        assert s.steps == 2
+        assert s.throughput_fraction == 0.25
+        assert s.kept_products == 4
+
+    def test_fp64_on_27_bit_slices(self):
+        s = MultiStepScheme(FP64, 27)
+        assert s.n_slices == 2
+        assert s.kept_products == 4
+
+    def test_pruning_reduces_products(self):
+        full = MultiStepScheme(FP32, 8)
+        pruned = MultiStepScheme(FP32, 8, prune_below=16)
+        assert pruned.kept_products < full.kept_products
+        assert pruned.steps <= full.steps
+
+    def test_narrow_slices_cost_more_steps(self):
+        s8 = MultiStepScheme(FP32, 8)
+        s12 = MultiStepScheme(FP32, 12)
+        assert s8.steps > s12.steps
+        assert s8.throughput_fraction < s12.throughput_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiStepScheme(FP32, 2)
+
+
+class TestComposedGemm:
+    def test_fp32_accuracy(self, rng):
+        a = rng.uniform(0.5, 1.5, size=(16, 16))
+        b = rng.uniform(0.5, 1.5, size=(16, 16))
+        got = composed_gemm(a, b, MultiStepScheme(FP32, 12))
+        ref = quantize(a, FP32) @ quantize(b, FP32)
+        np.testing.assert_allclose(got, ref, rtol=1e-6)
+
+    def test_pruned_less_accurate(self, rng):
+        a = rng.uniform(0.5, 1.5, size=(16, 16))
+        b = rng.uniform(0.5, 1.5, size=(16, 16))
+        ref = a @ b
+        exact = composed_gemm(a, b, MultiStepScheme(FP32, 8))
+        pruned = composed_gemm(a, b, MultiStepScheme(FP32, 8, prune_below=8))
+        assert np.max(np.abs(pruned - ref)) >= np.max(np.abs(exact - ref))
+
+    def test_fp64_beats_fp32(self, rng):
+        a = rng.uniform(0.5, 1.5, size=(12, 12))
+        b = rng.uniform(0.5, 1.5, size=(12, 12))
+        ref = a @ b
+        e64 = np.max(np.abs(composed_gemm(a, b, MultiStepScheme(FP64, 16)) - ref))
+        e32 = np.max(np.abs(composed_gemm(a, b, MultiStepScheme(FP32, 12)) - ref))
+        assert e64 < e32 / 1e4
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return design_space()
+
+    def test_covers_both_targets(self, points):
+        targets = {p.target for p in points}
+        assert targets == {"fp32", "fp64"}
+
+    def test_fp32_points_reach_fp32_accuracy(self, points):
+        for p in points:
+            if p.target == "fp32":
+                assert p.matching_bits > 22.0, p.name
+
+    def test_fp64_points_reach_near_fp64(self, points):
+        for p in points:
+            if p.target == "fp64":
+                assert p.matching_bits > 45.0, p.name
+
+    def test_throughput_monotone_in_slice_width(self, points):
+        fp32 = {p.slice_bits: p.throughput_fraction for p in points if p.target == "fp32"}
+        assert fp32[8] < fp32[12] <= fp32[16]

@@ -1,0 +1,68 @@
+"""Fault injection: the data-assignment buffers are not uniformly critical."""
+
+import numpy as np
+import pytest
+
+from repro.mxu import FaultSite, M3XU, inject_operand_fault, slice_fault_study
+from repro.types import FP32, quantize
+
+
+class TestInjection:
+    def test_flip_is_involution(self, rng):
+        x = quantize(rng.normal(size=(3, 3)), FP32)
+        once = inject_operand_fault(x, (1, 2), FaultSite.LOW_SLICE, 5)
+        twice = inject_operand_fault(once, (1, 2), FaultSite.LOW_SLICE, 5)
+        np.testing.assert_array_equal(twice, x)
+
+    def test_only_target_element_changes(self, rng):
+        x = quantize(rng.normal(size=(4, 4)), FP32)
+        bad = inject_operand_fault(x, (0, 0), FaultSite.HIGH_SLICE, 3)
+        assert bad[0, 0] != x[0, 0]
+        np.testing.assert_array_equal(bad[1:], x[1:])
+
+    def test_sign_flip_negates(self):
+        x = np.array([[2.5]])
+        bad = inject_operand_fault(x, (0, 0), FaultSite.SIGN, 0)
+        assert bad[0, 0] == -2.5
+
+    def test_low_slice_perturbation_bounded(self, rng):
+        # A low-slice upset moves the value by < 2^-11 of its magnitude.
+        x = quantize(np.abs(rng.normal(size=(8,))) + 0.5, FP32)
+        for bit in range(12):
+            bad = inject_operand_fault(x, (3,), FaultSite.LOW_SLICE, bit)
+            assert abs(bad[3] - x[3]) < abs(x[3]) * 2.0**-11
+
+    def test_exponent_flip_catastrophic(self):
+        x = np.array([1.0])
+        bad = inject_operand_fault(x, (0,), FaultSite.EXPONENT, 7)
+        assert abs(bad[0]) != 1.0 and (abs(bad[0]) > 1e30 or abs(bad[0]) < 1e-30)
+
+    def test_bit_range_validation(self):
+        with pytest.raises(ValueError):
+            inject_operand_fault(np.array([1.0]), (0,), FaultSite.SIGN, 1)
+        with pytest.raises(ValueError):
+            inject_operand_fault(np.array([1.0]), (0,), FaultSite.LOW_SLICE, 12)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def impacts(self):
+        return {fi.site: fi for fi in slice_fault_study(trials=12)}
+
+    def test_criticality_ordering(self, impacts):
+        # sign/exponent upsets dwarf high-slice upsets, which dwarf
+        # low-slice ones (low exponent bits flip the value by only ~2x,
+        # so the exponent/sign order between themselves is draw-dependent).
+        hi = impacts[FaultSite.HIGH_SLICE].max_rel_output_error
+        lo = impacts[FaultSite.LOW_SLICE].max_rel_output_error
+        assert impacts[FaultSite.EXPONENT].max_rel_output_error > hi
+        assert impacts[FaultSite.SIGN].max_rel_output_error > hi
+        assert hi > lo
+
+    def test_low_slice_upsets_negligible(self, impacts):
+        # Bounded by the slice's 2^-12 positional weight (times K-way
+        # dilution in the dot product).
+        assert impacts[FaultSite.LOW_SLICE].max_rel_output_error < 1e-3
+
+    def test_all_sites_reported(self, impacts):
+        assert set(impacts) == set(FaultSite)

@@ -1,0 +1,57 @@
+"""The MMA ISA descriptors and Section V-B emulation identities."""
+
+import pytest
+
+from repro.mxu import MMA_DESCRIPTORS, MXUMode, emulation_costs
+
+
+class TestDescriptors:
+    def test_fp16_unit_shape(self):
+        d = MMA_DESCRIPTORS[MXUMode.FP16]
+        assert (d.m, d.n, d.k, d.steps) == (16, 8, 16, 1)
+
+    def test_m3xu_fp32_is_m16n8k8_two_steps(self):
+        # Section V-B1 (a)/(b): "Each M3XU FP32 MMA instruction computes
+        # one 16x8x8 matrix multiplication" taking 2x the FP16 MMA cycles.
+        d = MMA_DESCRIPTORS[MXUMode.FP32]
+        assert (d.m, d.n, d.k, d.steps) == (16, 8, 8, 2)
+
+    def test_fp32c_four_steps(self):
+        assert MMA_DESCRIPTORS[MXUMode.FP32C].steps == 4
+
+    def test_operand_bytes_equal_across_modes(self):
+        # Requirement (c): one MMA of any mode fetches the same bytes.
+        ref = MMA_DESCRIPTORS[MXUMode.FP16].operand_bytes
+        for mode in (MXUMode.FP32, MXUMode.FP32C, MXUMode.TF32):
+            assert MMA_DESCRIPTORS[mode].operand_bytes == ref, mode
+
+    def test_names(self):
+        assert MMA_DESCRIPTORS[MXUMode.FP32].name == "mma.fp32.m16n8k8"
+
+
+class TestEmulationIdentities:
+    """The 2x/4x instrumentation rules the paper's framework enforces."""
+
+    def test_fp32_doubles_instructions_and_traffic(self):
+        fp16 = emulation_costs(2048, 2048, 2048, MXUMode.FP16)
+        fp32 = emulation_costs(2048, 2048, 2048, MXUMode.FP32)
+        instr, latency, traffic = fp32.ratio_to(fp16)
+        assert instr == 2.0
+        assert traffic == 2.0
+        assert latency == 4.0  # 2x instructions x 2x cycles = Corollary 2
+
+    def test_fp32c_quadruples_instructions_and_traffic(self):
+        fp16 = emulation_costs(2048, 2048, 2048, MXUMode.FP16)
+        c = emulation_costs(2048, 2048, 2048, MXUMode.FP32C)
+        instr, latency, traffic = c.ratio_to(fp16)
+        assert instr == 4.0
+        assert traffic == 4.0
+        assert latency == 16.0  # Corollary 3
+
+    def test_ragged_problems_round_up(self):
+        c = emulation_costs(17, 9, 17, MXUMode.FP16)
+        assert c.mma_instructions == 2 * 2 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            emulation_costs(0, 8, 8, MXUMode.FP16)

@@ -1,0 +1,158 @@
+"""Step plans, tile arithmetic and the data-assignment stage."""
+
+import numpy as np
+import pytest
+
+from repro.mxu import (
+    AMPERE_MXU,
+    M3XU_CONFIG,
+    MODE_INFO,
+    MXUMode,
+    TileShape,
+    lane_products,
+    resolve_parts,
+    step_plan,
+    verify_plan_weights,
+)
+from repro.types import FP32, quantize, quantize_complex
+
+
+class TestStepPlans:
+    def test_native_modes_single_step(self):
+        for mode in (MXUMode.FP16, MXUMode.BF16, MXUMode.TF32):
+            assert step_plan(mode).n_steps == 1
+            assert step_plan(mode).products_per_k == 1
+
+    def test_fp32_two_steps_four_products(self):
+        # Observation 1: two steps cover all 4 hi/lo cross products.
+        plan = step_plan(MXUMode.FP32)
+        assert plan.n_steps == 2
+        assert plan.products_per_k == 4
+        pairs = {(p.a_part, p.b_part) for s in plan.steps for p in s.products}
+        assert pairs == {("H", "H"), ("L", "L"), ("H", "L"), ("L", "H")}
+
+    def test_fp32_step2_flips_b_assignment(self):
+        # "the data-assignment stage signals the multiplexers to flip the
+        # assignment of one of the input vectors".
+        plan = step_plan(MXUMode.FP32)
+        step1 = {(p.a_part, p.b_part) for p in plan.steps[0].products}
+        step2 = {(p.a_part, p.b_part) for p in plan.steps[1].products}
+        assert step1 == {("H", "H"), ("L", "L")}
+        assert step2 == {("H", "L"), ("L", "H")}
+
+    def test_fp32c_four_steps_sixteen_products(self):
+        plan = step_plan(MXUMode.FP32C)
+        assert plan.n_steps == 4
+        assert plan.products_per_k == 16
+
+    def test_fp32c_only_imag_imag_negated(self):
+        plan = step_plan(MXUMode.FP32C)
+        for step in plan.steps:
+            for p in step.products:
+                imag_imag = p.a_part.startswith("I") and p.b_part.startswith("I")
+                assert p.negate == imag_imag
+
+    def test_fp32c_accumulator_split(self):
+        # Steps 1-2 feed the real accumulator; steps 3-4 the imaginary.
+        plan = step_plan(MXUMode.FP32C)
+        accs = [sorted({p.accumulator for p in s.products}) for s in plan.steps]
+        assert accs == [["real"], ["real"], ["imag"], ["imag"]]
+
+    def test_fp32_weights(self):
+        plan = step_plan(MXUMode.FP32)
+        weights = {
+            (p.a_part, p.b_part): p.weight_shift
+            for s in plan.steps
+            for p in s.products
+        }
+        assert weights[("H", "H")] == 24
+        assert weights[("L", "L")] == 0
+        assert weights[("H", "L")] == weights[("L", "H")] == 12
+
+    @pytest.mark.parametrize("mode", list(MXUMode))
+    def test_weight_consistency_with_values(self, mode):
+        verify_plan_weights(mode)
+
+    def test_mode_info_matches_plans(self):
+        for mode, (steps, k_den, baseline) in MODE_INFO.items():
+            assert step_plan(mode).n_steps == steps
+            assert step_plan(mode).k_scale_den == k_den
+            assert AMPERE_MXU.supports(mode) == baseline
+
+
+class TestTileArithmetic:
+    def test_corollary1_fp32_tile(self):
+        # Corollary 1: 2p-bit GEMM of M x N x K/2 per 2 steps.
+        t = M3XU_CONFIG.tile(MXUMode.FP32)
+        assert (t.m, t.n, t.k) == (8, 4, 4)
+
+    def test_fp32c_tile(self):
+        # Section IV-B: "FP32C matrix multiplication of size 8x4x2 in a
+        # single 4-step operation".
+        t = M3XU_CONFIG.tile(MXUMode.FP32C)
+        assert (t.m, t.n, t.k) == (8, 4, 2)
+
+    def test_corollary2_throughput_quarter(self):
+        # FP32 MACs per cycle = native/4: (8*4*4 per 2 cycles) vs 8*4*8/1.
+        native = M3XU_CONFIG.tile(MXUMode.FP16)
+        fp32 = M3XU_CONFIG.tile(MXUMode.FP32)
+        rate_native = native.macs / M3XU_CONFIG.steps(MXUMode.FP16)
+        rate_fp32 = fp32.macs / M3XU_CONFIG.steps(MXUMode.FP32)
+        assert rate_fp32 == rate_native / 4
+
+    def test_corollary3_complex_sixteenth(self):
+        native = M3XU_CONFIG.tile(MXUMode.FP16)
+        c = M3XU_CONFIG.tile(MXUMode.FP32C)
+        rate = c.macs / M3XU_CONFIG.steps(MXUMode.FP32C)
+        assert rate == native.macs / 16
+
+    def test_tileshape_str(self):
+        assert str(TileShape(8, 4, 8)) == "8x4x8"
+
+    def test_unsupported_mode_raises(self):
+        with pytest.raises(ValueError):
+            AMPERE_MXU.tile(MXUMode.FP32)
+
+
+class TestResolveParts:
+    def test_fp32_parts_sum(self, rng):
+        x = quantize(rng.normal(size=(4, 4)), FP32)
+        parts = resolve_parts(x, MXUMode.FP32)
+        np.testing.assert_array_equal(parts["H"] + parts["L"], x)
+
+    def test_fp32c_parts_reassemble(self, rng):
+        z = quantize_complex(rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3)), FP32)
+        p = resolve_parts(z, MXUMode.FP32C)
+        re = p["RH"] + p["RL"]
+        im = p["IH"] + p["IL"]
+        np.testing.assert_array_equal(re + 1j * im, z)
+
+    def test_native_mode_quantizes(self, rng):
+        from repro.types import FP16
+
+        x = rng.normal(size=(2, 2))
+        parts = resolve_parts(x, MXUMode.FP16)
+        np.testing.assert_array_equal(parts["X"], quantize(x, FP16))
+
+
+class TestLaneProducts:
+    def test_fp32_shape(self, rng):
+        a = quantize(rng.normal(size=(8, 4)), FP32)
+        b = quantize(rng.normal(size=(4, 4)), FP32)
+        prods = lane_products(a, b, MXUMode.FP32)
+        assert set(prods) == {"real"}
+        assert prods["real"].shape == (8, 4, 16)  # K=4 x 4 lanes
+
+    def test_fp32c_shapes(self, rng):
+        a = quantize_complex(rng.normal(size=(8, 2)) * (1 + 1j), FP32)
+        b = quantize_complex(rng.normal(size=(2, 4)) * (1 + 1j), FP32)
+        prods = lane_products(a, b, MXUMode.FP32C)
+        assert set(prods) == {"real", "imag"}
+        assert prods["real"].shape == (8, 4, 16)  # K=2 x 8 lanes
+
+    def test_fp32_products_sum_to_full_product(self, rng):
+        # The 4 lane products of one (a, b) pair sum exactly to a*b.
+        a = quantize(rng.normal(size=(1, 1)), FP32)
+        b = quantize(rng.normal(size=(1, 1)), FP32)
+        prods = lane_products(a, b, MXUMode.FP32)["real"]
+        assert prods.sum() == a[0, 0] * b[0, 0]

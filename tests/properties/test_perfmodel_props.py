@@ -1,0 +1,75 @@
+"""Property-based sanity of the performance model: physics, not numbers."""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import KernelSpec, PipeWork, TileConfig, a100, estimate_time
+from repro.kernels import SGEMM_KERNELS, GemmProblem
+
+_GPU = a100()
+
+work_floats = st.floats(min_value=0.0, max_value=1e14, allow_nan=False)
+
+
+def _spec(tc=0.0, fma=0.0, instr=0.0, smem=0.0, dram=0.0, ctas=1024):
+    return KernelSpec(
+        name="p",
+        work=PipeWork(
+            tc_macs=tc, tc_mode="fp16", fma_lane_ops=fma,
+            warp_instructions=instr, smem_bytes=smem, dram_bytes=dram,
+        ),
+        tile=TileConfig(),
+        n_ctas=ctas,
+    )
+
+
+@given(tc=work_floats, fma=work_floats, dram=work_floats)
+@settings(max_examples=60, deadline=None)
+def test_time_positive_and_finite(tc, fma, dram):
+    t = estimate_time(_spec(tc=tc, fma=fma, dram=dram), _GPU)
+    assert t.total_s > 0.0
+    assert t.total_s < 1e9
+
+
+@given(tc=st.floats(min_value=1e6, max_value=1e13), factor=st.floats(min_value=1.0, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_more_work_never_faster(tc, factor):
+    t1 = estimate_time(_spec(tc=tc), _GPU)
+    t2 = estimate_time(_spec(tc=tc * factor), _GPU)
+    assert t2.total_s >= t1.total_s - 1e-15
+
+
+@given(
+    dram=st.floats(min_value=1e6, max_value=1e12),
+    bw_scale=st.floats(min_value=1.1, max_value=4.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_more_bandwidth_never_slower(dram, bw_scale):
+    fast_gpu = replace(_GPU, dram_bw_gbs=_GPU.dram_bw_gbs * bw_scale)
+    t_slow = estimate_time(_spec(dram=dram), _GPU)
+    t_fast = estimate_time(_spec(dram=dram), fast_gpu)
+    assert t_fast.total_s <= t_slow.total_s + 1e-15
+
+
+@given(
+    m=st.integers(256, 4096),
+    k_scale=st.integers(2, 8),
+)
+@settings(max_examples=20, deadline=None)
+def test_gemm_time_monotone_in_k(m, k_scale):
+    kernel = SGEMM_KERNELS["M3XU_sgemm_pipelined"]
+    t1 = kernel.time(GemmProblem(m, m, 512), _GPU)
+    t2 = kernel.time(GemmProblem(m, m, 512 * k_scale), _GPU)
+    assert t2 >= t1
+
+
+@given(clock=st.floats(min_value=0.3, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_compute_bound_time_inverse_in_clock(clock):
+    spec = _spec(tc=1e12)
+    base = estimate_time(spec, _GPU)
+    slowed = estimate_time(spec.scaled(clock_scale=clock), _GPU)
+    want = base.tensor_s / clock
+    assert abs(slowed.tensor_s - want) / want < 1e-9

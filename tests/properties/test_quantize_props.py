@@ -1,0 +1,102 @@
+"""Property-based tests: quantisation, codecs and splits (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import (
+    BF16,
+    FP16,
+    FP32,
+    TF32,
+    decode,
+    encode,
+    quantize,
+    representable,
+    split_fp32_m3xu,
+    split_round_residual,
+)
+
+FORMATS = [FP16, BF16, TF32, FP32]
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e30, max_value=1e30
+)
+fmt_strategy = st.sampled_from(FORMATS)
+
+
+@given(x=finite_floats, fmt=fmt_strategy)
+def test_quantize_idempotent(x, fmt):
+    q1 = quantize(x, fmt)
+    q2 = quantize(q1, fmt)
+    np.testing.assert_array_equal(q1, q2)
+
+
+@given(x=finite_floats, fmt=fmt_strategy)
+def test_quantize_result_representable(x, fmt):
+    assert bool(representable(quantize(x, fmt), fmt).all())
+
+
+@given(x=finite_floats, fmt=fmt_strategy)
+def test_quantize_sign_symmetric(x, fmt):
+    np.testing.assert_array_equal(quantize(-x, fmt), -quantize(x, fmt))
+
+
+@given(x=finite_floats, fmt=fmt_strategy)
+def test_quantize_error_within_half_ulp(x, fmt):
+    q = float(quantize(x, fmt))
+    if not np.isfinite(q):
+        return  # overflowed: error unbounded by ulp
+    if x == 0.0:
+        assert q == 0.0
+        return
+    exp = max(int(np.floor(np.log2(abs(x)))) if x else 0, fmt.emin)
+    half_ulp = 2.0 ** (exp - fmt.mantissa_bits) / 2
+    assert abs(q - x) <= half_ulp * (1 + 1e-12)
+
+
+@given(
+    a=finite_floats,
+    b=finite_floats,
+    fmt=fmt_strategy,
+)
+def test_quantize_monotone(a, b, fmt):
+    lo, hi = min(a, b), max(a, b)
+    qlo, qhi = float(quantize(lo, fmt)), float(quantize(hi, fmt))
+    assert qlo <= qhi
+
+
+@given(x=finite_floats, fmt=fmt_strategy)
+def test_encode_decode_roundtrip(x, fmt):
+    q = quantize(np.array([x]), fmt)
+    if not np.isfinite(q[0]):
+        return
+    np.testing.assert_array_equal(decode(encode(q, fmt), fmt), q)
+
+
+@given(x=st.lists(finite_floats, min_size=1, max_size=32))
+def test_m3xu_split_exact_and_narrow(x):
+    arr = quantize(np.array(x), FP32)
+    finite = np.isfinite(arr)
+    hi, lo = split_fp32_m3xu(arr)
+    np.testing.assert_array_equal((hi + lo)[finite], arr[finite])
+    # Both parts representable as 12-bit-significand values.
+    for part in (hi, lo):
+        nz = part[np.isfinite(part) & (part != 0)]
+        if nz.size:
+            m, _ = np.frexp(np.abs(nz))
+            scaled = np.ldexp(m, 12)
+            assert np.all(scaled == np.rint(scaled))
+
+
+@given(
+    x=st.lists(finite_floats, min_size=1, max_size=16),
+    n_terms=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=50)
+def test_round_residual_terms_on_grid(x, n_terms):
+    arr = quantize(np.array(x), FP32)
+    terms = split_round_residual(arr, TF32, n_terms)
+    assert len(terms) == n_terms
+    for t in terms:
+        assert bool(representable(t, TF32).all())

@@ -1,0 +1,57 @@
+"""Synthesis design sweeps: the Section VI-A secondary claims."""
+
+import pytest
+
+from repro.synthesis import (
+    area_vs_multiplier_width,
+    m3xu_overhead_vs_baseline_mantissa,
+)
+
+
+class TestMantissaSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {p.baseline_significand_bits: p for p in m3xu_overhead_vs_baseline_mantissa()}
+
+    def test_11bit_baseline_matches_table3(self, points):
+        assert points[12].m3xu_area_ratio == pytest.approx(1.37, abs=0.06)
+
+    def test_12bit_baseline_overhead_shrinks(self, points):
+        # Paper: "only 16%" over a 12-bit-mantissa MXU. Our inventory
+        # yields ~22% — same direction and magnitude class; the residual
+        # is the buffers/48-bit-accumulation share the models apportion
+        # differently.
+        ratio = points[13].m3xu_area_ratio
+        assert 1.10 < ratio < 1.28
+        assert ratio < points[12].m3xu_area_ratio
+
+
+class TestQuadraticWall:
+    def test_monotone_superlinear(self):
+        areas = area_vs_multiplier_width()
+        ws = sorted(areas)
+        vals = [areas[w] for w in ws]
+        assert vals == sorted(vals)
+        # Superlinear: doubling 11 -> 24 more than doubles area.
+        assert areas[24] > 2.2 * areas[11]
+
+    def test_fp64_point_an_order_of_magnitude(self):
+        areas = area_vs_multiplier_width()
+        assert areas[53] > 10.0
+
+
+class TestAbsoluteFrequency:
+    def test_plausible_freepdk45_range(self):
+        from repro.synthesis import absolute_frequency_mhz
+
+        freqs = absolute_frequency_mhz()
+        for name, f in freqs.items():
+            assert 200 < f < 1500, (name, f)
+
+    def test_ratios_match_cycle_column(self):
+        from repro.synthesis import absolute_frequency_mhz, synthesis_table
+
+        freqs = absolute_frequency_mhz()
+        for row in synthesis_table():
+            got = freqs["baseline_mxu"] / freqs[row.design]
+            assert abs(got - row.cycle) < 1e-9

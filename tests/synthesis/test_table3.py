@@ -1,0 +1,127 @@
+"""The synthesis cost model vs Table III."""
+
+import pytest
+
+from repro.synthesis import (
+    PAPER_TABLE3,
+    all_designs,
+    baseline_mxu,
+    fp32_mxu,
+    m3xu_full,
+    m3xu_no_complex,
+    m3xu_pipelined,
+    sm_area_overhead,
+    synthesis_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return {r.design: r for r in synthesis_table()}
+
+
+class TestAgainstPaper:
+    """Every cell within 10% of the published value (relative ratios)."""
+
+    @pytest.mark.parametrize("design", list(PAPER_TABLE3))
+    @pytest.mark.parametrize("metric", ["area", "cycle", "power"])
+    def test_cell(self, table, design, metric):
+        ours = getattr(table[design], metric)
+        ref = PAPER_TABLE3[design][metric]
+        assert ours == pytest.approx(ref, rel=0.10), f"{design}.{metric}"
+
+
+class TestStructuralClaims:
+    def test_fp32_mxu_about_355pct(self, table):
+        # Section II-B: "The FP32-MXU is 3.55x larger".
+        assert 3.3 < table["fp32_mxu"].area < 3.8
+
+    def test_fp32_mxu_power_near_8x(self, table):
+        # "almost 8x power consumption".
+        assert 7.0 < table["fp32_mxu"].power < 8.5
+
+    def test_m3xu_ordering(self, table):
+        # no_complex < full < pipelined in area.
+        assert (
+            table["baseline_mxu"].area
+            < table["m3xu_no_complex"].area
+            < table["m3xu"].area
+            < table["m3xu_pipelined"].area
+            < table["fp32_mxu"].area
+        )
+
+    def test_complex_support_cheap(self, table):
+        # "4% more area overhead than just supporting FP32" (we allow 3-10%).
+        delta = table["m3xu"].area - table["m3xu_no_complex"].area
+        assert 0.02 < delta < 0.12
+
+    def test_nonpipelined_cycle_stretch(self, table):
+        # "21% increase in cycle time if we do not pipeline".
+        assert table["m3xu"].cycle == pytest.approx(1.21, rel=0.05)
+        assert table["m3xu_no_complex"].cycle == pytest.approx(1.21, rel=0.05)
+
+    def test_pipelined_restores_clock(self, table):
+        assert table["m3xu_pipelined"].cycle == pytest.approx(1.0, rel=0.04)
+
+    def test_nonpipelined_power_saving(self, table):
+        # "operate at 31% or 34% lower power".
+        assert table["m3xu"].power < 0.8
+        assert table["m3xu_no_complex"].power < 0.8
+
+    def test_pipelined_power_near_baseline(self, table):
+        # "7% increase in power" — we allow a band around parity.
+        assert 0.9 < table["m3xu_pipelined"].power < 1.2
+
+    def test_mantissa_bit_share_of_overhead(self):
+        # "56% of that overhead comes from the arithmetic to support the
+        # additional 1 bit of mantissa" — arithmetic-path components
+        # (multipliers + widened accumulation) dominate the M3XU delta.
+        base = baseline_mxu()
+        m3 = m3xu_no_complex()
+        base_parts = base.breakdown()
+        m3_parts = m3.breakdown()
+        arith_keys = [k for k in m3_parts if k.startswith(("mult", "acc", "shiftmux", "tree", "align"))]
+        arith_delta = sum(m3_parts.get(k, 0.0) for k in arith_keys) - sum(
+            base_parts.get(k, 0.0) for k in [k2 for k2 in base_parts if k2.startswith(("mult", "acc", "tree", "align"))]
+        )
+        total_delta = m3.area - base.area
+        assert 0.4 < arith_delta / total_delta < 0.9
+
+
+class TestSmOverhead:
+    def test_pipelined_m3xu_4pct_of_sm(self, table):
+        # "even with 47% area overhead, the area increase is only 4% to
+        # the SM's die size".
+        ov = sm_area_overhead(table["m3xu_pipelined"].area)
+        assert 0.025 < ov < 0.06
+
+    def test_fp32_mxu_sm_overhead_much_larger(self, table):
+        # Section II-B says the FP32-MXU adds 11% to the SM while Table
+        # III's M3XU adds 4% at 1.47x — figures that imply different
+        # MXU/SM area shares (4.3% vs 8.5%). With the share that anchors
+        # the M3XU claim, the FP32-MXU overhead comes out >= 11%, keeping
+        # the paper's qualitative point: far costlier than M3XU.
+        ov = sm_area_overhead(table["fp32_mxu"].area)
+        assert ov > 0.11
+        assert ov > 4 * sm_area_overhead(table["m3xu_pipelined"].area)
+
+
+class TestInventoryMechanics:
+    def test_breakdown_sums_to_area(self):
+        for inv in all_designs().values():
+            assert sum(inv.breakdown().values()) == pytest.approx(inv.area)
+
+    def test_power_increases_with_frequency(self):
+        inv = baseline_mxu()
+        assert inv.power(1.0) > inv.power(0.8) > inv.power(0.5)
+
+    def test_gated_components_cheap(self):
+        full = m3xu_full()
+        gated_cap = sum(
+            c.cap for c in full.components if "cplx" in c.name or c.name == "sgnflip"
+        )
+        assert gated_cap < 0.02 * full.cap
+
+    def test_designs_have_distinct_names(self):
+        names = [d.name for d in all_designs().values()]
+        assert len(names) == len(set(names)) == 5

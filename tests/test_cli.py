@@ -1,0 +1,66 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gemm_args(self):
+        args = build_parser().parse_args(
+            ["gemm", "--m", "64", "--n", "64", "--k", "64", "--complex"]
+        )
+        assert args.is_complex and args.m == 64
+
+
+class TestCommands:
+    def test_peaks(self, capsys):
+        assert main(["peaks"]) == 0
+        out = capsys.readouterr().out
+        assert "fp16_tc" in out and "311.9" in out
+
+    def test_peaks_h100(self, capsys):
+        assert main(["peaks", "--gpu", "h100"]) == 0
+        assert "h100" in capsys.readouterr().out
+
+    def test_synthesis(self, capsys):
+        assert main(["synthesis"]) == 0
+        out = capsys.readouterr().out
+        assert "m3xu_pipelined" in out
+
+    def test_gemm_all_kernels(self, capsys):
+        assert main(["gemm", "--m", "512", "--n", "512", "--k", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "M3XU_sgemm_pipelined" in out
+
+    def test_gemm_single_kernel(self, capsys):
+        rc = main(
+            ["gemm", "--m", "512", "--n", "512", "--k", "512",
+             "--kernel", "M3XU_sgemm"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "M3XU_sgemm" in out and "cutlass" not in out
+
+    def test_gemm_unknown_kernel(self, capsys):
+        rc = main(["gemm", "--m", "8", "--n", "8", "--k", "8", "--kernel", "nope"])
+        assert rc == 2
+
+    def test_gemm_complex(self, capsys):
+        assert main(["gemm", "--m", "256", "--n", "256", "--k", "256", "--complex"]) == 0
+        assert "cgemm" in capsys.readouterr().out
+
+    def test_design_space(self, capsys):
+        assert main(["design-space"]) == 0
+        assert "fp64@27b" in capsys.readouterr().out
+
+    def test_report_unknown(self, capsys):
+        assert main(["report", "fig99"]) == 2
+
+    def test_report_single(self, capsys):
+        assert main(["report", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Headline-metric regression snapshot.
+
+Pins the reproduction's headline numbers so accidental calibration drift
+(a constant edited, a model refactor) fails loudly instead of silently
+shifting the paper-vs-measured story. Tolerances are deliberately tight —
+these values are deterministic model outputs, not measurements. If a
+change is *intentional*, update the snapshot and EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.eval import (
+    fig4_gemm_speedups,
+    fig6_fft,
+    fig8_mrf,
+    fig9_knn,
+    table3_synthesis,
+)
+
+#: metric -> (expected, relative tolerance)
+SNAPSHOT = {
+    "fig4.sgemm_m3xu_max": (3.90, 0.02),
+    "fig4.sgemm_m3xu_avg": (3.68, 0.03),
+    "fig4.cgemm_m3xu_max": (3.90, 0.02),
+    "fig4.sgemm_alternatives_max": (2.86, 0.05),
+    "fig4.cgemm_tensorop_max": (2.02, 0.05),
+    "fig6.m3xu_fft_max": (1.95, 0.03),
+    "fig6.m3xu_fft_avg": (1.58, 0.05),
+    "fig8.mrf_speedup_max": (1.23, 0.04),
+    "fig9.knn_speedup_max": (1.80, 0.03),
+    "table3.m3xu_no_complex.area": (1.37, 0.03),
+    "table3.m3xu.area": (1.45, 0.03),
+    "table3.fp32_mxu.area": (3.67, 0.03),
+    "table3.fp32_mxu.power": (7.75, 0.03),
+    "table3.m3xu.cycle": (1.19, 0.03),
+}
+
+
+@pytest.fixture(scope="module")
+def measured():
+    out = {}
+    fig4 = fig4_gemm_speedups(sizes=[1024, 2048, 4096, 8192, 16384])
+    for k, v in fig4.measured.items():
+        out[f"fig4.{k}"] = v
+    for k, v in fig6_fft().measured.items():
+        out[f"fig6.{k}"] = v
+    for k, v in fig8_mrf().measured.items():
+        out[f"fig8.{k}"] = v
+    for k, v in fig9_knn().measured.items():
+        out[f"fig9.{k}"] = v
+    for k, v in table3_synthesis().measured.items():
+        out[f"table3.{k}"] = v
+    return out
+
+
+@pytest.mark.parametrize("metric", sorted(SNAPSHOT))
+def test_headline_snapshot(measured, metric):
+    expected, rel = SNAPSHOT[metric]
+    assert measured[metric] == pytest.approx(expected, rel=rel), metric

@@ -1,0 +1,89 @@
+"""Bit-level encode/decode round trips and field extraction."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    BF16,
+    FP16,
+    FP32,
+    decode,
+    decode_fields,
+    encode,
+    encode_fields,
+    quantize,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", [FP16, BF16, FP32])
+    def test_random_values(self, rng, fmt):
+        x = quantize(rng.normal(size=2048) * 10.0 ** rng.uniform(-3, 3, 2048), fmt)
+        np.testing.assert_array_equal(decode(encode(x, fmt), fmt), x)
+
+    def test_fp32_bits_match_numpy_view(self, rng):
+        x = quantize(rng.normal(size=512), FP32)
+        ours = encode(x, FP32)
+        theirs = x.astype(np.float32).view(np.uint32).astype(np.uint64)
+        np.testing.assert_array_equal(ours, theirs)
+
+    def test_fp16_bits_match_numpy_view(self, rng):
+        x = quantize(rng.normal(size=512), FP16)
+        ours = encode(x, FP16)
+        theirs = x.astype(np.float16).view(np.uint16).astype(np.uint64)
+        np.testing.assert_array_equal(ours, theirs)
+
+    def test_subnormals_roundtrip(self):
+        subs = np.array([2.0**-24, 3 * 2.0**-24, 2.0**-14 - 2.0**-24])
+        np.testing.assert_array_equal(decode(encode(subs, FP16), FP16), subs)
+
+    def test_negative_zero(self):
+        bits = encode(np.array([-0.0]), FP32)
+        assert bits[0] == 1 << 31
+        back = decode(bits, FP32)
+        assert back[0] == 0.0 and np.signbit(back[0])
+
+
+class TestSpecials:
+    def test_inf_encoding(self):
+        bits = encode(np.array([np.inf, -np.inf]), FP32)
+        assert bits[0] == 0x7F800000
+        assert bits[1] == 0xFF800000
+
+    def test_nan_is_quiet(self):
+        bits = encode(np.array([np.nan]), FP32)
+        sign, biased, mant = decode_fields(bits, FP32)
+        assert biased[0] == 0xFF
+        assert mant[0] & (1 << 22)
+        assert np.isnan(decode(bits, FP32)[0])
+
+
+class TestFields:
+    def test_decode_fields_of_one(self):
+        sign, biased, mant = decode_fields(encode(np.array([1.0]), FP32), FP32)
+        assert (sign[0], biased[0], mant[0]) == (0, 127, 0)
+
+    def test_decode_fields_of_minus_1p5(self):
+        sign, biased, mant = decode_fields(encode(np.array([-1.5]), FP32), FP32)
+        assert sign[0] == 1
+        assert biased[0] == 127
+        assert mant[0] == 1 << 22
+
+    def test_encode_fields_inverse(self, rng):
+        x = quantize(rng.normal(size=256), FP32)
+        bits = encode(x, FP32)
+        np.testing.assert_array_equal(
+            encode_fields(*decode_fields(bits, FP32), FP32), bits
+        )
+
+    def test_encode_fields_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            encode_fields(np.array([0]), np.array([0]), np.array([1 << 23]), FP32)
+        with pytest.raises(ValueError):
+            encode_fields(np.array([0]), np.array([256]), np.array([0]), FP32)
+
+
+class TestErrors:
+    def test_encode_rejects_unrepresentable(self):
+        with pytest.raises(ValueError):
+            encode(np.array([1.0 + 2.0**-30]), FP16)

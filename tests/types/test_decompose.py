@@ -1,0 +1,167 @@
+"""Operand decompositions — the Eq. 3-9 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    BF16,
+    FP32,
+    TF32,
+    deinterleave_complex,
+    interleave_complex,
+    quantize,
+    split_complex,
+    split_fp32_m3xu,
+    split_n_parts,
+    split_round_residual,
+)
+
+
+def _sig_bits(x: np.ndarray) -> int:
+    """Max significand bits used by the non-zero finite values of x."""
+    nz = x[np.isfinite(x) & (x != 0)]
+    if nz.size == 0:
+        return 0
+    m, _ = np.frexp(np.abs(nz))
+    for bits in range(1, 60):
+        s = np.ldexp(m, bits)
+        if np.all(s == np.rint(s)):
+            return bits
+    raise AssertionError("unbounded significand")
+
+
+class TestM3xuSplit:
+    def test_exact_reconstruction(self, rng):
+        x = quantize(rng.normal(size=4096) * 10.0 ** rng.uniform(-30, 30, 4096), FP32)
+        hi, lo = split_fp32_m3xu(x)
+        np.testing.assert_array_equal(hi + lo, x)
+
+    def test_parts_fit_12_bit_significand(self, rng):
+        # Fig. 3(a): both parts must fit the 12-bit multiplier input.
+        x = quantize(rng.normal(size=4096), FP32)
+        hi, lo = split_fp32_m3xu(x)
+        assert _sig_bits(hi) <= 12
+        assert _sig_bits(lo) <= 12
+
+    def test_hi_is_truncation(self, rng):
+        # The high part is x with its low 12 mantissa bits zeroed, so
+        # |hi| <= |x| and they share sign.
+        x = quantize(rng.normal(size=1024), FP32)
+        hi, lo = split_fp32_m3xu(x)
+        assert np.all(np.abs(hi) <= np.abs(x))
+        nz = x != 0
+        assert np.all(np.sign(hi[nz]) == np.sign(x[nz]))
+
+    def test_lo_magnitude_bounded(self, rng):
+        # lo holds mantissa bits of weight 2^-12..2^-23 relative to the
+        # operand's exponent.
+        x = quantize(np.abs(rng.normal(size=1024)) + 0.5, FP32)
+        _, e = np.frexp(np.abs(x))
+        hi, lo = split_fp32_m3xu(x)
+        bound = np.ldexp(1.0, e - 1 - 11)  # 2^(exp-11)
+        assert np.all(np.abs(lo) < bound)
+
+    def test_subnormal_inputs(self):
+        subs = np.array([2.0**-130, 2.0**-126 - 2.0**-140, 2.0**-149])
+        x = quantize(subs, FP32)
+        hi, lo = split_fp32_m3xu(x)
+        np.testing.assert_array_equal(hi + lo, x)
+
+    def test_powers_of_two_have_zero_lo(self):
+        x = np.array([1.0, 2.0, 0.5, -4.0, 2.0**100])
+        hi, lo = split_fp32_m3xu(x)
+        np.testing.assert_array_equal(hi, x)
+        np.testing.assert_array_equal(lo, 0.0)
+
+    def test_specials(self):
+        x = np.array([np.inf, -np.inf, np.nan, 0.0])
+        hi, lo = split_fp32_m3xu(x)
+        assert hi[0] == np.inf and hi[1] == -np.inf and np.isnan(hi[2])
+        assert lo[3] == 0.0 and hi[3] == 0.0
+        np.testing.assert_array_equal(lo[:3], 0.0)
+
+
+class TestRoundResidual:
+    def test_two_term_tf32_halves_error(self, rng):
+        x = quantize(rng.normal(size=2048), FP32)
+        t0, t1 = split_round_residual(x, TF32, 2)
+        # Both terms on the TF32 grid.
+        np.testing.assert_array_equal(t0, quantize(t0, TF32))
+        np.testing.assert_array_equal(t1, quantize(t1, TF32))
+        # Two terms cover ~21 bits; residual <= 2^-21-ish relative.
+        err = np.abs(x - t0 - t1)
+        assert np.all(err <= np.abs(x) * 2.0**-20 + 1e-300)
+
+    def test_residual_not_exact_in_general(self, rng):
+        # The defining weakness of the software split (vs the M3XU split).
+        x = quantize(rng.normal(size=2048), FP32)
+        t0, t1 = split_round_residual(x, BF16, 2)
+        assert np.any(t0 + t1 != x)
+
+    def test_three_terms_tighter_than_two(self, rng):
+        x = quantize(rng.normal(size=512), FP32)
+        two = sum(split_round_residual(x, BF16, 2))
+        three = sum(split_round_residual(x, BF16, 3))
+        assert np.max(np.abs(x - three)) <= np.max(np.abs(x - two))
+
+    def test_single_term_is_plain_quantize(self, rng):
+        x = rng.normal(size=128)
+        (t,) = split_round_residual(x, TF32, 1)
+        np.testing.assert_array_equal(t, quantize(x, TF32))
+
+    def test_invalid_terms(self):
+        with pytest.raises(ValueError):
+            split_round_residual(np.ones(3), TF32, 0)
+
+
+class TestNParts:
+    def test_fp64_two_part_covers_53_bits(self, rng):
+        x = rng.normal(size=1024)
+        hi, lo = split_n_parts(x, 27, 2)
+        err = np.abs(x - hi - lo)
+        assert np.all(err <= np.abs(x) * 2.0**-52)
+
+    def test_four_14bit_parts_cover_fp64(self, rng):
+        x = rng.normal(size=512)
+        parts = split_n_parts(x, 14, 4)
+        recon = sum(parts)
+        np.testing.assert_allclose(recon, x, rtol=2.0**-52, atol=0)
+
+    def test_part_widths(self, rng):
+        x = rng.normal(size=512)
+        parts = split_n_parts(x, 14, 4)
+        for p in parts:
+            assert _sig_bits(p) <= 14
+
+    def test_monotone_weights(self):
+        x = np.array([1.9999999999])
+        parts = split_n_parts(x, 10, 3)
+        mags = [abs(float(p[0])) for p in parts]
+        assert mags[0] > mags[1] > mags[2] > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            split_n_parts(np.ones(2), 0, 2)
+
+
+class TestComplexLayout:
+    def test_split_complex(self, rng):
+        z = rng.normal(size=(4, 6)) + 1j * rng.normal(size=(4, 6))
+        re, im = split_complex(z)
+        np.testing.assert_array_equal(re + 1j * im, z)
+
+    def test_interleave_roundtrip(self, rng):
+        z = rng.normal(size=(8, 4)) + 1j * rng.normal(size=(8, 4))
+        flat = interleave_complex(z)
+        assert flat.shape == (8, 8)
+        np.testing.assert_array_equal(deinterleave_complex(flat), z)
+
+    def test_interleave_layout_convention(self):
+        # Section IV-B: "a pair of consecutive elements store a complex
+        # number's real and imaginary parts".
+        z = np.array([[1 + 2j, 3 + 4j]])
+        np.testing.assert_array_equal(interleave_complex(z), [[1, 2, 3, 4]])
+
+    def test_deinterleave_rejects_odd(self):
+        with pytest.raises(ValueError):
+            deinterleave_complex(np.ones((2, 3)))

@@ -1,0 +1,60 @@
+"""Error metric behaviour."""
+
+import numpy as np
+
+from repro.types import FP32, matching_bits, max_relative_error, relative_error, ulp_error
+
+
+class TestUlpError:
+    def test_one_ulp_at_unit(self):
+        exact = np.array([1.0])
+        approx = np.array([1.0 + 2.0**-23])
+        assert ulp_error(approx, exact, FP32)[0] == 1.0
+
+    def test_ulp_scales_with_exponent(self):
+        exact = np.array([2.0**10])
+        approx = exact + 2.0 ** (10 - 23)
+        assert ulp_error(approx, exact, FP32)[0] == 1.0
+
+    def test_exact_zero_reference(self):
+        err = ulp_error(np.array([FP32.min_subnormal]), np.array([0.0]), FP32)
+        assert err[0] == 1.0
+
+    def test_zero_error(self, rng):
+        x = rng.normal(size=64)
+        np.testing.assert_array_equal(ulp_error(x, x, FP32), 0.0)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        got = relative_error(np.array([1.1]), np.array([1.0]))[0]
+        assert abs(got - 0.1) < 1e-15
+
+    def test_zero_reference_uses_absolute(self):
+        assert relative_error(np.array([0.25]), np.array([0.0]))[0] == 0.25
+
+    def test_max_ignores_nonfinite_refs(self):
+        approx = np.array([1.0, 5.0])
+        exact = np.array([1.0, np.inf])
+        assert max_relative_error(approx, exact) == 0.0
+
+    def test_all_nonfinite_returns_nan(self):
+        assert np.isnan(max_relative_error(np.array([np.nan]), np.array([np.inf])))
+
+
+class TestMatchingBits:
+    def test_exact_is_53(self, rng):
+        x = rng.normal(size=16)
+        assert matching_bits(x, x) == 53.0
+
+    def test_half_precision_loss_detected(self, rng):
+        exact = np.abs(rng.normal(size=256)) + 1.0
+        approx = exact * (1 + 2.0**-11)
+        bits = matching_bits(approx, exact)
+        assert 10.0 < bits < 12.0
+
+    def test_more_error_fewer_bits(self, rng):
+        exact = np.abs(rng.normal(size=64)) + 1.0
+        a = exact * (1 + 2.0**-20)
+        b = exact * (1 + 2.0**-10)
+        assert matching_bits(a, exact) > matching_bits(b, exact)

@@ -1,0 +1,125 @@
+"""Format descriptor behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    BF16,
+    FP16,
+    FP32,
+    FP64,
+    M3XU_IN,
+    TENSORCORE_IN,
+    TF32,
+    FloatFormat,
+    format_by_name,
+)
+
+
+class TestFieldWidths:
+    def test_fp32_layout(self):
+        assert FP32.exponent_bits == 8
+        assert FP32.mantissa_bits == 23
+        assert FP32.total_bits == 32
+        assert FP32.significand_bits == 24
+
+    def test_fp16_layout(self):
+        assert (FP16.exponent_bits, FP16.mantissa_bits) == (5, 10)
+        assert FP16.total_bits == 16
+
+    def test_bf16_layout(self):
+        assert (BF16.exponent_bits, BF16.mantissa_bits) == (8, 7)
+
+    def test_tf32_layout(self):
+        # "(1,8,10)" in Table I.
+        assert (TF32.exponent_bits, TF32.mantissa_bits) == (8, 10)
+        assert TF32.total_bits == 19
+
+    def test_fp64_layout(self):
+        assert (FP64.exponent_bits, FP64.mantissa_bits) == (11, 52)
+
+    def test_m3xu_input_has_12_bit_significand(self):
+        # Section IV-A: "each buffer entry contains space for the 1-bit
+        # sign, 8-bit exponent, and 12 bits of mantissa".
+        assert M3XU_IN.significand_bits == 12
+        assert M3XU_IN.exponent_bits == 8
+        assert M3XU_IN.total_bits == 1 + 8 + 11
+
+    def test_m3xu_is_one_bit_wider_than_tensorcore(self):
+        assert M3XU_IN.mantissa_bits == TENSORCORE_IN.mantissa_bits + 1
+
+
+class TestDerivedValues:
+    def test_fp32_bias_and_range(self):
+        assert FP32.bias == 127
+        assert FP32.emax == 127
+        assert FP32.emin == -126
+        assert FP32.max_value == float(np.finfo(np.float32).max)
+        assert FP32.min_normal == float(np.finfo(np.float32).tiny)
+        assert FP32.min_subnormal == float(
+            np.finfo(np.float32).smallest_subnormal
+        )
+
+    def test_fp16_range(self):
+        assert FP16.max_value == 65504.0
+        assert FP16.min_normal == 2.0**-14
+        assert FP16.min_subnormal == 2.0**-24
+
+    def test_machine_epsilon(self):
+        assert FP32.machine_epsilon == 2.0**-23
+        assert BF16.machine_epsilon == 2.0**-7
+
+    def test_ulp_at_exponent(self):
+        assert FP32.ulp(0) == 2.0**-23
+        assert FP32.ulp(10) == 2.0**-13
+
+    def test_bf16_shares_fp32_exponent_range(self):
+        assert BF16.emax == FP32.emax
+        assert BF16.emin == FP32.emin
+
+
+class TestRelations:
+    def test_contains_reflexive(self):
+        for f in (FP16, BF16, TF32, FP32, FP64):
+            assert f.contains(f)
+
+    def test_fp32_contains_tf32_and_bf16(self):
+        assert FP32.contains(TF32)
+        assert FP32.contains(BF16)
+
+    def test_fp32_does_not_contain_fp16_range(self):
+        # FP16's 5-bit exponent < FP32's 8-bit: FP32 contains FP16.
+        assert FP32.contains(FP16)
+        assert not FP16.contains(FP32)
+
+    def test_tf32_does_not_contain_fp16_mantissa_plus_bf16_range(self):
+        # TF32 = union of FP16 mantissa and BF16 exponent.
+        assert TF32.contains(BF16)
+        assert TF32.contains(FP16)
+
+
+class TestValidation:
+    def test_rejects_tiny_exponent(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=1, mantissa_bits=4)
+
+    def test_rejects_zero_mantissa(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=5, mantissa_bits=0)
+
+    def test_rejects_wider_than_fp64(self):
+        with pytest.raises(ValueError):
+            FloatFormat("fp128ish", exponent_bits=15, mantissa_bits=52)
+        with pytest.raises(ValueError):
+            FloatFormat("too_wide", exponent_bits=11, mantissa_bits=60)
+
+    def test_lookup_by_name(self):
+        assert format_by_name("FP32") is FP32
+        assert format_by_name("bf16") is BF16
+        with pytest.raises(KeyError):
+            format_by_name("fp8")
+
+    def test_with_name(self):
+        f = FP32.with_name("custom")
+        assert f.name == "custom"
+        assert f.mantissa_bits == FP32.mantissa_bits

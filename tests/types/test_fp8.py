@@ -1,0 +1,64 @@
+"""FP8 formats (the Section IV-C 8-bit-multiplier design option)."""
+
+import numpy as np
+import pytest
+
+from repro.types import FP8_E4M3, FP8_E5M2, FP32, decode, encode, quantize, representable
+
+
+class TestLayout:
+    def test_e4m3(self):
+        assert FP8_E4M3.total_bits == 8
+        assert (FP8_E4M3.exponent_bits, FP8_E4M3.mantissa_bits) == (4, 3)
+
+    def test_e5m2(self):
+        assert FP8_E5M2.total_bits == 8
+        assert (FP8_E5M2.exponent_bits, FP8_E5M2.mantissa_bits) == (5, 2)
+
+    def test_ranges(self):
+        # IEEE-style interpretation (inf/nan encodings reserved): E4M3
+        # tops out at 240, E5M2 at 57344.
+        assert FP8_E4M3.max_value == 240.0
+        assert FP8_E5M2.max_value == 57344.0
+        assert FP8_E5M2.emin < FP8_E4M3.emin
+
+
+class TestQuantise:
+    def test_grid_coarseness(self, rng):
+        x = rng.uniform(1.0, 2.0, size=256)
+        q3 = quantize(x, FP8_E4M3)
+        q2 = quantize(x, FP8_E5M2)
+        # E4M3 resolves eighths in [1,2); E5M2 only quarters.
+        assert np.max(np.abs(q3 - x)) <= 2.0**-4 + 1e-12
+        assert np.max(np.abs(q2 - x)) <= 2.0**-3 + 1e-12
+        assert np.mean(np.abs(q2 - x)) > np.mean(np.abs(q3 - x))
+
+    def test_roundtrip_bits(self, rng):
+        q = quantize(rng.normal(size=128) * 4, FP8_E4M3)
+        np.testing.assert_array_equal(decode(encode(q, FP8_E4M3), FP8_E4M3), q)
+
+    def test_overflow(self):
+        assert quantize(np.array([300.0]), FP8_E4M3)[0] == np.inf
+        assert representable(240.0, FP8_E4M3)
+
+    def test_all_e4m3_values_fp32_representable(self):
+        # Every FP8 grid value embeds exactly in FP32 (downward support).
+        bits = np.arange(256, dtype=np.uint64)
+        vals = decode(bits, FP8_E4M3)
+        finite = np.isfinite(vals)
+        assert np.all(representable(vals[finite], FP32))
+
+
+class TestCompositionDesignPoint:
+    def test_fp32_from_fp8_width_slices(self, rng):
+        # Composing FP32 out of 4-bit-significand (E4M3-class) multipliers:
+        # 6 slices of 4 bits cover the 24-bit significand.
+        from repro.mxu import MultiStepScheme, composed_gemm
+
+        scheme = MultiStepScheme(FP32, 4)
+        assert scheme.n_slices == 6
+        a = rng.uniform(0.5, 1.5, size=(8, 8))
+        b = rng.uniform(0.5, 1.5, size=(8, 8))
+        got = composed_gemm(a, b, scheme)
+        ref = quantize(a, FP32) @ quantize(b, FP32)
+        np.testing.assert_allclose(got, ref, rtol=1e-6)

@@ -1,0 +1,115 @@
+"""Quantisation correctness, including against native IEEE conversions."""
+
+import numpy as np
+import pytest
+
+from repro.types import BF16, FP16, FP32, FP64, TF32, quantize, quantize_complex, representable
+from repro.types.quantize import _quantize_generic
+from repro.types.rounding import RoundingMode
+
+
+class TestNativeAgreement:
+    """The generic grid-rounding path must agree bit-for-bit with numpy's
+    IEEE conversions wherever a native dtype exists."""
+
+    @pytest.mark.parametrize("scale", [1.0, 1e-3, 1e4, 1e-7, 1e30])
+    def test_fp32_matches_numpy(self, rng, scale):
+        x = rng.normal(size=4096) * scale
+        want = x.astype(np.float32).astype(np.float64)
+        got = _quantize_generic(x, FP32, RoundingMode.NEAREST_EVEN)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("scale", [1.0, 1e-2, 1e3, 1e-6, 1e-8])
+    def test_fp16_matches_numpy(self, rng, scale):
+        x = rng.normal(size=4096) * scale
+        want = x.astype(np.float16).astype(np.float64)
+        got = _quantize_generic(x, FP16, RoundingMode.NEAREST_EVEN)
+        np.testing.assert_array_equal(got, want)
+
+    def test_fp16_overflow_to_inf(self):
+        x = np.array([70000.0, -70000.0, 65504.0, 65520.0, 65519.9])
+        got = quantize(x, FP16)
+        want = x.astype(np.float16).astype(np.float64)
+        np.testing.assert_array_equal(got, want)
+        assert np.isinf(got[0]) and got[1] == -np.inf
+
+    def test_fp16_subnormal_grid(self):
+        # Smallest positive FP16 subnormal is 2^-24; half of it rounds to 0
+        # (ties-to-even), slightly more rounds up.
+        sub = 2.0**-24
+        x = np.array([sub, sub / 2, sub / 2 + 1e-12, sub * 1.499])
+        got = quantize(x, FP16)
+        np.testing.assert_array_equal(got, [sub, 0.0, sub, sub])
+
+    def test_fp64_identity(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_array_equal(quantize(x, FP64), x)
+
+
+class TestTies:
+    def test_round_half_to_even_fp32(self):
+        # 1 + 2^-24 is exactly between 1.0 and 1 + 2^-23: rounds to 1.0 (even).
+        assert quantize(1.0 + 2.0**-24, FP32) == 1.0
+        # 1 + 3*2^-24 is between 1+2^-23 and 1+2^-22: rounds to 1+2^-22? No:
+        # midpoint of (1+2^-23, 1+2^-22)... verify against numpy.
+        v = 1.0 + 3.0 * 2.0**-24
+        assert quantize(v, FP32) == float(np.float32(v))
+
+    def test_truncation_mode(self):
+        v = 1.0 + 2.0**-23 + 2.0**-24  # above the FP32 grid point
+        got = quantize(v, FP32, RoundingMode.TOWARD_ZERO)
+        assert got == 1.0 + 2.0**-23
+
+    def test_truncation_saturates_instead_of_inf(self):
+        got = quantize(np.array([1e39]), FP32, RoundingMode.TOWARD_ZERO)
+        assert got[0] == FP32.max_value
+
+
+class TestCustomFormats:
+    def test_tf32_drops_13_bits(self):
+        # TF32 keeps 10 explicit mantissa bits of FP32's 23.
+        v = float(np.float32(1.2345678))
+        q = quantize(v, TF32)
+        assert q != v
+        assert abs(q - v) <= 2.0**-11  # half ulp at exponent 0
+        # Quantised value must sit on the TF32 grid exactly.
+        assert q == quantize(q, TF32)
+
+    def test_bf16_values_are_fp32_representable(self, rng):
+        x = rng.normal(size=256)
+        q = quantize(x, BF16)
+        assert np.all(representable(q, FP32))
+
+    def test_specials_flow_through(self):
+        x = np.array([np.inf, -np.inf, np.nan, 0.0, -0.0])
+        for fmt in (FP16, BF16, TF32, FP32):
+            q = quantize(x, fmt)
+            assert q[0] == np.inf and q[1] == -np.inf
+            assert np.isnan(q[2])
+            assert q[3] == 0.0 and np.signbit(q[4])
+
+
+class TestRepresentable:
+    def test_grid_values(self):
+        assert representable(1.0, FP16)
+        assert representable(1.0 + 2.0**-10, FP16)
+        assert not representable(1.0 + 2.0**-11, FP16)
+
+    def test_specials_always_representable(self):
+        x = np.array([np.nan, np.inf, -np.inf])
+        assert np.all(representable(x, BF16))
+
+    def test_range_overflow_not_representable(self):
+        assert not representable(1e10, FP16)
+
+
+class TestComplex:
+    def test_quantize_complex_parts_independent(self, rng):
+        z = rng.normal(size=64) + 1j * rng.normal(size=64)
+        q = quantize_complex(z, FP32)
+        np.testing.assert_array_equal(q.real, quantize(z.real, FP32))
+        np.testing.assert_array_equal(q.imag, quantize(z.imag, FP32))
+
+    def test_complex_shape_preserved(self, rng):
+        z = (rng.normal(size=(3, 5)) + 1j * rng.normal(size=(3, 5)))
+        assert quantize_complex(z, FP16).shape == (3, 5)

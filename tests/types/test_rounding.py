@@ -1,0 +1,68 @@
+"""Integer significand rounding primitives."""
+
+import numpy as np
+import pytest
+
+from repro.types import RoundingMode, round_significand, round_significand_scalar
+
+
+class TestVectorised:
+    def test_no_shift_identity(self):
+        sig = np.array([0, 1, 5, 1000])
+        np.testing.assert_array_equal(
+            round_significand(sig, 0, RoundingMode.NEAREST_EVEN), sig
+        )
+
+    def test_truncation(self):
+        np.testing.assert_array_equal(
+            round_significand(np.array([7, 8, 15]), 3, RoundingMode.TOWARD_ZERO),
+            [0, 1, 1],
+        )
+
+    def test_rne_halfway_cases(self):
+        # shift 1: values 1,2,3,4,5 -> 0(tie,even),1,2(tie->2),2,2(tie... )
+        got = round_significand(
+            np.array([1, 2, 3, 4, 5, 6, 7]), 1, RoundingMode.NEAREST_EVEN
+        )
+        np.testing.assert_array_equal(got, [0, 1, 2, 2, 2, 3, 4])
+
+    def test_rne_matches_scalar(self, rng):
+        sig = rng.integers(0, 1 << 40, size=500)
+        for shift in (1, 7, 13):
+            vec = round_significand(sig, shift, RoundingMode.NEAREST_EVEN)
+            ref = [
+                round_significand_scalar(int(s), shift, RoundingMode.NEAREST_EVEN)
+                for s in sig
+            ]
+            np.testing.assert_array_equal(vec, ref)
+
+    def test_huge_shift_rounds_to_zero(self):
+        got = round_significand(np.array([123456]), 63, RoundingMode.NEAREST_EVEN)
+        assert got[0] == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            round_significand(np.array([-1]), 2, RoundingMode.NEAREST_EVEN)
+        with pytest.raises(ValueError):
+            round_significand(np.array([1]), -1, RoundingMode.NEAREST_EVEN)
+
+
+class TestScalar:
+    def test_arbitrary_precision(self):
+        big = (1 << 200) + (1 << 100)
+        got = round_significand_scalar(big, 100, RoundingMode.NEAREST_EVEN)
+        assert got == (1 << 100) + 1
+
+    def test_tie_to_even_scalar(self):
+        assert round_significand_scalar(6, 2, RoundingMode.NEAREST_EVEN) == 2
+        assert round_significand_scalar(10, 2, RoundingMode.NEAREST_EVEN) == 2
+        assert round_significand_scalar(11, 2, RoundingMode.NEAREST_EVEN) == 3
+
+    def test_truncate_scalar(self):
+        assert round_significand_scalar(11, 2, RoundingMode.TOWARD_ZERO) == 2
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            round_significand_scalar(-5, 1, RoundingMode.NEAREST_EVEN)
+        with pytest.raises(ValueError):
+            round_significand_scalar(5, -1, RoundingMode.NEAREST_EVEN)
