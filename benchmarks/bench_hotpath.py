@@ -1,0 +1,153 @@
+"""Hot-path speed: fused/plan fast path vs the legacy reference pipeline.
+
+Not a paper figure: this regression-guards the emulator's own execution
+engine. Each case times the legacy pipeline (``fastpath=False`` +
+``use_plan=False`` / ``_batched_legacy``) against the default fast path
+on the same operands, asserts the results are bit-identical, checks the
+acceptance speedups (>=3x on the 512^3 FP32 single GEMM, >=2x on batched
+FP32C) and writes the measurements to ``BENCH_hotpath.json`` at the repo
+root for machine consumption.
+
+``REPRO_BENCH_SMOKE=1`` shrinks every shape so the suite doubles as a CI
+smoke test (bit-identity still asserted; speedup thresholds waived at toy
+sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gemm.batched import _batched_legacy, batched_mxu_cgemm, batched_mxu_sgemm
+from repro.gemm.tiled import TiledGEMM
+from repro.mxu.m3xu import M3XU
+from repro.mxu.modes import MXUMode
+from repro.types.formats import FP32
+from repro.types.quantize import quantize, quantize_complex
+
+from conftest import bench_print
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+#: (single FP32 N, single FP32C N, batched FP32 (B, N), batched FP32C (B, N))
+if SMOKE:
+    SGEMM_N, CGEMM_N = 64, 48
+    BATCH_S, BATCH_C = (8, 24), (6, 16)
+else:
+    SGEMM_N, CGEMM_N = 512, 256
+    BATCH_S, BATCH_C = (32, 64), (24, 48)
+
+_RESULTS: list[dict] = []
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json():
+    yield
+    _JSON_PATH.write_text(json.dumps({"smoke": SMOKE, "results": _RESULTS}, indent=2))
+    bench_print(f"\nhot-path speedups written to {_JSON_PATH.name}:")
+    for r in _RESULTS:
+        bench_print(
+            f"  {r['name']:<16} {r['shape']:<16} legacy {r['legacy_s']:.3f}s"
+            f" / fast {r['fast_s']:.3f}s = {r['speedup']:.1f}x"
+        )
+
+
+def _timed(fn, repeats: int = 3) -> tuple[float, np.ndarray]:
+    """Min-of-N wall time and the (last) result."""
+    best, out = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _record(name: str, shape: str, mode: str, legacy_s: float, fast_s: float,
+            min_speedup: float) -> None:
+    speedup = legacy_s / fast_s
+    _RESULTS.append({
+        "name": name, "shape": shape, "mode": mode,
+        "legacy_s": legacy_s, "fast_s": fast_s, "speedup": speedup,
+    })
+    if not SMOKE:
+        assert speedup >= min_speedup, (
+            f"{name}: fast path only {speedup:.2f}x over legacy "
+            f"(required >= {min_speedup}x)"
+        )
+
+
+def test_sgemm_single(benchmark):
+    n = SGEMM_N
+    rng = np.random.default_rng(11)
+    a = quantize(rng.standard_normal((n, n)), FP32)
+    b = quantize(rng.standard_normal((n, n)), FP32)
+    fast_driver = TiledGEMM(M3XU(), MXUMode.FP32)
+    legacy_driver = TiledGEMM(M3XU(fastpath=False), MXUMode.FP32, use_plan=False)
+
+    got = benchmark.pedantic(fast_driver.run, args=(a, b), rounds=3, iterations=1)
+    fast_s, _ = _timed(lambda: fast_driver.run(a, b))
+    legacy_s, want = _timed(lambda: legacy_driver.run(a, b), repeats=1)
+
+    assert got.tobytes() == want.tobytes()
+    _record("mxu_sgemm", f"{n}x{n}x{n}", "fp32", legacy_s, fast_s, 3.0)
+
+
+def test_cgemm_single(benchmark):
+    n = CGEMM_N
+    rng = np.random.default_rng(12)
+    a = quantize_complex(
+        rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)), FP32
+    )
+    b = quantize_complex(
+        rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n)), FP32
+    )
+    fast_driver = TiledGEMM(M3XU(), MXUMode.FP32C)
+    legacy_driver = TiledGEMM(M3XU(fastpath=False), MXUMode.FP32C, use_plan=False)
+
+    got = benchmark.pedantic(fast_driver.run, args=(a, b), rounds=3, iterations=1)
+    fast_s, _ = _timed(lambda: fast_driver.run(a, b))
+    legacy_s, want = _timed(lambda: legacy_driver.run(a, b), repeats=1)
+
+    assert got.tobytes() == want.tobytes()
+    _record("mxu_cgemm", f"{n}x{n}x{n}", "fp32c", legacy_s, fast_s, 2.0)
+
+
+def test_sgemm_batched(benchmark):
+    bsz, n = BATCH_S
+    rng = np.random.default_rng(13)
+    a = rng.standard_normal((bsz, n, n))
+    b = rng.standard_normal((bsz, n, n))
+
+    got = benchmark.pedantic(batched_mxu_sgemm, args=(a, b), rounds=3, iterations=1)
+    fast_s, _ = _timed(lambda: batched_mxu_sgemm(a, b))
+    aq, bq = quantize(a, FP32), quantize(b, FP32)
+    legacy_s, want = _timed(
+        lambda: _batched_legacy(aq, bq, MXUMode.FP32, M3XU(fastpath=False)), repeats=1
+    )
+
+    assert got.tobytes() == want.tobytes()
+    _record("batched_sgemm", f"{bsz}x{n}^3", "fp32", legacy_s, fast_s, 2.0)
+
+
+def test_cgemm_batched(benchmark):
+    bsz, n = BATCH_C
+    rng = np.random.default_rng(14)
+    a = rng.standard_normal((bsz, n, n)) + 1j * rng.standard_normal((bsz, n, n))
+    b = rng.standard_normal((bsz, n, n)) + 1j * rng.standard_normal((bsz, n, n))
+
+    got = benchmark.pedantic(batched_mxu_cgemm, args=(a, b), rounds=3, iterations=1)
+    fast_s, _ = _timed(lambda: batched_mxu_cgemm(a, b))
+    aq = quantize_complex(a, FP32)
+    bq = quantize_complex(b, FP32)
+    legacy_s, want = _timed(
+        lambda: _batched_legacy(aq, bq, MXUMode.FP32C, M3XU(fastpath=False)), repeats=1
+    )
+
+    assert got.tobytes() == want.tobytes()
+    _record("batched_cgemm", f"{bsz}x{n}^3", "fp32c", legacy_s, fast_s, 2.0)

@@ -26,6 +26,7 @@ from ..gemm.schemes import (
     tensorop_sgemm_3xtf32,
 )
 from ..gemm.tiled import mxu_cgemm, mxu_sgemm
+from ..parallel import parallel_map
 from ..types.errors import matching_bits, max_relative_error
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
@@ -67,17 +68,32 @@ def _well_conditioned(rng: np.ndarray, m: int, n: int, k: int) -> tuple:
     return a, b, c
 
 
+def _apply_impl(args: tuple[Callable, np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
+    """Module-level (picklable) worker: run one GEMM implementation."""
+    fn, a, b, c = args
+    return fn(a, b, c)
+
+
 def sgemm_accuracy_study(
     m: int = 48, n: int = 48, k: int = 96, seed: int = 11,
     impls: dict[str, Callable] | None = None,
+    workers: int | None = None,
 ) -> list[AccuracyResult]:
-    """Error of every FP32 GEMM implementation vs float64 (well-conditioned)."""
+    """Error of every FP32 GEMM implementation vs float64 (well-conditioned).
+
+    *workers* fans the (independent) implementations out across processes;
+    the result list is identical for every worker count.
+    """
     rng = np.random.default_rng(seed)
     a, b, c = _well_conditioned(rng, m, n, k)
     ref = gemm_fp64(a, b, c)
+    impls = impls or SGEMM_IMPLS
+    outputs = parallel_map(
+        _apply_impl, [(fn, a, b, c) for fn in impls.values()],
+        workers=workers, chunk_size=1,
+    )
     results = []
-    for name, fn in (impls or SGEMM_IMPLS).items():
-        got = fn(a, b, c)
+    for name, got in zip(impls, outputs):
         results.append(
             AccuracyResult(
                 name=name,
@@ -92,6 +108,7 @@ def sgemm_accuracy_study(
 def cgemm_accuracy_study(
     m: int = 32, n: int = 32, k: int = 64, seed: int = 13,
     impls: dict[str, Callable] | None = None,
+    workers: int | None = None,
 ) -> list[AccuracyResult]:
     """Error of every FP32C GEMM implementation vs complex128."""
     rng = np.random.default_rng(seed)
@@ -103,9 +120,13 @@ def cgemm_accuracy_study(
     )
     c = np.zeros((m, n), dtype=np.complex128)
     ref = cgemm_fp64(a, b, c)
+    impls = impls or CGEMM_IMPLS
+    outputs = parallel_map(
+        _apply_impl, [(fn, a, b, c) for fn in impls.values()],
+        workers=workers, chunk_size=1,
+    )
     results = []
-    for name, fn in (impls or CGEMM_IMPLS).items():
-        got = fn(a, b, c)
+    for name, got in zip(impls, outputs):
         rel = np.abs(got - ref) / np.maximum(np.abs(ref), 1e-300)
         mx = float(np.max(rel))
         results.append(

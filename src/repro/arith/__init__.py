@@ -1,6 +1,11 @@
 """Exact and hardware-modelled arithmetic primitives."""
 
-from .accumulator import M3XU_ACC_BITS, TENSORCORE_ACC_BITS, aligned_sum
+from .accumulator import (
+    M3XU_ACC_BITS,
+    TENSORCORE_ACC_BITS,
+    aligned_sum,
+    aligned_sum_groups,
+)
 from .dotproduct import dot_product_unit, fma_chain_dot, pairwise_tree_dot
 from .exact import (
     chunked_dot,
@@ -13,6 +18,7 @@ from .exact import (
 
 __all__ = [
     "aligned_sum",
+    "aligned_sum_groups",
     "M3XU_ACC_BITS",
     "TENSORCORE_ACC_BITS",
     "dot_product_unit",

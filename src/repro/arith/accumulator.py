@@ -18,7 +18,7 @@ import numpy as np
 
 from ..types.rounding import RoundingMode
 
-__all__ = ["aligned_sum"]
+__all__ = ["aligned_sum", "aligned_sum_groups"]
 
 #: Width of the M3XU accumulation registers (Section IV-A).
 M3XU_ACC_BITS = 48
@@ -76,8 +76,14 @@ def aligned_sum(
         )
 
     moved = np.moveaxis(products, axis, -1)
-    bad = ~np.isfinite(moved)
-    safe = np.where(bad, 0.0, moved)
+    # Non-finite inputs are the exception; skip the mask + masked copy (two
+    # full-size temporaries) when everything is finite.
+    if np.isfinite(moved).all():
+        bad = None
+        safe = moved
+    else:
+        bad = ~np.isfinite(moved)
+        safe = np.where(bad, 0.0, moved)
 
     # Anchor: the largest magnitude exponent in each reduction group.
     absval = np.abs(safe)
@@ -96,7 +102,7 @@ def aligned_sum(
     out = np.ldexp(total.astype(np.float64), -scale[..., 0])
     out = np.where(nonzero[..., 0], out, 0.0)
 
-    if np.any(bad):
+    if bad is not None:
         # IEEE-style propagation: any NaN -> NaN; inf of one sign -> inf;
         # mixed infs -> NaN.
         nan_in = np.isnan(moved).any(axis=-1)
@@ -106,3 +112,67 @@ def aligned_sum(
         out = np.where(ninf & ~pinf, -np.inf, out)
         out = np.where(nan_in | (pinf & ninf), np.nan, out)
     return out
+
+
+def aligned_sum_groups(
+    groups: list[np.ndarray],
+    acc_bits: int | None = M3XU_ACC_BITS,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> np.ndarray:
+    """Windowed reduction of pre-grouped addends along their shared last axis.
+
+    Bit-identical to ``aligned_sum(np.concatenate(groups, axis=-1), axis=-1)``
+    without materialising the concatenation: the anchor is the running
+    maximum of the per-group maxima (max is associative), each group is
+    aligned and rounded against that anchor exactly as the monolithic path
+    would, and the integer partial sums accumulate into one preallocated
+    int64 register (integer addition is exact and commutative). This is the
+    reduction the fused MMA path uses: one group per multiplier-lane
+    assignment plus one for the C operand, no ``(M, N, parts*K+1)`` tensor.
+
+    Parameters
+    ----------
+    groups:
+        float64 arrays broadcast-compatible except along the last axis,
+        which is reduced across all groups jointly.
+    acc_bits / mode:
+        As for :func:`aligned_sum`.
+    """
+    groups = [np.asarray(g, dtype=np.float64) for g in groups]
+    if acc_bits is None:
+        return np.concatenate(groups, axis=-1).sum(axis=-1)
+    k_total = sum(g.shape[-1] for g in groups)
+    lead_shape = np.broadcast_shapes(*(g.shape[:-1] for g in groups))
+    groups = [g for g in groups if g.shape[-1] > 0]
+    if not groups:
+        return np.zeros(lead_shape, dtype=np.float64)
+    if acc_bits + int(np.ceil(np.log2(max(k_total, 1)))) + 2 > 63:
+        raise ValueError(
+            f"acc_bits={acc_bits} with K={k_total} overflows the int64 adder model"
+        )
+    if not all(np.isfinite(g).all() for g in groups):
+        # Non-finite propagation is the slow corner; defer to the reference.
+        return aligned_sum(
+            np.concatenate(groups, axis=-1), axis=-1, acc_bits=acc_bits, mode=mode
+        )
+
+    amax: np.ndarray | None = None
+    for g in groups:
+        gmax = np.abs(g).max(axis=-1)
+        amax = gmax if amax is None else np.maximum(amax, gmax)
+    assert amax is not None
+    nonzero = amax > 0.0
+    _, e = np.frexp(np.where(nonzero, amax, 1.0))
+    anchor = e.astype(np.int64) - 1  # amax in [2^anchor, 2^(anchor+1))
+
+    scale = acc_bits - 2 - anchor
+    total = np.zeros(lead_shape, dtype=np.int64)
+    for g in groups:
+        scaled = np.ldexp(g, scale[..., None])
+        if mode is RoundingMode.NEAREST_EVEN:
+            ints = np.rint(scaled).astype(np.int64)
+        else:
+            ints = np.trunc(scaled).astype(np.int64)
+        total += ints.sum(axis=-1)
+    out = np.ldexp(total.astype(np.float64), -scale)
+    return np.where(nonzero, out, 0.0)

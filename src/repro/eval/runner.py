@@ -1,9 +1,16 @@
-"""Run every experiment and render the full paper-vs-measured report."""
+"""Run every experiment and render the full paper-vs-measured report.
+
+Experiments are independent of each other, so :func:`run_all` can fan
+them out across worker processes (``workers=N`` or ``REPRO_WORKERS``);
+results are reassembled in experiment order and identical for every
+worker count.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..parallel import parallel_map
 from .experiments import (
     ExperimentResult,
     accuracy_claims,
@@ -36,10 +43,18 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_all(only: list[str] | None = None) -> dict[str, ExperimentResult]:
+def _run_experiment(name: str) -> ExperimentResult:
+    """Module-level (picklable) single-experiment entry point."""
+    return ALL_EXPERIMENTS[name]()
+
+
+def run_all(
+    only: list[str] | None = None, workers: int | None = None
+) -> dict[str, ExperimentResult]:
     """Execute the selected (default: all) experiments."""
     names = only or list(ALL_EXPERIMENTS)
-    return {name: ALL_EXPERIMENTS[name]() for name in names}
+    results = parallel_map(_run_experiment, names, workers=workers, chunk_size=1)
+    return dict(zip(names, results))
 
 
 def render_report(results: dict[str, ExperimentResult] | None = None) -> str:

@@ -6,6 +6,12 @@ radix-matrix multiplies), the EPG recursion and the quantum simulator —
 batch axis maps across dot-product units, so numerics per matrix are
 identical to the single-GEMM driver; this module provides the batched
 entry points and a strided view helper.
+
+Execution builds one :class:`~repro.gemm.plan.GemmPlan` over the whole
+batch (operands split once, not once per K-chunk) and can fan the batch
+axis out across worker processes (``workers=N`` or ``REPRO_WORKERS``).
+Each matrix's reduction is anchored independently, so results are
+bit-identical for every worker count and to the legacy per-chunk path.
 """
 
 from __future__ import annotations
@@ -14,47 +20,102 @@ import numpy as np
 
 from ..mxu.m3xu import M3XU
 from ..mxu.modes import MXUMode
+from ..parallel import parallel_map, resolve_workers, split_ranges
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
+from .plan import GemmPlan
 
 __all__ = ["batched_mxu_sgemm", "batched_mxu_cgemm", "strided_batch_view"]
 
 
-def _batched(a: np.ndarray, b: np.ndarray, mode: MXUMode, mxu: M3XU | None) -> np.ndarray:
-    unit = mxu or M3XU()
+def _check_batched(a: np.ndarray, b: np.ndarray) -> None:
     if a.ndim != 3 or b.ndim != 3:
         raise ValueError("batched GEMM expects 3-D operands (batch, rows, cols)")
     if a.shape[0] != b.shape[0]:
         raise ValueError(f"batch mismatch: {a.shape[0]} vs {b.shape[0]}")
     if a.shape[2] != b.shape[1]:
         raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+
+
+def _init_acc(a: np.ndarray, b: np.ndarray, mode: MXUMode) -> np.ndarray:
+    shape = (a.shape[0], a.shape[1], b.shape[2])
+    if mode is MXUMode.FP32C:
+        return np.zeros(shape, dtype=np.complex128)
+    return np.zeros(shape)
+
+
+def _batched_serial(
+    a: np.ndarray, b: np.ndarray, mode: MXUMode, unit: M3XU
+) -> np.ndarray:
+    """Plan-driven batched GEMM over one contiguous batch slice."""
+    acc = _init_acc(a, b, mode)
+    plan = GemmPlan.build(a, b, mode, unit.config.tile(mode).k)
+    for ch in plan.chunks():
+        acc = unit.mma_parts(
+            ch.a, ch.b, ch.a_parts, ch.b_parts, acc, mode, c_quantized=True
+        )
+    return acc
+
+
+def _batched_worker(
+    args: tuple[np.ndarray, np.ndarray, MXUMode, M3XU],
+) -> np.ndarray:
+    a, b, mode, unit = args
+    return _batched_serial(a, b, mode, unit)
+
+
+def _batched(
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: MXUMode,
+    mxu: M3XU | None,
+    workers: int | None = None,
+) -> np.ndarray:
+    unit = mxu or M3XU()
+    _check_batched(a, b)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or a.shape[0] <= 1:
+        return _batched_serial(a, b, mode, unit)
+    ranges = split_ranges(a.shape[0], n_workers)
+    pieces = parallel_map(
+        _batched_worker,
+        [(a[lo:hi], b[lo:hi], mode, unit) for lo, hi in ranges],
+        workers=n_workers,
+        chunk_size=1,
+    )
+    return np.concatenate(pieces, axis=0)
+
+
+def _batched_legacy(
+    a: np.ndarray, b: np.ndarray, mode: MXUMode, mxu: M3XU | None = None
+) -> np.ndarray:
+    """Pre-plan reference loop (kept for cross-validation and benchmarks)."""
+    unit = mxu or M3XU()
+    _check_batched(a, b)
     k = a.shape[2]
     chunk = unit.config.tile(mode).k
-    if mode is MXUMode.FP32C:
-        acc = np.zeros((a.shape[0], a.shape[1], b.shape[2]), dtype=np.complex128)
-    else:
-        acc = np.zeros((a.shape[0], a.shape[1], b.shape[2]))
+    acc = _init_acc(a, b, mode)
     for k0 in range(0, k, chunk):
         acc = unit.mma(a[:, :, k0 : k0 + chunk], b[:, k0 : k0 + chunk, :], acc, mode)
     return acc
 
 
 def batched_mxu_sgemm(
-    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None
+    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None, workers: int | None = None
 ) -> np.ndarray:
     """FP32 batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``."""
     a = quantize(np.asarray(a, dtype=np.float64), FP32)
     b = quantize(np.asarray(b, dtype=np.float64), FP32)
-    return _batched(a, b, MXUMode.FP32, mxu)
+    return _batched(a, b, MXUMode.FP32, mxu, workers)
 
 
 def batched_mxu_cgemm(
-    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None
+    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None, workers: int | None = None
 ) -> np.ndarray:
     """FP32C batched GEMM over complex128 operands."""
     a = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
     b = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
-    return _batched(a, b, MXUMode.FP32C, mxu)
+    return _batched(a, b, MXUMode.FP32C, mxu, workers)
 
 
 def strided_batch_view(x: np.ndarray, rows: int, cols: int) -> np.ndarray:

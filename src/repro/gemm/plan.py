@@ -1,0 +1,151 @@
+"""Split-plan caching: resolve operand decompositions once per GEMM.
+
+The legacy driver re-derived every operand slice inside the K-chunk loop:
+each ``M3XU.mma`` call re-quantised its chunk and re-ran
+:func:`~repro.mxu.dataflow.resolve_parts` on it, so an FP32 GEMM with
+``K/4`` chunks paid the hi/lo mantissa split ``K/4`` times per operand —
+pure allocation churn, since every split in
+:mod:`repro.types.decompose` is elementwise and therefore commutes with
+K-slicing. A :class:`GemmPlan` performs the quantisation and the split
+exactly once on the whole matrices and hands pre-split slices (views, no
+copies) to each MMA through the MXU models' ``mma_parts`` entry point.
+
+Bit-exactness: slicing a split equals splitting a slice, element for
+element, so a plan-driven GEMM is bit-identical to the legacy per-chunk
+path. The equivalence property suite asserts this across modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..mxu.dataflow import resolve_parts
+from ..mxu.modes import MXUMode, step_plan
+from ..types.formats import FP32
+from ..types.quantize import quantize, quantize_complex
+
+__all__ = ["OperandSplit", "PlannedChunk", "GemmPlan"]
+
+_SINGLE_STEP = (MXUMode.FP16, MXUMode.BF16, MXUMode.TF32)
+
+
+@dataclass(frozen=True)
+class OperandSplit:
+    """One GEMM operand, register-quantised and decomposed once for a mode.
+
+    Parameters
+    ----------
+    mode:
+        Operating mode the split was resolved for.
+    dense:
+        The quantised operand values (float64, or complex128 for FP32C) —
+        what the legacy driver would have fed ``mma`` chunk by chunk.
+    parts:
+        ``resolve_parts(dense, mode)``: part label -> float64 array of the
+        operand's shape.
+    """
+
+    mode: MXUMode
+    dense: np.ndarray
+    parts: Mapping[str, np.ndarray]
+
+    @classmethod
+    def build(cls, x: np.ndarray, mode: MXUMode) -> "OperandSplit":
+        """Quantise *x* as the tiled driver would and split it once."""
+        if mode is MXUMode.FP32C:
+            dense = quantize_complex(np.asarray(x, dtype=np.complex128), FP32)
+        elif mode is MXUMode.FP32:
+            dense = quantize(np.asarray(x, dtype=np.float64), FP32)
+        else:
+            dense = np.asarray(x, dtype=np.float64)
+        parts = resolve_parts(dense, mode)
+        if mode in _SINGLE_STEP:
+            # Single-step modes quantise inside resolve_parts; keep the
+            # dense view consistent with what the multipliers consume.
+            dense = parts["X"]
+        return cls(mode=mode, dense=dense, parts=parts)
+
+    @property
+    def k(self) -> int:
+        """Contraction extent (last axis of an A operand)."""
+        return self.dense.shape[-1]
+
+
+@dataclass(frozen=True)
+class PlannedChunk:
+    """Pre-split operand slices for one MMA instruction (views, no copies)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    a_parts: Mapping[str, np.ndarray]
+    b_parts: Mapping[str, np.ndarray]
+
+
+class GemmPlan:
+    """Pre-resolved execution plan for one ``A @ B`` pair.
+
+    Splits both operands once (see :class:`OperandSplit`) and serves
+    per-chunk slices to the driver loop. Operands may carry matching
+    leading batch dimensions: A is ``(..., M, K)``, B is ``(..., K, N)``.
+    """
+
+    def __init__(self, a_split: OperandSplit, b_split: OperandSplit, k_chunk: int):
+        if a_split.mode is not b_split.mode:
+            raise ValueError(
+                f"operand splits disagree on mode: {a_split.mode} vs {b_split.mode}"
+            )
+        if a_split.dense.shape[-1] != b_split.dense.shape[-2]:
+            raise ValueError(
+                f"K mismatch: A{a_split.dense.shape} @ B{b_split.dense.shape}"
+            )
+        if k_chunk < 1:
+            raise ValueError("k_chunk must be >= 1")
+        self.mode = a_split.mode
+        self.a_split = a_split
+        self.b_split = b_split
+        self.k_chunk = int(k_chunk)
+
+    @classmethod
+    def build(
+        cls, a: np.ndarray, b: np.ndarray, mode: MXUMode, k_chunk: int
+    ) -> "GemmPlan":
+        return cls(OperandSplit.build(a, mode), OperandSplit.build(b, mode), k_chunk)
+
+    # ------------------------------------------------------------------
+    @property
+    def k_total(self) -> int:
+        return self.a_split.dense.shape[-1]
+
+    @property
+    def out_shape(self) -> tuple[int, ...]:
+        a, b = self.a_split.dense, self.b_split.dense
+        return np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (
+            a.shape[-2],
+            b.shape[-1],
+        )
+
+    @property
+    def n_chunks(self) -> int:
+        return -(-self.k_total // self.k_chunk)
+
+    def steps_per_chunk(self) -> int:
+        """MXU steps (cycles) one chunk's MMA instruction takes."""
+        return step_plan(self.mode).n_steps
+
+    def chunks(self) -> Iterator[PlannedChunk]:
+        """Yield the K-chunks in execution order as pre-split slices."""
+        for k0 in range(0, self.k_total, self.k_chunk):
+            k1 = min(k0 + self.k_chunk, self.k_total)
+            yield PlannedChunk(
+                a=self.a_split.dense[..., :, k0:k1],
+                b=self.b_split.dense[..., k0:k1, :],
+                a_parts={
+                    name: p[..., :, k0:k1] for name, p in self.a_split.parts.items()
+                },
+                b_parts={
+                    name: p[..., k0:k1, :] for name, p in self.b_split.parts.items()
+                },
+            )

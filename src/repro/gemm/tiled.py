@@ -6,6 +6,12 @@ C operand of the next MMA), so each chunk boundary is an FP32 rounding
 point — the numerically significant part of mapping GEMM onto an MXU.
 The M/N dimensions are purely data-parallel across dot-product units and
 are therefore processed whole (tiling them would not change a single bit).
+
+By default the driver builds a :class:`~repro.gemm.plan.GemmPlan` so each
+operand is quantised and decomposed exactly once per GEMM instead of once
+per K-chunk (bit-identical; see :mod:`repro.gemm.plan`). ``use_plan=False``
+restores the legacy per-chunk path, also used for MXU models that do not
+expose the ``mma_parts`` entry point.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from ..mxu.m3xu import M3XU
 from ..mxu.modes import MXUMode
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
+from .plan import GemmPlan
 
 __all__ = ["MXULike", "TiledGEMM", "mxu_sgemm", "mxu_cgemm", "tensorcore_gemm"]
 
@@ -45,11 +52,15 @@ class TiledGEMM:
     k_chunk:
         K elements consumed per MMA instruction. Defaults to the MXU's
         instruction tile K for the mode.
+    use_plan:
+        Resolve operand splits once per GEMM (default). ``False`` forces
+        the legacy per-chunk quantise+split path (bit-identical, slower).
     """
 
     mxu: MXULike
     mode: MXUMode
     k_chunk: int | None = None
+    use_plan: bool = True
 
     def __post_init__(self) -> None:
         if self.k_chunk is None:
@@ -61,6 +72,36 @@ class TiledGEMM:
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0
     ) -> np.ndarray:
         """Compute ``A @ B + C`` by chaining MMA instructions along K."""
+        if self.use_plan and hasattr(self.mxu, "mma_parts"):
+            plan = GemmPlan.build(a, b, self.mode, int(self.k_chunk))
+            return self.run_plan(plan, c)
+        return self._run_legacy(a, b, c)
+
+    def run_plan(self, plan: GemmPlan, c: np.ndarray | float = 0.0) -> np.ndarray:
+        """Execute a pre-resolved :class:`~repro.gemm.plan.GemmPlan`."""
+        if plan.mode is not self.mode:
+            raise ValueError(f"plan mode {plan.mode} != driver mode {self.mode}")
+        acc = self._initial_acc(c, plan.out_shape)
+        for ch in plan.chunks():
+            acc = self.mxu.mma_parts(  # type: ignore[attr-defined]
+                ch.a, ch.b, ch.a_parts, ch.b_parts, acc, self.mode, c_quantized=True
+            )
+        return acc
+
+    def _initial_acc(
+        self, c: np.ndarray | float, out_shape: tuple[int, ...]
+    ) -> np.ndarray:
+        if self.mode is MXUMode.FP32C:
+            return np.broadcast_to(
+                quantize_complex(np.asarray(c, dtype=np.complex128), FP32), out_shape
+            ).copy()
+        return np.broadcast_to(
+            quantize(np.asarray(c, dtype=np.float64), FP32), out_shape
+        ).copy()
+
+    def _run_legacy(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float
+    ) -> np.ndarray:
         is_complex = self.mode is MXUMode.FP32C
         if is_complex:
             a = quantize_complex(np.asarray(a), FP32)

@@ -13,13 +13,16 @@ which is exactly the precision loss the software baselines must repair.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..arith.accumulator import aligned_sum
 from ..types.formats import FP32
 from ..types.quantize import quantize
 from .config import AMPERE_MXU, MXUConfig
-from .dataflow import lane_products
+from .dataflow import lane_products, resolve_parts
+from .fused import accumulate_mma, default_fastpath
 from .modes import MXUMode
 
 __all__ = ["TensorCoreMXU"]
@@ -32,6 +35,12 @@ class TensorCoreMXU:
     ----------
     config:
         Hardware configuration; defaults to the Ampere baseline.
+    fastpath:
+        Use the fused execution path of :mod:`repro.mxu.fused`
+        (bit-identical). ``None`` consults ``REPRO_FASTPATH``; ``False``
+        pins this instance to the legacy reference pipeline. The Ampere
+        27-bit window stays below the float64-proof threshold, so the fast
+        path here is the fused grouped reduction (no BLAS shortcut).
 
     Notes
     -----
@@ -42,8 +51,11 @@ class TensorCoreMXU:
     so that the inter-instruction FP32 rounding is modelled faithfully.
     """
 
-    def __init__(self, config: MXUConfig = AMPERE_MXU) -> None:
+    def __init__(
+        self, config: MXUConfig = AMPERE_MXU, fastpath: bool | None = None
+    ) -> None:
         self.config = config
+        self.fastpath = default_fastpath() if fastpath is None else bool(fastpath)
 
     def supported_modes(self) -> frozenset[MXUMode]:
         return self.config.modes
@@ -61,15 +73,61 @@ class TensorCoreMXU:
         (modelling the register-file conversion; pre-quantised data passes
         through unchanged).
         """
+        self._check_mode(mode)
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+        if not self.fastpath:
+            return self._mma_legacy(a, b, c, mode)
+        return self.mma_parts(
+            a, b, resolve_parts(a, mode), resolve_parts(b, mode), c, mode
+        )
+
+    def mma_parts(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        a_parts: Mapping[str, np.ndarray],
+        b_parts: Mapping[str, np.ndarray],
+        c: np.ndarray | float,
+        mode: MXUMode,
+        *,
+        c_quantized: bool = False,
+    ) -> np.ndarray:
+        """One MMA over pre-split operands (the plan-driven entry point).
+
+        See :meth:`repro.mxu.m3xu.M3XU.mma_parts`; for the baseline modes
+        the single part ``X`` is the input-format-quantised operand.
+        """
+        self._check_mode(mode)
+        c_arr = np.asarray(c, dtype=np.float64)
+        c_q = c_arr if c_quantized else quantize(c_arr, FP32)
+        return accumulate_mma(
+            [(a_parts["X"], b_parts["X"], False)],
+            a_parts,
+            b_parts,
+            mode,
+            "real",
+            c_q,
+            self.config.acc_bits,
+            self.config.acc_rounding,
+            FP32,
+            fast=self.fastpath,
+        )
+
+    def _check_mode(self, mode: MXUMode) -> None:
         if not self.config.supports(mode):
             raise ValueError(
                 f"{self.config.name} has no hardware support for {mode.value}; "
                 f"supported: {sorted(m.value for m in self.config.modes)}"
             )
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        if a.shape[-1] != b.shape[-2]:
-            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+
+    # Legacy reference pipeline (pre-fusion); kept callable so the fused
+    # path can be cross-validated bit-for-bit and benchmarked against it.
+    def _mma_legacy(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float, mode: MXUMode
+    ) -> np.ndarray:
         products = lane_products(a, b, mode)["real"]
         c_arr = np.broadcast_to(
             quantize(np.asarray(c, dtype=np.float64), FP32), products.shape[:-1]

@@ -19,9 +19,16 @@ modes, all built on the same 12-bit-significand multiplier lanes:
 
 One MMA = exact lane products -> wide aligned accumulation (48-bit model)
 -> single rounding into the output register format.
+
+Execution takes the fused fast path of :mod:`repro.mxu.fused` by default
+(bit-identical, dramatically faster); construct ``M3XU(fastpath=False)``
+or set ``REPRO_FASTPATH=0`` to force the legacy reference pipeline, which
+is kept callable for cross-validation and benchmarking.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 import numpy as np
 
@@ -29,7 +36,8 @@ from ..arith.accumulator import aligned_sum
 from ..types.formats import FP32, FP64, FloatFormat
 from ..types.quantize import quantize
 from .config import M3XU_CONFIG, MXUConfig
-from .dataflow import lane_products
+from .dataflow import lane_products, resolve_parts
+from .fused import accumulate_mma, default_fastpath
 from .modes import MXUMode, step_plan
 
 __all__ = ["M3XU"]
@@ -44,10 +52,17 @@ class M3XU:
         Hardware configuration (non-pipelined M3XU by default; the
         pipelined variant is numerically identical and differs only in the
         performance/synthesis models).
+    fastpath:
+        Use the fused/BLAS execution path (bit-identical to the legacy
+        pipeline). ``None`` consults ``REPRO_FASTPATH`` (default on);
+        ``False`` pins this instance to the legacy reference pipeline.
     """
 
-    def __init__(self, config: MXUConfig = M3XU_CONFIG) -> None:
+    def __init__(
+        self, config: MXUConfig = M3XU_CONFIG, fastpath: bool | None = None
+    ) -> None:
         self.config = config
+        self.fastpath = default_fastpath() if fastpath is None else bool(fastpath)
 
     # ------------------------------------------------------------------
     def supported_modes(self) -> frozenset[MXUMode]:
@@ -77,8 +92,20 @@ class M3XU:
         if not self.config.supports(mode):
             raise ValueError(f"{self.config.name} does not support {mode.value}")
         if mode is MXUMode.FP32C:
-            return self._mma_complex(a, b, c)
-        return self._mma_real(a, b, c, mode)
+            a = np.asarray(a, dtype=np.complex128)
+            b = np.asarray(b, dtype=np.complex128)
+        else:
+            a = np.asarray(a, dtype=np.float64)
+            b = np.asarray(b, dtype=np.float64)
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+        if not self.fastpath:
+            if mode is MXUMode.FP32C:
+                return self._mma_complex_legacy(a, b, c)
+            return self._mma_real_legacy(a, b, c, mode)
+        return self.mma_parts(
+            a, b, resolve_parts(a, mode), resolve_parts(b, mode), c, mode
+        )
 
     # Convenience wrappers mirroring the kernel names of Table II ---------
     def mma_fp32(self, a, b, c) -> np.ndarray:
@@ -94,31 +121,120 @@ class M3XU:
         return self.mma(a, b, c, MXUMode.FP64)
 
     # ------------------------------------------------------------------
-    def _mma_real(
+    def mma_parts(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        a_parts: Mapping[str, np.ndarray],
+        b_parts: Mapping[str, np.ndarray],
+        c: np.ndarray | float,
+        mode: MXUMode,
+        *,
+        c_quantized: bool = False,
+    ) -> np.ndarray:
+        """One MMA over pre-split operands (the plan-driven entry point).
+
+        *a*/*b* are the dense quantised operand slices, *a_parts*/*b_parts*
+        their :func:`~repro.mxu.dataflow.resolve_parts` decomposition —
+        typically views served by a :class:`~repro.gemm.plan.GemmPlan`, so
+        the split work is paid once per GEMM instead of once per K-chunk.
+        ``c_quantized=True`` skips the (idempotent) re-quantisation of an
+        accumulator that is already in register format, as it always is
+        between the chained MMAs of a K-chunk loop.
+        """
+        if not self.config.supports(mode):
+            raise ValueError(f"{self.config.name} does not support {mode.value}")
+        if mode is MXUMode.FP32C:
+            return self._mma_complex_parts(a, b, a_parts, b_parts, c, c_quantized)
+        return self._mma_real_parts(a, b, a_parts, b_parts, c, mode, c_quantized)
+
+    def _mma_real_parts(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        a_parts: Mapping[str, np.ndarray],
+        b_parts: Mapping[str, np.ndarray],
+        c: np.ndarray | float,
+        mode: MXUMode,
+        c_quantized: bool,
+    ) -> np.ndarray:
+        out_fmt = self.output_format(mode)
+        c_arr = np.asarray(c, dtype=np.float64)
+        c_q = c_arr if c_quantized else quantize(c_arr, out_fmt)
+        # FP64 mode's 54-bit lane products exceed the 48-bit path; its
+        # accumulation registers are FP64, modelled by the float64 path.
+        acc_bits = None if mode is MXUMode.FP64 else self.config.acc_bits
+        if "X" in a_parts:
+            # Single-step modes multiply the input-format-quantised operand,
+            # not the raw register value; the fast-path dot must match.
+            a, b = a_parts["X"], b_parts["X"]
+        return accumulate_mma(
+            [(a, b, False)],
+            a_parts,
+            b_parts,
+            mode,
+            "real",
+            c_q,
+            acc_bits,
+            self.config.acc_rounding,
+            out_fmt,
+            fast=self.fastpath,
+        )
+
+    def _mma_complex_parts(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        a_parts: Mapping[str, np.ndarray],
+        b_parts: Mapping[str, np.ndarray],
+        c: np.ndarray | complex,
+        c_quantized: bool,
+    ) -> np.ndarray:
+        c_arr = np.asarray(c, dtype=np.complex128)
+        ar, ai = np.ascontiguousarray(a.real), np.ascontiguousarray(a.imag)
+        br, bi = np.ascontiguousarray(b.real), np.ascontiguousarray(b.imag)
+        out = {}
+        # Eq. 9: Re = Ar*Br - Ai*Bi, Im = Ar*Bi + Ai*Br, each through its
+        # own 48-bit accumulation register.
+        for part, c_part, terms in (
+            ("real", c_arr.real, [(ar, br, False), (ai, bi, True)]),
+            ("imag", c_arr.imag, [(ar, bi, False), (ai, br, False)]),
+        ):
+            c_p = np.asarray(c_part, dtype=np.float64)
+            c_q = c_p if c_quantized else quantize(c_p, FP32)
+            out[part] = accumulate_mma(
+                terms,
+                a_parts,
+                b_parts,
+                MXUMode.FP32C,
+                part,
+                c_q,
+                self.config.acc_bits,
+                self.config.acc_rounding,
+                FP32,
+                fast=self.fastpath,
+            )
+        return out["real"] + 1j * out["imag"]
+
+    # ------------------------------------------------------------------
+    # Legacy reference pipeline (pre-fusion); kept callable so the fast
+    # path can be cross-validated bit-for-bit and benchmarked against it.
+    # ------------------------------------------------------------------
+    def _mma_real_legacy(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float, mode: MXUMode
     ) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        if a.shape[-1] != b.shape[-2]:
-            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
         out_fmt = self.output_format(mode)
         products = lane_products(a, b, mode)["real"]
         c_q = quantize(np.asarray(c, dtype=np.float64), out_fmt)
         c_arr = np.broadcast_to(c_q, products.shape[:-1])[..., None]
         addends = np.concatenate([products, c_arr], axis=-1)
-        # FP64 mode's 54-bit lane products exceed the 48-bit path; its
-        # accumulation registers are FP64, modelled by the float64 path.
         acc_bits = None if mode is MXUMode.FP64 else self.config.acc_bits
         wide = aligned_sum(addends, axis=-1, acc_bits=acc_bits)
         return quantize(wide, out_fmt)
 
-    def _mma_complex(
+    def _mma_complex_legacy(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | complex
     ) -> np.ndarray:
-        a = np.asarray(a, dtype=np.complex128)
-        b = np.asarray(b, dtype=np.complex128)
-        if a.shape[-1] != b.shape[-2]:
-            raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
         grouped = lane_products(a, b, MXUMode.FP32C)
         c_arr = np.asarray(c, dtype=np.complex128)
         out = {}

@@ -1,0 +1,103 @@
+"""Process-based parallel execution engine for the functional models.
+
+The emulation workloads are embarrassingly parallel at three natural
+grains: independent matrices of a batched GEMM, independent GEMM
+implementations of an accuracy sweep, and independent experiments of the
+full paper report. This module provides the one executor they all share.
+
+Work is distributed with a :class:`concurrent.futures.ProcessPoolExecutor`
+(numpy releases the GIL only inside BLAS; everything else in the emulator
+is Python-driven, so threads do not help). The contract every caller
+relies on:
+
+* ``workers=1`` (the default) runs serially in-process — no executor, no
+  pickling, byte-identical to the pre-parallel code path.
+* ``workers=N`` splits the work into deterministic, ordered chunks and
+  reassembles results in submission order, so outputs are identical for
+  every worker count.
+* The ``REPRO_WORKERS`` environment variable overrides the default for
+  callers that do not pass an explicit worker count (``0`` or a negative
+  value selects ``os.cpu_count()``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "split_ranges",
+    "parallel_map",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an effective worker count.
+
+    Explicit ``workers`` wins; otherwise ``REPRO_WORKERS`` is consulted;
+    otherwise 1 (serial). ``0`` or negative values select the machine's
+    CPU count.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            return 1
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def split_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most *parts* contiguous ``(start, stop)``
+    ranges of near-equal size (deterministic, order-preserving)."""
+    if n <= 0:
+        return []
+    parts = max(1, min(parts, n))
+    base, extra = divmod(n, parts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[_R]:
+    """Map *fn* over *items*, preserving order.
+
+    Serial for ``workers <= 1`` (or a single item); otherwise fans out over
+    a process pool with chunked work units. *fn* and the items must be
+    picklable in the parallel case (module-level functions and plain
+    data/numpy arrays are).
+    """
+    work: Sequence[_T] = list(items)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    n_workers = min(n_workers, len(work))
+    if chunk_size is None:
+        # ~4 chunks per worker bounds both scheduling overhead and tail
+        # imbalance without tuning per workload.
+        chunk_size = max(1, -(-len(work) // (n_workers * 4)))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, work, chunksize=chunk_size))

@@ -1,0 +1,323 @@
+"""Bit-identity of the fused/BLAS fast path against the legacy pipeline.
+
+Every execution-path optimisation in this repo claims *bit-identical*
+results: the fused grouped reduction, the float64 fast path with windowed
+fallback, the split-plan driver, and the parallel batch engine. This
+suite holds all of them to that claim — against the preserved legacy
+implementations (``fastpath=False`` / ``use_plan=False`` /
+``_batched_legacy``), across modes, rounding widths, worker counts, and
+adversarial inputs (subnormals, infinities, NaNs, signed zeros, heavy
+cancellation, midpoint ties).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accuracy.study import sgemm_accuracy_study
+from repro.arith.accumulator import aligned_sum, aligned_sum_groups
+from repro.eval.runner import run_all
+from repro.gemm.batched import _batched_legacy, batched_mxu_cgemm, batched_mxu_sgemm
+from repro.gemm.schemes import tensorop_sgemm_3xtf32
+from repro.gemm.tiled import TiledGEMM
+from repro.mxu.baseline import TensorCoreMXU
+from repro.mxu.bitlevel import bit_level_fp32_dot, bit_level_fp32c_dot
+from repro.mxu.m3xu import M3XU
+from repro.mxu.modes import MXUMode
+from repro.types.formats import FP32
+from repro.types.quantize import quantize, quantize_complex
+from repro.types.rounding import RoundingMode
+
+REAL_MODES = [MXUMode.FP32, MXUMode.FP64, MXUMode.TF32, MXUMode.BF16, MXUMode.FP16]
+ALL_MODES = REAL_MODES + [MXUMode.FP32C]
+
+
+def biteq(x, y) -> bool:
+    """Bitwise equality, NaN payloads and zero signs included."""
+    x, y = np.asarray(x), np.asarray(y)
+    return x.shape == y.shape and x.dtype == y.dtype and x.tobytes() == y.tobytes()
+
+
+def real_operands(rng, m, k, n, scale=1.0):
+    a = quantize(rng.standard_normal((m, k)) * scale, FP32)
+    b = quantize(rng.standard_normal((k, n)) * scale, FP32)
+    c = quantize(rng.standard_normal((m, n)) * scale, FP32)
+    return a, b, c
+
+
+def complex_operands(rng, m, k, n, scale=1.0):
+    a = quantize_complex(
+        (rng.standard_normal((m, k)) + 1j * rng.standard_normal((m, k))) * scale, FP32
+    )
+    b = quantize_complex(
+        (rng.standard_normal((k, n)) + 1j * rng.standard_normal((k, n))) * scale, FP32
+    )
+    c = quantize_complex(
+        (rng.standard_normal((m, n)) + 1j * rng.standard_normal((m, n))) * scale, FP32
+    )
+    return a, b, c
+
+
+class TestAlignedSumGroups:
+    """aligned_sum_groups == aligned_sum(concatenate(groups))."""
+
+    @pytest.mark.parametrize("acc_bits", [27, 48])
+    @pytest.mark.parametrize(
+        "mode", [RoundingMode.NEAREST_EVEN, RoundingMode.TOWARD_ZERO]
+    )
+    def test_matches_monolithic(self, rng, acc_bits, mode):
+        groups = [rng.standard_normal((6, 5, w)) * 10.0**rng.integers(-8, 8)
+                  for w in (3, 1, 7, 2)]
+        got = aligned_sum_groups(groups, acc_bits=acc_bits, mode=mode)
+        want = aligned_sum(
+            np.concatenate(groups, axis=-1), axis=-1, acc_bits=acc_bits, mode=mode
+        )
+        assert biteq(got, want)
+
+    def test_broadcast_groups(self, rng):
+        full = rng.standard_normal((4, 5, 3))
+        bcast = rng.standard_normal((1, 5, 2))  # broadcasts over the lead axis
+        got = aligned_sum_groups([full, bcast])
+        want = aligned_sum(
+            np.concatenate([full, np.broadcast_to(bcast, (4, 5, 2))], axis=-1), axis=-1
+        )
+        assert biteq(got, want)
+
+    def test_nonfinite_propagation(self, rng):
+        g1 = rng.standard_normal((8, 4))
+        g2 = rng.standard_normal((8, 3))
+        g1[0, 0] = np.inf
+        g1[1, 1] = -np.inf
+        g2[2, 0] = np.nan
+        g2[3, 1] = np.inf
+        g1[3, 2] = -np.inf
+        got = aligned_sum_groups([g1, g2])
+        want = aligned_sum(np.concatenate([g1, g2], axis=-1), axis=-1)
+        assert biteq(got, want)
+
+    def test_empty_and_zero_groups(self, rng):
+        g = rng.standard_normal((3, 4))
+        empty = np.zeros((3, 0))
+        assert biteq(aligned_sum_groups([g, empty]), aligned_sum(g, axis=-1))
+        zeros = np.zeros((3, 2))
+        assert biteq(
+            aligned_sum_groups([zeros, np.zeros((3, 0))]),
+            aligned_sum(zeros, axis=-1),
+        )
+
+    def test_fp64_path(self, rng):
+        groups = [rng.standard_normal((4, 3)), rng.standard_normal((4, 2))]
+        got = aligned_sum_groups(groups, acc_bits=None)
+        want = np.concatenate(groups, axis=-1).sum(axis=-1)
+        assert biteq(got, want)
+
+
+class TestMmaFastVsLegacy:
+    """M3XU.mma / TensorCoreMXU.mma: fastpath=True == fastpath=False."""
+
+    @pytest.mark.parametrize("mode", REAL_MODES)
+    def test_real_modes(self, rng, mode):
+        a, b, c = real_operands(rng, 8, 16, 4)
+        got = M3XU().mma(a, b, c, mode)
+        want = M3XU(fastpath=False).mma(a, b, c, mode)
+        assert biteq(got, want)
+
+    def test_fp32c(self, rng):
+        a, b, c = complex_operands(rng, 8, 16, 4)
+        got = M3XU().mma(a, b, c, MXUMode.FP32C)
+        want = M3XU(fastpath=False).mma(a, b, c, MXUMode.FP32C)
+        assert biteq(got, want)
+
+    @pytest.mark.parametrize("mode", [MXUMode.TF32, MXUMode.BF16, MXUMode.FP16])
+    def test_tensorcore(self, rng, mode):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 4))
+        c = rng.standard_normal((8, 4))
+        got = TensorCoreMXU().mma(a, b, c, mode)
+        want = TensorCoreMXU(fastpath=False).mma(a, b, c, mode)
+        assert biteq(got, want)
+
+    @pytest.mark.parametrize(
+        "scale",
+        [1e-40, 1e-30, 1e30, 1.0],
+        ids=["subnormal", "tiny", "huge", "unit"],
+    )
+    def test_extreme_scales(self, rng, scale):
+        a, b, c = real_operands(rng, 6, 12, 5, scale=scale)
+        got = M3XU().mma_fp32(a, b, c)
+        want = M3XU(fastpath=False).mma_fp32(a, b, c)
+        assert biteq(got, want)
+
+    def test_nonfinite_inputs(self, rng):
+        a, b, c = real_operands(rng, 6, 12, 5)
+        a[0, 0] = np.inf
+        a[1, 1] = np.nan
+        b[2, 0] = -np.inf
+        c[3, 3] = np.nan
+        got = M3XU().mma_fp32(a, b, c)
+        want = M3XU(fastpath=False).mma_fp32(a, b, c)
+        assert biteq(got, want)
+
+    def test_signed_zero_and_cancellation(self, rng):
+        # Rows of A are exact negations -> many exact-zero dot products,
+        # which the fast path must route through the windowed fallback to
+        # get the canonical zero sign.
+        a = quantize(rng.standard_normal((4, 8)), FP32)
+        a = np.concatenate([a, -a], axis=0)
+        b = quantize(rng.standard_normal((8, 5)), FP32)
+        ones = np.ones((8, 5))
+        c = np.zeros((8, 5))
+        for bb in (b, ones):
+            got = M3XU().mma_fp32(a @ np.eye(8), bb, c)  # noqa: mixed signs
+            want = M3XU(fastpath=False).mma_fp32(a @ np.eye(8), bb, c)
+            assert biteq(got, want)
+        # negative-zero C operand
+        cz = np.where(rng.random((8, 5)) < 0.5, -0.0, 0.0)
+        za = np.zeros((8, 8))
+        got = M3XU().mma_fp32(za, b, cz)
+        want = M3XU(fastpath=False).mma_fp32(za, b, cz)
+        assert biteq(got, want)
+
+    def test_midpoint_ties(self):
+        # 1 + 2^-24 is an FP32 midpoint: the result hinges on one bit far
+        # below the leading addend -- exactly where a sloppy fast path
+        # would round differently.
+        a = np.array([[1.0, 2.0**-24, 2.0**-25, -(2.0**-25)]])
+        b = np.ones((4, 1))
+        for c in (0.0, 2.0**-24, -(2.0**-24)):
+            got = M3XU().mma_fp32(a, b, c)
+            want = M3XU(fastpath=False).mma_fp32(a, b, c)
+            assert biteq(got, want)
+
+    @given(
+        k=st.integers(1, 24),
+        seed=st.integers(0, 2**31),
+        expo=st.integers(-12, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_property(self, k, seed, expo):
+        rng = np.random.default_rng(seed)
+        a, b, c = real_operands(rng, 4, k, 3, scale=2.0**expo)
+        assert biteq(
+            M3XU().mma_fp32(a, b, c), M3XU(fastpath=False).mma_fp32(a, b, c)
+        )
+
+    @given(k=st.integers(1, 16), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_property_complex(self, k, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = complex_operands(rng, 3, k, 4)
+        assert biteq(
+            M3XU().mma_fp32c(a, b, c), M3XU(fastpath=False).mma_fp32c(a, b, c)
+        )
+
+
+class TestPlanVsLegacyDriver:
+    """TiledGEMM use_plan=True == use_plan=False (per-chunk re-splitting)."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_all_modes_ragged_k(self, rng, mode):
+        k = 37  # not a multiple of any instruction K -> ragged tail chunk
+        if mode is MXUMode.FP32C:
+            a = rng.standard_normal((9, k)) + 1j * rng.standard_normal((9, k))
+            b = rng.standard_normal((k, 7)) + 1j * rng.standard_normal((k, 7))
+            c = rng.standard_normal((9, 7)) + 1j * rng.standard_normal((9, 7))
+        else:
+            a = rng.standard_normal((9, k))
+            b = rng.standard_normal((k, 7))
+            c = rng.standard_normal((9, 7))
+        mxu = M3XU()
+        got = TiledGEMM(mxu, mode).run(a, b, c)
+        want = TiledGEMM(M3XU(fastpath=False), mode, use_plan=False).run(a, b, c)
+        assert biteq(got, want)
+
+    def test_plan_only_differs_from_fastpath_only_never(self, rng):
+        # plan + legacy-mma and no-plan + fastpath-mma both equal baseline.
+        a, b, c = real_operands(rng, 8, 29, 6)
+        base = TiledGEMM(M3XU(fastpath=False), MXUMode.FP32, use_plan=False).run(a, b, c)
+        assert biteq(TiledGEMM(M3XU(fastpath=False), MXUMode.FP32).run(a, b, c), base)
+        assert biteq(
+            TiledGEMM(M3XU(), MXUMode.FP32, use_plan=False).run(a, b, c), base
+        )
+
+    def test_split_scheme(self, rng):
+        a, b, c = real_operands(rng, 12, 33, 10)
+        got = tensorop_sgemm_3xtf32(a, b, c, TensorCoreMXU())
+        want = tensorop_sgemm_3xtf32(a, b, c, TensorCoreMXU(fastpath=False))
+        assert biteq(got, want)
+
+
+class TestBatchedAndParallel:
+    """Batched plan path == legacy loop; workers=1 == workers=4."""
+
+    def test_batched_sgemm(self, rng):
+        a = rng.standard_normal((6, 8, 21))
+        b = rng.standard_normal((6, 21, 5))
+        got = batched_mxu_sgemm(a, b)
+        want = _batched_legacy(
+            quantize(a, FP32), quantize(b, FP32), MXUMode.FP32, M3XU(fastpath=False)
+        )
+        assert biteq(got, want)
+
+    def test_batched_cgemm(self, rng):
+        a = rng.standard_normal((6, 4, 13)) + 1j * rng.standard_normal((6, 4, 13))
+        b = rng.standard_normal((6, 13, 5)) + 1j * rng.standard_normal((6, 13, 5))
+        got = batched_mxu_cgemm(a, b)
+        want = _batched_legacy(
+            quantize_complex(a, FP32),
+            quantize_complex(b, FP32),
+            MXUMode.FP32C,
+            M3XU(fastpath=False),
+        )
+        assert biteq(got, want)
+
+    def test_batched_workers_identical(self, rng):
+        a = rng.standard_normal((7, 8, 16))
+        b = rng.standard_normal((7, 16, 6))
+        assert biteq(
+            batched_mxu_sgemm(a, b, workers=1), batched_mxu_sgemm(a, b, workers=4)
+        )
+        ac = a + 1j * rng.standard_normal(a.shape)
+        bc = b + 1j * rng.standard_normal(b.shape)
+        assert biteq(
+            batched_mxu_cgemm(ac, bc, workers=1), batched_mxu_cgemm(ac, bc, workers=4)
+        )
+
+    def test_run_all_workers_identical(self):
+        serial = run_all(only=["table1", "fig2"], workers=1)
+        fanned = run_all(only=["table1", "fig2"], workers=4)
+        assert list(serial) == list(fanned)
+        for name in serial:
+            assert serial[name] == fanned[name]
+
+    def test_accuracy_study_workers_identical(self):
+        serial = sgemm_accuracy_study(m=8, n=8, k=16, workers=1)
+        fanned = sgemm_accuracy_study(m=8, n=8, k=16, workers=4)
+        assert serial == fanned
+
+
+class TestBitlevelCrossValidation:
+    """The fast path still matches the bit-level golden datapath."""
+
+    @given(data=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, min_value=-1e8, max_value=1e8),
+        min_size=17, max_size=17,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_fp32_dot(self, data):
+        a = quantize(np.array(data[:8]), FP32)
+        b = quantize(np.array(data[8:16]), FP32)
+        c = float(quantize(np.array(data[16]), FP32))
+        got = M3XU().mma_fp32(a[None, :], b[:, None], c)[0, 0]
+        assert got == bit_level_fp32_dot(a, b, c)
+
+    def test_fp32c_dot(self, rng):
+        a = quantize_complex(
+            rng.standard_normal(6) + 1j * rng.standard_normal(6), FP32
+        )
+        b = quantize_complex(
+            rng.standard_normal(6) + 1j * rng.standard_normal(6), FP32
+        )
+        got = M3XU().mma_fp32c(a[None, :], b[:, None], 0.0)[0, 0]
+        assert got == bit_level_fp32c_dot(a, b, 0.0)
