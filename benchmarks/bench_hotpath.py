@@ -8,6 +8,10 @@ acceptance speedups (>=3x on the 512^3 FP32 single GEMM, >=2x on batched
 FP32C) and writes the measurements to ``BENCH_hotpath.json`` at the repo
 root for machine consumption.
 
+Every timing — fast *and* legacy — is best-of-3 ``time.perf_counter``
+wall time, so the JSON deltas are comparable across runs and PRs instead
+of being hostage to one noisy measurement.
+
 ``REPRO_BENCH_SMOKE=1`` shrinks every shape so the suite doubles as a CI
 smoke test (bit-identity still asserted; speedup thresholds waived at toy
 sizes).
@@ -92,7 +96,7 @@ def test_sgemm_single(benchmark):
 
     got = benchmark.pedantic(fast_driver.run, args=(a, b), rounds=3, iterations=1)
     fast_s, _ = _timed(lambda: fast_driver.run(a, b))
-    legacy_s, want = _timed(lambda: legacy_driver.run(a, b), repeats=1)
+    legacy_s, want = _timed(lambda: legacy_driver.run(a, b))
 
     assert got.tobytes() == want.tobytes()
     _record("mxu_sgemm", f"{n}x{n}x{n}", "fp32", legacy_s, fast_s, 3.0)
@@ -112,7 +116,7 @@ def test_cgemm_single(benchmark):
 
     got = benchmark.pedantic(fast_driver.run, args=(a, b), rounds=3, iterations=1)
     fast_s, _ = _timed(lambda: fast_driver.run(a, b))
-    legacy_s, want = _timed(lambda: legacy_driver.run(a, b), repeats=1)
+    legacy_s, want = _timed(lambda: legacy_driver.run(a, b))
 
     assert got.tobytes() == want.tobytes()
     _record("mxu_cgemm", f"{n}x{n}x{n}", "fp32c", legacy_s, fast_s, 2.0)
@@ -128,7 +132,7 @@ def test_sgemm_batched(benchmark):
     fast_s, _ = _timed(lambda: batched_mxu_sgemm(a, b))
     aq, bq = quantize(a, FP32), quantize(b, FP32)
     legacy_s, want = _timed(
-        lambda: _batched_legacy(aq, bq, MXUMode.FP32, M3XU(fastpath=False)), repeats=1
+        lambda: _batched_legacy(aq, bq, MXUMode.FP32, M3XU(fastpath=False))
     )
 
     assert got.tobytes() == want.tobytes()
@@ -146,7 +150,7 @@ def test_cgemm_batched(benchmark):
     aq = quantize_complex(a, FP32)
     bq = quantize_complex(b, FP32)
     legacy_s, want = _timed(
-        lambda: _batched_legacy(aq, bq, MXUMode.FP32C, M3XU(fastpath=False)), repeats=1
+        lambda: _batched_legacy(aq, bq, MXUMode.FP32C, M3XU(fastpath=False))
     )
 
     assert got.tobytes() == want.tobytes()

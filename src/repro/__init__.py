@@ -11,6 +11,9 @@ Public API tour
 * ``repro.synthesis`` — the Table III area/cycle/power cost model.
 * ``repro.apps`` — FFT, DNN training, MRF, kNN, quantum case studies.
 * ``repro.eval`` — one runner per paper table/figure.
+* ``repro.parallel`` / ``repro.cache`` — the execution engine: persistent
+  worker pool with zero-copy operand transfer, and the content-addressed
+  result cache (see ``docs/performance.md``).
 """
 
 from .mxu import M3XU, MXUMode, TensorCoreMXU

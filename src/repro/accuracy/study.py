@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..cache import memoize
 from ..gemm.reference import cgemm_fp64, cgemm_simt, gemm_fp64, sgemm_simt
 from ..gemm.schemes import (
     eehc_sgemm_3xbf16,
@@ -74,6 +75,7 @@ def _apply_impl(args: tuple[Callable, np.ndarray, np.ndarray, np.ndarray]) -> np
     return fn(a, b, c)
 
 
+@memoize(ignore=("workers",))
 def sgemm_accuracy_study(
     m: int = 48, n: int = 48, k: int = 96, seed: int = 11,
     impls: dict[str, Callable] | None = None,
@@ -82,7 +84,10 @@ def sgemm_accuracy_study(
     """Error of every FP32 GEMM implementation vs float64 (well-conditioned).
 
     *workers* fans the (independent) implementations out across processes;
-    the result list is identical for every worker count.
+    the result list is identical for every worker count — which is why
+    *workers* is excluded from the memoisation key. Repeated studies on
+    the same (m, n, k, seed, impls) replay the cached result; pass
+    ``use_cache=False`` to force recomputation.
     """
     rng = np.random.default_rng(seed)
     a, b, c = _well_conditioned(rng, m, n, k)
@@ -105,12 +110,14 @@ def sgemm_accuracy_study(
     return results
 
 
+@memoize(ignore=("workers",))
 def cgemm_accuracy_study(
     m: int = 32, n: int = 32, k: int = 64, seed: int = 13,
     impls: dict[str, Callable] | None = None,
     workers: int | None = None,
 ) -> list[AccuracyResult]:
-    """Error of every FP32C GEMM implementation vs complex128."""
+    """Error of every FP32C GEMM implementation vs complex128 (memoised
+    like :func:`sgemm_accuracy_study`)."""
     rng = np.random.default_rng(seed)
     a = quantize_complex(
         rng.uniform(0.5, 1.5, size=(m, k)) + 1j * rng.uniform(0.5, 1.5, size=(m, k)), FP32

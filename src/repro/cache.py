@@ -1,0 +1,277 @@
+"""Content-addressed result cache for experiments and studies.
+
+Repeated ``run_all`` sweeps and report renders recompute byte-identical
+results: every experiment is a pure function of its configuration, the
+operands are seeded, and the functional models are deterministic. This
+module memoises those results behind a stable content address so a
+second sweep in the same process (or, opted in, across processes) is
+near-free.
+
+Keys are a SHA-256 digest over a canonical encoding of
+
+* the target's qualified name (``module.qualname``),
+* a code-version salt (:data:`CODE_SALT` — bump it whenever numerics
+  change so stale entries can never resurface), and
+* the call's configuration/operands (ints, floats, strings, ndarrays,
+  enums, callables-by-name, and containers thereof).
+
+Storage is two-layer: an in-memory LRU always on, plus an opt-in
+on-disk layer rooted at ``REPRO_CACHE_DIR``. Entries are stored
+*pickled* and unpickled per hit, so callers can mutate what they get
+back without corrupting the cache. ``REPRO_CACHE=0`` (CLI: an explicit
+``use_cache=False`` / ``--no-cache``) bypasses every layer; the cold
+path is bit-identical because cached values were produced by exactly
+the code that would otherwise run.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "CODE_SALT",
+    "cache_enabled",
+    "stable_digest",
+    "ResultCache",
+    "DEFAULT_CACHE",
+    "memoize",
+]
+
+#: Environment variable naming the on-disk cache root (unset: memory only).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable gating the whole cache (``0``/``false``/``off``).
+CACHE_ENV = "REPRO_CACHE"
+
+#: Version salt folded into every key. Bump on numerics-affecting changes.
+CODE_SALT = "repro-cache-v1"
+
+_MISS = object()
+
+
+def cache_enabled() -> bool:
+    """Whether caching is globally enabled (the ``REPRO_CACHE`` gate)."""
+    return os.environ.get(CACHE_ENV, "").strip().lower() not in ("0", "false", "off")
+
+
+# ----------------------------------------------------------------------
+# Stable content addressing
+# ----------------------------------------------------------------------
+def _feed(h, obj: Any) -> None:
+    """Canonical type-tagged encoding of *obj* into hash *h*.
+
+    Tags prevent cross-type collisions (``1`` vs ``1.0`` vs ``"1"``);
+    containers encode length + elements; dict/set entries are sorted by
+    their own digests so insertion order is irrelevant.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, int):
+        raw = obj.to_bytes((obj.bit_length() + 15) // 8 + 1, "little", signed=True)
+        h.update(b"i%d:" % len(raw) + raw)
+    elif isinstance(obj, float):
+        h.update(b"f" + np.float64(obj).tobytes())
+    elif isinstance(obj, complex):
+        h.update(b"c" + np.complex128(obj).tobytes())
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"s%d:" % len(raw) + raw)
+    elif isinstance(obj, (bytes, bytearray)):
+        h.update(b"y%d:" % len(obj) + bytes(obj))
+    elif isinstance(obj, np.ndarray):
+        h.update(b"a" + obj.dtype.str.encode("ascii"))
+        _feed(h, obj.shape)
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        h.update(b"g" + obj.dtype.str.encode("ascii") + obj.tobytes())
+    elif isinstance(obj, Enum):
+        _feed(h, (type(obj).__qualname__, obj.name))
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"T" if isinstance(obj, tuple) else b"L")
+        h.update(b"%d:" % len(obj))
+        for el in obj:
+            _feed(h, el)
+    elif isinstance(obj, (dict, set, frozenset)):
+        entries = obj.items() if isinstance(obj, dict) else ((e,) for e in obj)
+        digests = sorted(stable_digest(*entry) for entry in entries)
+        h.update(b"D%d:" % len(digests))
+        for d in digests:
+            h.update(d.encode("ascii"))
+    elif callable(obj):
+        name = f"{getattr(obj, '__module__', '?')}.{getattr(obj, '__qualname__', repr(obj))}"
+        h.update(b"F")
+        _feed(h, name)
+    else:
+        # Last resort: type-qualified pickle. Deterministic for the
+        # plain dataclasses/config objects that reach the cache.
+        h.update(b"P")
+        _feed(h, type(obj).__qualname__)
+        h.update(pickle.dumps(obj, protocol=4))
+
+
+def stable_digest(*objs: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of *objs*."""
+    h = hashlib.sha256()
+    for obj in objs:
+        _feed(h, obj)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Two-layer (memory LRU + optional disk) pickled-value store."""
+
+    def __init__(self, maxsize: int = 256, directory: str | os.PathLike | None = None):
+        self.maxsize = maxsize
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self._mem: OrderedDict[str, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _disk_dir(self) -> Path | None:
+        root = self.directory or os.environ.get(CACHE_DIR_ENV, "").strip()
+        return Path(root) if root else None
+
+    def _disk_path(self, key: str) -> Path | None:
+        root = self._disk_dir()
+        return root / f"{key}.pkl" if root else None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for *key* (unpickled fresh), else *default*."""
+        with self._lock:
+            blob = self._mem.get(key)
+            if blob is not None:
+                self._mem.move_to_end(key)
+        if blob is None:
+            path = self._disk_path(key)
+            if path is not None and path.is_file():
+                try:
+                    blob = path.read_bytes()
+                except OSError:
+                    blob = None
+            if blob is not None:
+                self._remember(key, blob)
+        if blob is None:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* under *key* in memory and (if configured) disk."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._remember(key, blob)
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)  # atomic: readers never see partials
+            except OSError:
+                pass  # disk layer is best-effort
+
+    def _remember(self, key: str, blob: bytes) -> None:
+        with self._lock:
+            self._mem[key] = blob
+            self._mem.move_to_end(key)
+            while len(self._mem) > self.maxsize:
+                self._mem.popitem(last=False)
+
+    def clear(self, memory: bool = True, disk: bool = False) -> None:
+        if memory:
+            with self._lock:
+                self._mem.clear()
+            self.hits = self.misses = 0
+        if disk:
+            root = self._disk_dir()
+            if root is not None and root.is_dir():
+                for path in root.glob("*.pkl"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+    def info(self) -> dict[str, Any]:
+        root = self._disk_dir()
+        return {
+            "entries": len(self._mem),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_dir": str(root) if root else None,
+        }
+
+
+#: The process-wide cache every memoised entry point shares.
+DEFAULT_CACHE = ResultCache()
+
+
+# ----------------------------------------------------------------------
+# Memoisation decorator
+# ----------------------------------------------------------------------
+def memoize(
+    fn: Callable | None = None,
+    *,
+    salt: str = "",
+    ignore: tuple[str, ...] = (),
+    cache: ResultCache | None = None,
+) -> Callable:
+    """Memoise *fn* through the content-addressed cache.
+
+    The key covers the function's qualified name, :data:`CODE_SALT`,
+    *salt*, and the bound call arguments (defaults applied) minus any
+    parameter named in *ignore* — list there the knobs that cannot
+    change the result, e.g. ``workers``. The wrapper grows a reserved
+    ``use_cache`` keyword: ``False`` bypasses the cache for that call
+    (``None`` defers to the ``REPRO_CACHE`` gate).
+    """
+
+    def deco(f: Callable) -> Callable:
+        qualname = f"{f.__module__}.{f.__qualname__}"
+        sig = inspect.signature(f)
+        store = cache if cache is not None else DEFAULT_CACHE
+
+        @functools.wraps(f)
+        def wrapper(*args, use_cache: bool | None = None, **kwargs):
+            if use_cache is False or (use_cache is None and not cache_enabled()):
+                return f(*args, **kwargs)
+            bound = sig.bind(*args, **kwargs)
+            bound.apply_defaults()
+            keyed = {
+                name: val
+                for name, val in bound.arguments.items()
+                if name not in ignore
+            }
+            key = stable_digest(CODE_SALT, salt, qualname, keyed)
+            hit = store.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+            out = f(*args, **kwargs)
+            store.put(key, out)
+            return out
+
+        wrapper.__wrapped__ = f
+        return wrapper
+
+    return deco(fn) if fn is not None else deco

@@ -2,9 +2,11 @@
 
 Commands
 --------
-``report [names...]``
+``report [names...] [--workers N] [--no-cache]``
     Regenerate paper tables/figures (default: all) and print the
-    paper-vs-measured report.
+    paper-vs-measured report. Results are served from the content-
+    addressed cache when available; ``--no-cache`` (or ``REPRO_CACHE=0``)
+    forces a bit-identical cold recomputation.
 ``gemm --m --n --k [--complex] [--kernel ...]``
     Model one GEMM on every (or one) Table IV kernel.
 ``synthesis``
@@ -35,6 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("report", help="regenerate paper tables/figures")
     rep.add_argument("names", nargs="*", help="experiment names (default: all)")
+    rep.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: REPRO_WORKERS or serial)")
+    rep.add_argument("--no-cache", action="store_true", dest="no_cache",
+                     help="bypass the result cache (bit-identical, just slower)")
 
     gemm = sub.add_parser("gemm", help="model one GEMM problem")
     gemm.add_argument("--m", type=int, required=True)
@@ -46,7 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["a100", "a100_emulation", "h100", "mi100"])
 
     sub.add_parser("synthesis", help="print the Table III model")
-    sub.add_parser("accuracy", help="run the Section V-B study")
+    acc = sub.add_parser("accuracy", help="run the Section V-B study")
+    acc.add_argument("--no-cache", action="store_true", dest="no_cache",
+                     help="bypass the result cache")
     sub.add_parser("design-space", help="Section IV-C design points")
 
     peaks = sub.add_parser("peaks", help="device peak throughput (Table I)")
@@ -68,7 +76,13 @@ def _cmd_report(args) -> int:
     if unknown:
         print(f"unknown experiments {unknown}; available: {sorted(ALL_EXPERIMENTS)}")
         return 2
-    print(render_report(run_all(args.names or None)))
+    if args.no_cache:
+        # Through the environment so worker processes and nested
+        # memoised calls (fig4/fig5, accuracy studies) see it too.
+        import os
+
+        os.environ["REPRO_CACHE"] = "0"
+    print(render_report(run_all(args.names or None, workers=args.workers)))
     return 0
 
 
@@ -109,9 +123,13 @@ def _cmd_synthesis(_args) -> int:
     return 0
 
 
-def _cmd_accuracy(_args) -> int:
+def _cmd_accuracy(args) -> int:
     from .accuracy import cgemm_accuracy_study, sgemm_accuracy_study
 
+    if args.no_cache:
+        import os
+
+        os.environ["REPRO_CACHE"] = "0"
     print("FP32 GEMM implementations vs float64 reference:")
     for r in sgemm_accuracy_study():
         print(f"  {r.name:12s} matching_bits={r.matching_bits:5.1f}  "

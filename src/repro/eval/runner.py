@@ -4,12 +4,20 @@ Experiments are independent of each other, so :func:`run_all` can fan
 them out across worker processes (``workers=N`` or ``REPRO_WORKERS``);
 results are reassembled in experiment order and identical for every
 worker count.
+
+Results are also content-addressed through :mod:`repro.cache`: a second
+``run_all`` (or report render) in the same process — or across
+processes when ``REPRO_CACHE_DIR`` is set — replays cached experiment
+results instead of recomputing them. ``use_cache=False`` (CLI:
+``--no-cache``; env: ``REPRO_CACHE=0``) forces the cold path, which is
+bit-identical by construction.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..cache import CODE_SALT, DEFAULT_CACHE, cache_enabled, stable_digest
 from ..parallel import parallel_map
 from .experiments import (
     ExperimentResult,
@@ -48,18 +56,49 @@ def _run_experiment(name: str) -> ExperimentResult:
     return ALL_EXPERIMENTS[name]()
 
 
+def _experiment_key(name: str) -> str:
+    """Content address of one experiment: its name, the function that
+    computes it, and the cache code salt."""
+    return stable_digest(CODE_SALT, "experiment", name, ALL_EXPERIMENTS[name])
+
+
+_MISS = object()
+
+
 def run_all(
-    only: list[str] | None = None, workers: int | None = None
+    only: list[str] | None = None,
+    workers: int | None = None,
+    use_cache: bool | None = None,
 ) -> dict[str, ExperimentResult]:
-    """Execute the selected (default: all) experiments."""
+    """Execute the selected (default: all) experiments.
+
+    Cached results are replayed where available (same keys, same code
+    salt); only the misses are computed — fanned out across *workers*
+    processes when requested — then stored for the next sweep.
+    """
     names = only or list(ALL_EXPERIMENTS)
-    results = parallel_map(_run_experiment, names, workers=workers, chunk_size=1)
-    return dict(zip(names, results))
+    caching = cache_enabled() if use_cache is None else use_cache
+    results: dict[str, ExperimentResult] = {}
+    missing: list[str] = []
+    for name in names:
+        hit = DEFAULT_CACHE.get(_experiment_key(name), _MISS) if caching else _MISS
+        if hit is _MISS:
+            missing.append(name)
+        else:
+            results[name] = hit
+    if missing:
+        computed = parallel_map(_run_experiment, missing, workers=workers, chunk_size=1)
+        for name, result in zip(missing, computed):
+            if caching:
+                DEFAULT_CACHE.put(_experiment_key(name), result)
+            results[name] = result
+    return {name: results[name] for name in names}
 
 
 def render_report(results: dict[str, ExperimentResult] | None = None) -> str:
     """The full text report (what EXPERIMENTS.md summarises)."""
-    results = results or run_all()
+    if results is None:  # an explicit empty selection renders empty
+        results = run_all()
     return "\n\n".join(r.render() for r in results.values())
 
 

@@ -12,6 +12,11 @@ batch (operands split once, not once per K-chunk) and can fan the batch
 axis out across worker processes (``workers=N`` or ``REPRO_WORKERS``).
 Each matrix's reduction is anchored independently, so results are
 bit-identical for every worker count and to the legacy per-chunk path.
+
+The fan-out rides the v2 engine: the worker pool persists across calls
+(no spawn cost per batch) and operand slices above the shared-memory
+threshold travel zero-copy instead of through pickle. ``fresh_pool=True``
+restores the v1 pool-per-call engine for comparison benchmarks.
 """
 
 from __future__ import annotations
@@ -70,6 +75,7 @@ def _batched(
     mode: MXUMode,
     mxu: M3XU | None,
     workers: int | None = None,
+    fresh_pool: bool = False,
 ) -> np.ndarray:
     unit = mxu or M3XU()
     _check_batched(a, b)
@@ -82,6 +88,7 @@ def _batched(
         [(a[lo:hi], b[lo:hi], mode, unit) for lo, hi in ranges],
         workers=n_workers,
         chunk_size=1,
+        fresh_pool=fresh_pool,
     )
     return np.concatenate(pieces, axis=0)
 
@@ -101,21 +108,29 @@ def _batched_legacy(
 
 
 def batched_mxu_sgemm(
-    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None, workers: int | None = None
+    a: np.ndarray,
+    b: np.ndarray,
+    mxu: M3XU | None = None,
+    workers: int | None = None,
+    fresh_pool: bool = False,
 ) -> np.ndarray:
     """FP32 batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``."""
     a = quantize(np.asarray(a, dtype=np.float64), FP32)
     b = quantize(np.asarray(b, dtype=np.float64), FP32)
-    return _batched(a, b, MXUMode.FP32, mxu, workers)
+    return _batched(a, b, MXUMode.FP32, mxu, workers, fresh_pool)
 
 
 def batched_mxu_cgemm(
-    a: np.ndarray, b: np.ndarray, mxu: M3XU | None = None, workers: int | None = None
+    a: np.ndarray,
+    b: np.ndarray,
+    mxu: M3XU | None = None,
+    workers: int | None = None,
+    fresh_pool: bool = False,
 ) -> np.ndarray:
     """FP32C batched GEMM over complex128 operands."""
     a = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
     b = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
-    return _batched(a, b, MXUMode.FP32C, mxu, workers)
+    return _batched(a, b, MXUMode.FP32C, mxu, workers, fresh_pool)
 
 
 def strided_batch_view(x: np.ndarray, rows: int, cols: int) -> np.ndarray:

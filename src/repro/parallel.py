@@ -1,4 +1,4 @@
-"""Process-based parallel execution engine for the functional models.
+"""Process-based parallel execution engine for the functional models (v2).
 
 The emulation workloads are embarrassingly parallel at three natural
 grains: independent matrices of a batched GEMM, independent GEMM
@@ -18,23 +18,64 @@ relies on:
 * The ``REPRO_WORKERS`` environment variable overrides the default for
   callers that do not pass an explicit worker count (``0`` or a negative
   value selects ``os.cpu_count()``).
+
+Engine v2 adds two throughput features on top of that contract, neither
+of which changes a single output bit:
+
+**Persistent worker pool.** The executor is created lazily on the first
+parallel call and reused by every subsequent one, so batched GEMM loops,
+``run_all`` and the accuracy sweeps stop paying process spawn + teardown
+per call. :func:`shutdown` releases it explicitly (also registered with
+``atexit``); a process that forks after the pool exists gets a fresh pool
+of its own on first use (the inherited handle owns no worker processes).
+``parallel_map(..., fresh_pool=True)`` restores the v1 pool-per-call
+behaviour — kept for benchmarking the difference. Inside a pool worker,
+:func:`parallel_map` always runs serially: the grains nest (``run_all``
+dispatches accuracy studies that are themselves parallel callers), and
+one level of process fan-out is all a machine has cores for.
+
+**Zero-copy operand transfer.** ndarrays at or above
+:data:`SHM_MIN_BYTES` (override: ``REPRO_SHM_MIN_BYTES``; ``0`` disables)
+inside a work item are shipped through POSIX shared memory instead of
+being pickled through the result pipes: the parent copies each array into
+a :class:`multiprocessing.shared_memory.SharedMemory` segment once, the
+worker maps it and hands ``fn`` an ndarray view of identical bytes. Small
+payloads keep the plain pickle path. Values are byte-for-byte what the
+serial path sees, so results remain bit-identical.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
 
 __all__ = [
     "WORKERS_ENV",
+    "SHM_ENV",
+    "SHM_MIN_BYTES",
     "resolve_workers",
+    "resolve_shm_threshold",
     "split_ranges",
     "parallel_map",
+    "shutdown",
+    "pool_info",
 ]
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable overriding the shared-memory size threshold.
+SHM_ENV = "REPRO_SHM_MIN_BYTES"
+
+#: Default minimum ndarray payload (bytes) routed through shared memory.
+SHM_MIN_BYTES = 1 << 20
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -45,7 +86,8 @@ def resolve_workers(workers: int | None = None) -> int:
 
     Explicit ``workers`` wins; otherwise ``REPRO_WORKERS`` is consulted;
     otherwise 1 (serial). ``0`` or negative values select the machine's
-    CPU count.
+    CPU count. An unparseable ``REPRO_WORKERS`` value warns and falls
+    back to serial.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
@@ -54,10 +96,39 @@ def resolve_workers(workers: int | None = None) -> int:
         try:
             workers = int(raw)
         except ValueError:
+            warnings.warn(
+                f"{WORKERS_ENV}={raw!r} is not an integer; running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return 1
     if workers <= 0:
         return os.cpu_count() or 1
     return workers
+
+
+def resolve_shm_threshold(threshold: int | None = None) -> int:
+    """Effective shared-memory size threshold in bytes (``0`` disables).
+
+    Explicit ``threshold`` wins; otherwise ``REPRO_SHM_MIN_BYTES`` is
+    consulted; otherwise :data:`SHM_MIN_BYTES`. Negative values and
+    unparseable environment overrides (after a warning) disable the
+    shared-memory path entirely.
+    """
+    if threshold is None:
+        raw = os.environ.get(SHM_ENV, "").strip()
+        if not raw:
+            return SHM_MIN_BYTES
+        try:
+            threshold = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"{SHM_ENV}={raw!r} is not an integer; shared memory disabled",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+    return max(0, threshold)
 
 
 def split_ranges(n: int, parts: int) -> list[tuple[int, int]]:
@@ -76,28 +147,261 @@ def split_ranges(n: int, parts: int) -> list[tuple[int, int]]:
     return ranges
 
 
+# ----------------------------------------------------------------------
+# Persistent pool lifecycle
+# ----------------------------------------------------------------------
+_pool: ProcessPoolExecutor | None = None
+_pool_workers: int = 0
+_pool_pid: int = -1
+_pool_spawns: int = 0
+
+#: True inside a pool worker process. Nested ``parallel_map`` calls there
+#: run serially: a task that fans out again (``run_all`` dispatching an
+#: accuracy study which itself consults ``REPRO_WORKERS``) would otherwise
+#: fork a grandchild pool from a forked worker, which deadlocks on the
+#: executor queues inherited mid-operation.
+_in_worker = False
+
+
+def _mark_worker() -> None:
+    """Executor initializer: flag this process as a pool worker."""
+    global _in_worker
+    _in_worker = True
+
+
+def _get_pool(n_workers: int) -> ProcessPoolExecutor:
+    """The shared executor, (re)created lazily.
+
+    A pool is discarded (without joining — the workers are not ours) when
+    this process turns out to be a fork of the pool's creator, and
+    replaced when a caller needs more workers than it holds. A wider pool
+    serves narrower requests as-is: ``Executor.map`` output order does
+    not depend on how many workers drain the queue.
+    """
+    global _pool, _pool_workers, _pool_pid, _pool_spawns
+    if _pool is not None and _pool_pid != os.getpid():
+        _pool = None
+    if _pool is not None and _pool_workers < n_workers:
+        _pool.shutdown(wait=True)
+        _pool = None
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=n_workers, initializer=_mark_worker)
+        _pool_workers = n_workers
+        _pool_pid = os.getpid()
+        _pool_spawns += 1
+    return _pool
+
+
+def shutdown(wait: bool = True) -> None:
+    """Release the persistent pool (no-op when none is live).
+
+    Safe to call at any time; the next :func:`parallel_map` that needs an
+    executor simply creates a fresh one. Registered with ``atexit``.
+    """
+    global _pool
+    if _pool is not None and _pool_pid == os.getpid():
+        _pool.shutdown(wait=wait)
+    _pool = None
+
+
+atexit.register(shutdown)
+
+
+def pool_info() -> dict[str, Any]:
+    """Introspection for tests and benchmarks: pool liveness, width, and
+    how many executors this process has created so far."""
+    alive = _pool is not None and _pool_pid == os.getpid()
+    return {
+        "alive": alive,
+        "workers": _pool_workers if alive else 0,
+        "spawns": _pool_spawns,
+    }
+
+
+# ----------------------------------------------------------------------
+# Zero-copy operand transfer
+# ----------------------------------------------------------------------
+class _ShmRef:
+    """Pickle-friendly handle to an ndarray parked in shared memory."""
+
+    __slots__ = ("name", "shape", "dtype_str")
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype_str: str):
+        self.name = name
+        self.shape = shape
+        self.dtype_str = dtype_str
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype_str)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype_str = state
+
+
+def _attach_readonly(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting ownership of it.
+
+    The parent creates and unlinks every segment. On Python >= 3.13
+    ``track=False`` keeps the attach out of resource tracking entirely.
+    Older versions register on attach — but pool workers share the
+    parent's resource-tracker process, where the name is already
+    registered, so the duplicate add is a no-op and the parent's
+    ``unlink`` retires the registration exactly once. (Unregistering by
+    hand here would strip the *parent's* entry and make that unlink
+    KeyError inside the tracker.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _encode_item(obj: Any, threshold: int, segments: list) -> Any:
+    """Replace large ndarrays in *obj* with shared-memory refs.
+
+    Walks tuples/lists/dicts; anything else passes through to pickle.
+    Created segments are appended to *segments* for the caller to
+    release once results are in.
+    """
+    if (
+        isinstance(obj, np.ndarray)
+        and obj.dtype != object
+        and obj.nbytes >= threshold
+    ):
+        seg = shared_memory.SharedMemory(create=True, size=obj.nbytes)
+        np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)[...] = obj
+        segments.append(seg)
+        return _ShmRef(seg.name, obj.shape, obj.dtype.str)
+    if isinstance(obj, tuple):
+        return tuple(_encode_item(o, threshold, segments) for o in obj)
+    if isinstance(obj, list):
+        return [_encode_item(o, threshold, segments) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _encode_item(v, threshold, segments) for k, v in obj.items()}
+    return obj
+
+
+def _decode_item(obj: Any, attached: list) -> Any:
+    """Inverse of :func:`_encode_item`, mapping refs to ndarray views."""
+    if isinstance(obj, _ShmRef):
+        seg = _attach_readonly(obj.name)
+        attached.append(seg)
+        return np.ndarray(obj.shape, dtype=np.dtype(obj.dtype_str), buffer=seg.buf)
+    if isinstance(obj, tuple):
+        return tuple(_decode_item(o, attached) for o in obj)
+    if isinstance(obj, list):
+        return [_decode_item(o, attached) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _decode_item(v, attached) for k, v in obj.items()}
+    return obj
+
+
+def _detach_result(obj: Any, attached: list) -> Any:
+    """Copy any part of a result that aliases a mapped segment.
+
+    The segment is unmapped before the result is pickled back, so a
+    view escaping through the return value must be materialised first.
+    """
+    if isinstance(obj, np.ndarray):
+        views = [
+            np.ndarray(seg.size, dtype=np.uint8, buffer=seg.buf) for seg in attached
+        ]
+        if any(np.shares_memory(obj, v) for v in views):
+            return obj.copy()
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(_detach_result(o, attached) for o in obj)
+    if isinstance(obj, list):
+        return [_detach_result(o, attached) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _detach_result(v, attached) for k, v in obj.items()}
+    return obj
+
+
+class _ShmTask:
+    """Worker-side callable: decode the item, run ``fn``, unmap."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        attached: list = []
+        try:
+            out = self.fn(_decode_item(item, attached))
+            return _detach_result(out, attached)
+        finally:
+            for seg in attached:
+                seg.close()
+
+
+def _release(segments: list) -> None:
+    for seg in segments:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+
+# ----------------------------------------------------------------------
+# The one entry point
+# ----------------------------------------------------------------------
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    shm_threshold: int | None = None,
+    fresh_pool: bool = False,
 ) -> list[_R]:
     """Map *fn* over *items*, preserving order.
 
-    Serial for ``workers <= 1`` (or a single item); otherwise fans out over
-    a process pool with chunked work units. *fn* and the items must be
-    picklable in the parallel case (module-level functions and plain
-    data/numpy arrays are).
+    Serial for ``workers <= 1`` (or a single item), and always serial
+    when called from inside a pool worker — nested parallelism collapses
+    to the (bit-identical) serial path instead of forking pools from
+    forked workers. Otherwise fans out over the persistent process pool
+    with chunked work units. *fn* and
+    the items must be picklable in the parallel case (module-level
+    functions and plain data/numpy arrays are). ndarrays of at least
+    *shm_threshold* bytes (default :func:`resolve_shm_threshold`) travel
+    via shared memory instead of pickle; ``fresh_pool=True`` forces a
+    private single-use executor (the v1 engine, kept for comparison).
     """
     work: Sequence[_T] = list(items)
     n_workers = resolve_workers(workers)
-    if n_workers <= 1 or len(work) <= 1:
+    if _in_worker or n_workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
     n_workers = min(n_workers, len(work))
     if chunk_size is None:
         # ~4 chunks per worker bounds both scheduling overhead and tail
         # imbalance without tuning per workload.
         chunk_size = max(1, -(-len(work) // (n_workers * 4)))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, work, chunksize=chunk_size))
+
+    threshold = resolve_shm_threshold(shm_threshold)
+    segments: list = []
+    payload: Sequence[Any] = work
+    call: Callable[[Any], _R] = fn
+    try:
+        if threshold > 0:
+            encoded = [_encode_item(item, threshold, segments) for item in work]
+            if segments:  # only wrap when something actually moved to shm
+                payload, call = encoded, _ShmTask(fn)
+        if fresh_pool:
+            with ProcessPoolExecutor(
+                max_workers=n_workers, initializer=_mark_worker
+            ) as pool:
+                return list(pool.map(call, payload, chunksize=chunk_size))
+        try:
+            pool = _get_pool(n_workers)
+            return list(pool.map(call, payload, chunksize=chunk_size))
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor: drop it so the
+            # next call starts from a clean pool, then let callers see
+            # the failure.
+            shutdown(wait=False)
+            raise
+    finally:
+        _release(segments)

@@ -1,0 +1,94 @@
+"""run_all caching semantics and the report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import DEFAULT_CACHE
+from repro.eval import runner
+from repro.eval.experiments import ExperimentResult
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    DEFAULT_CACHE.clear()
+    yield
+    DEFAULT_CACHE.clear()
+
+
+def _stub_result(name: str) -> ExperimentResult:
+    return ExperimentResult(name, [{"x": 1.0}], {"k": 1.0}, {"k": 1.0})
+
+
+@pytest.fixture
+def counting_experiments(monkeypatch):
+    """Replace the experiment registry with counting stubs.
+
+    Pins REPRO_WORKERS to serial: pool workers hold the real registry
+    (monkeypatching only rewrites this process), so the stubs must not
+    be resolved in a worker.
+    """
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    calls: dict[str, int] = {"e1": 0, "e2": 0}
+
+    def make(name):
+        def exp():
+            calls[name] += 1
+            return _stub_result(name)
+
+        exp.__qualname__ = f"stub_{name}"
+        return exp
+
+    monkeypatch.setattr(
+        runner, "ALL_EXPERIMENTS", {n: make(n) for n in calls}
+    )
+    return calls
+
+
+class TestRunAllCache:
+    def test_second_sweep_hits_cache(self, counting_experiments):
+        first = runner.run_all(workers=1)
+        second = runner.run_all(workers=1)
+        assert counting_experiments == {"e1": 1, "e2": 1}
+        assert first == second
+
+    def test_use_cache_false_recomputes_identically(self, counting_experiments):
+        first = runner.run_all(workers=1)
+        cold = runner.run_all(workers=1, use_cache=False)
+        assert counting_experiments == {"e1": 2, "e2": 2}
+        assert first == cold
+
+    def test_env_gate_disables(self, counting_experiments, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        runner.run_all(workers=1)
+        runner.run_all(workers=1)
+        assert counting_experiments == {"e1": 2, "e2": 2}
+
+    def test_partial_hit_computes_only_misses(self, counting_experiments):
+        runner.run_all(only=["e1"], workers=1)
+        out = runner.run_all(workers=1)  # e1 cached, e2 computed
+        assert counting_experiments == {"e1": 1, "e2": 1}
+        assert list(out) == ["e1", "e2"]
+
+    def test_selection_order_preserved(self, counting_experiments):
+        out = runner.run_all(only=["e2", "e1"], workers=1)
+        assert list(out) == ["e2", "e1"]
+
+    def test_cached_result_is_mutation_safe(self, counting_experiments):
+        runner.run_all(workers=1)["e1"].rows.append({"junk": 0.0})
+        assert runner.run_all(workers=1)["e1"].rows == [{"x": 1.0}]
+
+
+class TestRenderReport:
+    def test_empty_dict_renders_empty_without_running(self, counting_experiments):
+        assert runner.render_report({}) == ""
+        assert counting_experiments == {"e1": 0, "e2": 0}
+
+    def test_none_runs_all(self, counting_experiments):
+        text = runner.render_report()
+        assert "== e1 ==" in text and "== e2 ==" in text
+        assert counting_experiments == {"e1": 1, "e2": 1}
+
+    def test_explicit_results_rendered(self):
+        text = runner.render_report({"x": _stub_result("only-this")})
+        assert "only-this" in text

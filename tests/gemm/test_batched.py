@@ -33,6 +33,30 @@ class TestBatchedCgemm:
             np.testing.assert_array_equal(d[i], mxu_cgemm(a[i], b[i]))
 
 
+class TestEngineVariants:
+    """Every engine configuration is bit-identical to serial."""
+
+    def test_workers_and_pool_modes_identical(self, rng):
+        a = rng.normal(size=(5, 6, 10))
+        b = rng.normal(size=(5, 10, 4))
+        want = batched_mxu_sgemm(a, b, workers=1)
+        for kwargs in (
+            {"workers": 2},
+            {"workers": 8},            # more workers than matrices
+            {"workers": 2, "fresh_pool": True},
+        ):
+            got = batched_mxu_sgemm(a, b, **kwargs)
+            assert got.tobytes() == want.tobytes(), kwargs
+
+    def test_shm_path_identical(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "64")  # force shm transfer
+        a = rng.normal(size=(4, 5, 8)) + 1j * rng.normal(size=(4, 5, 8))
+        b = rng.normal(size=(4, 8, 5)) + 1j * rng.normal(size=(4, 8, 5))
+        want = batched_mxu_cgemm(a, b, workers=1)
+        got = batched_mxu_cgemm(a, b, workers=3)
+        assert got.tobytes() == want.tobytes()
+
+
 class TestStridedView:
     def test_no_copy(self):
         x = np.arange(24.0)

@@ -285,15 +285,17 @@ class TestBatchedAndParallel:
         )
 
     def test_run_all_workers_identical(self):
-        serial = run_all(only=["table1", "fig2"], workers=1)
-        fanned = run_all(only=["table1", "fig2"], workers=4)
+        # use_cache=False so the second sweep really exercises the
+        # parallel path instead of replaying the first from cache.
+        serial = run_all(only=["table1", "fig2"], workers=1, use_cache=False)
+        fanned = run_all(only=["table1", "fig2"], workers=4, use_cache=False)
         assert list(serial) == list(fanned)
         for name in serial:
             assert serial[name] == fanned[name]
 
     def test_accuracy_study_workers_identical(self):
-        serial = sgemm_accuracy_study(m=8, n=8, k=16, workers=1)
-        fanned = sgemm_accuracy_study(m=8, n=8, k=16, workers=4)
+        serial = sgemm_accuracy_study(m=8, n=8, k=16, workers=1, use_cache=False)
+        fanned = sgemm_accuracy_study(m=8, n=8, k=16, workers=4, use_cache=False)
         assert serial == fanned
 
 

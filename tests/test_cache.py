@@ -1,0 +1,189 @@
+"""The content-addressed result cache: digests, layers, memoisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    DEFAULT_CACHE,
+    ResultCache,
+    cache_enabled,
+    memoize,
+    stable_digest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_cache():
+    DEFAULT_CACHE.clear()
+    yield
+    DEFAULT_CACHE.clear()
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        assert stable_digest(1, "x", 2.5) == stable_digest(1, "x", 2.5)
+
+    def test_type_tagged(self):
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest(1) != stable_digest("1")
+        assert stable_digest(True) != stable_digest(1)
+
+    def test_ndarray_content_addressed(self, rng):
+        a = rng.normal(size=(5, 7))
+        assert stable_digest(a) == stable_digest(a.copy())
+        assert stable_digest(a) != stable_digest(a + 1e-16 + 1)
+        assert stable_digest(a) != stable_digest(a.astype(np.float32))
+        assert stable_digest(a) != stable_digest(a.reshape(7, 5))
+
+    def test_noncontiguous_equals_contiguous(self, rng):
+        a = rng.normal(size=(6, 6))
+        assert stable_digest(a[::2]) == stable_digest(a[::2].copy())
+
+    def test_dict_order_invariant(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+        assert stable_digest({"a": 1, "b": 2}) != stable_digest({"a": 2, "b": 1})
+
+    def test_callables_keyed_by_qualname(self):
+        assert stable_digest(stable_digest) == stable_digest(stable_digest)
+        assert stable_digest(stable_digest) != stable_digest(memoize)
+
+    def test_containers(self):
+        assert stable_digest([1, 2]) != stable_digest((1, 2))
+        assert stable_digest([1, [2]]) != stable_digest([1, [3]])
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        c = ResultCache()
+        assert c.get("k") is None
+        c.put("k", {"v": 1})
+        assert c.get("k") == {"v": 1}
+        assert c.hits == 1 and c.misses == 1
+
+    def test_hit_returns_independent_copy(self):
+        c = ResultCache()
+        c.put("k", [1, 2, 3])
+        got = c.get("k")
+        got.append(4)
+        assert c.get("k") == [1, 2, 3]  # mutation did not corrupt the entry
+
+    def test_lru_eviction(self):
+        c = ResultCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # refresh "a": "b" is now least recent
+        c.put("c", 3)
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+
+    def test_disk_layer_roundtrip(self, tmp_path):
+        writer = ResultCache(directory=tmp_path)
+        writer.put("deadbeef", {"rows": [1, 2]})
+        reader = ResultCache(directory=tmp_path)  # fresh process stand-in
+        assert reader.get("deadbeef") == {"rows": [1, 2]}
+
+    def test_disk_layer_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        ResultCache().put("cafe", 42)
+        assert (tmp_path / "cafe.pkl").is_file()
+        assert ResultCache().get("cafe") == 42
+
+    def test_clear_disk(self, tmp_path):
+        c = ResultCache(directory=tmp_path)
+        c.put("k", 1)
+        c.clear(disk=True)
+        assert c.get("k") is None
+
+    def test_info(self, tmp_path):
+        c = ResultCache(maxsize=8, directory=tmp_path)
+        c.put("k", 1)
+        info = c.info()
+        assert info["entries"] == 1 and info["maxsize"] == 8
+        assert info["disk_dir"] == str(tmp_path)
+
+
+class TestCacheEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "False", "OFF"])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CACHE", value)
+        assert not cache_enabled()
+
+
+class TestMemoize:
+    def test_second_call_cached(self):
+        calls = []
+
+        @memoize
+        def fn(x, y=2):
+            calls.append((x, y))
+            return x * y
+
+        assert fn(3) == 6
+        assert fn(3) == 6
+        assert fn(3, y=2) == 6  # defaults normalised: same key
+        assert calls == [(3, 2)]
+        assert fn(4) == 8 and len(calls) == 2
+
+    def test_ignore_excludes_knob_from_key(self):
+        calls = []
+
+        @memoize(ignore=("workers",))
+        def fn(x, workers=1):
+            calls.append(x)
+            return x + 1
+
+        assert fn(1, workers=1) == fn(1, workers=8) == 2
+        assert calls == [1]
+
+    def test_use_cache_false_bypasses(self):
+        calls = []
+
+        @memoize
+        def fn(x):
+            calls.append(x)
+            return x
+
+        fn(1)
+        fn(1, use_cache=False)
+        assert calls == [1, 1]
+
+    def test_env_gate_bypasses(self, monkeypatch):
+        calls = []
+
+        @memoize
+        def fn(x):
+            calls.append(x)
+            return x
+
+        fn(1)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        fn(1)
+        assert calls == [1, 1]
+
+    def test_hit_is_mutation_safe(self):
+        @memoize
+        def fn():
+            return {"rows": [1]}
+
+        fn()["rows"].append(2)
+        assert fn() == {"rows": [1]}
+
+    def test_ndarray_args(self, rng):
+        calls = []
+
+        @memoize
+        def fn(a):
+            calls.append(1)
+            return a.sum()
+
+        a = rng.normal(size=(8, 8))
+        assert fn(a) == fn(a.copy())
+        assert len(calls) == 1
+        fn(a + 1)
+        assert len(calls) == 2

@@ -1,0 +1,238 @@
+"""The v2 parallel engine: pool lifecycle, shm transfer, failure semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.parallel import (
+    SHM_MIN_BYTES,
+    parallel_map,
+    pool_info,
+    resolve_shm_threshold,
+    resolve_workers,
+    shutdown,
+    split_ranges,
+)
+
+
+# ---- module-level (picklable) worker functions -----------------------
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    if x == 2:
+        raise KeyError("worker failure on item 2")
+    return x
+
+
+def _sum_arrays(item):
+    a, tag, b = item
+    return float(a.sum() + b.sum()), tag
+
+
+def _identity_array(a):
+    return a
+
+
+def _nested_fanout(x):
+    """A task that is itself a parallel caller (run_all -> accuracy shape)."""
+    import os
+
+    before = parallel.pool_info()["spawns"]
+    inner = parallel_map(_double, [x, x + 1, x + 2], workers=2)
+    spawned = parallel.pool_info()["spawns"] - before
+    return os.getpid(), spawned, inner
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool_state():
+    shutdown()
+    yield
+    shutdown()
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_bad_env_warns_and_serialises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        with pytest.warns(RuntimeWarning, match="not-a-number"):
+            assert resolve_workers() == 1
+
+    def test_zero_selects_cpu_count(self):
+        import os
+
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+class TestResolveShmThreshold:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM_MIN_BYTES", raising=False)
+        assert resolve_shm_threshold() == SHM_MIN_BYTES
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "4096")
+        assert resolve_shm_threshold() == 4096
+
+    def test_env_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "0")
+        assert resolve_shm_threshold() == 0
+
+    def test_bad_env_warns_and_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "huge")
+        with pytest.warns(RuntimeWarning, match="huge"):
+            assert resolve_shm_threshold() == 0
+
+    def test_explicit_negative_disables(self):
+        assert resolve_shm_threshold(-1) == 0
+
+
+class TestOrderingAndDeterminism:
+    def test_matches_serial(self):
+        items = list(range(23))
+        assert parallel_map(_double, items, workers=3) == [_double(i) for i in items]
+
+    def test_chunk1_more_workers_than_items(self):
+        items = [5, 1, 4]
+        got = parallel_map(_double, items, workers=8, chunk_size=1)
+        assert got == [10, 2, 8]
+
+    def test_single_item_stays_serial(self):
+        before = pool_info()["spawns"]
+        assert parallel_map(_double, [21], workers=4) == [42]
+        assert pool_info()["spawns"] == before  # no executor for one item
+
+    def test_empty(self):
+        assert parallel_map(_double, [], workers=4) == []
+
+
+class TestFailureSemantics:
+    def test_original_exception_type_propagates(self):
+        with pytest.raises(KeyError, match="worker failure on item 2"):
+            parallel_map(_boom, [0, 1, 2, 3], workers=2, chunk_size=1)
+
+    def test_pool_survives_worker_exception(self):
+        with pytest.raises(KeyError):
+            parallel_map(_boom, [0, 2], workers=2, chunk_size=1)
+        # The executor is not poisoned by a raising task: same pool,
+        # next call succeeds.
+        assert parallel_map(_double, [1, 2, 3], workers=2) == [2, 4, 6]
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_calls(self):
+        parallel_map(_double, [1, 2, 3, 4], workers=2)
+        spawns = pool_info()["spawns"]
+        for _ in range(3):
+            parallel_map(_double, [1, 2, 3, 4], workers=2)
+        assert pool_info()["spawns"] == spawns
+        assert pool_info()["alive"]
+
+    def test_wider_request_grows_pool(self):
+        parallel_map(_double, [1, 2], workers=2)
+        assert pool_info()["workers"] == 2
+        parallel_map(_double, [1, 2, 3, 4], workers=4)
+        assert pool_info()["workers"] == 4
+        # narrower request reuses the wide pool
+        spawns = pool_info()["spawns"]
+        parallel_map(_double, [1, 2], workers=2)
+        assert pool_info()["spawns"] == spawns and pool_info()["workers"] == 4
+
+    def test_shutdown_releases_and_recreates(self):
+        parallel_map(_double, [1, 2], workers=2)
+        assert pool_info()["alive"]
+        shutdown()
+        assert not pool_info()["alive"]
+        assert parallel_map(_double, [1, 2], workers=2) == [2, 4]
+        assert pool_info()["alive"]
+
+    def test_fresh_pool_does_not_touch_persistent(self):
+        shutdown()
+        assert parallel_map(_double, [1, 2], workers=2, fresh_pool=True) == [2, 4]
+        assert not pool_info()["alive"]
+
+    def test_nested_parallel_map_runs_serial_in_worker(self):
+        # A task that fans out again must NOT fork a pool inside the pool
+        # worker (that deadlocks on executor queues inherited mid-use).
+        # The inner call collapses to the serial path: same results, and
+        # zero executors ever created in the worker process.
+        results = parallel_map(_nested_fanout, [10, 20], workers=2, chunk_size=1)
+        assert [r[2] for r in results] == [[20, 22, 24], [40, 42, 44]]
+        import os
+
+        for pid, spawned_in_worker, _ in results:
+            assert pid != os.getpid()
+            assert spawned_in_worker == 0
+
+
+class TestSharedMemoryTransfer:
+    def test_shm_results_match_pickle_results(self, rng):
+        a = rng.normal(size=(64, 64))
+        b = rng.normal(size=(64, 64))
+        items = [(a + i, f"tag{i}", b - i) for i in range(4)]
+        serial = [_sum_arrays(it) for it in items]
+        via_shm = parallel_map(
+            _sum_arrays, items, workers=2, chunk_size=1, shm_threshold=64
+        )
+        via_pickle = parallel_map(
+            _sum_arrays, items, workers=2, chunk_size=1, shm_threshold=0
+        )
+        assert via_shm == serial == via_pickle
+
+    def test_shm_bit_identical_payload(self, rng):
+        # The worker echoes the array back: every byte must survive the
+        # shm round trip (including a result that aliases the segment,
+        # which the engine must copy out before the segment unmaps).
+        a = rng.normal(size=(32, 33))
+        (echo,) = parallel_map(
+            _identity_array, [a, a * 0], workers=2, chunk_size=1, shm_threshold=64
+        )[:1]
+        assert echo.tobytes() == a.tobytes()
+
+    @pytest.mark.skipif(not __import__("os").path.isdir("/dev/shm"),
+                        reason="POSIX shm filesystem not visible")
+    def test_segments_released(self, rng):
+        import os
+
+        a = rng.normal(size=(64, 64))
+        before = set(os.listdir("/dev/shm"))
+        parallel_map(
+            _sum_arrays,
+            [(a, "x", a), (a, "y", a)],
+            workers=2,
+            chunk_size=1,
+            shm_threshold=64,
+        )
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked
+
+    def test_small_payloads_skip_shm(self, rng):
+        a = rng.normal(size=(4, 4))  # far below the default threshold
+        got = parallel_map(_identity_array, [a, a + 1], workers=2, chunk_size=1)
+        assert got[0].tobytes() == a.tobytes()
+
+
+class TestSplitRanges:
+    def test_partition(self):
+        for n in (1, 5, 16, 17):
+            for parts in (1, 2, 4, 32):
+                rs = split_ranges(n, parts)
+                assert rs[0][0] == 0 and rs[-1][1] == n
+                assert all(lo < hi for lo, hi in rs)
+                assert all(rs[i][1] == rs[i + 1][0] for i in range(len(rs) - 1))
+
+    def test_empty(self):
+        assert split_ranges(0, 4) == []
