@@ -1,0 +1,144 @@
+"""ABFT guard overhead: checksum-verified GEMM vs the plain driver.
+
+Not a paper figure: this regression-guards the resilience layer the same
+way ``bench_parallel.py`` guards the orchestration layer. The checksum
+verification is ``O(MN + MK + KN)`` work against the ``O(MNK)`` GEMM, so
+the fault-free overhead must stay a small multiple of the plain run and
+shrink as the problem grows. Three properties are measured on the same
+operands:
+
+* **Bit-identity** — the guarded fault-free result equals the unguarded
+  one exactly, for FP32 and FP32C (asserted, not just reported).
+* **Overhead curve** — guarded vs plain wall time across a shape sweep.
+  Acceptance: overhead ≤ ``MAX_OVERHEAD``× at the largest shape (waived
+  in smoke mode, where shapes are toy-sized and fixed costs dominate).
+* **Recovery cost** — one injected accumulator fault: the guard must
+  detect it and return the bit-exact clean result; the
+  detect-and-recompute run's cost is reported alongside.
+
+Results land in ``BENCH_abft.json`` at the repo root.
+``REPRO_BENCH_SMOKE=1`` shrinks the shapes so the suite doubles as a CI
+smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gemm.tiled import TiledGEMM
+from repro.mxu import M3XU, FaultSpec, FaultStage, FaultyM3XU
+from repro.mxu.modes import MXUMode
+
+from conftest import bench_print
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+#: (M, N, K) sweep — sized so the largest shape amortises the guard's
+#: fixed per-call costs without making the suite slow.
+SHAPES = [(16, 16, 16), (32, 32, 32)] if SMOKE else [
+    (32, 32, 32), (64, 64, 64), (128, 96, 128)
+]
+#: Fault-free guarded/plain ratio ceiling at the largest shape.
+MAX_OVERHEAD = 3.0
+
+_DATA: dict = {"smoke": SMOKE, "overhead": [], "recovery": {}}
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_abft.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json():
+    yield
+    _JSON_PATH.write_text(json.dumps(_DATA, indent=2))
+    bench_print(f"\nABFT guard overhead written to {_JSON_PATH.name}:")
+    for r in _DATA["overhead"]:
+        bench_print(
+            f"  {r['mode']:5s} {r['m']}x{r['n']}x{r['k']:<4d}"
+            f"  plain {r['plain_s'] * 1e3:8.1f} ms"
+            f" / guarded {r['guarded_s'] * 1e3:8.1f} ms"
+            f" = {r['overhead']:.2f}x  (identical: {r['identical']})"
+        )
+    rec = _DATA["recovery"]
+    if rec:
+        bench_print(
+            f"  recovery: detected={rec['detected']}"
+            f" recomputed_tiles={rec['recomputed_tiles']}"
+            f" clean-identical={rec['identical']}"
+            f"  ({rec['time_s'] * 1e3:.1f} ms)"
+        )
+
+
+def _operands(m: int, n: int, k: int, mode: MXUMode, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (m, k))
+    b = rng.uniform(-1, 1, (k, n))
+    if mode is MXUMode.FP32C:
+        a = a + 1j * rng.uniform(-1, 1, (m, k))
+        b = b + 1j * rng.uniform(-1, 1, (k, n))
+    return a, b
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, np.ndarray]:
+    best, out = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+@pytest.mark.parametrize("mode", [MXUMode.FP32, MXUMode.FP32C],
+                         ids=["fp32", "fp32c"])
+def test_guard_overhead(mode):
+    unit = M3XU()
+    for m, n, k in SHAPES:
+        a, b = _operands(m, n, k, mode)
+        plain = TiledGEMM(unit, mode, abft=False)
+        guarded = TiledGEMM(unit, mode, abft=True)
+        t_plain, ref = _best_of(lambda: plain.run(a, b, 0.0))
+        t_guard, out = _best_of(lambda: guarded.run(a, b, 0.0))
+        identical = bool(np.array_equal(ref, out))
+        assert identical, f"guarded {mode} result diverged at {m}x{n}x{k}"
+        assert guarded.abft_report is not None
+        assert not guarded.abft_report.detected  # zero false alarms
+        _DATA["overhead"].append({
+            "mode": mode.value, "m": m, "n": n, "k": k,
+            "plain_s": t_plain, "guarded_s": t_guard,
+            "overhead": t_guard / t_plain, "identical": identical,
+        })
+    if not SMOKE and mode is MXUMode.FP32:
+        largest = [r for r in _DATA["overhead"] if r["mode"] == mode.value][-1]
+        assert largest["overhead"] <= MAX_OVERHEAD, (
+            f"fault-free ABFT overhead {largest['overhead']:.2f}x exceeds "
+            f"{MAX_OVERHEAD}x at the largest shape"
+        )
+
+
+def test_guard_recovery_cost():
+    m, n, k = SHAPES[-1]
+    a, b = _operands(m, n, k, MXUMode.FP32)
+    clean = TiledGEMM(M3XU(), MXUMode.FP32, abft=False).run(a, b, 0.0)
+
+    spec = FaultSpec(stage=FaultStage.ACCUMULATOR, bit=28, seed=13)
+    guarded = TiledGEMM(FaultyM3XU(spec, M3XU()), MXUMode.FP32, abft=True)
+    t0 = time.perf_counter()
+    out = guarded.run(a, b, 0.0)
+    elapsed = time.perf_counter() - t0
+
+    report = guarded.abft_report
+    identical = bool(np.array_equal(out, clean))
+    detected = bool(report is not None and report.detected)
+    # A high-order accumulator bit flip is far outside tolerance: the
+    # guard must catch it, and the recomputed result must be bit-exact.
+    assert detected and identical
+    _DATA["recovery"] = {
+        "detected": detected,
+        "recomputed_tiles": report.recomputed_tiles,
+        "identical": identical,
+        "time_s": elapsed,
+    }

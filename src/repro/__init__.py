@@ -14,6 +14,9 @@ Public API tour
 * ``repro.parallel`` / ``repro.cache`` — the execution engine: persistent
   worker pool with zero-copy operand transfer, and the content-addressed
   result cache (see ``docs/performance.md``).
+* ``repro.resilience`` — fault tolerance: ABFT checksum guards for GEMM,
+  checkpoint/resume journaling, retry policies and the fault-injection
+  campaign engine (see ``docs/robustness.md``).
 """
 
 from .mxu import M3XU, MXUMode, TensorCoreMXU

@@ -144,6 +144,7 @@ class ResultCache:
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self._mem: OrderedDict[str, bytes] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -156,25 +157,57 @@ class ResultCache:
         return root / f"{key}.pkl" if root else None
 
     def get(self, key: str, default: Any = None) -> Any:
-        """The cached value for *key* (unpickled fresh), else *default*."""
+        """The cached value for *key* (unpickled fresh), else *default*.
+
+        A corrupted entry — a disk file truncated by a crash mid-write on
+        a non-atomic filesystem, bit rot, or a stale pickle referencing a
+        class that no longer unpickles — is treated as a miss: the bad
+        bytes are evicted (memory entry dropped, disk file unlinked) so
+        the value is recomputed and re-stored cleanly instead of the
+        same poisoned blob crashing every future read.
+        """
+        from_disk = False
         with self._lock:
             blob = self._mem.get(key)
             if blob is not None:
                 self._mem.move_to_end(key)
-        if blob is None:
-            path = self._disk_path(key)
-            if path is not None and path.is_file():
-                try:
-                    blob = path.read_bytes()
-                except OSError:
-                    blob = None
-            if blob is not None:
-                self._remember(key, blob)
+        path = self._disk_path(key)
+        if blob is None and path is not None and path.is_file():
+            try:
+                blob = path.read_bytes()
+                from_disk = True
+            except OSError:
+                blob = None
         if blob is None:
             self.misses += 1
             return default
+        try:
+            value = pickle.loads(blob)
+        except (
+            pickle.UnpicklingError,
+            EOFError,
+            ValueError,
+            IndexError,
+            KeyError,
+            AttributeError,
+            ImportError,
+            TypeError,
+            MemoryError,
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            with self._lock:
+                self._mem.pop(key, None)
+            if from_disk and path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return default
+        if from_disk:
+            self._remember(key, blob)
         self.hits += 1
-        return pickle.loads(blob)
+        return value
 
     def put(self, key: str, value: Any) -> None:
         """Store *value* under *key* in memory and (if configured) disk."""
@@ -202,7 +235,7 @@ class ResultCache:
         if memory:
             with self._lock:
                 self._mem.clear()
-            self.hits = self.misses = 0
+            self.hits = self.misses = self.corrupt = 0
         if disk:
             root = self._disk_dir()
             if root is not None and root.is_dir():
@@ -219,6 +252,7 @@ class ResultCache:
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
             "disk_dir": str(root) if root else None,
         }
 

@@ -2,11 +2,18 @@
 
 Commands
 --------
-``report [names...] [--workers N] [--no-cache]``
+``report [names...] [--workers N] [--no-cache] [--resume] ...``
     Regenerate paper tables/figures (default: all) and print the
     paper-vs-measured report. Results are served from the content-
     addressed cache when available; ``--no-cache`` (or ``REPRO_CACHE=0``)
-    forces a bit-identical cold recomputation.
+    forces a bit-identical cold recomputation. ``--checkpoint-dir``
+    (or ``REPRO_CHECKPOINT_DIR``) journals every completed experiment;
+    ``--resume`` replays a prior journal after an interrupted run.
+    ``--retries`` / ``--task-timeout`` harden individual experiments.
+``campaign [--trials N] [--mode fp32|fp32c] ...``
+    Run the randomized datapath fault-injection campaign through the
+    ABFT-guarded GEMM and print the outcome table. Exits nonzero if any
+    injected fault caused silent data corruption that escaped the guard.
 ``gemm --m --n --k [--complex] [--kernel ...]``
     Model one GEMM on every (or one) Table IV kernel.
 ``synthesis``
@@ -41,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (default: REPRO_WORKERS or serial)")
     rep.add_argument("--no-cache", action="store_true", dest="no_cache",
                      help="bypass the result cache (bit-identical, just slower)")
+    rep.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                     help="journal completed experiments here "
+                          "(default: REPRO_CHECKPOINT_DIR)")
+    rep.add_argument("--resume", action="store_true",
+                     help="replay the checkpoint journal before computing")
+    rep.add_argument("--retries", type=int, default=None,
+                     help="retries per failed experiment (default: REPRO_RETRIES)")
+    rep.add_argument("--task-timeout", type=float, default=None, dest="task_timeout",
+                     help="per-experiment timeout in seconds "
+                          "(default: REPRO_TASK_TIMEOUT)")
 
     gemm = sub.add_parser("gemm", help="model one GEMM problem")
     gemm.add_argument("--m", type=int, required=True)
@@ -60,6 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
     peaks = sub.add_parser("peaks", help="device peak throughput (Table I)")
     peaks.add_argument("--gpu", default="a100",
                        choices=["a100", "a100_emulation", "h100", "mi100"])
+
+    camp = sub.add_parser("campaign",
+                          help="randomized fault-injection campaign vs ABFT")
+    camp.add_argument("--trials", type=int, default=200,
+                      help="injected faults (default: 200)")
+    camp.add_argument("--seed", type=int, default=2024)
+    camp.add_argument("--mode", default="fp32", choices=["fp32", "fp32c"])
+    camp.add_argument("--m", type=int, default=24)
+    camp.add_argument("--n", type=int, default=20)
+    camp.add_argument("--k", type=int, default=24)
+    camp.add_argument("--tile", type=int, default=8,
+                      help="ABFT checksum tile edge")
     return p
 
 
@@ -82,7 +111,15 @@ def _cmd_report(args) -> int:
         import os
 
         os.environ["REPRO_CACHE"] = "0"
-    print(render_report(run_all(args.names or None, workers=args.workers)))
+    results = run_all(
+        args.names or None,
+        workers=args.workers,
+        checkpoint=args.checkpoint_dir,
+        resume=args.resume,
+        retries=args.retries,
+        timeout=args.task_timeout,
+    )
+    print(render_report(results))
     return 0
 
 
@@ -162,6 +199,27 @@ def _cmd_peaks(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from .resilience.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        trials=args.trials,
+        seed=args.seed,
+        mode=args.mode,
+        m=args.m,
+        n=args.n,
+        k=args.k,
+        tile=args.tile,
+    )
+    result = run_campaign(config)
+    print(result.render())
+    if result.undetected_sdc:
+        print(f"FAIL: {result.undetected_sdc} fault(s) escaped the ABFT guard",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "report": _cmd_report,
     "gemm": _cmd_gemm,
@@ -169,12 +227,30 @@ _COMMANDS = {
     "accuracy": _cmd_accuracy,
     "design-space": _cmd_design_space,
     "peaks": _cmd_peaks,
+    "campaign": _cmd_campaign,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Dispatch one CLI invocation.
+
+    Exit codes: ``0`` success; ``1`` execution failure (an experiment or
+    campaign failed); ``2`` usage error (argparse or unknown names);
+    ``130`` interrupted (SIGINT) — no traceback, and any checkpoint
+    journal retains everything completed before the interrupt (each
+    record is flushed and fsynced as it is appended).
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:  # e.g. `repro report | head`
+        return 0
+    except Exception as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

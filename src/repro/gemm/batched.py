@@ -26,6 +26,7 @@ import numpy as np
 from ..mxu.m3xu import M3XU
 from ..mxu.modes import MXUMode
 from ..parallel import parallel_map, resolve_workers, split_ranges
+from ..resilience.abft import guarded_gemm, resolve_abft
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
 from .plan import GemmPlan
@@ -76,21 +77,51 @@ def _batched(
     mxu: M3XU | None,
     workers: int | None = None,
     fresh_pool: bool = False,
+    abft: bool | None = None,
 ) -> np.ndarray:
     unit = mxu or M3XU()
     _check_batched(a, b)
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or a.shape[0] <= 1:
-        return _batched_serial(a, b, mode, unit)
-    ranges = split_ranges(a.shape[0], n_workers)
-    pieces = parallel_map(
-        _batched_worker,
-        [(a[lo:hi], b[lo:hi], mode, unit) for lo, hi in ranges],
-        workers=n_workers,
-        chunk_size=1,
-        fresh_pool=fresh_pool,
-    )
-    return np.concatenate(pieces, axis=0)
+        out = _batched_serial(a, b, mode, unit)
+    else:
+        ranges = split_ranges(a.shape[0], n_workers)
+        pieces = parallel_map(
+            _batched_worker,
+            [(a[lo:hi], b[lo:hi], mode, unit) for lo, hi in ranges],
+            workers=n_workers,
+            chunk_size=1,
+            fresh_pool=fresh_pool,
+        )
+        out = np.concatenate(pieces, axis=0)
+    if resolve_abft(abft):
+        out = _verify_batch(out, a, b, mode, unit)
+    return out
+
+
+def _verify_batch(
+    out: np.ndarray, a: np.ndarray, b: np.ndarray, mode: MXUMode, unit: M3XU
+) -> np.ndarray:
+    """ABFT-check every matrix of an already computed batch result.
+
+    The parallel engine produced *out*; the guard only verifies checksums
+    against the quantised operands and recomputes flagged tiles (through
+    the serial per-matrix path, bit-identical element-wise), so the
+    fan-out's throughput is preserved on the fault-free path.
+    """
+    for i in range(a.shape[0]):
+
+        def compute(aa: np.ndarray, bb: np.ndarray, cc: np.ndarray) -> np.ndarray:
+            # Batched entry points carry no C operand (cc is exact zero).
+            return _batched_serial(aa[None, ...], bb[None, ...], mode, unit)[0]
+
+        zero = np.zeros((a.shape[1], b.shape[2]), dtype=out.dtype)
+        verified, _report = guarded_gemm(
+            compute, a[i], b[i], zero, roundoff=2.0**-23, out=out[i]
+        )
+        if verified is not out[i]:
+            out[i] = verified
+    return out
 
 
 def _batched_legacy(
@@ -113,11 +144,16 @@ def batched_mxu_sgemm(
     mxu: M3XU | None = None,
     workers: int | None = None,
     fresh_pool: bool = False,
+    abft: bool | None = None,
 ) -> np.ndarray:
-    """FP32 batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``."""
+    """FP32 batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``.
+
+    ``abft=True`` (or ``REPRO_ABFT=1``) checksum-verifies every matrix of
+    the result and transparently recomputes corrupted tiles.
+    """
     a = quantize(np.asarray(a, dtype=np.float64), FP32)
     b = quantize(np.asarray(b, dtype=np.float64), FP32)
-    return _batched(a, b, MXUMode.FP32, mxu, workers, fresh_pool)
+    return _batched(a, b, MXUMode.FP32, mxu, workers, fresh_pool, abft)
 
 
 def batched_mxu_cgemm(
@@ -126,11 +162,13 @@ def batched_mxu_cgemm(
     mxu: M3XU | None = None,
     workers: int | None = None,
     fresh_pool: bool = False,
+    abft: bool | None = None,
 ) -> np.ndarray:
-    """FP32C batched GEMM over complex128 operands."""
+    """FP32C batched GEMM over complex128 operands (``abft=True`` /
+    ``REPRO_ABFT=1`` adds per-matrix checksum verification)."""
     a = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
     b = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
-    return _batched(a, b, MXUMode.FP32C, mxu, workers, fresh_pool)
+    return _batched(a, b, MXUMode.FP32C, mxu, workers, fresh_pool, abft)
 
 
 def strided_batch_view(x: np.ndarray, rows: int, cols: int) -> np.ndarray:

@@ -16,15 +16,22 @@ expose the ``mma_parts`` entry point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 
 from ..mxu.baseline import TensorCoreMXU
 from ..mxu.m3xu import M3XU
-from ..mxu.modes import MXUMode
-from ..types.formats import FP32
+from ..mxu.modes import MXUMode, step_plan
+from ..resilience.abft import (
+    AbftConfig,
+    AbftReport,
+    AbftUncorrectedError,
+    guarded_gemm,
+    resolve_abft,
+)
+from ..types.formats import FP32, FP64
 from ..types.quantize import quantize, quantize_complex
 from .plan import GemmPlan
 
@@ -55,12 +62,24 @@ class TiledGEMM:
     use_plan:
         Resolve operand splits once per GEMM (default). ``False`` forces
         the legacy per-chunk quantise+split path (bit-identical, slower).
+    abft:
+        Guard every :meth:`run` with ABFT row/column checksums
+        (:mod:`repro.resilience.abft`). ``None`` (default) defers to the
+        ``REPRO_ABFT`` environment gate; the guarded result is
+        bit-identical to the unguarded one on a fault-free datapath.
+    abft_config:
+        Guard parameters (tile size, tolerance safety, recompute rounds).
     """
 
     mxu: MXULike
     mode: MXUMode
     k_chunk: int | None = None
     use_plan: bool = True
+    abft: bool | None = None
+    abft_config: AbftConfig | None = None
+    #: The last guarded run's :class:`~repro.resilience.abft.AbftReport`
+    #: (``None`` when the guard is off or :meth:`run` has not executed).
+    abft_report: AbftReport | None = field(default=None, init=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.k_chunk is None:
@@ -72,10 +91,56 @@ class TiledGEMM:
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0
     ) -> np.ndarray:
         """Compute ``A @ B + C`` by chaining MMA instructions along K."""
+        if resolve_abft(self.abft):
+            return self._run_guarded(a, b, c)
+        return self._run_plain(a, b, c)
+
+    def _run_plain(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0
+    ) -> np.ndarray:
         if self.use_plan and hasattr(self.mxu, "mma_parts"):
             plan = GemmPlan.build(a, b, self.mode, int(self.k_chunk))
             return self.run_plan(plan, c)
         return self._run_legacy(a, b, c)
+
+    def _run_guarded(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float
+    ) -> np.ndarray:
+        """ABFT-guarded run: checksum-verify, localise, recompute.
+
+        Operands are quantised to the mode's register formats *first* so
+        the float64 checksum reference sees exactly the values the MMA
+        datapath consumes (re-quantisation inside :meth:`_run_plain` is
+        idempotent, keeping the guarded result bit-identical to an
+        unguarded run).
+        """
+        self.abft_report = None
+        in_fmt = step_plan(self.mode).input_format
+        out_fmt = FP64 if self.mode is MXUMode.FP64 else FP32
+        if self.mode is MXUMode.FP32C:
+            aq = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
+            bq = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
+            c_arr = quantize_complex(np.asarray(c, dtype=np.complex128), FP32)
+        else:
+            aq = quantize(np.asarray(a, dtype=np.float64), in_fmt)
+            bq = quantize(np.asarray(b, dtype=np.float64), in_fmt)
+            # Matches _initial_acc/_run_legacy: C enters via FP32 registers.
+            c_arr = quantize(np.asarray(c, dtype=np.float64), FP32)
+        roundoff = 2.0 ** -min(in_fmt.mantissa_bits, out_fmt.mantissa_bits)
+        try:
+            result, report = guarded_gemm(
+                self._run_plain,
+                aq,
+                bq,
+                c_arr,
+                roundoff=roundoff,
+                config=self.abft_config,
+            )
+        except AbftUncorrectedError as exc:
+            self.abft_report = exc.report
+            raise
+        self.abft_report = report
+        return result
 
     def run_plan(self, plan: GemmPlan, c: np.ndarray | float = 0.0) -> np.ndarray:
         """Execute a pre-resolved :class:`~repro.gemm.plan.GemmPlan`."""
@@ -131,17 +196,25 @@ class TiledGEMM:
 
 
 def mxu_sgemm(
-    a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0, mxu: M3XU | None = None
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float = 0.0,
+    mxu: M3XU | None = None,
+    abft: bool | None = None,
 ) -> np.ndarray:
     """FP32 GEMM on M3XU hardware (the functional ``M3XU_sgemm`` kernel)."""
-    return TiledGEMM(mxu or M3XU(), MXUMode.FP32).run(a, b, c)
+    return TiledGEMM(mxu or M3XU(), MXUMode.FP32, abft=abft).run(a, b, c)
 
 
 def mxu_cgemm(
-    a: np.ndarray, b: np.ndarray, c: np.ndarray | complex = 0.0, mxu: M3XU | None = None
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | complex = 0.0,
+    mxu: M3XU | None = None,
+    abft: bool | None = None,
 ) -> np.ndarray:
     """FP32C GEMM on M3XU hardware (the functional ``M3XU_cgemm`` kernel)."""
-    return TiledGEMM(mxu or M3XU(), MXUMode.FP32C).run(a, b, c)
+    return TiledGEMM(mxu or M3XU(), MXUMode.FP32C, abft=abft).run(a, b, c)
 
 
 def tensorcore_gemm(

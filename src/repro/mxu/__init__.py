@@ -15,7 +15,18 @@ from .config import (
     TileShape,
 )
 from .dataflow import lane_products, resolve_parts, verify_plan_weights
-from .faults import FaultImpact, FaultSite, inject_operand_fault, slice_fault_study
+from .faults import (
+    FaultImpact,
+    FaultSite,
+    FaultSpec,
+    FaultStage,
+    FaultyM3XU,
+    inject_operand_fault,
+    inject_register_fault,
+    inject_shift_align_fault,
+    inject_sign_flip_fault,
+    slice_fault_study,
+)
 from .extension import DesignPoint, MultiStepScheme, composed_gemm, design_space
 from .isa import MMA_DESCRIPTORS, EmulationCosts, MmaDescriptor, emulation_costs
 from .m3xu import M3XU
@@ -36,8 +47,14 @@ __all__ = [
     "EmulationCosts",
     "emulation_costs",
     "FaultSite",
+    "FaultStage",
+    "FaultSpec",
+    "FaultyM3XU",
     "FaultImpact",
     "inject_operand_fault",
+    "inject_register_fault",
+    "inject_shift_align_fault",
+    "inject_sign_flip_fault",
     "slice_fault_study",
     "M3XU",
     "MXUConfig",

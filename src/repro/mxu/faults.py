@@ -9,19 +9,47 @@ buffer entry perturbs the result by at most ``2^-12`` of the operand's
 magnitude, while one in a *high-slice* entry (or the sign/exponent
 fields) can corrupt the full value — the data-assignment buffers are not
 uniformly critical.
+
+Two layers of tooling live here:
+
+* **Bit-level injectors** — :func:`inject_operand_fault` flips one bit
+  of one operand-buffer entry (the original study);
+  :func:`inject_register_fault`, :func:`inject_shift_align_fault` and
+  :func:`inject_sign_flip_fault` extend the reach to the accumulation
+  register, the shift-align stage (an upset in the alignment shift
+  count leaves a result off by a power of two) and the sign-flip
+  datapath of the complex mode (Fig. 3(c)).
+* **:class:`FaultyM3XU`** — a transparent MXU wrapper that arms one
+  :class:`FaultSpec` and fires it on a chosen MMA invocation, modelling
+  a transient single-event upset inside a longer GEMM. It drives the
+  randomized campaigns of :mod:`repro.resilience.campaign` and the
+  ABFT inject→detect→recover demonstrations.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 import numpy as np
 
 from ..types.bits import decode, encode
-from ..types.formats import FP32
+from ..types.formats import FP32, FP64, FloatFormat
+from .modes import MXUMode
 
-__all__ = ["FaultSite", "inject_operand_fault", "slice_fault_study", "FaultImpact"]
+__all__ = [
+    "FaultSite",
+    "FaultStage",
+    "FaultSpec",
+    "FaultyM3XU",
+    "inject_operand_fault",
+    "inject_register_fault",
+    "inject_shift_align_fault",
+    "inject_sign_flip_fault",
+    "slice_fault_study",
+    "FaultImpact",
+]
 
 
 class FaultSite(enum.Enum):
@@ -73,6 +101,276 @@ def inject_operand_fault(
     bits ^= np.uint64(1) << np.uint64(base + bit)
     x[index] = decode(bits, FP32)[0]
     return x
+
+
+class FaultStage(enum.Enum):
+    """Which datapath stage the upset lands in.
+
+    ``OPERAND`` hits a data-assignment buffer entry before the multiply
+    (the original study's site); the other three model upsets later in
+    the pipeline, expressed as their predicted effect on the MMA output:
+    an ``ACCUMULATOR`` register bit flip, a ``SHIFT_ALIGN`` shift-count
+    upset (result scaled by a power of two), and a ``SIGN_FLIP`` stage
+    fault (result negated — the complex mode's subtract path firing, or
+    failing to fire, spuriously).
+    """
+
+    OPERAND = "operand"
+    ACCUMULATOR = "accumulator"
+    SHIFT_ALIGN = "shift_align"
+    SIGN_FLIP = "sign_flip"
+
+
+def inject_register_fault(
+    x: np.ndarray,
+    index: tuple[int, ...],
+    bit: int,
+    fmt: FloatFormat = FP32,
+) -> np.ndarray:
+    """Flip one stored bit of one register-format element of *x*.
+
+    Models a single-event upset in an accumulation/output register: the
+    element is re-encoded in *fmt* (FP32 by default — the M3XU output
+    register format), the chosen bit (0 = LSB) is flipped, and the
+    corrupted encoding is decoded back.
+    """
+    total = 1 + fmt.exponent_bits + fmt.mantissa_bits
+    if not (0 <= bit < total):
+        raise ValueError(f"bit {bit} out of range for {fmt.name} (width {total})")
+    x = np.array(x, dtype=np.float64, copy=True)
+    bits = encode(np.array([x[index]]), fmt)
+    bits ^= np.uint64(1) << np.uint64(bit)
+    x[index] = decode(bits, fmt)[0]
+    return x
+
+
+def inject_shift_align_fault(
+    x: np.ndarray, index: tuple[int, ...], shift: int
+) -> np.ndarray:
+    """Scale one element by ``2**shift`` — the predicted corruption of an
+    upset in the shift-align stage's shift count."""
+    x = np.array(x, copy=True)
+    x[index] = np.ldexp(1.0, shift) * x[index]
+    return x
+
+
+def inject_sign_flip_fault(x: np.ndarray, index: tuple[int, ...]) -> np.ndarray:
+    """Negate one element — a stuck/spurious sign-flip stage."""
+    x = np.array(x, copy=True)
+    x[index] = -x[index]
+    return x
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed transient fault for :class:`FaultyM3XU`.
+
+    Fields left ``None`` are resolved uniformly at random (element
+    coordinates, operand site, bit offset) from the spec's seed when the
+    fault fires, so one spec describes a reproducible randomized trial.
+    """
+
+    stage: FaultStage
+    call_index: int = 0  #: which MMA invocation (0-based) the upset hits
+    element: tuple[int, ...] | None = None
+    site: "FaultSite | None" = None  #: operand-stage field (random if None)
+    bit: int | None = None  #: bit offset within the site/register
+    shift: int | None = None  #: shift-align scale exponent (random ±1..8)
+    seed: int = 0
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        stage: FaultStage,
+        n_calls: int = 1,
+    ) -> "FaultSpec":
+        """A fully randomized spec hitting one of *n_calls* MMAs."""
+        return cls(
+            stage=stage,
+            call_index=int(rng.integers(max(n_calls, 1))),
+            seed=int(rng.integers(2**31 - 1)),
+        )
+
+    def describe(self) -> str:
+        parts = [self.stage.value, f"call={self.call_index}"]
+        if self.site is not None:
+            parts.append(self.site.value)
+        if self.bit is not None:
+            parts.append(f"bit={self.bit}")
+        if self.shift is not None:
+            parts.append(f"shift={self.shift}")
+        return " ".join(parts)
+
+
+_SITE_WIDTH = {
+    FaultSite.SIGN: 1,
+    FaultSite.EXPONENT: 8,
+    FaultSite.HIGH_SLICE: 11,
+    FaultSite.LOW_SLICE: 12,
+}
+
+
+class FaultyM3XU:
+    """An MXU wrapper that injects one transient fault, then runs clean.
+
+    Wraps any MXU functional model exposing the ``mma``/``mma_parts``
+    contract and passes every call through unchanged except the one the
+    armed :class:`FaultSpec` names, where the configured upset is
+    applied: operand-stage faults corrupt the A operand (and re-derive
+    its slice decomposition, as the corrupted buffer entry feeds the
+    data-assignment stage); the later-stage faults corrupt the MMA
+    output according to the microarchitectural prediction for their
+    stage. The fault fires exactly once — the transient-upset model —
+    so a recomputation of the affected region observes a clean unit.
+    """
+
+    def __init__(self, spec: FaultSpec, unit=None):
+        from .m3xu import M3XU
+
+        self.unit = unit if unit is not None else M3XU()
+        self.spec = spec
+        self.calls = 0
+        self.fired = False
+        self.injected: FaultSpec | None = None  #: spec with randomness resolved
+        self._rng = np.random.default_rng(spec.seed)
+
+    # -- delegation ----------------------------------------------------
+    @property
+    def config(self):
+        return self.unit.config
+
+    @property
+    def fastpath(self):
+        return getattr(self.unit, "fastpath", False)
+
+    def supported_modes(self):
+        return self.unit.supported_modes()
+
+    def steps(self, mode: MXUMode) -> int:
+        return self.unit.steps(mode)
+
+    def output_format(self, mode: MXUMode):
+        return self.unit.output_format(mode)
+
+    # -- fault machinery -----------------------------------------------
+    def _should_fire(self) -> bool:
+        fire = not self.fired and self.calls == self.spec.call_index
+        self.calls += 1
+        return fire
+
+    def _pick_element(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        if self.spec.element is not None:
+            return self.spec.element
+        return tuple(int(self._rng.integers(n)) for n in shape)
+
+    def _corrupt_operand(
+        self, a: np.ndarray, mode: MXUMode
+    ) -> tuple[np.ndarray, FaultSpec]:
+        site = self.spec.site
+        if site is None:
+            site = list(FaultSite)[int(self._rng.integers(len(FaultSite)))]
+        bit = self.spec.bit
+        if bit is None:
+            bit = int(self._rng.integers(_SITE_WIDTH[site]))
+        idx = self._pick_element(a.shape)
+        if np.iscomplexobj(a):
+            re, im = np.array(a.real, copy=True), np.array(a.imag, copy=True)
+            if int(self._rng.integers(2)):
+                im = inject_operand_fault(im, idx, site, bit)
+            else:
+                re = inject_operand_fault(re, idx, site, bit)
+            bad = re + 1j * im
+        else:
+            bad = inject_operand_fault(a, idx, site, bit)
+        return bad, replace(self.spec, element=idx, site=site, bit=bit)
+
+    def _corrupt_output(
+        self, out: np.ndarray, mode: MXUMode
+    ) -> tuple[np.ndarray, FaultSpec]:
+        idx = self._pick_element(out.shape)
+        stage = self.spec.stage
+        resolved = self.spec
+
+        def corrupt(component: np.ndarray) -> np.ndarray:
+            nonlocal resolved
+            resolved = replace(self.spec, element=idx)
+            if stage is FaultStage.ACCUMULATOR:
+                fmt = self.unit.output_format(mode)
+                bit = self.spec.bit
+                if bit is None:
+                    width = 1 + fmt.exponent_bits + fmt.mantissa_bits
+                    bit = int(self._rng.integers(width))
+                resolved = replace(resolved, bit=bit)
+                return inject_register_fault(component, idx, bit, fmt)
+            if stage is FaultStage.SHIFT_ALIGN:
+                shift = self.spec.shift
+                if shift is None:
+                    magnitude = int(self._rng.integers(1, 9))
+                    shift = magnitude if int(self._rng.integers(2)) else -magnitude
+                resolved = replace(resolved, shift=shift)
+                return inject_shift_align_fault(component, idx, shift)
+            if stage is FaultStage.SIGN_FLIP:
+                return inject_sign_flip_fault(component, idx)
+            raise ValueError(f"not an output-stage fault: {stage}")
+
+        if np.iscomplexobj(out):
+            # The real and imaginary accumulation registers are distinct
+            # hardware; the upset hits one of them.
+            re = np.array(out.real, dtype=np.float64, copy=True)
+            im = np.array(out.imag, dtype=np.float64, copy=True)
+            if int(self._rng.integers(2)):
+                im = corrupt(im)
+            else:
+                re = corrupt(re)
+            return re + 1j * im, resolved
+        return corrupt(np.asarray(out, dtype=np.float64)), resolved
+
+    # -- MMA entry points ----------------------------------------------
+    def mma(
+        self, a: np.ndarray, b: np.ndarray, c, mode: MXUMode
+    ) -> np.ndarray:
+        fire = self._should_fire()
+        if fire and self.spec.stage is FaultStage.OPERAND:
+            self.fired = True
+            a, self.injected = self._corrupt_operand(np.asarray(a), mode)
+        out = self.unit.mma(a, b, c, mode)
+        if fire and self.spec.stage is not FaultStage.OPERAND:
+            self.fired = True
+            out, self.injected = self._corrupt_output(out, mode)
+        return out
+
+    def mma_parts(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        a_parts: Mapping[str, np.ndarray],
+        b_parts: Mapping[str, np.ndarray],
+        c,
+        mode: MXUMode,
+        *,
+        c_quantized: bool = False,
+    ) -> np.ndarray:
+        fire = self._should_fire()
+        if fire and self.spec.stage is FaultStage.OPERAND:
+            from .dataflow import resolve_parts
+
+            self.fired = True
+            a, self.injected = self._corrupt_operand(np.asarray(a), mode)
+            a_parts = resolve_parts(a, mode)  # the bad entry feeds data-assignment
+        out = self.unit.mma_parts(
+            a, b, a_parts, b_parts, c, mode, c_quantized=c_quantized
+        )
+        if fire and self.spec.stage is not FaultStage.OPERAND:
+            self.fired = True
+            out, self.injected = self._corrupt_output(out, mode)
+        return out
+
+    def mma_fp32(self, a, b, c) -> np.ndarray:
+        return self.mma(a, b, c, MXUMode.FP32)
+
+    def mma_fp32c(self, a, b, c) -> np.ndarray:
+        return self.mma(a, b, c, MXUMode.FP32C)
 
 
 @dataclass(frozen=True)

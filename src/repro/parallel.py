@@ -42,19 +42,44 @@ a :class:`multiprocessing.shared_memory.SharedMemory` segment once, the
 worker maps it and hands ``fn`` an ndarray view of identical bytes. Small
 payloads keep the plain pickle path. Values are byte-for-byte what the
 serial path sees, so results remain bit-identical.
+
+**Resilient execution (v3).** ``parallel_map`` optionally runs under a
+:class:`~repro.resilience.failures.RetryPolicy`: a per-task wall-clock
+``timeout`` (hung workers are terminated and the pool respawned), bounded
+``retries`` with exponential backoff + jitter, and automatic pool respawn
+when a worker dies (``BrokenProcessPool``). Tasks that still fail after
+every allowed attempt surface as structured
+:class:`~repro.resilience.failures.TaskFailure` records — in place of
+their results with ``return_failures=True``, or carried by a single
+:class:`~repro.resilience.failures.ParallelTaskError` otherwise. The
+policy defaults resolve from ``REPRO_TASK_TIMEOUT`` / ``REPRO_RETRIES`` /
+``REPRO_RETRY_BACKOFF`` and are inert when unset, leaving the fast paths
+bit-for-bit untouched; an ``on_result`` callback observes each completed
+task (index, result) as soon as it is produced, which is what the
+checkpoint journal hooks into.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
+from random import Random
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
+
+from .resilience.failures import (
+    ParallelTaskError,
+    RetryPolicy,
+    TaskFailure,
+    resolve_policy,
+)
 
 __all__ = [
     "WORKERS_ENV",
@@ -66,6 +91,8 @@ __all__ = [
     "parallel_map",
     "shutdown",
     "pool_info",
+    "ParallelTaskError",
+    "TaskFailure",
 ]
 
 #: Environment variable consulted when no explicit worker count is given.
@@ -207,6 +234,31 @@ def shutdown(wait: bool = True) -> None:
 atexit.register(shutdown)
 
 
+def _terminate_pool() -> None:
+    """Forcibly retire the persistent pool, killing its workers.
+
+    Used by the resilient path when a task exceeds its deadline: a hung
+    worker cannot be cancelled through the executor API, so its process
+    is terminated outright and the executor discarded. The next
+    :func:`_get_pool` call respawns a clean pool.
+    """
+    global _pool
+    if _pool is not None and _pool_pid == os.getpid():
+        pool = _pool
+        _pool = None
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor teardown
+            pass
+    else:
+        _pool = None
+
+
 def pool_info() -> dict[str, Any]:
     """Introspection for tests and benchmarks: pool liveness, width, and
     how many executors this process has created so far."""
@@ -346,6 +398,163 @@ def _release(segments: list) -> None:
 
 
 # ----------------------------------------------------------------------
+# Failure bookkeeping
+# ----------------------------------------------------------------------
+def _annotate(exc: BaseException, index: int) -> None:
+    """Name the failing task on the exception (PEP 678 note) so a raise
+    escaping ``parallel_map`` identifies *which* item is responsible
+    without wrapping — the original exception type must survive."""
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        try:
+            add_note(f"[repro.parallel] task {index} failed in parallel_map")
+        except TypeError:  # pragma: no cover - exotic exception classes
+            pass
+
+
+def _serial_plain(
+    fn: Callable[[_T], _R],
+    work: Sequence[_T],
+    on_result: Callable[[int, Any], None] | None,
+) -> list[_R]:
+    """The pre-resilience serial path, plus annotation + streaming."""
+    results: list[_R] = []
+    for i, item in enumerate(work):
+        try:
+            out = fn(item)
+        except Exception as exc:
+            _annotate(exc, i)
+            raise
+        results.append(out)
+        if on_result is not None:
+            on_result(i, out)
+    return results
+
+
+def _serial_resilient(
+    fn: Callable[[_T], _R],
+    work: Sequence[_T],
+    policy: RetryPolicy,
+    on_result: Callable[[int, Any], None] | None,
+    return_failures: bool,
+) -> list[Any]:
+    """In-process retry loop (used at ``workers=1`` and inside pool
+    workers, where a wall-clock deadline cannot be enforced)."""
+    results: list[Any] = [None] * len(work)
+    failures: list[TaskFailure] = []
+    rng = Random()
+    for i, item in enumerate(work):
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                out = fn(item)
+            except Exception as exc:
+                if attempt <= policy.retries:
+                    time.sleep(policy.delay(attempt, rng))
+                    continue
+                _annotate(exc, i)
+                failure = TaskFailure.from_exception(i, attempt, exc)
+                if return_failures:
+                    results[i] = failure
+                    failures.append(failure)
+                    break
+                raise ParallelTaskError([failure]) from exc
+            results[i] = out
+            if on_result is not None:
+                on_result(i, out)
+            break
+    return results
+
+
+def _resilient_map(
+    call: Callable[[Any], Any],
+    payload: Sequence[Any],
+    n_workers: int,
+    policy: RetryPolicy,
+    on_result: Callable[[int, Any], None] | None,
+    return_failures: bool,
+) -> list[Any]:
+    """Pool execution with per-task deadline, retry, and pool respawn.
+
+    Work is dispatched in rounds of at most ``n_workers`` single-task
+    submissions, so every task in a round starts (almost) immediately and
+    one ``wait(timeout)`` bounds each task's wall clock. A round that
+    times out terminates the hung workers and respawns the pool; a worker
+    death (``BrokenProcessPool``) likewise retires the executor. Either
+    way the affected tasks are retried until their attempt budget runs
+    out, then recorded as :class:`TaskFailure`.
+    """
+    n = len(payload)
+    results: list[Any] = [None] * n
+    attempts = [0] * n
+    failures: dict[int, TaskFailure] = {}
+    queue: deque[int] = deque(range(n))
+    retry_delay: dict[int, float] = {}
+    rng = Random()
+
+    def account(index: int, cause: str, exc: BaseException | None) -> None:
+        attempts[index] += 1
+        if attempts[index] <= policy.retries:
+            queue.append(index)
+            retry_delay[index] = policy.delay(attempts[index], rng)
+        elif exc is not None:
+            failures[index] = TaskFailure.from_exception(index, attempts[index], exc)
+        else:
+            failures[index] = TaskFailure(
+                index=index, attempts=attempts[index], cause=cause
+            )
+
+    while queue:
+        batch = [queue.popleft() for _ in range(min(len(queue), n_workers))]
+        pause = max((retry_delay.pop(i, 0.0) for i in batch), default=0.0)
+        if pause > 0.0:
+            time.sleep(pause)
+        pool_broken = False
+        futures: dict[Any, int] = {}
+        try:
+            pool = _get_pool(n_workers)
+            for i in batch:
+                futures[pool.submit(call, payload[i])] = i
+        except BrokenProcessPool:
+            pool_broken = True
+            submitted = set(futures.values())
+            for i in batch:
+                if i not in submitted:
+                    account(i, "broken-pool", None)
+        finished, hung = wait(futures, timeout=policy.timeout)
+        for future in finished:
+            i = futures[future]
+            try:
+                out = future.result()
+            except (BrokenProcessPool, CancelledError):
+                pool_broken = True
+                account(i, "broken-pool", None)
+            except Exception as exc:
+                account(i, "exception", exc)
+            else:
+                results[i] = out
+                if on_result is not None:
+                    on_result(i, out)
+        if hung:
+            # Deadline exceeded: the workers running these tasks are
+            # stuck in user code and cannot be cancelled — kill them.
+            for future in hung:
+                account(futures[future], "timeout", None)
+            _terminate_pool()
+        elif pool_broken:
+            _terminate_pool()
+
+    if failures:
+        ordered = [failures[i] for i in sorted(failures)]
+        if not return_failures:
+            raise ParallelTaskError(ordered)
+        for failure in ordered:
+            results[failure.index] = failure
+    return results
+
+
+# ----------------------------------------------------------------------
 # The one entry point
 # ----------------------------------------------------------------------
 def parallel_map(
@@ -356,6 +565,11 @@ def parallel_map(
     chunk_size: int | None = None,
     shm_threshold: int | None = None,
     fresh_pool: bool = False,
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    return_failures: bool = False,
+    on_result: Callable[[int, Any], None] | None = None,
 ) -> list[_R]:
     """Map *fn* over *items*, preserving order.
 
@@ -369,12 +583,46 @@ def parallel_map(
     *shm_threshold* bytes (default :func:`resolve_shm_threshold`) travel
     via shared memory instead of pickle; ``fresh_pool=True`` forces a
     private single-use executor (the v1 engine, kept for comparison).
+
+    Resilience (all optional; defaults resolve from the environment and
+    are inert when unset — see :func:`repro.resilience.resolve_policy`):
+
+    ``timeout``
+        Per-task wall-clock budget in seconds. Enforced through the
+        process pool (hung workers are terminated, the pool respawned),
+        so a timeout routes execution through the pool even at
+        ``workers=1``. Not enforceable inside a nested (in-worker) call.
+    ``retries``
+        Extra attempts per failed/timed-out/pool-crashed task, with
+        exponential backoff + jitter between rounds.
+    ``return_failures``
+        Return terminal :class:`TaskFailure` records in place of the
+        failed tasks' results instead of raising
+        :class:`ParallelTaskError`.
+    ``on_result``
+        ``on_result(index, result)`` observes every completed task as
+        soon as its result is available (the checkpoint journal hook).
+
+    When the resolved policy is active, work is dispatched one task per
+    submission (no chunking) so failures are attributed to exact items;
+    the inert-policy fast paths are unchanged down to the last bit.
     """
     work: Sequence[_T] = list(items)
+    if not work:
+        return []
     n_workers = resolve_workers(workers)
-    if _in_worker or n_workers <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    n_workers = min(n_workers, len(work))
+    policy = resolve_policy(timeout, retries, backoff)
+    resilient = policy.active or return_failures
+
+    if _in_worker:
+        if resilient:
+            return _serial_resilient(fn, work, policy, on_result, return_failures)
+        return _serial_plain(fn, work, on_result)
+    if not resilient and (n_workers <= 1 or len(work) <= 1):
+        return _serial_plain(fn, work, on_result)
+    if resilient and policy.timeout is None and (n_workers <= 1 or len(work) <= 1):
+        return _serial_resilient(fn, work, policy, on_result, return_failures)
+    n_workers = max(1, min(n_workers, len(work)))
     if chunk_size is None:
         # ~4 chunks per worker bounds both scheduling overhead and tail
         # imbalance without tuning per workload.
@@ -389,14 +637,18 @@ def parallel_map(
             encoded = [_encode_item(item, threshold, segments) for item in work]
             if segments:  # only wrap when something actually moved to shm
                 payload, call = encoded, _ShmTask(fn)
+        if resilient:
+            return _resilient_map(
+                call, payload, n_workers, policy, on_result, return_failures
+            )
         if fresh_pool:
             with ProcessPoolExecutor(
                 max_workers=n_workers, initializer=_mark_worker
             ) as pool:
-                return list(pool.map(call, payload, chunksize=chunk_size))
+                return _drain(pool.map(call, payload, chunksize=chunk_size), on_result)
         try:
             pool = _get_pool(n_workers)
-            return list(pool.map(call, payload, chunksize=chunk_size))
+            return _drain(pool.map(call, payload, chunksize=chunk_size), on_result)
         except BrokenProcessPool:
             # A dead worker poisons the whole executor: drop it so the
             # next call starts from a clean pool, then let callers see
@@ -405,3 +657,22 @@ def parallel_map(
             raise
     finally:
         _release(segments)
+
+
+def _drain(
+    result_iter: Iterable[_R], on_result: Callable[[int, Any], None] | None
+) -> list[_R]:
+    """Collect ``Executor.map`` output in order, streaming to *on_result*
+    and naming the failing task when the iterator raises."""
+    results: list[_R] = []
+    try:
+        for out in result_iter:
+            results.append(out)
+            if on_result is not None:
+                on_result(len(results) - 1, out)
+    except BrokenProcessPool:
+        raise
+    except Exception as exc:
+        _annotate(exc, len(results))
+        raise
+    return results

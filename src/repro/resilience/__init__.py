@@ -1,0 +1,82 @@
+"""Resilience subsystem: fault-tolerant execution, checkpointing, ABFT.
+
+Four layers, one theme — a long numerical campaign must survive its
+environment:
+
+- :mod:`repro.resilience.failures` — structured task failures and the
+  retry/timeout policy consumed by :func:`repro.parallel.parallel_map`.
+- :mod:`repro.resilience.checkpoint` — crash-tolerant JSONL journal
+  behind ``run_all --resume`` and ``REPRO_CHECKPOINT_DIR``.
+- :mod:`repro.resilience.abft` — Huang–Abraham row/column checksum
+  guards adapted to rounded emulated arithmetic, wrapped around the
+  tiled GEMM drivers (``REPRO_ABFT=1`` / ``abft=True``).
+- :mod:`repro.resilience.campaign` — randomized datapath
+  fault-injection campaigns that demonstrate inject → detect → recover
+  end to end (imported lazily: it drives the GEMM stack, which itself
+  imports the ABFT guard from here).
+"""
+
+from __future__ import annotations
+
+from .abft import (
+    ABFT_ENV,
+    AbftConfig,
+    AbftReport,
+    AbftUncorrectedError,
+    Detection,
+    abft_info,
+    element_tolerance,
+    guarded_gemm,
+    resolve_abft,
+    sdc_threshold,
+)
+from .checkpoint import CHECKPOINT_ENV, CheckpointJournal
+from .failures import (
+    BACKOFF_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    ParallelTaskError,
+    RetryPolicy,
+    TaskFailure,
+    resolve_policy,
+)
+
+__all__ = [
+    "ABFT_ENV",
+    "AbftConfig",
+    "AbftReport",
+    "AbftUncorrectedError",
+    "Detection",
+    "abft_info",
+    "element_tolerance",
+    "guarded_gemm",
+    "resolve_abft",
+    "sdc_threshold",
+    "CHECKPOINT_ENV",
+    "CheckpointJournal",
+    "BACKOFF_ENV",
+    "RETRIES_ENV",
+    "TIMEOUT_ENV",
+    "ParallelTaskError",
+    "RetryPolicy",
+    "TaskFailure",
+    "resolve_policy",
+    # lazy (see __getattr__): the campaign engine pulls in the GEMM stack
+    "CampaignConfig",
+    "CampaignResult",
+    "Outcome",
+    "TrialRecord",
+    "run_campaign",
+]
+
+_CAMPAIGN_NAMES = frozenset(
+    {"CampaignConfig", "CampaignResult", "Outcome", "TrialRecord", "run_campaign"}
+)
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_NAMES:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

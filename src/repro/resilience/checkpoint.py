@@ -1,0 +1,135 @@
+"""Checkpoint journal: crash-tolerant progress records for long sweeps.
+
+``run_all`` over every experiment is the longest-running entry point in
+the package; a crash (OOM-killed worker, SIGKILL on a preempted node, a
+plain ``KeyboardInterrupt``) used to throw away every completed
+experiment. The journal fixes that: each completed unit of work is
+appended to a JSONL file — one self-validating line per result, flushed
+and fsynced immediately — so an interrupted sweep resumes from exactly
+the set of results that were durably recorded.
+
+Record format (one JSON object per line)::
+
+    {"name": ..., "key": ..., "sha256": ..., "blob": <base64 pickle>}
+
+``key`` is the caller's content address for the unit (for ``run_all``:
+the experiment key, which folds in :data:`repro.cache.CODE_SALT` — so a
+journal written by older numerics can never resurface stale results).
+``sha256`` covers the pickled payload; a line truncated by the crash
+that the journal exists to survive, or otherwise corrupted, fails JSON
+parsing or the checksum and is skipped on load rather than poisoning
+the resume.
+
+The journal location is the ``REPRO_CHECKPOINT_DIR`` environment
+variable or an explicit directory/file path; when neither is set,
+journaling is off and callers behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CHECKPOINT_ENV", "CheckpointJournal"]
+
+#: Environment variable naming the journal directory (unset: no journal).
+CHECKPOINT_ENV = "REPRO_CHECKPOINT_DIR"
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed work units."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        #: Lines skipped by the last :meth:`load` (truncated / corrupted).
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resolve(
+        cls,
+        target: "str | os.PathLike | CheckpointJournal | None" = None,
+        name: str = "run_all",
+    ) -> "CheckpointJournal | None":
+        """The journal for *target*, or ``None`` when journaling is off.
+
+        *target* may be an existing journal (returned as-is), a ``.jsonl``
+        file path, or a directory (the journal becomes
+        ``<dir>/<name>.jsonl``). With no target, ``REPRO_CHECKPOINT_DIR``
+        is consulted; unset means no journaling.
+        """
+        if isinstance(target, CheckpointJournal):
+            return target
+        root = str(target) if target is not None else ""
+        if not root:
+            root = os.environ.get(CHECKPOINT_ENV, "").strip()
+        if not root:
+            return None
+        path = Path(root)
+        if path.suffix == ".jsonl":
+            return cls(path)
+        return cls(path / f"{name}.jsonl")
+
+    # ------------------------------------------------------------------
+    def append(self, name: str, key: str, value: Any) -> None:
+        """Durably record one completed unit (flushed + fsynced)."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        record = {
+            "name": name,
+            "key": key,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "blob": base64.b64encode(blob).decode("ascii"),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="ascii") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> dict[str, tuple[str, Any]]:
+        """All valid journal entries as ``{name: (key, value)}``.
+
+        Later entries for a name win (a re-run appends fresh results).
+        Unparseable or checksum-failing lines — the torn tail of a kill
+        mid-append, bit rot — are counted in :attr:`skipped_lines` and
+        skipped; resume never trusts a record it cannot verify.
+        """
+        self.skipped_lines = 0
+        entries: dict[str, tuple[str, Any]] = {}
+        if not self.path.is_file():
+            return entries
+        try:
+            text = self.path.read_text(encoding="ascii", errors="replace")
+        except OSError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                blob = base64.b64decode(record["blob"], validate=True)
+                if hashlib.sha256(blob).hexdigest() != record["sha256"]:
+                    raise ValueError("payload checksum mismatch")
+                value = pickle.loads(blob)
+                name, key = record["name"], record["key"]
+            except Exception:
+                self.skipped_lines += 1
+                continue
+            entries[str(name)] = (str(key), value)
+        return entries
+
+    def clear(self) -> None:
+        """Delete the journal file (no-op when absent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointJournal({str(self.path)!r})"

@@ -3,7 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.mxu import FaultSite, M3XU, inject_operand_fault, slice_fault_study
+from repro.mxu import (
+    FaultSite,
+    FaultSpec,
+    FaultStage,
+    FaultyM3XU,
+    M3XU,
+    inject_operand_fault,
+    inject_register_fault,
+    inject_shift_align_fault,
+    inject_sign_flip_fault,
+    slice_fault_study,
+)
 from repro.types import FP32, quantize
 
 
@@ -66,3 +77,127 @@ class TestStudy:
 
     def test_all_sites_reported(self, impacts):
         assert set(impacts) == set(FaultSite)
+
+
+class TestStageInjectors:
+    """The new datapath-stage injectors behind the campaign engine."""
+
+    def test_register_fault_is_involution(self, rng):
+        x = quantize(rng.normal(size=(3, 3)), FP32)
+        once = inject_register_fault(x, (2, 1), 7)
+        twice = inject_register_fault(once, (2, 1), 7)
+        np.testing.assert_array_equal(twice, x)
+        assert once[2, 1] != x[2, 1]
+        np.testing.assert_array_equal(once[:2], x[:2])
+
+    def test_register_fault_bit_range_validated(self):
+        x = np.array([1.0])
+        with pytest.raises(ValueError):
+            inject_register_fault(x, (0,), 32)  # FP32 is 32 bits wide: 0..31
+        with pytest.raises(ValueError):
+            inject_register_fault(x, (0,), -1)
+        # top bit (31) is the sign in FP32
+        assert inject_register_fault(x, (0,), 31)[0] == -1.0
+
+    def test_register_fault_respects_format(self):
+        # In FP64 the sign lives at bit 63, not 31.
+        x = np.array([1.0])
+        from repro.types import FP64
+
+        assert inject_register_fault(x, (0,), 63, FP64)[0] == -1.0
+        assert inject_register_fault(x, (0,), 31, FP64)[0] != -1.0
+
+    def test_shift_align_fault_scales_by_power_of_two(self, rng):
+        x = quantize(rng.normal(size=(4,)), FP32)
+        for shift in (-3, -1, 1, 4):
+            bad = inject_shift_align_fault(x, (2,), shift)
+            assert bad[2] == x[2] * 2.0**shift
+            np.testing.assert_array_equal(bad[:2], x[:2])
+
+    def test_sign_flip_fault_negates_only_target(self, rng):
+        x = quantize(rng.normal(size=(4,)), FP32)
+        bad = inject_sign_flip_fault(x, (1,))
+        assert bad[1] == -x[1]
+        np.testing.assert_array_equal(bad[2:], x[2:])
+
+
+class TestFaultyM3XU:
+    def test_fires_exactly_once_at_call_index(self, rng):
+        a = quantize(rng.normal(size=(4, 4)), FP32)
+        b = quantize(rng.normal(size=(4, 4)), FP32)
+        clean = M3XU().mma_fp32(a, b, 0.0)
+        spec = FaultSpec(stage=FaultStage.SIGN_FLIP, call_index=1, seed=5)
+        faulty = FaultyM3XU(spec)
+        first = faulty.mma_fp32(a, b, 0.0)   # call 0: clean
+        second = faulty.mma_fp32(a, b, 0.0)  # call 1: corrupted
+        third = faulty.mma_fp32(a, b, 0.0)   # call 2: clean again
+        np.testing.assert_array_equal(first, clean)
+        np.testing.assert_array_equal(third, clean)
+        assert not np.array_equal(second, clean)
+        assert faulty.fired and faulty.calls == 3
+
+    def test_injected_spec_resolves_randomness(self, rng):
+        a = quantize(rng.normal(size=(3, 3)), FP32)
+        b = quantize(rng.normal(size=(3, 3)), FP32)
+        spec = FaultSpec(stage=FaultStage.OPERAND, seed=9)
+        faulty = FaultyM3XU(spec)
+        assert faulty.injected is None
+        faulty.mma_fp32(a, b, 0.0)
+        resolved = faulty.injected
+        assert resolved is not None
+        assert resolved.element is not None and resolved.site is not None
+        assert resolved.bit is not None
+        assert "call=0" in resolved.describe()
+
+    def test_operand_fault_is_deterministic_per_seed(self, rng):
+        a = quantize(rng.normal(size=(4, 4)), FP32)
+        b = quantize(rng.normal(size=(4, 4)), FP32)
+        spec = FaultSpec(stage=FaultStage.OPERAND, seed=17)
+        one = FaultyM3XU(spec).mma_fp32(a, b, 0.0)
+        two = FaultyM3XU(spec).mma_fp32(a, b, 0.0)
+        np.testing.assert_array_equal(one, two)
+
+    def test_accumulator_fault_corrupts_single_output(self, rng):
+        a = quantize(rng.normal(size=(4, 4)), FP32)
+        b = quantize(rng.normal(size=(4, 4)), FP32)
+        clean = M3XU().mma_fp32(a, b, 0.0)
+        spec = FaultSpec(
+            stage=FaultStage.ACCUMULATOR, element=(1, 2), bit=30, seed=3
+        )
+        dirty = FaultyM3XU(spec).mma_fp32(a, b, 0.0)
+        diff = dirty != clean
+        assert diff[1, 2] and diff.sum() == 1
+
+    def test_shift_align_fault_through_mma(self, rng):
+        a = quantize(rng.normal(size=(4, 4)), FP32)
+        b = quantize(rng.normal(size=(4, 4)), FP32)
+        clean = M3XU().mma_fp32(a, b, 0.0)
+        spec = FaultSpec(
+            stage=FaultStage.SHIFT_ALIGN, element=(0, 0), shift=2, seed=3
+        )
+        dirty = FaultyM3XU(spec).mma_fp32(a, b, 0.0)
+        assert dirty[0, 0] == clean[0, 0] * 4.0
+        np.testing.assert_array_equal(dirty[1:], clean[1:])
+
+    def test_delegates_configuration(self):
+        unit = M3XU()
+        faulty = FaultyM3XU(FaultSpec(stage=FaultStage.OPERAND), unit)
+        assert faulty.config is unit.config
+        assert faulty.supported_modes() == unit.supported_modes()
+        from repro.mxu import MXUMode
+
+        assert faulty.steps(MXUMode.FP32) == unit.steps(MXUMode.FP32)
+        assert faulty.output_format(MXUMode.FP32) is unit.output_format(MXUMode.FP32)
+
+    def test_complex_mode_corruption(self, rng):
+        a = quantize(rng.normal(size=(4, 4)), FP32) + 1j * quantize(
+            rng.normal(size=(4, 4)), FP32
+        )
+        b = quantize(rng.normal(size=(4, 4)), FP32) + 1j * quantize(
+            rng.normal(size=(4, 4)), FP32
+        )
+        clean = M3XU().mma_fp32c(a, b, 0.0)
+        spec = FaultSpec(stage=FaultStage.SIGN_FLIP, element=(2, 3), seed=11)
+        dirty = FaultyM3XU(spec).mma_fp32c(a, b, 0.0)
+        diff = dirty != clean
+        assert diff[2, 3] and diff.sum() == 1

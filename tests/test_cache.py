@@ -187,3 +187,69 @@ class TestMemoize:
         assert len(calls) == 1
         fn(a + 1)
         assert len(calls) == 2
+
+
+class TestCorruptionRecovery:
+    """Corrupted entries are misses (evicted), never crashes."""
+
+    def _disk_cache(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("key", {"value": [1, 2, 3]})
+        cache.clear(memory=True)  # force the next get through the disk layer
+        return cache, tmp_path / "key.pkl"
+
+    def test_truncated_disk_entry_is_miss_and_evicted(self, tmp_path):
+        cache, path = self._disk_cache(tmp_path)
+        path.write_bytes(path.read_bytes()[:4])  # torn mid-write
+        assert cache.get("key", "MISS") == "MISS"
+        assert not path.exists()
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_garbage_disk_entry_is_miss_and_evicted(self, tmp_path):
+        cache, path = self._disk_cache(tmp_path)
+        path.write_bytes(b"\x00\xffnot a pickle at all")
+        assert cache.get("key", None) is None
+        assert not path.exists()
+        assert cache.corrupt == 1
+
+    def test_recovers_by_recomputing(self, tmp_path):
+        cache, path = self._disk_cache(tmp_path)
+        path.write_bytes(b"")  # zero-length file (crash before any byte)
+        assert cache.get("key", "MISS") == "MISS"
+        cache.put("key", "fresh")
+        assert cache.get("key") == "fresh"
+        assert path.exists()  # clean re-store reached disk again
+
+    def test_corrupt_memory_entry_is_evicted(self):
+        cache = ResultCache()
+        cache.put("key", [1])
+        cache._mem["key"] = b"\x80\x04broken"  # simulate in-memory rot
+        assert cache.get("key", "MISS") == "MISS"
+        assert "key" not in cache._mem
+        assert cache.corrupt == 1
+
+    def test_intact_entries_unaffected(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("good", 42)
+        cache.put("bad", 43)
+        (tmp_path / "bad.pkl").write_bytes(b"junk")
+        cache.clear(memory=True)
+        assert cache.get("good") == 42
+        assert cache.get("bad", "MISS") == "MISS"
+        assert cache.info()["corrupt"] == 1
+
+    def test_memoize_recomputes_after_corruption(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        @memoize
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(3) == 6
+        DEFAULT_CACHE.clear(memory=True)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(entry.read_bytes()[:3])
+        assert fn(3) == 6  # recomputed, not crashed
+        assert calls == [3, 3]

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+import time
+
 import numpy as np
 import pytest
 
 from repro import parallel
 from repro.parallel import (
     SHM_MIN_BYTES,
+    ParallelTaskError,
+    TaskFailure,
     parallel_map,
     pool_info,
     resolve_shm_threshold,
@@ -25,6 +31,35 @@ def _double(x):
 def _boom(x):
     if x == 2:
         raise KeyError("worker failure on item 2")
+    return x
+
+
+def _flaky(item):
+    """Fails the first *fail_times* attempts for its index, then succeeds.
+    Attempt counts persist in files so they survive worker boundaries."""
+    root, x, fail_times = item
+    marker = pathlib.Path(root) / f"attempts-{x}"
+    seen = int(marker.read_text()) if marker.exists() else 0
+    marker.write_text(str(seen + 1))
+    if seen < fail_times:
+        raise ValueError(f"transient failure on item {x} (attempt {seen + 1})")
+    return 10 * x
+
+
+def _hang(item):
+    x, hang_index = item
+    if x == hang_index:
+        time.sleep(60.0)
+    return x
+
+
+def _die_once(item):
+    """Kills its worker process outright on the first attempt."""
+    root, x = item
+    marker = pathlib.Path(root) / f"died-{x}"
+    if x == 1 and not marker.exists():
+        marker.write_text("1")
+        os._exit(17)
     return x
 
 
@@ -223,6 +258,114 @@ class TestSharedMemoryTransfer:
         a = rng.normal(size=(4, 4))  # far below the default threshold
         got = parallel_map(_identity_array, [a, a + 1], workers=2, chunk_size=1)
         assert got[0].tobytes() == a.tobytes()
+
+
+class TestResilientExecution:
+    """Retry / timeout / structured-failure semantics (v3)."""
+
+    def test_retries_recover_transient_failures(self, tmp_path):
+        items = [(str(tmp_path), x, 2 if x == 2 else 0) for x in range(4)]
+        got = parallel_map(_flaky, items, workers=2, retries=3, backoff=0.0)
+        assert got == [0, 10, 20, 30]
+        # item 2 was attempted exactly 3 times (2 failures + 1 success)
+        assert (tmp_path / "attempts-2").read_text() == "3"
+
+    def test_retries_recover_serially_too(self, tmp_path):
+        items = [(str(tmp_path), x, 1 if x == 1 else 0) for x in range(3)]
+        before = pool_info()["spawns"]
+        got = parallel_map(_flaky, items, workers=1, retries=2, backoff=0.0)
+        assert got == [0, 10, 20]
+        assert pool_info()["spawns"] == before  # stayed in-process
+
+    def test_exhausted_retries_raise_structured_error(self, tmp_path):
+        items = [(str(tmp_path), x, 99) for x in range(3)]
+        with pytest.raises(ParallelTaskError) as err:
+            parallel_map(_flaky, items, workers=2, retries=1, backoff=0.0)
+        failures = err.value.failures
+        assert sorted(f.index for f in failures) == [0, 1, 2]
+        assert all(f.attempts == 2 for f in failures)
+        assert all(f.cause == "exception" for f in failures)
+        assert all(f.error_type == "ValueError" for f in failures)
+
+    def test_return_failures_in_place_of_results(self, tmp_path):
+        items = [(str(tmp_path), x, 99 if x == 1 else 0) for x in range(3)]
+        got = parallel_map(
+            _flaky, items, workers=2, retries=0, return_failures=True
+        )
+        assert got[0] == 0 and got[2] == 20
+        failure = got[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 1 and failure.attempts == 1
+        assert "transient failure on item 1" in failure.message
+
+    def test_timeout_abandons_hung_task(self):
+        start = time.monotonic()
+        got = parallel_map(
+            _hang,
+            [(x, 1) for x in range(3)],
+            workers=2,
+            timeout=1.0,
+            return_failures=True,
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # nowhere near the 60 s sleep
+        assert got[0] == 0 and got[2] == 2
+        assert isinstance(got[1], TaskFailure) and got[1].cause == "timeout"
+        # the pool was respawned and is immediately usable
+        assert parallel_map(_double, [1, 2, 3], workers=2) == [2, 4, 6]
+
+    def test_worker_death_respawns_pool_and_retries(self, tmp_path):
+        items = [(str(tmp_path), x) for x in range(3)]
+        got = parallel_map(_die_once, items, workers=2, retries=2, backoff=0.0)
+        assert got == [0, 1, 2]
+        assert (tmp_path / "died-1").exists()
+
+    def test_worker_death_without_retries_is_structured(self, tmp_path):
+        items = [(str(tmp_path), x) for x in range(3)]
+        got = parallel_map(_die_once, items, workers=2, return_failures=True)
+        dead = [f for f in got if isinstance(f, TaskFailure)]
+        assert dead and all(f.cause == "broken-pool" for f in dead)
+        # pool recovered for the next caller
+        assert parallel_map(_double, [4], workers=2) == [8]
+
+    def test_env_knobs_resolve(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.0")
+        items = [(str(tmp_path), x, 2 if x == 0 else 0) for x in range(2)]
+        assert parallel_map(_flaky, items, workers=2) == [0, 10]
+
+    def test_shm_segments_released_on_failure(self, rng, tmp_path):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("POSIX shm filesystem not visible")
+        a = rng.normal(size=(64, 64))
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(KeyError, match="worker failure on item 2"):
+            parallel_map(
+                _boom, [0, 1, 2, 3], workers=2, chunk_size=1, shm_threshold=64
+            )
+        # failure path must not orphan segments either
+        items = [(str(tmp_path), x, 99 if x == 1 else 0, a)[:3] for x in range(3)]
+        with pytest.raises(ParallelTaskError):
+            parallel_map(
+                _flaky, items, workers=2, retries=1, backoff=0.0, shm_threshold=64
+            )
+        assert set(os.listdir("/dev/shm")) - before == set()
+
+    def test_on_result_streams_each_completion(self):
+        seen: list[tuple[int, int]] = []
+        got = parallel_map(
+            _double, [3, 4, 5], workers=2, chunk_size=1,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert got == [6, 8, 10]
+        assert sorted(seen) == [(0, 6), (1, 8), (2, 10)]
+
+    def test_inert_policy_keeps_fast_path(self, monkeypatch):
+        for env in ("REPRO_TASK_TIMEOUT", "REPRO_RETRIES", "REPRO_RETRY_BACKOFF"):
+            monkeypatch.delenv(env, raising=False)
+        # chunked Executor.map path: one round of map, not per-task submits
+        got = parallel_map(_double, list(range(20)), workers=2)
+        assert got == [2 * x for x in range(20)]
 
 
 class TestSplitRanges:

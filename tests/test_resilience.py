@@ -1,0 +1,401 @@
+"""The resilience subsystem: ABFT guards, campaigns, checkpoint/resume."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gemm.batched import batched_mxu_sgemm
+from repro.gemm.tiled import TiledGEMM, mxu_sgemm
+from repro.mxu.faults import FaultSpec, FaultStage, FaultyM3XU
+from repro.mxu.m3xu import M3XU
+from repro.mxu.modes import MXUMode
+from repro.resilience import (
+    AbftConfig,
+    AbftUncorrectedError,
+    CheckpointJournal,
+    resolve_abft,
+    sdc_threshold,
+)
+from repro.resilience.campaign import CampaignConfig, Outcome, run_campaign
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def operands(rng):
+    return rng.uniform(-2.0, 2.0, size=(24, 24)), rng.uniform(-2.0, 2.0, size=(24, 20))
+
+
+# ----------------------------------------------------------------------
+# ABFT guard
+# ----------------------------------------------------------------------
+class TestAbftGuard:
+    def test_guarded_run_bit_identical_every_mode(self, operands):
+        a, b = operands
+        for mode in (MXUMode.FP32, MXUMode.FP64, MXUMode.FP16,
+                     MXUMode.BF16, MXUMode.TF32):
+            plain = TiledGEMM(M3XU(), mode).run(a, b)
+            guard = TiledGEMM(M3XU(), mode, abft=True,
+                              abft_config=AbftConfig(tile=8))
+            np.testing.assert_array_equal(guard.run(a, b), plain)
+            assert guard.abft_report is not None
+            assert not guard.abft_report.detected  # zero false alarms
+
+    def test_guarded_run_bit_identical_complex(self, operands):
+        a, b = operands
+        ac, bc = a + 1j * a[::-1], b - 1j * b[::-1]
+        plain = TiledGEMM(M3XU(), MXUMode.FP32C).run(ac, bc)
+        guard = TiledGEMM(M3XU(), MXUMode.FP32C, abft=True,
+                          abft_config=AbftConfig(tile=8))
+        np.testing.assert_array_equal(guard.run(ac, bc), plain)
+
+    def test_env_gate(self, operands, monkeypatch):
+        a, b = operands
+        monkeypatch.setenv("REPRO_ABFT", "1")
+        assert resolve_abft() and resolve_abft(None)
+        driver = TiledGEMM(M3XU(), MXUMode.FP32)
+        driver.run(a, b)
+        assert driver.abft_report is not None  # guard engaged via env
+        monkeypatch.setenv("REPRO_ABFT", "0")
+        assert not resolve_abft()
+        assert resolve_abft(True)  # explicit flag beats the env
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(FaultStage.SIGN_FLIP, call_index=0, element=(3, 4)),
+            FaultSpec(FaultStage.SHIFT_ALIGN, call_index=1, element=(0, 0), shift=6),
+            FaultSpec(FaultStage.ACCUMULATOR, call_index=0, element=(5, 1), bit=30),
+            FaultSpec(FaultStage.OPERAND, call_index=0, element=(2, 3), seed=9),
+        ],
+        ids=lambda s: s.stage.value,
+    )
+    def test_inject_detect_recover(self, operands, spec):
+        """The tentpole demonstration: a transient fault at each datapath
+        stage is detected, localised, and healed — the guarded output is
+        bit-identical to a fault-free run."""
+        a, b = operands
+        clean = TiledGEMM(M3XU(), MXUMode.FP32).run(a, b)
+        unit = FaultyM3XU(spec, M3XU())
+        guard = TiledGEMM(unit, MXUMode.FP32, abft=True,
+                          abft_config=AbftConfig(tile=8))
+        out = guard.run(a, b)
+        report = guard.abft_report
+        assert report.detected, "the injected fault must trip a checksum"
+        assert report.recomputed_tiles >= 1
+        np.testing.assert_array_equal(out, clean)
+
+    def test_detection_localises_the_tile(self, operands):
+        a, b = operands
+        spec = FaultSpec(FaultStage.SIGN_FLIP, call_index=0, element=(13, 17))
+        unit = FaultyM3XU(spec, M3XU())
+        guard = TiledGEMM(unit, MXUMode.FP32, abft=True,
+                          abft_config=AbftConfig(tile=8))
+        guard.run(a, b)
+        tiles = {d.tile for d in guard.abft_report.detections}
+        assert (13 // 8, 17 // 8) in tiles
+        rows = {r for d in guard.abft_report.detections for r in d.rows}
+        cols = {c for d in guard.abft_report.detections for c in d.cols}
+        assert 13 in rows and 17 in cols
+
+    def test_nan_corruption_is_detected(self, operands):
+        a, b = operands
+
+        class NaNOnce:
+            def __init__(self):
+                self.unit = M3XU()
+                self.config = self.unit.config
+                self.fired = False
+
+            def mma_parts(self, *args, **kwargs):
+                out = self.unit.mma_parts(*args, **kwargs)
+                if not self.fired:
+                    self.fired = True
+                    out = np.array(out, copy=True)
+                    out[0, 0] = np.nan
+                return out
+
+        guard = TiledGEMM(NaNOnce(), MXUMode.FP32, k_chunk=4, abft=True,
+                          abft_config=AbftConfig(tile=8))
+        clean = TiledGEMM(M3XU(), MXUMode.FP32, k_chunk=4).run(a, b)
+        np.testing.assert_array_equal(guard.run(a, b), clean)
+        assert guard.abft_report.detected
+
+    def test_persistent_fault_raises_not_corrupts(self, operands):
+        a, b = operands
+
+        class AlwaysBad:
+            """A stuck-at fault: every MMA corrupts the same element."""
+
+            def __init__(self):
+                self.unit = M3XU()
+                self.config = self.unit.config
+
+            def mma_parts(self, *args, **kwargs):
+                out = np.array(self.unit.mma_parts(*args, **kwargs), copy=True)
+                out[2, 2] = -out[2, 2] + 7.0
+                return out
+
+        guard = TiledGEMM(AlwaysBad(), MXUMode.FP32, k_chunk=4, abft=True,
+                          abft_config=AbftConfig(tile=8, max_rounds=2))
+        with pytest.raises(AbftUncorrectedError) as err:
+            guard.run(a, b)
+        assert err.value.report.recompute_rounds == 2
+        assert guard.abft_report is err.value.report
+
+    def test_batched_guard_bit_identical_and_correcting(self, rng):
+        a = rng.uniform(-1.0, 1.0, size=(4, 16, 12))
+        b = rng.uniform(-1.0, 1.0, size=(4, 12, 10))
+        plain = batched_mxu_sgemm(a, b)
+        np.testing.assert_array_equal(batched_mxu_sgemm(a, b, abft=True), plain)
+        spec = FaultSpec(FaultStage.SIGN_FLIP, call_index=1, element=(2, 3, 4))
+        bad_unit = FaultyM3XU(spec, M3XU())
+        healed = batched_mxu_sgemm(a, b, mxu=bad_unit, abft=True)
+        np.testing.assert_array_equal(healed, plain)
+
+    def test_sdc_threshold_shape_and_positivity(self, operands):
+        a, b = operands
+        thr = sdc_threshold(a, b, np.zeros((24, 20)), 2.0**-23,
+                            AbftConfig(tile=8))
+        assert thr.shape == (24, 20)
+        assert np.all(thr > 0)
+
+
+# ----------------------------------------------------------------------
+# Fault-injection campaign
+# ----------------------------------------------------------------------
+class TestCampaign:
+    def test_200_trials_zero_undetected_sdc(self):
+        """The acceptance criterion: >= 200 randomized single-fault trials
+        across every datapath stage, none escaping the guard silently."""
+        result = run_campaign(CampaignConfig(trials=200, seed=31))
+        assert len(result.records) == 200
+        assert result.undetected_sdc == 0
+        assert {r.stage for r in result.records} == {
+            "operand", "accumulator", "shift_align", "sign_flip"
+        }
+        counts = result.counts
+        assert counts["sdc"] == 0 and counts["detected_uncorrected"] == 0
+        # the campaign is not vacuous: plenty of faults were big enough
+        # to need detection + correction
+        assert counts["detected_corrected"] >= 50
+
+    def test_complex_mode_campaign(self):
+        result = run_campaign(CampaignConfig(trials=60, seed=5, mode="fp32c"))
+        assert result.undetected_sdc == 0
+        assert len(result.records) == 60
+
+    def test_deterministic_for_a_seed(self):
+        cfg = CampaignConfig(trials=16, seed=77)
+        assert run_campaign(cfg).records == run_campaign(cfg).records
+
+    def test_summary_and_render(self):
+        result = run_campaign(CampaignConfig(trials=8, seed=1))
+        summary = result.summary()
+        assert summary["trials"] == 8
+        assert sum(summary["counts"].values()) == 8
+        text = result.render()
+        assert "undetected SDC events: 0" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(mode="fp16")
+        with pytest.raises(ValueError):
+            CampaignConfig(stages=())
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+class TestCheckpointJournal:
+    def test_round_trip(self, tmp_path, rng):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        payload = {"arr": rng.normal(size=(6, 6)), "n": 3}
+        journal.append("exp", "key123", payload)
+        loaded = journal.load()
+        assert set(loaded) == {"exp"}
+        key, value = loaded["exp"]
+        assert key == "key123"
+        np.testing.assert_array_equal(value["arr"], payload["arr"])
+        assert journal.skipped_lines == 0
+
+    def test_later_entries_win(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.append("exp", "k", "old")
+        journal.append("exp", "k", "new")
+        assert journal.load()["exp"] == ("k", "new")
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.append("a", "ka", 1)
+        journal.append("b", "kb", 2)
+        text = journal.path.read_text()
+        journal.path.write_text(text + text.splitlines()[0][:37])  # torn line
+        loaded = journal.load()
+        assert set(loaded) == {"a", "b"}
+        assert journal.skipped_lines == 1
+
+    def test_checksum_mismatch_is_skipped(self, tmp_path):
+        import json
+
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.append("a", "ka", [1, 2])
+        record = json.loads(journal.path.read_text())
+        record["sha256"] = "0" * 64
+        journal.path.write_text(json.dumps(record) + "\n")
+        assert journal.load() == {}
+        assert journal.skipped_lines == 1
+
+    def test_resolve(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        assert CheckpointJournal.resolve() is None
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        journal = CheckpointJournal.resolve()
+        assert journal.path == tmp_path / "run_all.jsonl"
+        explicit = CheckpointJournal.resolve(tmp_path / "x.jsonl")
+        assert explicit.path == tmp_path / "x.jsonl"
+        assert CheckpointJournal.resolve(journal) is journal
+
+    def test_clear(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.clear()  # absent: no-op
+        journal.append("a", "k", 1)
+        journal.clear()
+        assert not journal.path.exists() and journal.load() == {}
+
+
+# ----------------------------------------------------------------------
+# run_all killed mid-flight, then resumed
+# ----------------------------------------------------------------------
+_RESUME_SCRIPT = '''
+import hashlib, os, pathlib, pickle, sys
+import numpy as np
+
+sys.path.insert(0, {src!r})
+from repro.eval import runner
+from repro.gemm.tiled import mxu_sgemm
+
+ROOT = pathlib.Path({root!r})
+
+
+def _mark(name):
+    p = ROOT / ("ran-" + name)
+    p.write_text(str(int(p.read_text()) + 1) if p.exists() else "1")
+
+
+def _gemm(seed):
+    rng = np.random.default_rng(seed)
+    return mxu_sgemm(rng.uniform(-1, 1, (12, 8)), rng.uniform(-1, 1, (8, 10)))
+
+
+def exp_alpha():
+    _mark("alpha")
+    return _gemm(0)
+
+
+def exp_beta():
+    _mark("beta")
+    return {{"beta": _gemm(1)}}
+
+
+def exp_gamma():
+    _mark("gamma")
+    if os.environ.get("RESILIENCE_CRASH") == "1":
+        os._exit(9)  # simulated hard kill mid-sweep: no teardown runs
+    return _gemm(2)
+
+
+def exp_delta():
+    _mark("delta")
+    return [3, _gemm(3)]
+
+
+runner.ALL_EXPERIMENTS.clear()
+for name, fn in [("alpha", exp_alpha), ("beta", exp_beta),
+                 ("gamma", exp_gamma), ("delta", exp_delta)]:
+    runner.register_experiment(name, fn)
+
+results = runner.run_all(
+    workers=1,
+    use_cache=False,
+    checkpoint=str(ROOT / "ckpt"),
+    resume=os.environ.get("RESILIENCE_RESUME") == "1",
+)
+# One digest per experiment: per-value pickles are canonical, whereas a
+# pickle of the whole dict also encodes memoised structure sharing that
+# legitimately differs between freshly computed and journal-replayed runs.
+for name in sorted(results):
+    print(name, hashlib.sha256(pickle.dumps(results[name])).hexdigest())
+'''
+
+
+class TestRunAllResume:
+    def _run(self, script, tmp_path, crash, resume):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env["RESILIENCE_CRASH"] = "1" if crash else "0"
+        env["RESILIENCE_RESUME"] = "1" if resume else "0"
+        env.pop("REPRO_WORKERS", None)
+        env.pop("REPRO_CHECKPOINT_DIR", None)
+        return subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_killed_sweep_resumes_bit_identical(self, tmp_path):
+        script = tmp_path / "sweep.py"
+        script.write_text(_RESUME_SCRIPT.format(src=SRC, root=str(tmp_path)))
+
+        crashed = self._run(script, tmp_path, crash=True, resume=False)
+        assert crashed.returncode == 9, crashed.stderr
+        journal = CheckpointJournal(tmp_path / "ckpt" / "run_all.jsonl")
+        assert set(journal.load()) == {"alpha", "beta"}  # durable progress
+
+        resumed = self._run(script, tmp_path, crash=False, resume=True)
+        assert resumed.returncode == 0, resumed.stderr
+        # alpha/beta were replayed from the journal, not recomputed
+        assert (tmp_path / "ran-alpha").read_text() == "1"
+        assert (tmp_path / "ran-beta").read_text() == "1"
+        assert (tmp_path / "ran-delta").read_text() == "1"
+
+        # a fresh uninterrupted sweep produces bit-identical results
+        clean_root = tmp_path / "clean"
+        clean_root.mkdir()
+        clean_script = clean_root / "sweep.py"
+        clean_script.write_text(
+            _RESUME_SCRIPT.format(src=SRC, root=str(clean_root))
+        )
+        reference = self._run(clean_script, tmp_path, crash=False, resume=False)
+        assert reference.returncode == 0, reference.stderr
+        assert resumed.stdout.strip() == reference.stdout.strip()
+
+    def test_resume_without_journal_recomputes_everything(self, tmp_path):
+        script = tmp_path / "sweep.py"
+        script.write_text(_RESUME_SCRIPT.format(src=SRC, root=str(tmp_path)))
+        done = self._run(script, tmp_path, crash=False, resume=True)
+        assert done.returncode == 0, done.stderr
+        for name in ("alpha", "beta", "gamma", "delta"):
+            assert (tmp_path / f"ran-{name}").read_text() == "1"
+
+
+def test_sha256_is_the_hash_used_by_the_journal(tmp_path):
+    # guards against silent hash swaps that would invalidate old journals
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.append("x", "k", b"payload")
+    import base64
+    import json
+
+    record = json.loads(journal.path.read_text())
+    blob = base64.b64decode(record["blob"])
+    assert hashlib.sha256(blob).hexdigest() == record["sha256"]
