@@ -2,13 +2,22 @@
 
 PY ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test lint bench report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
+
+# The repo's own analyzer (stdlib-only); ruff/mypy run too when installed.
+# tests/ is excluded on purpose: the lint fixture corpus is known-bad.
+lint:
+	$(PY) -m repro lint src benchmarks examples
+	-command -v ruff >/dev/null && ruff check src benchmarks examples
+	-command -v mypy >/dev/null && mypy src/repro/types src/repro/arith \
+		src/repro/mxu src/repro/parallel.py src/repro/cache.py \
+		src/repro/resilience src/repro/analysis
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -14,7 +14,6 @@ import numpy as np
 import pytest
 
 from repro.arith import aligned_sum
-from repro.gpusim import a100_emulation
 from repro.kernels import SGEMM_KERNELS, GemmProblem
 from repro.types.rounding import RoundingMode
 

@@ -4,7 +4,7 @@ from conftest import bench_print
 
 import numpy as np
 
-from repro.apps.conv import ConvShape, conv2d_direct, conv2d_im2col, conv_speedups
+from repro.apps.conv import conv2d_direct, conv2d_im2col, conv_speedups
 
 
 def test_conv_speedups(benchmark):

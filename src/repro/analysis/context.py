@@ -1,0 +1,199 @@
+"""Per-module analysis context shared by every rule.
+
+One :class:`ModuleContext` is built per file: the parsed AST, a
+child->parent node map, the module's constant environment (simple
+``NAME = <int>`` bindings, for constant-folding shift amounts), the
+imported-name table, and the inline ``# repro: allow[RULE-ID]``
+suppression comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["ModuleContext", "build_context", "fold_int"]
+
+#: ``# repro: allow[PS101]`` or ``# repro: allow[PS101,FS303]: reason``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s*]+)\]", re.IGNORECASE)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str                    # as given on the command line
+    rel_path: str                # normalised, for scope/allowlist matching
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: child node -> parent node, for structural context queries.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: module-level integer constants (``_SLICE_BITS = 12``).
+    int_constants: dict[str, int] = field(default_factory=dict)
+    #: local name -> dotted origin (``quantize`` -> ``repro.types.quantize``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: line number -> set of rule ids suppressed there ("*" = all).
+    allows: dict[int, set[str]] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def is_allowed(self, rule_id: str, line: int) -> bool:
+        """Inline suppression on the finding's line or in the contiguous
+        comment block immediately above it."""
+        if self._matches(rule_id, line):
+            return True
+        ln = line - 1
+        while 1 <= ln <= len(self.lines) and self.lines[ln - 1].lstrip().startswith("#"):
+            if self._matches(rule_id, ln):
+                return True
+            ln -= 1
+        return False
+
+    def _matches(self, rule_id: str, line: int) -> bool:
+        ids = self.allows.get(line)
+        return bool(ids) and ("*" in ids or rule_id in ids)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """``a.b.c`` for Name/Attribute chains, resolved through imports."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.imports.get(cur.id, cur.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _collect_allows(source: str) -> dict[int, set[str]]:
+    allows: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match:
+                ids = {
+                    part.strip().upper() if part.strip() != "*" else "*"
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                allows.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - unterminated strings
+        pass
+    return allows
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _collect_int_constants(tree: ast.Module) -> dict[str, int]:
+    consts: dict[str, int] = {}
+    for node in tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Constant)
+            and type(value.value) is int
+        ):
+            consts[target.id] = value.value
+    return consts
+
+
+def fold_int(node: ast.expr, env: dict[str, int]) -> int | None:
+    """Constant-fold *node* to an int, or ``None`` when not foldable.
+
+    Handles literals, module-level constant names, unary +/-, and the
+    arithmetic/shift binary operators — enough to evaluate every shift
+    amount and schedule entry in the bit-exact modules.
+    """
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp):
+        operand = fold_int(node.operand, env)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Invert):
+            return ~operand
+        return None
+    if isinstance(node, ast.BinOp):
+        left = fold_int(node.left, env)
+        right = fold_int(node.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv):
+                return left // right
+            if isinstance(node.op, ast.Mod):
+                return left % right
+            if isinstance(node.op, ast.LShift):
+                return left << right
+            if isinstance(node.op, ast.RShift):
+                return left >> right
+            if isinstance(node.op, ast.Pow) and right >= 0:
+                return left**right
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return None
+    return None
+
+
+def build_context(path: str, rel_path: str, source: str) -> ModuleContext:
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(
+        path=path,
+        rel_path=rel_path.replace("\\", "/"),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        int_constants=_collect_int_constants(tree),
+        imports=_collect_imports(tree),
+        allows=_collect_allows(source),
+    )
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            ctx.parents[child] = parent
+    return ctx

@@ -1,0 +1,151 @@
+"""Lint engine: file discovery, rule execution, suppression, autofix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import LintConfig, load_config
+from .context import ModuleContext, build_context
+from .findings import Finding, Severity, sort_findings
+from .registry import all_rules, get_rule
+
+__all__ = ["LintReport", "lint_file", "lint_paths", "apply_fixes", "iter_python_files"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".venv", "venv", "build", "dist",
+    ".mypy_cache", ".ruff_cache", ".pytest_cache", "node_modules",
+}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        """CI contract: 0 clean (warnings allowed), 1 on any error."""
+        return 1 if self.errors or self.parse_errors else 0
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"{path}: parse error" for path in self.parse_errors)
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        lines.append(
+            f"{self.files_checked} file(s) checked: "
+            f"{n_err} error(s), {n_warn} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under *paths* (files pass through), sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    files.add(sub)
+    return sorted(files)
+
+
+def _rel_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _run_rules(ctx: ModuleContext, cfg: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in all_rules():
+        severity = cfg.rule_severity(rule.rule_id, rule.default_severity)
+        if severity is Severity.OFF:
+            continue
+        if cfg.is_path_allowed(rule.rule_id, ctx.rel_path):
+            continue
+        if not rule.applies_to(ctx, cfg):
+            continue
+        for finding in rule.check(ctx, cfg):
+            if ctx.is_allowed(finding.rule_id, finding.line):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def lint_file(
+    path: Path | str, cfg: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one file; raises ``SyntaxError`` on unparseable source."""
+    path = Path(path)
+    if cfg is None:
+        cfg = load_config(path)
+    source = path.read_text(encoding="utf-8")
+    ctx = build_context(str(path), _rel_path(path), source)
+    return sort_findings(_run_rules(ctx, cfg))
+
+
+def lint_paths(
+    paths: list[Path | str], cfg: LintConfig | None = None
+) -> LintReport:
+    """Lint every Python file under *paths*."""
+    resolved = [Path(p) for p in paths]
+    if cfg is None:
+        cfg = load_config(resolved[0] if resolved else None)
+    report = LintReport()
+    for path in iter_python_files(resolved):
+        try:
+            report.findings.extend(lint_file(path, cfg))
+        except SyntaxError:
+            report.parse_errors.append(str(path))
+        report.files_checked += 1
+    report.findings = sort_findings(report.findings)
+    return report
+
+
+def apply_fixes(report: LintReport) -> int:
+    """Rewrite files for every fixable finding; returns the fix count.
+
+    Fixes are applied bottom-up per file so earlier line numbers stay
+    valid, and each fix is a single-line textual replacement the owning
+    rule vouches for.
+    """
+    by_file: dict[str, list[Finding]] = {}
+    for finding in report.findings:
+        if finding.fixable:
+            by_file.setdefault(finding.path, []).append(finding)
+
+    applied = 0
+    for path, findings in by_file.items():
+        source = Path(path).read_text(encoding="utf-8")
+        ctx = build_context(path, _rel_path(Path(path)), source)
+        lines = source.splitlines(keepends=True)
+        for finding in sorted(findings, key=lambda f: -f.line):
+            rule = get_rule(finding.rule_id)
+            fix = rule.fix(ctx, finding)
+            if fix is None:
+                continue
+            line_no, old, new = fix
+            stripped = lines[line_no - 1].rstrip("\r\n")
+            if stripped != old:
+                continue  # file drifted since the report was built
+            ending = lines[line_no - 1][len(stripped):]
+            lines[line_no - 1] = new + ending
+            applied += 1
+        Path(path).write_text("".join(lines), encoding="utf-8")
+    return applied

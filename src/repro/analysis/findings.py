@@ -1,0 +1,71 @@
+"""Finding records produced by the lint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class Severity(enum.Enum):
+    """How a finding affects the ``repro lint`` exit code.
+
+    ``ERROR`` findings fail the run (exit 1); ``WARNING`` findings are
+    reported but do not; ``OFF`` disables a rule entirely.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    OFF = "off"
+
+    @classmethod
+    def parse(cls, value: str) -> "Severity":
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Renders as ``file:line:col: RULE-ID severity: message`` — the format
+    editors and CI log scrapers already understand.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+    #: True when the owning rule can rewrite the offending source safely.
+    fixable: bool = field(default=False, compare=False)
+
+    def with_severity(self, severity: Severity) -> "Finding":
+        return replace(self, severity=severity)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fixable": self.fixable,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by file, then line, then column, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))

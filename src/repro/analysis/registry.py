@@ -1,0 +1,109 @@
+"""Rule base class and registry.
+
+A rule subclasses :class:`Rule`, sets its class attributes, implements
+``check``, and registers itself with the :func:`register` decorator::
+
+    @register
+    class BareExcept(Rule):
+        rule_id = "RH401"
+        pack = "resilience-hygiene"
+        summary = "bare ``except:`` swallows SystemExit/KeyboardInterrupt"
+
+        def check(self, ctx, cfg):
+            ...yield findings...
+
+Rule ids are namespaced by pack: ``PS`` precision-safety, ``DT``
+determinism, ``FS`` fork-safety, ``RH`` resilience hygiene.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .config import LintConfig
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+__all__ = ["Rule", "register", "all_rules", "get_rule"]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One statically-checkable invariant."""
+
+    rule_id: str = ""
+    pack: str = ""
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+    #: True when :meth:`fix` can rewrite offending lines safely.
+    fixable: bool = False
+
+    def applies_to(self, ctx: ModuleContext, cfg: LintConfig) -> bool:
+        """Whether this rule scans *ctx* at all (scope gate)."""
+        return True
+
+    def check(
+        self, ctx: ModuleContext, cfg: LintConfig
+    ) -> Iterable[Finding]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fix(
+        self, ctx: ModuleContext, finding: Finding
+    ) -> tuple[int, str, str] | None:
+        """Optional safe autofix: ``(line_no, old_line, new_line)``.
+
+        Only called when :attr:`fixable` is True; returning ``None``
+        declines to fix this particular finding.
+        """
+        return None
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        cfg: LintConfig,
+    ) -> Finding:
+        """Build a finding with the configured severity for this rule."""
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            severity=cfg.rule_severity(self.rule_id, self.default_severity),
+            fixable=self.fixable,
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package populates the registry as a side effect.
+    from . import rules  # noqa: F401
+
+
+def all_rules() -> Iterator[Rule]:
+    _ensure_loaded()
+    for rule_id in sorted(_REGISTRY):
+        yield _REGISTRY[rule_id]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,13 @@
+"""Rule packs. Importing this package registers every rule.
+
+* ``PS1xx`` precision-safety (:mod:`.precision`)
+* ``DT2xx`` determinism (:mod:`.determinism`)
+* ``FS3xx`` fork-safety (:mod:`.forksafety`)
+* ``RH4xx`` resilience hygiene (:mod:`.hygiene`)
+"""
+
+from __future__ import annotations
+
+from . import determinism, forksafety, hygiene, precision
+
+__all__ = ["precision", "determinism", "forksafety", "hygiene"]

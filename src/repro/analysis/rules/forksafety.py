@@ -1,0 +1,303 @@
+"""Fork-safety rules (FS3xx).
+
+:func:`repro.parallel.parallel_map` ships tasks to forked worker
+processes: the callable must be picklable (module-level, no closure
+state), must not mutate module-level state (the mutation happens in the
+child and silently vanishes), and every shared-memory segment must be
+released on all paths or the segment leaks until reboot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+}
+
+
+def _parallel_calls(ctx: ModuleContext, cfg: LintConfig) -> Iterator[ast.Call]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name in cfg.parallel_entrypoints:
+            yield node
+
+
+def _nested_function_names(ctx: ModuleContext) -> set[str]:
+    """Names of functions defined inside another function (unpicklable)."""
+    nested: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if ctx.enclosing_function(node) is not None:
+                nested.add(node.name)
+    return nested
+
+
+def _module_level_functions(ctx: ModuleContext) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in ctx.tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _module_level_mutables(ctx: ModuleContext) -> set[str]:
+    """Module-level names bound to mutable literals (list/dict/set calls
+    or displays) — the state a forked worker must not mutate."""
+    mutables: set[str] = set()
+    for node in ctx.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        is_mutable = isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"list", "dict", "set", "deque", "defaultdict", "Counter", "OrderedDict", "bytearray"}
+        )
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+@register
+class UnpicklableTask(Rule):
+    """FS301: lambda or nested function submitted to ``parallel_map``.
+
+    Worker payloads cross a pickle boundary; lambdas and closures do not
+    pickle, and the failure surfaces only when ``workers > 1`` — i.e. in
+    production, not in the serial test run. Task callables must be
+    module-level functions.
+    """
+
+    rule_id = "FS301"
+    pack = "fork-safety"
+    summary = "unpicklable callable passed to parallel_map"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        nested = _nested_function_names(ctx)
+        for call in _parallel_calls(ctx, cfg):
+            if not call.args:
+                continue
+            task = call.args[0]
+            if isinstance(task, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    task.lineno,
+                    task.col_offset,
+                    "lambda passed to parallel_map does not pickle; use a "
+                    "module-level function",
+                    cfg,
+                )
+            elif isinstance(task, ast.Name) and task.id in nested:
+                yield self.finding(
+                    ctx,
+                    task.lineno,
+                    task.col_offset,
+                    f"nested function {task.id!r} passed to parallel_map "
+                    "does not pickle (closure); hoist it to module level",
+                    cfg,
+                )
+
+
+@register
+class WorkerGlobalMutation(Rule):
+    """FS302: a parallel task function mutates module-level state.
+
+    The mutation happens in the forked child and is invisible to the
+    parent — results that "worked serially" silently diverge under
+    ``REPRO_WORKERS > 1``. Flags ``global`` rebinding and in-place
+    mutation (``.append``/``[k] = v``/``+=``) of module-level mutables
+    inside any function submitted to ``parallel_map`` in the same module.
+    """
+
+    rule_id = "FS302"
+    pack = "fork-safety"
+    summary = "parallel task mutates module-level state"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        module_fns = _module_level_functions(ctx)
+        task_names = {
+            call.args[0].id
+            for call in _parallel_calls(ctx, cfg)
+            if call.args and isinstance(call.args[0], ast.Name)
+        }
+        mutables = _module_level_mutables(ctx)
+        for name in sorted(task_names):
+            fn = module_fns.get(name)
+            if fn is None:
+                continue
+            yield from self._check_task(ctx, cfg, fn, mutables)
+
+    def _check_task(
+        self,
+        ctx: ModuleContext,
+        cfg: LintConfig,
+        fn: ast.FunctionDef,
+        mutables: set[str],
+    ) -> Iterator[Finding]:
+        local_shadows = {
+            arg.arg for arg in [*fn.args.args, *fn.args.kwonlyargs, *fn.args.posonlyargs]
+        }
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"task {fn.name!r} rebinds module globals "
+                    f"({', '.join(node.names)}); the write happens in the "
+                    "forked worker and is lost",
+                    cfg,
+                )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                if (
+                    node.func.attr in _MUTATING_METHODS
+                    and isinstance(base, ast.Name)
+                    and base.id in mutables
+                    and base.id not in local_shadows
+                ):
+                    yield self._mutation(ctx, cfg, fn, node, base.id)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutables
+                        and target.value.id not in local_shadows
+                    ):
+                        yield self._mutation(ctx, cfg, fn, node, target.value.id)
+
+    def _mutation(
+        self,
+        ctx: ModuleContext,
+        cfg: LintConfig,
+        fn: ast.FunctionDef,
+        node: ast.AST,
+        name: str,
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node.lineno,
+            node.col_offset,
+            f"task {fn.name!r} mutates module-level {name!r}; forked "
+            "workers mutate a copy, so the result is fork-count dependent",
+            cfg,
+        )
+
+
+@register
+class SharedMemoryLifecycle(Rule):
+    """FS303: every ``SharedMemory`` attach/create pairs with a release.
+
+    A segment that is neither returned to the caller, handed to a
+    tracking collection, nor closed in a ``finally`` leaks a POSIX
+    shared-memory object until reboot when any path between create and
+    close raises. Accepted lifecycles, checked lexically within the
+    enclosing function:
+
+    * ``return SharedMemory(...)`` — ownership escapes to the caller;
+    * ``seg = SharedMemory(...)`` later ``<list>.append(seg)`` or
+      ``return seg`` — ownership transferred to a tracked collection;
+    * ``seg = SharedMemory(...)`` with ``seg.close()`` (or ``unlink``)
+      inside a ``finally`` block of the same function.
+    """
+
+    rule_id = "FS303"
+    pack = "fork-safety"
+    summary = "SharedMemory segment without a paired close/unlink"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func) or ""
+            if not dotted.endswith("SharedMemory"):
+                continue
+            if self._escapes_via_return(ctx, node):
+                continue
+            bound = self._bound_name(ctx, node)
+            fn = ctx.enclosing_function(node)
+            if bound is not None and fn is not None and self._released(fn, bound):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "SharedMemory handle is neither returned, handed to a "
+                "tracking collection, nor closed in a finally — the "
+                "segment leaks if any subsequent path raises",
+                cfg,
+            )
+
+    @staticmethod
+    def _escapes_via_return(ctx: ModuleContext, node: ast.Call) -> bool:
+        parent = ctx.parent(node)
+        return isinstance(parent, ast.Return)
+
+    @staticmethod
+    def _bound_name(ctx: ModuleContext, node: ast.Call) -> str | None:
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+        if isinstance(parent, ast.AnnAssign) and isinstance(parent.target, ast.Name):
+            return parent.target.id
+        return None
+
+    @staticmethod
+    def _released(fn: ast.FunctionDef | ast.AsyncFunctionDef, name: str) -> bool:
+        for sub in ast.walk(fn):
+            # Ownership transfer: <collection>.append(name) / return name.
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in {"append", "add", "appendleft"}
+                and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in sub.args
+                )
+            ):
+                return True
+            if (
+                isinstance(sub, ast.Return)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == name
+            ):
+                return True
+            # Release on the unwind path: finally { name.close()/unlink() }.
+            if isinstance(sub, ast.Try) and sub.finalbody:
+                for stmt in sub.finalbody:
+                    for call in ast.walk(stmt):
+                        if (
+                            isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Attribute)
+                            and call.func.attr in {"close", "unlink"}
+                            and isinstance(call.func.value, ast.Name)
+                            and call.func.value.id == name
+                        ):
+                            return True
+        return False

@@ -1,0 +1,315 @@
+"""Precision-safety rules (PS1xx).
+
+The bit-exact modules carry every value as a float64 *container* whose
+bit pattern is controlled end to end: operand splits are exact 12-bit
+slices (PAPER.md Eq. 3-5), products are exact in float64, and every
+rounding routes through :func:`repro.types.quantize` /
+:mod:`repro.types.rounding`. Arithmetic through Python ``float()`` or
+``math.*`` introduces double roundings these modules must never perform;
+float equality against inexact literals silently depends on
+representation; and a shift amount that escapes the 48-bit accumulation
+window breaks the Eq. 6-9 alignment argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..config import LintConfig
+from ..context import ModuleContext, fold_int
+from ..findings import Finding
+from ..registry import Rule, register
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod, ast.FloorDiv)
+
+#: Maximum shift amount before the int64 adder model itself overflows
+#: (see ``aligned_sum``: W + log2(K) + 2 must stay <= 63).
+_INT64_SHIFT_LIMIT = 64
+
+
+def _is_float_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    )
+
+
+def _is_math_ref(ctx: ModuleContext, node: ast.expr) -> str | None:
+    """The ``math.<attr>`` attribute name when *node* references one."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    dotted = ctx.dotted_name(node)
+    if dotted and dotted.startswith("math.") and dotted.count(".") == 1:
+        return dotted.split(".", 1)[1]
+    return None
+
+
+class _BitExactRule(Rule):
+    """Base for rules scoped to the configured bit-exact modules."""
+
+    def applies_to(self, ctx: ModuleContext, cfg: LintConfig) -> bool:
+        return cfg.is_bit_exact(ctx.rel_path)
+
+
+@register
+class FloatArithmetic(_BitExactRule):
+    """PS101: arithmetic through bare ``float()`` in a bit-exact module.
+
+    ``float(x) * y`` rounds ``x`` to double *before* the operation; the
+    bit-exact modules must keep values in their container format and
+    round only through ``types.quantize``/``types.rounding``. Sites that
+    are provably exact (e.g. products of small integers and powers of
+    two) carry an inline ``# repro: allow[PS101]`` with the proof.
+    """
+
+    rule_id = "PS101"
+    pack = "precision-safety"
+    summary = "bare float() operand in arithmetic inside a bit-exact module"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS)):
+                continue
+            for operand in (node.left, node.right):
+                if _is_float_call(operand):
+                    yield self.finding(
+                        ctx,
+                        operand.lineno,
+                        operand.col_offset,
+                        "arithmetic on a bare float() cast; keep the value "
+                        "in its container format and round via "
+                        "types.quantize/types.rounding",
+                        cfg,
+                    )
+
+
+@register
+class MathModuleArithmetic(_BitExactRule):
+    """PS102: ``math.*`` arithmetic in a bit-exact module.
+
+    ``math.sqrt``/``math.exp``/``math.fsum`` and friends round to double
+    with no format control. Integer-valued helpers (``math.ceil``,
+    ``math.comb``, ...) and constants are allowed — the set is
+    configurable via ``math_allowed``.
+    """
+
+    rule_id = "PS102"
+    pack = "precision-safety"
+    summary = "rounding math.* call inside a bit-exact module"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Call, ast.Attribute)):
+                continue
+            if isinstance(node, ast.Attribute) and isinstance(
+                ctx.parent(node), ast.Call
+            ):
+                continue  # reported at the Call node
+            attr = _is_math_ref(ctx, node)
+            if attr is not None and attr not in cfg.math_allowed:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"math.{attr} rounds through Python floats; route "
+                    "rounding through types.quantize/types.rounding "
+                    "(or add to math_allowed if integer-exact)",
+                    cfg,
+                )
+
+
+@register
+class InexactFloatEquality(Rule):
+    """PS103: ``==``/``!=`` against a float literal that is not its text.
+
+    ``x == 0.25`` is exact: the literal parses to precisely the written
+    value. ``x == 0.1`` is not — the comparison is against the nearest
+    double to 0.1, so the check silently depends on representation and
+    almost always means a tolerance was intended. The rule flags only
+    literals whose decimal text differs from their parsed double value
+    (plus anything outside the configured ``exact_float_literals``
+    escape hatch, which always passes).
+    """
+
+    rule_id = "PS103"
+    pack = "precision-safety"
+    summary = "float equality against an inexact literal"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (lhs, rhs):
+                    literal = _float_literal(ctx, side)
+                    if literal is None:
+                        continue
+                    value, text = literal
+                    if value in cfg.exact_float_literals:
+                        continue
+                    if _text_is_exact(text, value):
+                        continue
+                    yield self.finding(
+                        ctx,
+                        side.lineno,
+                        side.col_offset,
+                        f"==/!= against {text} compares the nearest double "
+                        f"({value!r}), not the written value; use an exact "
+                        "literal or an explicit tolerance",
+                        cfg,
+                    )
+
+
+def _float_literal(
+    ctx: ModuleContext, node: ast.expr
+) -> tuple[float, str] | None:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _float_literal(ctx, node.operand)
+        return None if inner is None else (-inner[0], "-" + inner[1])
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        text = ast.get_source_segment(ctx.source, node) or repr(node.value)
+        return node.value, text
+    return None
+
+
+def _text_is_exact(text: str, value: float) -> bool:
+    """Whether the decimal literal *text* is exactly the double *value*."""
+    import math
+    from decimal import Decimal, InvalidOperation
+    from fractions import Fraction
+
+    if not math.isfinite(value):
+        return False
+    try:
+        written = Fraction(Decimal(text.replace("_", "")))
+    except (InvalidOperation, ValueError):
+        return False
+    return written == Fraction(value)
+
+
+@register
+class ShiftWindow(_BitExactRule):
+    """PS104: constant-foldable shift amounts vs the accumulation window.
+
+    Two checks, both by constant-folding against module-level integer
+    constants (``_SLICE_BITS = 12`` etc.):
+
+    * any ``<<``/``>>`` amount must satisfy ``0 <= n < 64`` (the int64
+      adder model of ``aligned_sum`` leaves no headroom past that);
+    * accumulator *step schedules* — list literals of ``(a_part, b_part,
+      weight_shift)`` tuples assigned to a ``*schedule*`` name — must
+      keep ``weight_shift + 2*slice_bits`` within the 48-bit window read
+      from ``repro.arith.accumulator.M3XU_ACC_BITS`` (Fig. 3(b): the
+      H*H lane lands shifted 24 bits with a 24-bit product below it).
+    """
+
+    rule_id = "PS104"
+    pack = "precision-safety"
+    summary = "shift amount escapes the accumulator window"
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        env = ctx.int_constants
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.LShift, ast.RShift)
+            ):
+                amount = fold_int(node.right, env)
+                if amount is not None and not (0 <= amount < _INT64_SHIFT_LIMIT):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"shift by {amount} escapes the int64 adder model "
+                        f"(need 0 <= n < {_INT64_SHIFT_LIMIT})",
+                        cfg,
+                    )
+            elif isinstance(node, ast.Assign):
+                yield from self._check_schedule(ctx, cfg, node, env)
+
+    def _check_schedule(
+        self,
+        ctx: ModuleContext,
+        cfg: LintConfig,
+        node: ast.Assign,
+        env: dict[str, int],
+    ) -> Iterable[Finding]:
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not any("schedule" in name.lower() for name in names):
+            return
+        if not isinstance(node.value, ast.List):
+            return
+        window = cfg.acc_window_bits
+        product_bits = 2 * cfg.slice_bits
+        for elt in node.value.elts:
+            if not (isinstance(elt, ast.Tuple) and len(elt.elts) >= 3):
+                continue
+            shift = fold_int(elt.elts[2], env)
+            if shift is None:
+                continue
+            if shift < 0 or shift + product_bits > window:
+                yield self.finding(
+                    ctx,
+                    elt.lineno,
+                    elt.col_offset,
+                    f"schedule weight_shift={shift} plus the "
+                    f"{product_bits}-bit product escapes the "
+                    f"{window}-bit accumulation window",
+                    cfg,
+                )
+
+
+@register
+class SinglePrecisionCast(_BitExactRule):
+    """PS105: native single/half-precision numpy casts in bit-exact code.
+
+    ``np.float32(x)``, ``astype(np.float32)`` and ``dtype=np.float32``
+    round outside ``types.quantize`` *and* put subsequent arithmetic on
+    the native float32 path, whose per-op rounding the models do not
+    control. The bit-exact modules keep float64 containers and quantize
+    explicitly; this is the "implicit promotion/demotion" failure mode
+    that passes tier-1 until a shape exposes it.
+    """
+
+    rule_id = "PS105"
+    pack = "precision-safety"
+    summary = "native float32/float16 cast inside a bit-exact module"
+
+    _BAD = {"float32", "float16", "single", "half"}
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = ctx.dotted_name(node.func) or ""
+                if dotted.startswith("numpy.") and dotted.split(".")[-1] in self._BAD:
+                    yield self._emit(ctx, cfg, node)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"
+                    and node.args
+                    and self._names_bad_dtype(ctx, node.args[0])
+                ):
+                    yield self._emit(ctx, cfg, node)
+                for kw in getattr(node, "keywords", []):
+                    if kw.arg == "dtype" and self._names_bad_dtype(ctx, kw.value):
+                        yield self._emit(ctx, cfg, kw.value)
+
+    def _names_bad_dtype(self, ctx: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value in self._BAD
+        dotted = ctx.dotted_name(node) or ""
+        return dotted.startswith("numpy.") and dotted.split(".")[-1] in self._BAD
+
+    def _emit(self, ctx: ModuleContext, cfg: LintConfig, node: ast.expr) -> Finding:
+        return self.finding(
+            ctx,
+            node.lineno,
+            node.col_offset,
+            "native float32/float16 cast bypasses types.quantize; keep the "
+            "float64 container and quantize explicitly",
+            cfg,
+        )

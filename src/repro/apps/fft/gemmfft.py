@@ -18,7 +18,7 @@ M3XU functional model, the FP16/TF32 software schemes, or float64.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable
 
 import numpy as np
 

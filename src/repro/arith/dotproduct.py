@@ -21,7 +21,6 @@ import numpy as np
 
 from ..types.formats import FloatFormat
 from ..types.quantize import quantize
-from ..types.rounding import RoundingMode
 from .accumulator import aligned_sum
 
 __all__ = ["dot_product_unit", "fma_chain_dot", "pairwise_tree_dot"]

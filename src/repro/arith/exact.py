@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..types.formats import FloatFormat
-from ..types.rounding import RoundingMode, round_significand_scalar
+from ..types.rounding import RoundingMode
 
 __all__ = [
     "to_fraction",
@@ -67,6 +67,11 @@ def round_fraction(
     if mode is RoundingMode.NEAREST_EVEN:
         if 2 * r > d or (2 * r == d and q % 2 == 1):
             q += 1
+    # Exact despite routing through Python floats: q <= 2**(mantissa_bits
+    # + 1) <= 2**53 (float(q) lossless), 2.0**grid_exp is a power of two,
+    # and q * 2**grid_exp is representable in fmt (subset of float64) by
+    # construction, so each multiply rounds to an exact result.
+    # repro: allow[PS101] proven exact; regression: test_round_fraction_float_path_exact
     result = float(sign) * float(q) * 2.0**grid_exp
 
     if abs(result) > fmt.max_value:

@@ -71,7 +71,7 @@ def cache_enabled() -> bool:
 # ----------------------------------------------------------------------
 # Stable content addressing
 # ----------------------------------------------------------------------
-def _feed(h, obj: Any) -> None:
+def _feed(h: "hashlib._Hash", obj: Any) -> None:
     """Canonical type-tagged encoding of *obj* into hash *h*.
 
     Tags prevent cross-type collisions (``1`` vs ``1.0`` vs ``"1"``);
@@ -287,7 +287,7 @@ def memoize(
         store = cache if cache is not None else DEFAULT_CACHE
 
         @functools.wraps(f)
-        def wrapper(*args, use_cache: bool | None = None, **kwargs):
+        def wrapper(*args: Any, use_cache: bool | None = None, **kwargs: Any) -> Any:
             if use_cache is False or (use_cache is None and not cache_enabled()):
                 return f(*args, **kwargs)
             bound = sig.bind(*args, **kwargs)

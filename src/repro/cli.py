@@ -24,6 +24,11 @@ Commands
     Tabulate the Section IV-C higher-bitwidth design points.
 ``peaks [--gpu a100|h100|mi100]``
     Print the device peak-throughput table (Table I).
+``lint [paths...] [--fix] [--json] [--list-rules]``
+    Run the repo's static-analysis rule packs (precision-safety,
+    determinism, fork-safety, resilience hygiene) over the given paths
+    (default: ``src``). Exits 0 when clean (warnings allowed), 1 on any
+    error-severity finding, 2 on usage errors — CI-grade.
 """
 
 from __future__ import annotations
@@ -89,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--k", type=int, default=24)
     camp.add_argument("--tile", type=int, default=8,
                       help="ABFT checksum tile edge")
+
+    lint = sub.add_parser("lint",
+                          help="run the precision/determinism/fork-safety "
+                               "static analysis")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories (default: src)")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply safe autofixes, then re-lint")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable findings on stdout")
+    lint.add_argument("--list-rules", action="store_true", dest="list_rules",
+                      help="print every registered rule and exit")
     return p
 
 
@@ -220,6 +237,47 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis import all_rules, apply_fixes, lint_paths, load_config
+
+    if args.list_rules:
+        for rule in all_rules():
+            severity = rule.default_severity.value
+            fix = " [fixable]" if rule.fixable else ""
+            print(f"{rule.rule_id}  {rule.pack:20s} {severity:7s} "
+                  f"{rule.summary}{fix}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    cfg = load_config(paths[0])
+    report = lint_paths(list(paths), cfg)
+    if args.fix:
+        applied = apply_fixes(report)
+        if applied:
+            print(f"applied {applied} fix(es); re-linting", file=sys.stderr)
+        report = lint_paths(list(paths), cfg)
+    if args.as_json:
+        print(json.dumps(
+            {
+                "findings": [f.to_dict() for f in report.findings],
+                "files_checked": report.files_checked,
+                "parse_errors": report.parse_errors,
+                "exit_code": report.exit_code,
+            },
+            indent=2,
+        ))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 _COMMANDS = {
     "report": _cmd_report,
     "gemm": _cmd_gemm,
@@ -228,6 +286,7 @@ _COMMANDS = {
     "design-space": _cmd_design_space,
     "peaks": _cmd_peaks,
     "campaign": _cmd_campaign,
+    "lint": _cmd_lint,
 }
 
 

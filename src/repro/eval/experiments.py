@@ -7,7 +7,7 @@ EXPERIMENTS.md generation share one source of truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

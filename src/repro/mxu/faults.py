@@ -29,14 +29,18 @@ Two layers of tooling live here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Mapping
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from ..types.bits import decode, encode
-from ..types.formats import FP32, FP64, FloatFormat
+from ..types.formats import FP32, FloatFormat
+from .config import MXUConfig
 from .modes import MXUMode
+
+if TYPE_CHECKING:
+    from .m3xu import M3XU
 
 __all__ = [
     "FaultSite",
@@ -225,7 +229,7 @@ class FaultyM3XU:
     so a recomputation of the affected region observes a clean unit.
     """
 
-    def __init__(self, spec: FaultSpec, unit=None):
+    def __init__(self, spec: FaultSpec, unit: "M3XU | None" = None):
         from .m3xu import M3XU
 
         self.unit = unit if unit is not None else M3XU()
@@ -237,20 +241,20 @@ class FaultyM3XU:
 
     # -- delegation ----------------------------------------------------
     @property
-    def config(self):
+    def config(self) -> MXUConfig:
         return self.unit.config
 
     @property
-    def fastpath(self):
+    def fastpath(self) -> bool:
         return getattr(self.unit, "fastpath", False)
 
-    def supported_modes(self):
+    def supported_modes(self) -> frozenset[MXUMode]:
         return self.unit.supported_modes()
 
     def steps(self, mode: MXUMode) -> int:
         return self.unit.steps(mode)
 
-    def output_format(self, mode: MXUMode):
+    def output_format(self, mode: MXUMode) -> FloatFormat:
         return self.unit.output_format(mode)
 
     # -- fault machinery -----------------------------------------------
@@ -328,7 +332,7 @@ class FaultyM3XU:
 
     # -- MMA entry points ----------------------------------------------
     def mma(
-        self, a: np.ndarray, b: np.ndarray, c, mode: MXUMode
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float, mode: MXUMode
     ) -> np.ndarray:
         fire = self._should_fire()
         if fire and self.spec.stage is FaultStage.OPERAND:
@@ -346,7 +350,7 @@ class FaultyM3XU:
         b: np.ndarray,
         a_parts: Mapping[str, np.ndarray],
         b_parts: Mapping[str, np.ndarray],
-        c,
+        c: np.ndarray | float,
         mode: MXUMode,
         *,
         c_quantized: bool = False,
@@ -366,10 +370,10 @@ class FaultyM3XU:
             out, self.injected = self._corrupt_output(out, mode)
         return out
 
-    def mma_fp32(self, a, b, c) -> np.ndarray:
+    def mma_fp32(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float) -> np.ndarray:
         return self.mma(a, b, c, MXUMode.FP32)
 
-    def mma_fp32c(self, a, b, c) -> np.ndarray:
+    def mma_fp32c(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float) -> np.ndarray:
         return self.mma(a, b, c, MXUMode.FP32C)
 
 

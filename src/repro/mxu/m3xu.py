@@ -108,15 +108,15 @@ class M3XU:
         )
 
     # Convenience wrappers mirroring the kernel names of Table II ---------
-    def mma_fp32(self, a, b, c) -> np.ndarray:
+    def mma_fp32(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float) -> np.ndarray:
         """Native FP32 MMA (the M3XU_sgemm building block)."""
         return self.mma(a, b, c, MXUMode.FP32)
 
-    def mma_fp32c(self, a, b, c) -> np.ndarray:
+    def mma_fp32c(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float) -> np.ndarray:
         """Native FP32-complex MMA (the M3XU_cgemm building block)."""
         return self.mma(a, b, c, MXUMode.FP32C)
 
-    def mma_fp64(self, a, b, c) -> np.ndarray:
+    def mma_fp64(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float) -> np.ndarray:
         """FP64 MMA per the Section IV-C extension sketch."""
         return self.mma(a, b, c, MXUMode.FP64)
 

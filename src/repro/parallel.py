@@ -69,7 +69,6 @@ from collections import deque
 from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
-from random import Random
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -249,10 +248,12 @@ def _terminate_pool() -> None:
         for proc in list(getattr(pool, "_processes", {}).values()):
             try:
                 proc.terminate()
+            # repro: allow[RH403] terminating an already-dead worker
             except Exception:  # pragma: no cover - already dead
                 pass
         try:
             pool.shutdown(wait=False, cancel_futures=True)
+        # repro: allow[RH403] last-resort teardown of a broken executor
         except Exception:  # pragma: no cover - broken executor teardown
             pass
     else:
@@ -283,10 +284,10 @@ class _ShmRef:
         self.shape = shape
         self.dtype_str = dtype_str
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[str, tuple[int, ...], str]:
         return (self.name, self.shape, self.dtype_str)
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: tuple[str, tuple[int, ...], str]) -> None:
         self.name, self.shape, self.dtype_str = state
 
 
@@ -442,7 +443,7 @@ def _serial_resilient(
     workers, where a wall-clock deadline cannot be enforced)."""
     results: list[Any] = [None] * len(work)
     failures: list[TaskFailure] = []
-    rng = Random()
+    rng = policy.jitter_rng()
     for i, item in enumerate(work):
         attempt = 0
         while True:
@@ -491,7 +492,7 @@ def _resilient_map(
     failures: dict[int, TaskFailure] = {}
     queue: deque[int] = deque(range(n))
     retry_delay: dict[int, float] = {}
-    rng = Random()
+    rng = policy.jitter_rng()
 
     def account(index: int, cause: str, exc: BaseException | None) -> None:
         attempts[index] += 1

@@ -74,7 +74,7 @@ _CAMPAIGN_NAMES = frozenset(
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _CAMPAIGN_NAMES:
         from . import campaign
 

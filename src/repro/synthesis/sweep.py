@@ -12,10 +12,10 @@ Two quantities beyond Table III's cells:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from .components import Inventory
-from .designs import _DP_ELEMS, _ENTRY_BITS, _compute_path, m3xu_no_complex
+from .designs import _DP_ELEMS, _compute_path, m3xu_no_complex
 from .gates import CAL, GateCosts
 
 __all__ = [

@@ -99,8 +99,12 @@ def quantize(
             if fmt == FP64:
                 return x.copy()
             if fmt == FP32:
+                # repro: allow[PS105] quantize IS the rounding enforcement
+                # point; the astype round-trip is the hardware RNE
+                # conversion, cross-validated against _quantize_generic.
                 return x.astype(np.float32).astype(np.float64)
             if fmt == FP16:
+                # repro: allow[PS105] same as the FP32 fast path above
                 return x.astype(np.float16).astype(np.float64)
     return _quantize_generic(x, fmt, mode)
 

@@ -1,0 +1,10 @@
+"""Fixture: DT201 — unseeded numpy Generator construction."""
+
+import numpy as np
+
+
+def sample(n: int) -> np.ndarray:
+    rng = np.random.default_rng()  # line 7: DT201
+    other = np.random.default_rng(seed=None)  # line 8: DT201
+    good = np.random.default_rng(2024)  # seeded: no finding
+    return rng.random(n) + other.random(n) + good.random(n)

@@ -1,0 +1,8 @@
+"""Fixture: DT202 — legacy global numpy random state."""
+
+import numpy as np
+
+
+def noise(n: int) -> np.ndarray:
+    np.random.seed(0)  # line 7: DT202 (global state, not a Generator)
+    return np.random.rand(n)  # line 8: DT202

@@ -1,0 +1,13 @@
+"""Fixture: DT203 — stdlib random module-level state / unseeded Random."""
+
+import random
+from random import Random
+
+
+def jitter() -> float:
+    r = Random()  # line 8: DT203 (unseeded instance)
+    return r.random() + random.uniform(0.0, 1.0)  # line 9: DT203
+
+
+def seeded_jitter(seed: int) -> float:
+    return Random(seed).random()  # seeded: no finding

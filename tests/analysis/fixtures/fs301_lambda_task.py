@@ -1,0 +1,18 @@
+"""Fixture: FS301 — unpicklable callables handed to parallel_map."""
+
+from repro.parallel import parallel_map
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def run(items: list[int]) -> list[int]:
+    bad = parallel_map(lambda x: x * x, items)  # line 11: FS301
+
+    def local_square(x: int) -> int:
+        return x * x
+
+    also_bad = parallel_map(local_square, items)  # line 16: FS301
+    fine = parallel_map(_square, items)  # module-level fn: no finding
+    return bad + also_bad + fine

@@ -1,0 +1,25 @@
+"""Fixture: FS302 — parallel task mutates module-level state."""
+
+from repro.parallel import parallel_map
+
+_RESULTS: list[int] = []
+_TOTALS = {}
+
+
+def task(x: int) -> int:
+    global _COUNT  # line 10: FS302
+    _RESULTS.append(x)  # line 11: FS302
+    _TOTALS[x] = x * x  # line 12: FS302
+    return x
+
+
+def clean_task(x: int) -> int:
+    local: list[int] = []
+    local.append(x)  # local list: no finding
+    return sum(local)
+
+
+def run(items: list[int]) -> list[int]:
+    out = parallel_map(task, items)
+    out += parallel_map(clean_task, items)
+    return out

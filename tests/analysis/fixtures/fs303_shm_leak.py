@@ -1,0 +1,27 @@
+"""Fixture: FS303 — SharedMemory without a paired release path."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky(n: int) -> bytes:
+    seg = SharedMemory(create=True, size=n)  # line 7: FS303
+    data = bytes(seg.buf[:n])
+    seg.close()  # plain close: not on the unwind path, still leaks on raise
+    return data
+
+
+def tracked(n: int, registry: list) -> None:
+    seg = SharedMemory(create=True, size=n)
+    registry.append(seg)  # ownership transferred: no finding
+
+
+def guarded(n: int) -> bytes:
+    seg = SharedMemory(create=True, size=n)
+    try:
+        return bytes(seg.buf[:n])
+    finally:
+        seg.close()  # released on unwind: no finding
+
+
+def escapes(n: int) -> SharedMemory:
+    return SharedMemory(create=True, size=n)  # returned: no finding

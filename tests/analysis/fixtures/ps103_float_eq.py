@@ -1,0 +1,9 @@
+"""Fixture: PS103 — float equality against an inexact literal."""
+
+
+def check(x: float) -> bool:
+    if x == 0.1:  # line 5: PS103 (0.1 is not representable)
+        return True
+    if x != 1e-6:  # line 7: PS103
+        return False
+    return x == 0.25 or x == 0.0  # exact literals: no finding

@@ -1,0 +1,20 @@
+"""Fixture: PS104 — shift amounts escaping the accumulation window."""
+
+_SLICE_BITS = 12
+_HH_SHIFT = 2 * _SLICE_BITS
+
+# weight_shift 30 + 24-bit product > 48-bit window: finding on the tuple.
+bad_schedule = [
+    (0, 0, 30),  # line 8: PS104
+    (1, 1, 0),
+    (0, 1, _SLICE_BITS),
+]
+
+good_schedule = [
+    (0, 0, _HH_SHIFT),  # 24 + 24 == 48: fits exactly, no finding
+    (1, 1, 0),
+]
+
+
+def overshift(value: int) -> int:
+    return value << 64  # line 20: PS104 (escapes the int64 adder model)

@@ -1,0 +1,14 @@
+"""Fixture: PS105 — native float32/float16 casts in a bit-exact module."""
+
+import numpy as np
+
+
+def demote(x: np.ndarray) -> np.ndarray:
+    y = x.astype(np.float32)  # line 7: PS105
+    z = np.asarray(x, dtype="float16")  # line 8: PS105
+    w = np.float32(1.5)  # line 9: PS105
+    return y + z + w
+
+
+def fine(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)  # the container dtype: no finding

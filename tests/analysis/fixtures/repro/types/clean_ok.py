@@ -1,0 +1,27 @@
+"""Fixture: a clean bit-exact module — every rule must stay silent."""
+
+import math
+
+import numpy as np
+
+_HALF = 0.5
+
+
+def quantize_step(mantissa: int, exponent: int) -> int:
+    return mantissa << min(exponent, 40)
+
+
+def tiles(m: int, block: int) -> int:
+    return math.ceil(m / block)
+
+
+def is_zero(x: float) -> bool:
+    return x == 0.0
+
+
+def container(values: list[float]) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def sample(seed: int, n: int) -> np.ndarray:
+    return np.random.default_rng(seed).random(n)

@@ -1,0 +1,13 @@
+"""Fixture: PS101 — bare float() arithmetic in a bit-exact module."""
+
+
+def scale(sig: int, weight: float) -> float:
+    bad = float(sig) * weight  # line 5: PS101
+    also_bad = weight + float(sig)  # line 6: PS101
+    fine = float(sig)  # plain cast outside arithmetic: no finding
+    return bad + also_bad + fine
+
+
+def allowed(sig: int) -> float:
+    # repro: allow[PS101] exactness proven elsewhere
+    return float(sig) * 2.0

@@ -1,0 +1,11 @@
+"""Fixture: PS102 — rounding math.* call in a bit-exact module."""
+
+import math
+
+
+def hypotenuse(a: float, b: float) -> float:
+    return math.sqrt(a * a + b * b)  # line 7: PS102
+
+
+def tiles(m: int, d: int) -> int:
+    return math.ceil(m / d)  # integer-exact helper: no finding

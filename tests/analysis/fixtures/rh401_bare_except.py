@@ -1,0 +1,17 @@
+"""Fixture: RH401 — bare except (autofixable)."""
+
+
+def load(path: str) -> str:
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except:  # line 8: RH401
+        return ""
+
+
+def load_guarded(path: str) -> str:
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError:  # narrowed: no finding
+        return ""

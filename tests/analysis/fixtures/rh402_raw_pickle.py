@@ -1,0 +1,12 @@
+"""Fixture: RH402 — raw pickle.load outside the corruption wrappers."""
+
+import pickle
+
+
+def read_blob(path: str) -> object:
+    with open(path, "rb") as fh:
+        return pickle.load(fh)  # line 8: RH402
+
+
+def read_bytes(blob: bytes) -> object:
+    return pickle.loads(blob)  # line 12: RH402

@@ -1,0 +1,15 @@
+"""Fixture: RH403 — broad except that silently swallows the failure."""
+
+
+def cleanup(handle: object) -> None:
+    try:
+        handle.close()  # type: ignore[attr-defined]
+    except Exception:  # line 7: RH403
+        pass
+
+
+def cleanup_logged(handle: object, log: list) -> None:
+    try:
+        handle.close()  # type: ignore[attr-defined]
+    except Exception as exc:  # handler does something: no finding
+        log.append(exc)

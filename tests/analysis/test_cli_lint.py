@@ -1,0 +1,86 @@
+"""`repro lint` CLI contract: exit codes, --json, --list-rules, --fix."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+ALL_FIXTURES = sorted(
+    p.relative_to(FIXTURES).as_posix()
+    for p in FIXTURES.rglob("*.py")
+    if p.name != "clean_ok.py"
+)
+
+
+def test_lint_src_exits_zero(capsys):
+    """Acceptance: `repro lint src/` exits 0 on the shipped tree."""
+    assert main(["lint", str(REPO / "src")]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+@pytest.mark.parametrize("rel", ALL_FIXTURES)
+def test_lint_each_fixture_exits_nonzero(rel, capsys):
+    """Acceptance: every known-bad fixture fails the lint gate with a
+    file:line:rule-id finding on stdout."""
+    path = FIXTURES / rel
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    rule_id = Path(rel).name.split("_")[0].upper()
+    assert f"{rule_id} error:" in out
+    assert any(
+        line.startswith(str(path)) and f": {rule_id} " in line
+        for line in out.splitlines()
+    )
+
+
+def test_lint_clean_fixture_exits_zero(capsys):
+    assert main(["lint", str(FIXTURES / "repro/types/clean_ok.py")]) == 0
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["lint", str(FIXTURES / "does_not_exist.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("PS101", "PS105", "DT201", "FS303", "RH403"):
+        assert rule_id in out
+    assert "precision" in out and "fork-safety" in out
+
+
+def test_json_output(capsys):
+    assert main(["lint", "--json", str(FIXTURES / "rh402_raw_pickle.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    rules = [f["rule_id"] for f in payload["findings"]]
+    assert rules == ["RH402", "RH402"]
+    assert payload["findings"][0]["line"] == 8
+
+
+def test_fix_flag_applies_and_relints(tmp_path, capsys):
+    out = tmp_path / "rh401.py"
+    out.write_text(
+        "def f(p):\n"
+        "    try:\n"
+        "        return open(p).read()\n"
+        "    except:\n"
+        "        return ''\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--fix", str(out)]) == 0
+    assert "except Exception:" in out.read_text(encoding="utf-8")
+
+
+def test_parse_error_exits_one(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    assert main(["lint", str(bad)]) == 1
+    assert "parse error" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Engine-level behavior: config, suppression, severities, autofix."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    Severity,
+    all_rules,
+    apply_fixes,
+    get_rule,
+    lint_file,
+    lint_paths,
+    load_config,
+)
+from repro.analysis.findings import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestRegistry:
+    def test_all_fourteen_rules_registered(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert set(ids) == {
+            "PS101", "PS102", "PS103", "PS104", "PS105",
+            "DT201", "DT202", "DT203",
+            "FS301", "FS302", "FS303",
+            "RH401", "RH402", "RH403",
+        }
+
+    def test_rules_carry_pack_and_summary(self):
+        for rule in all_rules():
+            assert rule.pack and rule.summary
+            assert rule.default_severity is Severity.ERROR
+
+    def test_get_rule_round_trips(self):
+        assert get_rule("RH401").fixable
+        with pytest.raises(KeyError):
+            get_rule("XX999")
+
+
+class TestConfig:
+    def test_load_config_reads_pyproject(self):
+        cfg = load_config(FIXTURES)
+        assert "repro/types/" in cfg.bit_exact
+        assert cfg.acc_window_bits == 48 and cfg.slice_bits == 12
+
+    def test_acc_window_parsed_from_accumulator_source(self):
+        from repro.arith.accumulator import M3XU_ACC_BITS
+
+        assert load_config(FIXTURES).acc_window_bits == M3XU_ACC_BITS
+
+    def test_defaults_without_pyproject(self, tmp_path):
+        cfg = load_config(tmp_path)
+        assert cfg.acc_window_bits == 48
+        assert cfg.rule_severity("PS101", Severity.ERROR) is Severity.ERROR
+
+    def test_severity_override_off_silences_rule(self):
+        cfg = LintConfig(severity={"RH401": Severity.OFF})
+        findings = lint_file(FIXTURES / "rh401_bare_except.py", cfg)
+        assert findings == []
+
+    def test_severity_override_warning_keeps_exit_zero(self):
+        cfg = LintConfig(severity={"RH403": Severity.WARNING})
+        report = lint_paths([FIXTURES / "rh403_silent_swallow.py"], cfg)
+        assert [f.severity for f in report.findings] == [Severity.WARNING]
+        assert report.exit_code == 0
+
+    def test_path_allowlist_suppresses_rule(self):
+        cfg = LintConfig(allow={"RH402": ("rh402_raw_pickle.py",)})
+        assert lint_file(FIXTURES / "rh402_raw_pickle.py", cfg) == []
+
+    def test_pickle_wrapper_scope(self, tmp_path):
+        wrapper = tmp_path / "repro" / "cache.py"
+        wrapper.parent.mkdir(parents=True)
+        wrapper.write_text(
+            "import pickle\n\ndef load(b):\n    return pickle.loads(b)\n",
+            encoding="utf-8",
+        )
+        assert lint_file(wrapper, LintConfig()) == []
+
+
+class TestInlineAllow:
+    def test_same_line_allow(self, tmp_path):
+        out = tmp_path / "f.py"
+        out.write_text(
+            "import pickle\n"
+            "def f(b):\n"
+            "    return pickle.loads(b)  # repro: allow[RH402] trusted bytes\n",
+            encoding="utf-8",
+        )
+        assert lint_file(out, LintConfig()) == []
+
+    def test_multiline_comment_block_allow(self, tmp_path):
+        out = tmp_path / "f.py"
+        out.write_text(
+            "import pickle\n"
+            "def f(b):\n"
+            "    # This blob is produced and consumed inside one process;\n"
+            "    # no torn-write window exists.\n"
+            "    # repro: allow[RH402]\n"
+            "    return pickle.loads(b)\n",
+            encoding="utf-8",
+        )
+        assert lint_file(out, LintConfig()) == []
+
+    def test_allow_star_suppresses_everything(self, tmp_path):
+        out = tmp_path / "f.py"
+        out.write_text(
+            "import pickle\n"
+            "def f(b):\n"
+            "    return pickle.loads(b)  # repro: allow[*]\n",
+            encoding="utf-8",
+        )
+        assert lint_file(out, LintConfig()) == []
+
+    def test_allow_for_other_rule_does_not_suppress(self, tmp_path):
+        out = tmp_path / "f.py"
+        out.write_text(
+            "import pickle\n"
+            "def f(b):\n"
+            "    return pickle.loads(b)  # repro: allow[PS101]\n",
+            encoding="utf-8",
+        )
+        assert [f.rule_id for f in lint_file(out, LintConfig())] == ["RH402"]
+
+
+class TestReport:
+    def test_exit_codes(self):
+        clean = lint_paths([FIXTURES / "repro/types/clean_ok.py"], LintConfig())
+        dirty = lint_paths([FIXTURES / "rh402_raw_pickle.py"], LintConfig())
+        assert clean.exit_code == 0 and dirty.exit_code == 1
+
+    def test_parse_error_fails_the_run(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        report = lint_paths([bad], LintConfig())
+        assert report.parse_errors and report.exit_code == 1
+
+    def test_render_summary_line(self):
+        report = lint_paths([FIXTURES / "rh402_raw_pickle.py"], LintConfig())
+        assert report.render().endswith("1 file(s) checked: 2 error(s), 0 warning(s)")
+
+    def test_findings_sorted_and_serializable(self):
+        report = lint_paths([FIXTURES], LintConfig())
+        keys = [(f.path, f.line, f.col) for f in report.findings]
+        assert keys == sorted(keys)
+        d = report.findings[0].to_dict()
+        assert {"path", "line", "col", "rule_id", "message", "severity"} <= set(d)
+
+    def test_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text(
+            "import pickle\npickle.loads(b'')\n", encoding="utf-8"
+        )
+        report = lint_paths([tmp_path], LintConfig())
+        assert report.files_checked == 0
+
+
+class TestAutofix:
+    def test_rh401_fix_roundtrip(self, tmp_path):
+        src = (FIXTURES / "rh401_bare_except.py").read_text(encoding="utf-8")
+        out = tmp_path / "rh401.py"
+        out.write_text(src, encoding="utf-8")
+
+        report = lint_paths([out], LintConfig())
+        assert [f.rule_id for f in report.findings] == ["RH401"]
+        assert apply_fixes(report) == 1
+
+        fixed = out.read_text(encoding="utf-8")
+        assert "except Exception:  # line 8: RH401" in fixed
+        assert lint_paths([out], LintConfig()).findings == []
+
+    def test_fix_skips_drifted_file(self, tmp_path):
+        out = tmp_path / "rh401.py"
+        out.write_text("try:\n    pass\nexcept:\n    pass\n", encoding="utf-8")
+        report = lint_paths([out], LintConfig())
+        # Simulate an edit between report and fix: content no longer matches.
+        out.write_text("try:\n    pass\nexcept OSError:\n    pass\n", encoding="utf-8")
+        assert apply_fixes(report) == 0
+
+    def test_unfixable_rules_untouched(self, tmp_path):
+        src = (FIXTURES / "rh402_raw_pickle.py").read_text(encoding="utf-8")
+        out = tmp_path / "rh402.py"
+        out.write_text(src, encoding="utf-8")
+        report = lint_paths([out], LintConfig())
+        assert apply_fixes(report) == 0
+        assert out.read_text(encoding="utf-8") == src
+
+
+def test_finding_is_frozen():
+    f = Finding(
+        path="x.py", line=1, col=0, rule_id="PS101",
+        message="m", severity=Severity.ERROR,
+    )
+    with pytest.raises(AttributeError):
+        f.line = 2  # type: ignore[misc]

@@ -43,6 +43,60 @@ class TestRoundFraction:
         with pytest.raises(ValueError):
             to_fraction(np.inf)
 
+    def test_round_fraction_float_path_exact(self, rng):
+        """Regression for the allowlisted float arithmetic in
+        ``round_fraction`` (lint rule PS101, ``repro/arith/exact.py``).
+
+        The final ``float(sign) * float(q) * 2.0**grid_exp`` is claimed
+        exact: q fits in 53 bits, the scale is a power of two, and the
+        product is representable in the target format. Cross-check the
+        whole function against a pure-Fraction tail that converts to
+        float only once, on an exactly-representable value.
+        """
+        from fractions import Fraction
+
+        def pure_tail(value, fmt, mode=RoundingMode.NEAREST_EVEN):
+            sign = -1 if value < 0 else 1
+            mag = abs(value)
+            e = mag.numerator.bit_length() - mag.denominator.bit_length()
+            if mag >= Fraction(2) ** (e + 1):
+                e += 1
+            elif mag < Fraction(2) ** e:
+                e -= 1
+            grid_exp = max(e, fmt.emin) - fmt.mantissa_bits
+            scaled = mag / Fraction(2) ** grid_exp
+            q, r = divmod(scaled.numerator, scaled.denominator)
+            d = scaled.denominator
+            if mode is RoundingMode.NEAREST_EVEN and (
+                2 * r > d or (2 * r == d and q % 2 == 1)
+            ):
+                q += 1
+            exact = Fraction(sign) * q * Fraction(2) ** grid_exp
+            result = float(exact)  # lossless: representable in fmt ⊆ float64
+            assert Fraction(result) == exact
+            if abs(result) > fmt.max_value:
+                if mode is RoundingMode.NEAREST_EVEN:
+                    return float(np.copysign(np.inf, sign))
+                return float(np.copysign(fmt.max_value, sign))
+            return result
+
+        # Boundary-heavy battery: binade edges, ties, subnormal floor,
+        # mantissa all-ones (round-up crosses a binade), plus noise.
+        cases = [
+            2.0**-126, 2.0**-126 * 1.5, FP32.min_subnormal * 0.5,
+            FP32.min_subnormal * 1.5, FP32.max_value * (1 - 2.0**-25),
+            1.0 + 2.0**-24, 1.0 + 2.0**-23, 2.0 - 2.0**-24,
+            65504.0 * (1 + 2.0**-12), -3.0000000001,
+        ]
+        cases += list(rng.normal(size=100) * 10.0 ** rng.uniform(-30, 30, 100))
+        for fmt in (FP16, FP32, FP64):
+            for mode in (RoundingMode.NEAREST_EVEN, RoundingMode.TOWARD_ZERO):
+                for v in cases:
+                    frac = to_fraction(v)
+                    assert round_fraction(frac, fmt, mode) == pure_tail(
+                        frac, fmt, mode
+                    ), (v, fmt.name, mode)
+
 
 class TestExactDot:
     def test_single_element_is_fma(self, rng):

@@ -399,3 +399,47 @@ def test_sha256_is_the_hash_used_by_the_journal(tmp_path):
     record = json.loads(journal.path.read_text())
     blob = base64.b64decode(record["blob"])
     assert hashlib.sha256(blob).hexdigest() == record["sha256"]
+
+
+class TestJitterDeterminism:
+    """Regression: retry-backoff jitter must be seeded (lint rule DT203).
+
+    The jitter RNG used to be ``Random()`` — OS entropy — which made
+    failure-schedule timing unreplayable. ``RetryPolicy.jitter_rng()``
+    now derives from an explicit seed threaded like every other random
+    source in the repo.
+    """
+
+    def test_jitter_rng_replays_bit_identically(self):
+        from repro.resilience.failures import RetryPolicy
+
+        policy = RetryPolicy(retries=3, backoff=0.5)
+        a, b = policy.jitter_rng(), policy.jitter_rng()
+        delays_a = [policy.delay(k, a) for k in range(1, 6)]
+        delays_b = [policy.delay(k, b) for k in range(1, 6)]
+        assert delays_a == delays_b
+
+    def test_distinct_seeds_give_distinct_schedules(self):
+        from repro.resilience.failures import RetryPolicy
+
+        base = RetryPolicy(retries=3, backoff=0.5)
+        other = RetryPolicy(retries=3, backoff=0.5, seed=7)
+        da = [base.delay(k, base.jitter_rng()) for k in (1, 2)]
+        db = [other.delay(k, other.jitter_rng()) for k in (1, 2)]
+        assert da != db
+
+    def test_resolve_policy_threads_seed(self):
+        from repro.resilience.failures import resolve_policy
+
+        assert resolve_policy(retries=2).seed == resolve_policy(retries=2).seed
+        assert resolve_policy(retries=2, seed=99).seed == 99
+
+    def test_delay_bounds_hold(self):
+        from repro.resilience.failures import MAX_BACKOFF, RetryPolicy
+
+        policy = RetryPolicy(retries=5, backoff=0.25, jitter=0.25)
+        rng = policy.jitter_rng()
+        for attempt in range(1, 10):
+            d = policy.delay(attempt, rng)
+            base = min(0.25 * 2.0 ** (attempt - 1), MAX_BACKOFF)
+            assert base <= d <= base * 1.25
