@@ -15,6 +15,13 @@ of being hostage to one noisy measurement.
 ``REPRO_BENCH_SMOKE=1`` shrinks every shape so the suite doubles as a CI
 smoke test (bit-identity still asserted; speedup thresholds waived at toy
 sizes).
+
+The ``bitlevel_vector`` cases time the vectorized bit-level datapath
+(:mod:`repro.mxu.vectorized`) against the scalar ``BitAccumulator``
+oracle. The scalar engine is far too slow for the full shapes, so it is
+timed on a slice (columns of the GEMM / a prefix of the campaign trials),
+asserted bit-identical there, and extrapolated linearly — the per-element
+work is constant, and the ``extrapolated`` flag in the JSON says so.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ from repro.gemm.batched import _batched_legacy, batched_mxu_cgemm, batched_mxu_s
 from repro.gemm.tiled import TiledGEMM
 from repro.mxu.m3xu import M3XU
 from repro.mxu.modes import MXUMode
+from repro.mxu.vectorized import BitLevelMXU
+from repro.resilience.campaign import BITLEVEL_STAGES, CampaignConfig, run_campaign
 from repro.types.formats import FP32
 from repro.types.quantize import quantize, quantize_complex
 
@@ -42,9 +51,13 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
 if SMOKE:
     SGEMM_N, CGEMM_N = 64, 48
     BATCH_S, BATCH_C = (8, 24), (6, 16)
+    BITLEVEL_N, BITLEVEL_COLS = 24, 2
+    CAMPAIGN_TRIALS, CAMPAIGN_SLICE, CAMPAIGN_DIM = 5, 5, 16
 else:
     SGEMM_N, CGEMM_N = 512, 256
     BATCH_S, BATCH_C = (32, 64), (24, 48)
+    BITLEVEL_N, BITLEVEL_COLS = 256, 2
+    CAMPAIGN_TRIALS, CAMPAIGN_SLICE, CAMPAIGN_DIM = 200, 20, 32
 
 _RESULTS: list[dict] = []
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
@@ -155,3 +168,60 @@ def test_cgemm_batched(benchmark):
 
     assert got.tobytes() == want.tobytes()
     _record("batched_cgemm", f"{bsz}x{n}^3", "fp32c", legacy_s, fast_s, 2.0)
+
+
+def test_bitlevel_sgemm(benchmark):
+    """Vectorized vs scalar bit-level datapath on a full bit-level GEMM.
+
+    The vector engine runs the whole N^3 GEMM; the scalar oracle is timed
+    on ``BITLEVEL_COLS`` columns of the same problem (bit-identity
+    asserted on that slice) and extrapolated to the full width.
+    """
+    n, cols = BITLEVEL_N, BITLEVEL_COLS
+    rng = np.random.default_rng(15)
+    a = quantize(rng.standard_normal((n, n)), FP32)
+    b = quantize(rng.standard_normal((n, n)), FP32)
+    vector_driver = TiledGEMM(BitLevelMXU(engine="vector"), MXUMode.FP32)
+    scalar_driver = TiledGEMM(BitLevelMXU(engine="scalar"), MXUMode.FP32)
+
+    got = benchmark.pedantic(vector_driver.run, args=(a, b), rounds=3, iterations=1)
+    fast_s, _ = _timed(lambda: vector_driver.run(a, b))
+    slice_s, want_slice = _timed(lambda: scalar_driver.run(a, b[:, :cols]), repeats=1)
+    legacy_s = slice_s * (n / cols)
+
+    assert got[:, :cols].tobytes() == want_slice.tobytes()
+    _record("bitlevel_vector_sgemm", f"{n}x{n}x{n}", "fp32",
+            legacy_s, fast_s, 10.0)
+    _RESULTS[-1]["extrapolated"] = f"scalar timed on {cols}/{n} columns"
+
+
+def test_bitlevel_campaign(benchmark):
+    """Vectorized vs scalar bit-level engine under a full fault campaign.
+
+    Both engines run the same seeded campaign config; the scalar engine
+    covers a trial prefix (records asserted identical on it) and its time
+    is extrapolated to the full trial count.
+    """
+    trials, sl, d = CAMPAIGN_TRIALS, CAMPAIGN_SLICE, CAMPAIGN_DIM
+    cfg = CampaignConfig(
+        trials=trials, m=d, n=d, k=d, engine="bitlevel", stages=BITLEVEL_STAGES)
+    cfg_slice = CampaignConfig(
+        trials=sl, m=d, n=d, k=d, engine="bitlevel", stages=BITLEVEL_STAGES)
+
+    os.environ["REPRO_BITLEVEL"] = "vector"
+    try:
+        vec_result = benchmark.pedantic(run_campaign, args=(cfg,), rounds=1,
+                                        iterations=1)
+        fast_s, vec_result = _timed(lambda: run_campaign(cfg), repeats=1)
+        os.environ["REPRO_BITLEVEL"] = "scalar"
+        slice_s, scalar_result = _timed(lambda: run_campaign(cfg_slice), repeats=1)
+    finally:
+        os.environ.pop("REPRO_BITLEVEL", None)
+    legacy_s = slice_s * (trials / sl)
+
+    # The seeded trial prefix must be engine-independent, record for record.
+    assert scalar_result.records == vec_result.records[:sl]
+    assert vec_result.undetected_sdc == 0
+    _record("bitlevel_vector_campaign", f"{trials}x({d}x{d}x{d})", "fp32",
+            legacy_s, fast_s, 10.0)
+    _RESULTS[-1]["extrapolated"] = f"scalar timed on {sl}/{trials} trials"

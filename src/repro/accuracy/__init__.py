@@ -8,9 +8,13 @@ from .growth import (
     error_growth_vs_k,
 )
 from .study import (
+    BITLEVEL_CGEMM_IMPLS,
+    BITLEVEL_SGEMM_IMPLS,
     CGEMM_IMPLS,
     SGEMM_IMPLS,
     AccuracyResult,
+    bitlevel_cgemm,
+    bitlevel_sgemm,
     cgemm_accuracy_study,
     sgemm_accuracy_study,
 )
@@ -21,6 +25,10 @@ __all__ = [
     "cgemm_accuracy_study",
     "SGEMM_IMPLS",
     "CGEMM_IMPLS",
+    "BITLEVEL_SGEMM_IMPLS",
+    "BITLEVEL_CGEMM_IMPLS",
+    "bitlevel_sgemm",
+    "bitlevel_cgemm",
     "GrowthPoint",
     "error_growth_vs_k",
     "dynamic_range_sweep",

@@ -32,7 +32,17 @@ from ..types.errors import matching_bits, max_relative_error
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
 
-__all__ = ["AccuracyResult", "sgemm_accuracy_study", "cgemm_accuracy_study", "SGEMM_IMPLS", "CGEMM_IMPLS"]
+__all__ = [
+    "AccuracyResult",
+    "sgemm_accuracy_study",
+    "cgemm_accuracy_study",
+    "SGEMM_IMPLS",
+    "CGEMM_IMPLS",
+    "BITLEVEL_SGEMM_IMPLS",
+    "BITLEVEL_CGEMM_IMPLS",
+    "bitlevel_sgemm",
+    "bitlevel_cgemm",
+]
 
 SGEMM_IMPLS: dict[str, Callable] = {
     "fp32_simt": sgemm_simt,
@@ -48,6 +58,29 @@ CGEMM_IMPLS: dict[str, Callable] = {
     "m3xu_fp32c": mxu_cgemm,
     "3xtf32_c": tensorop_cgemm_3xtf32,
 }
+
+
+def bitlevel_sgemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0) -> np.ndarray:
+    """FP32 GEMM through the bit-level datapath (``REPRO_BITLEVEL`` engine).
+
+    Module-level so it pickles into :func:`~repro.parallel.parallel_map`
+    workers like the other study implementations.
+    """
+    return mxu_sgemm(a, b, c, fused=False)
+
+
+def bitlevel_cgemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | complex = 0.0) -> np.ndarray:
+    """FP32C GEMM through the bit-level datapath (``REPRO_BITLEVEL`` engine)."""
+    return mxu_cgemm(a, b, c, fused=False)
+
+
+#: Study rosters that run the true split/multiply/shift/accumulate
+#: datapath. Kept separate from the value-level defaults so headline
+#: snapshots and memoised studies keyed on the default rosters are
+#: untouched; pass ``impls={**SGEMM_IMPLS, **BITLEVEL_SGEMM_IMPLS}`` to
+#: compare both in one study.
+BITLEVEL_SGEMM_IMPLS: dict[str, Callable] = {"m3xu_fp32_bitlevel": bitlevel_sgemm}
+BITLEVEL_CGEMM_IMPLS: dict[str, Callable] = {"m3xu_fp32c_bitlevel": bitlevel_cgemm}
 
 
 @dataclass(frozen=True)

@@ -10,15 +10,38 @@ registers for the accumulation results" (Section IV-A).
 
 :func:`aligned_sum` models exactly that: reduce along an axis with
 configurable datapath width.
+
+Two accumulation disciplines live here:
+
+* :func:`aligned_sum` / :func:`aligned_sum_groups` — **single-anchor**
+  alignment: the anchor is the maximum exponent over the whole reduction
+  group, known before any addition. Every addend is rounded once against
+  that final window. This is what the fused MMA fast path uses.
+* :func:`sequential_windowed_sum` — **sequential** alignment, the
+  bit-level RTL discipline of
+  :class:`~repro.mxu.bitlevel.BitAccumulator`: the anchor is the running
+  maximum, and whenever a later addend raises it, the *partial sum
+  accumulated so far* is re-rounded by the shift. The two disciplines are
+  bit-identical unless the exponent span exceeds the window width (then
+  single-anchor rounds each small addend individually while the
+  sequential path rounds their sum), so the vectorized bit-level engine
+  must replicate the sequential discipline rather than reuse the
+  single-anchor kernels.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..types.rounding import RoundingMode
+from ..types.formats import FloatFormat
+from ..types.rounding import RoundingMode, round_significand
 
-__all__ = ["aligned_sum", "aligned_sum_groups"]
+__all__ = [
+    "aligned_sum",
+    "aligned_sum_groups",
+    "sequential_windowed_sum",
+    "int_window_to_float",
+]
 
 #: Width of the M3XU accumulation registers (Section IV-A).
 M3XU_ACC_BITS = 48
@@ -176,3 +199,164 @@ def aligned_sum_groups(
         total += ints.sum(axis=-1)
     out = np.ldexp(total.astype(np.float64), -scale)
     return np.where(nonzero, out, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Sequential windowed accumulation (the BitAccumulator discipline, as arrays)
+# ---------------------------------------------------------------------------
+
+#: Anchor value of an accumulator that has seen no nonzero addend yet. Far
+#: below any exponent a finite-format product can produce, yet small enough
+#: that ``top - _ANCHOR_SENTINEL`` cannot overflow int64 for |top| < 2**61.
+_ANCHOR_SENTINEL = np.int64(-(1 << 52))
+
+
+def _bit_length_int64(x: np.ndarray) -> np.ndarray:
+    """Exact bit length of positive int64 values (vectorized).
+
+    ``frexp`` of the float64 cast gives the bit length except when a value
+    just below a power of two rounds *up* across it (possible above 2**53);
+    the integer shift check corrects that overestimate.
+    """
+    _, e = np.frexp(x.astype(np.float64))
+    e64 = e.astype(np.int64)
+    over = (x >> np.minimum(e64 - 1, np.int64(63))) == 0
+    return e64 - over.astype(np.int64)
+
+
+def sequential_windowed_sum(
+    sign: np.ndarray,
+    sig: np.ndarray,
+    lsb_exp: np.ndarray,
+    acc_bits: int = M3XU_ACC_BITS,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accumulate addend slots along the last axis with a running anchor.
+
+    Each slot ``s`` contributes ``(-1)**sign[..., s] * sig[..., s] *
+    2**lsb_exp[..., s]`` to a W-bit shifted integer window, in slot order,
+    exactly as :class:`~repro.mxu.bitlevel.BitAccumulator` would process
+    the same sequence element by element: zero significands are skipped,
+    a slot whose MSB exceeds the running anchor re-rounds the partial sum
+    by the anchor shift, and every addend is aligned to the current window
+    LSB with *mode* rounding. The slot loop is sequential (the discipline
+    demands it) but each step is vectorized over all leading axes.
+
+    Parameters
+    ----------
+    sign:
+        0/1 addend signs (1 = negative), broadcastable against *sig*.
+    sig:
+        Non-negative int64 addend significands; shape ``(..., S)``.
+    lsb_exp:
+        Binary weight of each significand's LSB. Magnitudes must stay
+        below ``2**50`` so anchor arithmetic cannot overflow.
+    acc_bits:
+        Window width W (48 in M3XU). ``acc_bits + ceil(log2(S)) + 1`` must
+        stay <= 63 so the int64 partial sums cannot overflow.
+    mode:
+        Rounding applied to alignment and rescale shifts.
+
+    Returns
+    -------
+    tuple[np.ndarray, np.ndarray]
+        ``(value, window_lsb)``: the signed int64 window contents and the
+        binary weight of the window's LSB, per element. The represented
+        result is ``value * 2**window_lsb``.
+    """
+    sig_arr = np.asarray(sig, dtype=np.int64)
+    sign_arr = np.asarray(sign, dtype=np.int64)
+    lsb_arr = np.asarray(lsb_exp, dtype=np.int64)
+    sign_arr, sig_arr, lsb_arr = np.broadcast_arrays(sign_arr, sig_arr, lsb_arr)
+    if sig_arr.ndim == 0:
+        raise ValueError("addend slots must have at least one axis")
+    if acc_bits < 8:
+        raise ValueError("accumulator width must be >= 8 bits")
+    n_slots = sig_arr.shape[-1]
+    if acc_bits + int(np.ceil(np.log2(max(n_slots, 1)))) + 1 > 63:
+        raise ValueError(
+            f"acc_bits={acc_bits} with {n_slots} slots overflows the int64 window"
+        )
+    if np.any(sig_arr < 0):
+        raise ValueError("significands must be non-negative")
+
+    nz = sig_arr != 0
+    msb = _bit_length_int64(np.where(nz, sig_arr, 1)) - 1
+    top = np.where(nz, lsb_arr + msb, _ANCHOR_SENTINEL)
+    # The running anchor is a masked cumulative max, so the whole anchor
+    # trajectory — and with it every alignment shift — is known up front;
+    # only the value recursion (whose rescale *rounds* the partial sum)
+    # stays sequential.
+    anchor = np.maximum.accumulate(top, axis=-1)
+    prev = np.concatenate(
+        [
+            np.full(anchor.shape[:-1] + (1,), _ANCHOR_SENTINEL, dtype=np.int64),
+            anchor[..., :-1],
+        ],
+        axis=-1,
+    )
+    rescale = anchor - prev
+
+    window_lsb = anchor - acc_bits + 1
+    rel = lsb_arr - window_lsb
+    # For nonzero slots rel <= acc_bits - 1 - msb, so the left shift stays
+    # inside 63 bits; zero slots may carry arbitrary rel and are masked.
+    aligned = np.where(
+        rel >= 0,
+        sig_arr << np.clip(rel, 0, 63),
+        round_significand(sig_arr, np.maximum(-rel, 0), mode),
+    )
+    addend = np.where(nz, np.where(sign_arr != 0, -aligned, aligned), 0)
+
+    value = np.zeros(sig_arr.shape[:-1], dtype=np.int64)
+    for s in range(n_slots):
+        shift = rescale[..., s]
+        if bool(np.any(shift > 0)):
+            neg = value < 0
+            mag = np.where(neg, -value, value)
+            mag = round_significand(mag, shift, mode)
+            value = np.where(neg, -mag, mag)
+        value = value + addend[..., s]
+    return value, window_lsb[..., -1] if n_slots else np.full(
+        sig_arr.shape[:-1], _ANCHOR_SENTINEL - acc_bits + 1, dtype=np.int64
+    )
+
+
+def int_window_to_float(
+    value: np.ndarray,
+    window_lsb: np.ndarray,
+    fmt: FloatFormat,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> np.ndarray:
+    """Round ``value * 2**window_lsb`` to *fmt*, vectorized and bit-exact.
+
+    The array counterpart of rounding the window contents through
+    :func:`~repro.arith.exact.round_fraction`: one integer rounding onto
+    the format's (subnormal-floored) grid, an exact ``ldexp``, and the
+    format's overflow saturation. ``value == 0`` yields +0.0 (the
+    canonical zero of the bit-level accumulator); a nonzero value that
+    rounds away returns a signed zero, matching the exact reference.
+    """
+    value_arr = np.asarray(value, dtype=np.int64)
+    lsb_arr = np.asarray(window_lsb, dtype=np.int64)
+    value_arr, lsb_arr = np.broadcast_arrays(value_arr, lsb_arr)
+    zero = value_arr == 0
+    neg = value_arr < 0
+    mag = np.where(neg, -value_arr, value_arr)
+    bl = _bit_length_int64(np.where(zero, 1, mag))
+    msb_exp = lsb_arr + bl - 1
+    grid = np.maximum(msb_exp, fmt.emin) - fmt.mantissa_bits
+    drop = grid - lsb_arr
+    # drop <= 0 means the window LSB already sits on or above the grid:
+    # mag then carries at most mantissa_bits + 1 bits and is exact below.
+    mag_r = round_significand(mag, np.maximum(drop, 0), mode)
+    exp_r = np.where(drop > 0, grid, lsb_arr)
+    with np.errstate(over="ignore"):
+        out = np.ldexp(mag_r.astype(np.float64), exp_r)
+    over = np.abs(out) > fmt.max_value
+    if mode is RoundingMode.NEAREST_EVEN:
+        out = np.where(over, np.inf, out)
+    else:
+        out = np.where(over, fmt.max_value, out)
+    out = np.where(neg, -out, out)
+    return np.where(zero, 0.0, out)

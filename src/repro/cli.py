@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--k", type=int, default=24)
     camp.add_argument("--tile", type=int, default=8,
                       help="ABFT checksum tile edge")
+    camp.add_argument("--engine", default="m3xu", choices=["m3xu", "bitlevel"],
+                      help="'bitlevel' runs the true split/multiply/shift/"
+                           "accumulate datapath (REPRO_BITLEVEL selects "
+                           "vector or scalar) and adds product-stage faults")
 
     lint = sub.add_parser("lint",
                           help="run the precision/determinism/fork-safety "
@@ -217,8 +221,14 @@ def _cmd_peaks(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from .resilience.campaign import CampaignConfig, run_campaign
+    from .resilience.campaign import (
+        BITLEVEL_STAGES,
+        CLASSIC_STAGES,
+        CampaignConfig,
+        run_campaign,
+    )
 
+    engine = getattr(args, "engine", "m3xu")
     config = CampaignConfig(
         trials=args.trials,
         seed=args.seed,
@@ -227,6 +237,8 @@ def _cmd_campaign(args) -> int:
         n=args.n,
         k=args.k,
         tile=args.tile,
+        engine=engine,
+        stages=BITLEVEL_STAGES if engine == "bitlevel" else CLASSIC_STAGES,
     )
     result = run_campaign(config)
     print(result.render())

@@ -24,6 +24,7 @@ import numpy as np
 from ..mxu.baseline import TensorCoreMXU
 from ..mxu.m3xu import M3XU
 from ..mxu.modes import MXUMode, step_plan
+from ..mxu.vectorized import BitLevelMXU
 from ..resilience.abft import (
     AbftConfig,
     AbftReport,
@@ -69,6 +70,15 @@ class TiledGEMM:
         bit-identical to the unguarded one on a fault-free datapath.
     abft_config:
         Guard parameters (tile size, tolerance safety, recompute rounds).
+    fused:
+        ``True`` (default) runs the value-level model (with its BLAS fast
+        path where proven equivalent). ``False`` routes every MMA through
+        the bit-level split/multiply/shift/accumulate datapath
+        (:class:`~repro.mxu.vectorized.BitLevelMXU`): an ``M3XU`` model is
+        swapped for the bit-level engine selected by ``REPRO_BITLEVEL``;
+        a model already exposing ``bitlevel`` capability is kept as-is;
+        anything else raises. ABFT tile recomputation inherits the same
+        engine because the guard re-invokes this driver's own compute.
     """
 
     mxu: MXULike
@@ -77,11 +87,20 @@ class TiledGEMM:
     use_plan: bool = True
     abft: bool | None = None
     abft_config: AbftConfig | None = None
+    fused: bool = True
     #: The last guarded run's :class:`~repro.resilience.abft.AbftReport`
     #: (``None`` when the guard is off or :meth:`run` has not executed).
     abft_report: AbftReport | None = field(default=None, init=False, compare=False)
 
     def __post_init__(self) -> None:
+        if not self.fused and not getattr(self.mxu, "bitlevel", False):
+            if isinstance(self.mxu, M3XU):
+                self.mxu = BitLevelMXU()
+            else:
+                raise ValueError(
+                    "fused=False requires a bit-level capable MXU model; "
+                    f"{type(self.mxu).__name__} does not expose one"
+                )
         if self.k_chunk is None:
             self.k_chunk = self.mxu.config.tile(self.mode).k  # type: ignore[attr-defined]
         if self.k_chunk < 1:
@@ -201,9 +220,14 @@ def mxu_sgemm(
     c: np.ndarray | float = 0.0,
     mxu: M3XU | None = None,
     abft: bool | None = None,
+    fused: bool = True,
 ) -> np.ndarray:
-    """FP32 GEMM on M3XU hardware (the functional ``M3XU_sgemm`` kernel)."""
-    return TiledGEMM(mxu or M3XU(), MXUMode.FP32, abft=abft).run(a, b, c)
+    """FP32 GEMM on M3XU hardware (the functional ``M3XU_sgemm`` kernel).
+
+    ``fused=False`` executes the true bit-level datapath (engine chosen
+    by ``REPRO_BITLEVEL``) instead of the value-level model.
+    """
+    return TiledGEMM(mxu or M3XU(), MXUMode.FP32, abft=abft, fused=fused).run(a, b, c)
 
 
 def mxu_cgemm(
@@ -212,9 +236,14 @@ def mxu_cgemm(
     c: np.ndarray | complex = 0.0,
     mxu: M3XU | None = None,
     abft: bool | None = None,
+    fused: bool = True,
 ) -> np.ndarray:
-    """FP32C GEMM on M3XU hardware (the functional ``M3XU_cgemm`` kernel)."""
-    return TiledGEMM(mxu or M3XU(), MXUMode.FP32C, abft=abft).run(a, b, c)
+    """FP32C GEMM on M3XU hardware (the functional ``M3XU_cgemm`` kernel).
+
+    ``fused=False`` executes the true bit-level datapath (engine chosen
+    by ``REPRO_BITLEVEL``) instead of the value-level model.
+    """
+    return TiledGEMM(mxu or M3XU(), MXUMode.FP32C, abft=abft, fused=fused).run(a, b, c)
 
 
 def tensorcore_gemm(

@@ -28,9 +28,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..types.bits import encode
 from ..types.formats import FP32
 from ..types.rounding import RoundingMode, round_significand_scalar
+from .vectorized import NonFiniteOperandError, fp32_bit_fields, split_fp32_fields
 
 __all__ = [
     "SliceBits",
@@ -65,21 +65,30 @@ def split_fp32_bits(x: float) -> tuple[SliceBits, SliceBits]:
     Returns the (high, low) buffer entries for one finite FP32 value.
     The high slice holds ``hidden | m[22:12]``; the low slice holds
     ``m[11:0]`` with no hidden bit; both carry the operand's sign and
-    exponent fields verbatim.
+    exponent fields verbatim. Field extraction goes through the same
+    uint32 bit view as the vectorized engine
+    (:func:`repro.mxu.vectorized.split_fp32_fields`) — no Python-float
+    promotion or per-element encode round trip.
     """
-    if not np.isfinite(x):
-        raise ValueError("bit-level model handles finite operands")
-    bits = int(encode(np.array([x]), FP32)[0])
-    sign = (bits >> 31) & 1
-    biased = (bits >> 23) & 0xFF
-    mant = bits & 0x7FFFFF
-    hidden = 1 if biased != 0 else 0  # subnormals have no hidden 1
-    hi_sig = (hidden << 11) | (mant >> 12)
-    lo_sig = mant & 0xFFF
-    return (
-        SliceBits(sign, biased, hi_sig),
-        SliceBits(sign, biased, lo_sig),
-    )
+    rows = _slice_rows(np.array([x], dtype=np.float64))
+    return rows[0]
+
+
+def _slice_rows(vec: np.ndarray) -> list[tuple[SliceBits, SliceBits]]:
+    """(high, low) buffer entries for a whole operand vector at once."""
+    sign, biased, hi, lo = split_fp32_fields(np.asarray(vec, dtype=np.float64))
+    return [
+        (SliceBits(s, e, h), SliceBits(s, e, lw))
+        for s, e, h, lw in zip(sign.tolist(), biased.tolist(), hi.tolist(), lo.tolist())
+    ]
+
+
+def _c_bits(val: float) -> tuple[int, int, int]:
+    """C operand as an accumulator addend: ``(sign, 24-bit sig, LSB exp)``."""
+    sign, biased, mant = (int(f[0]) for f in fp32_bit_fields(np.array([val], dtype=np.float64)))
+    sig = mant | (1 << 23) if biased else mant
+    e = (biased - 127) if biased else -126
+    return sign, sig, e - 23
 
 
 class BitAccumulator:
@@ -184,8 +193,8 @@ def bit_level_fp32_dot(
         raise ValueError("a and b must be equal-length vectors")
 
     acc = BitAccumulator(width=acc_bits)
-    slices_a = [split_fp32_bits(float(x)) for x in a]
-    slices_b = [split_fp32_bits(float(x)) for x in b]
+    slices_a = _slice_rows(a)
+    slices_b = _slice_rows(b)
 
     # (a_part, b_part, lane weight shift) per the FP32 step plan. The
     # shift column is relative to the L*L lane, matching Fig. 3(b)'s
@@ -220,12 +229,8 @@ def bit_level_fp32_dot(
     # C joins the wide accumulation (the 48-bit accumulation registers).
     if c != 0.0:
         if not np.isfinite(c):
-            raise ValueError("bit-level model handles finite C")
-        bits = int(encode(np.array([c]), FP32)[0])
-        sign, biased, mant = (bits >> 31) & 1, (bits >> 23) & 0xFF, bits & 0x7FFFFF
-        sig = mant | (1 << 23) if biased else mant
-        e = (biased - 127) if biased else -126
-        acc.add(sign, sig, e - 23)
+            raise NonFiniteOperandError("bit-level model handles finite C")
+        acc.add(*_c_bits(c))
     return acc.to_float()
 
 
@@ -268,12 +273,23 @@ def bit_level_fp32c_dot(
     ]
     lane_schedule = [(0, 0, 24), (1, 1, 0), (0, 1, 12), (1, 0, 12)]
 
-    for av, bv in zip(a, b):
+    # Whole-vector field extraction through the shared uint32 bit view —
+    # one pass per operand component instead of a Python-float round trip
+    # per element.
+    rows = {
+        "a": {
+            "real": _slice_rows(np.ascontiguousarray(a.real)),
+            "imag": _slice_rows(np.ascontiguousarray(a.imag)),
+        },
+        "b": {
+            "real": _slice_rows(np.ascontiguousarray(b.real)),
+            "imag": _slice_rows(np.ascontiguousarray(b.imag)),
+        },
+    }
+    for k in range(a.shape[0]):
         comps = {
-            "a": {"real": split_fp32_bits(float(av.real)),
-                  "imag": split_fp32_bits(float(av.imag))},
-            "b": {"real": split_fp32_bits(float(bv.real)),
-                  "imag": split_fp32_bits(float(bv.imag))},
+            "a": {"real": rows["a"]["real"][k], "imag": rows["a"]["imag"][k]},
+            "b": {"real": rows["b"]["real"][k], "imag": rows["b"]["imag"][k]},
         }
         for ca, cb, negate, acc in component_schedule:
             parts_a = comps["a"][ca]
@@ -292,10 +308,6 @@ def bit_level_fp32c_dot(
         if val == 0.0:
             continue
         if not np.isfinite(val):
-            raise ValueError("bit-level model handles finite C")
-        bits = int(encode(np.array([val]), FP32)[0])
-        sign, biased, mant = (bits >> 31) & 1, (bits >> 23) & 0xFF, bits & 0x7FFFFF
-        sig = mant | (1 << 23) if biased else mant
-        e = (biased - 127) if biased else -126
-        acc.add(sign, sig, e - 23)
+            raise NonFiniteOperandError("bit-level model handles finite C")
+        acc.add(*_c_bits(val))
     return complex(re_acc.to_float(), im_acc.to_float())

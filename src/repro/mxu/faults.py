@@ -41,6 +41,7 @@ from .modes import MXUMode
 
 if TYPE_CHECKING:
     from .m3xu import M3XU
+    from .vectorized import BitLevelMXU
 
 __all__ = [
     "FaultSite",
@@ -117,12 +118,21 @@ class FaultStage(enum.Enum):
     upset (result scaled by a power of two), and a ``SIGN_FLIP`` stage
     fault (result negated — the complex mode's subtract path firing, or
     failing to fire, spuriously).
+
+    ``PRODUCT`` flips one bit of one 12x12-bit multiplier lane's 24-bit
+    product *inside* the datapath, addressed by flat slot index
+    (:class:`~repro.mxu.vectorized.ProductFault`). It requires a
+    bit-level capable unit (:class:`~repro.mxu.vectorized.BitLevelMXU`)
+    — the value-level model has no product significands to corrupt — and
+    the corruption propagates through the true shifted 48-bit
+    accumulation, not through an output-side prediction.
     """
 
     OPERAND = "operand"
     ACCUMULATOR = "accumulator"
     SHIFT_ALIGN = "shift_align"
     SIGN_FLIP = "sign_flip"
+    PRODUCT = "product"
 
 
 def inject_register_fault(
@@ -178,9 +188,10 @@ class FaultSpec:
     call_index: int = 0  #: which MMA invocation (0-based) the upset hits
     element: tuple[int, ...] | None = None
     site: "FaultSite | None" = None  #: operand-stage field (random if None)
-    bit: int | None = None  #: bit offset within the site/register
+    bit: int | None = None  #: bit offset within the site/register/product
     shift: int | None = None  #: shift-align scale exponent (random ±1..8)
     seed: int = 0
+    slot: int | None = None  #: product-stage flat slot index (random if None)
 
     @classmethod
     def random(
@@ -204,6 +215,8 @@ class FaultSpec:
             parts.append(f"bit={self.bit}")
         if self.shift is not None:
             parts.append(f"shift={self.shift}")
+        if self.slot is not None:
+            parts.append(f"slot={self.slot}")
         return " ".join(parts)
 
 
@@ -229,7 +242,7 @@ class FaultyM3XU:
     so a recomputation of the affected region observes a clean unit.
     """
 
-    def __init__(self, spec: FaultSpec, unit: "M3XU | None" = None):
+    def __init__(self, spec: FaultSpec, unit: "M3XU | BitLevelMXU | None" = None):
         from .m3xu import M3XU
 
         self.unit = unit if unit is not None else M3XU()
@@ -247,6 +260,11 @@ class FaultyM3XU:
     @property
     def fastpath(self) -> bool:
         return getattr(self.unit, "fastpath", False)
+
+    @property
+    def bitlevel(self) -> bool:
+        """Whether the wrapped unit runs the bit-level datapath."""
+        return bool(getattr(self.unit, "bitlevel", False))
 
     def supported_modes(self) -> frozenset[MXUMode]:
         return self.unit.supported_modes()
@@ -330,6 +348,29 @@ class FaultyM3XU:
             return re + 1j * im, resolved
         return corrupt(np.asarray(out, dtype=np.float64)), resolved
 
+    def _resolve_product(
+        self, a: np.ndarray, b: np.ndarray, mode: MXUMode
+    ) -> tuple[object, FaultSpec]:
+        """Resolve a PRODUCT-stage spec into a concrete ProductFault."""
+        from .vectorized import PRODUCT_BITS, ProductFault, product_slot_count
+
+        if not self.bitlevel:
+            raise ValueError(
+                "product-stage faults require a bit-level MXU model "
+                "(BitLevelMXU / TiledGEMM(fused=False)); the value-level "
+                "model has no product significands to corrupt"
+            )
+        idx = self._pick_element((a.shape[0], b.shape[1]))
+        n_slots = product_slot_count(mode, a.shape[1])
+        slot = self.spec.slot
+        if slot is None:
+            slot = int(self._rng.integers(n_slots))
+        bit = self.spec.bit
+        if bit is None:
+            bit = int(self._rng.integers(PRODUCT_BITS))
+        fault = ProductFault(slot=slot, element=(int(idx[0]), int(idx[1])), bit=bit)
+        return fault, replace(self.spec, element=idx, slot=slot, bit=bit)
+
     # -- MMA entry points ----------------------------------------------
     def mma(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float, mode: MXUMode
@@ -338,6 +379,12 @@ class FaultyM3XU:
         if fire and self.spec.stage is FaultStage.OPERAND:
             self.fired = True
             a, self.injected = self._corrupt_operand(np.asarray(a), mode)
+        if fire and self.spec.stage is FaultStage.PRODUCT:
+            self.fired = True
+            a = np.asarray(a)
+            b = np.asarray(b)
+            fault, self.injected = self._resolve_product(a, b, mode)
+            return self.unit.mma(a, b, c, mode, product_fault=fault)
         out = self.unit.mma(a, b, c, mode)
         if fire and self.spec.stage is not FaultStage.OPERAND:
             self.fired = True
@@ -362,6 +409,21 @@ class FaultyM3XU:
             self.fired = True
             a, self.injected = self._corrupt_operand(np.asarray(a), mode)
             a_parts = resolve_parts(a, mode)  # the bad entry feeds data-assignment
+        if fire and self.spec.stage is FaultStage.PRODUCT:
+            self.fired = True
+            a = np.asarray(a)
+            b = np.asarray(b)
+            fault, self.injected = self._resolve_product(a, b, mode)
+            return self.unit.mma_parts(
+                a,
+                b,
+                a_parts,
+                b_parts,
+                c,
+                mode,
+                c_quantized=c_quantized,
+                product_fault=fault,
+            )
         out = self.unit.mma_parts(
             a, b, a_parts, b_parts, c, mode, c_quantized=c_quantized
         )

@@ -1,0 +1,680 @@
+"""Array-at-a-time bit-level M3XU datapath (the vectorized engine).
+
+:mod:`repro.mxu.bitlevel` executes the RTL-fidelity FP32/FP32C datapath
+one scalar dot product at a time — perfect as an oracle, far too slow for
+campaign-scale work. This module re-implements the same datapath on whole
+tiles, bit-identically:
+
+* **Splitting** (Fig. 3a, Eq. 3-8) — the sign/exponent/mantissa fields of
+  every FP32 operand are read in one shot through a ``uint32`` bit view
+  (:func:`fp32_bit_fields`), and the 12-bit H/L slices are pure integer
+  shifts/masks of those arrays. Subnormals (no hidden bit), ±0 and the
+  finiteness/representability contract are handled by masks and upfront
+  checks, exactly as the scalar :func:`~repro.mxu.bitlevel.split_fp32_bits`.
+* **Multiplying** — every 12x12-bit multiplier lane of one MMA becomes a
+  single elementwise int64 product over the ``(M, N, K)`` tile; the four
+  lanes per step plan entry are stacked into an ``(M, N, slots)`` tensor
+  ordered exactly as the scalar loop visits them (k-major, lane-minor).
+* **Shifted 48-bit accumulation** (Fig. 3b) — the per-slot sequence feeds
+  :func:`~repro.arith.accumulator.sequential_windowed_sum`, which
+  replicates the :class:`~repro.mxu.bitlevel.BitAccumulator` discipline
+  array-at-a-time (running cummax anchor + vectorized window alignment;
+  only the rounding value-recursion stays a slot loop). The single-anchor
+  :func:`~repro.arith.accumulator.aligned_sum_groups` kernel is *not*
+  reused for this: it rounds each addend against the final anchor, which
+  diverges from the sequential discipline once the exponent span exceeds
+  the 48-bit window, and the acceptance bar here is strict bit-identity
+  with the scalar oracle.
+* **Complex sign flips** (Eq. 9) — the imag*imag subtraction is a sign
+  mask XORed onto the product-sign tensor of the real accumulator.
+
+Engine selection: ``REPRO_BITLEVEL=vector`` (default) or ``scalar``
+(:func:`resolve_bitlevel_engine`); the scalar functions here walk the
+same slot ordering through :class:`~repro.mxu.bitlevel.BitAccumulator`
+and are retained as the oracle the property suite compares against.
+:class:`BitLevelMXU` packages either engine behind the ``mma``/
+``mma_parts`` contract so ``TiledGEMM(fused=False)``, ABFT tile
+recomputation and the fault campaigns run it unchanged, and both engines
+accept a :class:`ProductFault` — a bit flip in one multiplier-lane
+product, addressed by flat slot index — for campaign injection.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..arith.accumulator import int_window_to_float, sequential_windowed_sum
+from ..types.formats import FP32, FloatFormat
+from ..types.quantize import quantize, quantize_complex
+from ..types.rounding import RoundingMode
+from .config import M3XU_CONFIG, MXUConfig
+from .modes import MXUMode, step_plan
+
+__all__ = [
+    "BITLEVEL_ENV",
+    "NonFiniteOperandError",
+    "resolve_bitlevel_engine",
+    "fp32_bit_fields",
+    "split_fp32_fields",
+    "ProductFault",
+    "product_slot_count",
+    "PRODUCT_BITS",
+    "vector_mma_fp32",
+    "vector_mma_fp32c",
+    "scalar_mma_fp32",
+    "scalar_mma_fp32c",
+    "BitLevelMXU",
+]
+
+#: Environment switch: ``REPRO_BITLEVEL=scalar`` pins the scalar oracle.
+BITLEVEL_ENV = "REPRO_BITLEVEL"
+
+
+class NonFiniteOperandError(ValueError):
+    """A bit-level MMA was handed a non-finite operand.
+
+    The split/multiply/shift/accumulate datapath is defined on finite
+    FP32 values only — infinities and NaNs have no slice encoding, so
+    both engines reject them upfront (:func:`fp32_bit_fields`). The
+    distinct type exists for the fault campaigns: an injected upset can
+    legitimately drive a chunk result to ±inf/NaN, and the next chunk's
+    rejection of that operand is a *detected* unrecoverable outcome
+    (:class:`repro.resilience.campaign.Outcome` ``CRASH``), not a bug.
+    """
+
+_FIELD_SHIFT_EXP = 23
+_FIELD_SHIFT_SIGN = 31
+_MANT_MASK = 0x7FFFFF
+_EXP_MASK = 0xFF
+_LO_MASK = 0xFFF
+
+#: (a slice, b slice, accumulator weight shift) — 0 = H, 1 = L. Identical
+#: to the scalar reference's schedule: step 1 is H*H (shift 24) and L*L
+#: (shift 0), step 2 the cross products (shift 12).
+_LANE_SCHEDULE = ((0, 0, 24), (1, 1, 0), (0, 1, 12), (1, 0, 12))
+
+#: FP32C component schedule (Fig. 3c): (a component, b component, negate,
+#: accumulator) — rr and the negated ii feed the real register, ri/ir the
+#: imaginary one. Order matters: it fixes the global product-slot index.
+_COMPONENT_SCHEDULE = (
+    ("real", "real", 0, "real"),
+    ("imag", "imag", 1, "real"),
+    ("real", "imag", 0, "imag"),
+    ("imag", "real", 0, "imag"),
+)
+
+_LANES_PER_PAIR = len(_LANE_SCHEDULE)  # product slots per (a, b) element pair
+PRODUCT_BITS = 24  # a 12x12-bit multiplier lane result
+
+
+def resolve_bitlevel_engine(engine: str | None = None) -> str:
+    """Resolve the bit-level engine name: explicit arg > env > "vector"."""
+    raw = engine if engine is not None else os.environ.get(BITLEVEL_ENV, "")
+    value = raw.strip().lower() or "vector"
+    if value not in ("vector", "scalar"):
+        raise ValueError(
+            f"unknown bit-level engine {value!r} "
+            f"({BITLEVEL_ENV} takes 'vector' or 'scalar')"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Vectorized FP32 field splitting (the uint32 bit view)
+# ---------------------------------------------------------------------------
+
+
+def fp32_bit_fields(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(sign, biased_exponent, mantissa)`` int64 arrays of FP32 values.
+
+    The vector path's data-assignment front end: one float32 store and a
+    ``uint32`` bit view replace the per-element ``encode`` round trip.
+    Raises :class:`NonFiniteOperandError` for non-finite input (the
+    bit-level model is defined on finite operands) and plain
+    :class:`ValueError` for finite values that are not exactly
+    FP32-representable (quantise first — same contract as
+    :func:`repro.types.bits.encode`).
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    if not bool(np.all(np.isfinite(x64))):
+        raise NonFiniteOperandError("bit-level model handles finite operands")
+    # The float32 round trip is the intended storage narrowing of the FP32
+    # register file, checked exact below.
+    x32 = x64.astype(np.float32)  # repro: allow[PS105]
+    if not bool(np.all(x32.astype(np.float64) == x64)):
+        raise ValueError("input contains values not representable in FP32")
+    bits = np.atleast_1d(x32).view(np.uint32).reshape(x32.shape)
+    sign = (bits >> np.uint32(_FIELD_SHIFT_SIGN)).astype(np.int64)
+    biased = ((bits >> np.uint32(_FIELD_SHIFT_EXP)) & np.uint32(_EXP_MASK)).astype(
+        np.int64
+    )
+    mant = (bits & np.uint32(_MANT_MASK)).astype(np.int64)
+    return sign, biased, mant
+
+
+def split_fp32_fields(
+    x: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Fig. 3(a) wiring: ``(sign, biased_exp, hi_sig, lo_sig)``.
+
+    The high slice is ``hidden | m[22:12]`` (hidden bit only for normal
+    values), the low slice ``m[11:0]``; both share the operand's sign and
+    exponent fields, exactly like the scalar
+    :func:`~repro.mxu.bitlevel.split_fp32_bits`.
+    """
+    sign, biased, mant = fp32_bit_fields(x)
+    hidden = (biased != 0).astype(np.int64)
+    hi = (hidden << 11) | (mant >> 12)
+    lo = mant & np.int64(_LO_MASK)
+    return sign, biased, hi, lo
+
+
+def _effective_exp(biased: np.ndarray) -> np.ndarray:
+    """Unbiased slice exponent: biased - 127, or the subnormal -126."""
+    return np.where(biased > 0, biased - 127, np.int64(-126))
+
+
+def _c_slot(c: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The C operand as one accumulator slot: (sign, 24-bit sig, LSB exp)."""
+    sign, biased, mant = fp32_bit_fields(c)
+    sig = np.where(biased > 0, mant | np.int64(1 << 23), mant)
+    lsb = _effective_exp(biased) - 23
+    return sign, sig, lsb
+
+
+# ---------------------------------------------------------------------------
+# Product-stage fault injection (campaign support)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProductFault:
+    """A bit flip in one 12x12-bit multiplier lane product.
+
+    ``slot`` is the flat product index in scalar execution order —
+    k-major, then (for FP32C) component-schedule order, then lane — so
+    ``slot = k*4 + lane`` for FP32 and ``slot = k*16 + component*4 +
+    lane`` for FP32C (see :func:`product_slot_count`). ``element`` is the
+    output element whose dot-product unit the upset hits, and ``bit``
+    (0..23) the flipped bit of the 24-bit product significand.
+    """
+
+    slot: int
+    element: tuple[int, int]
+    bit: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.bit < PRODUCT_BITS):
+            raise ValueError(f"product bit must be in [0, {PRODUCT_BITS})")
+        if self.slot < 0:
+            raise ValueError("product slot must be non-negative")
+
+
+def product_slot_count(mode: MXUMode, k: int) -> int:
+    """Number of multiplier-lane products one output element sees per MMA."""
+    if mode is MXUMode.FP32:
+        return _LANES_PER_PAIR * int(k)
+    if mode is MXUMode.FP32C:
+        return _LANES_PER_PAIR * len(_COMPONENT_SCHEDULE) * int(k)
+    raise ValueError(f"bit-level engines model fp32/fp32c only, not {mode.value}")
+
+
+def _check_fault(
+    fault: ProductFault, n_slots: int, out_shape: tuple[int, int]
+) -> None:
+    if fault.slot >= n_slots:
+        raise ValueError(f"product slot {fault.slot} out of range ({n_slots} slots)")
+    m, n = fault.element
+    if not (0 <= m < out_shape[0] and 0 <= n < out_shape[1]):
+        raise ValueError(f"fault element {fault.element} outside output {out_shape}")
+
+
+# ---------------------------------------------------------------------------
+# Vector engine
+# ---------------------------------------------------------------------------
+
+
+def _require_tile(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("bit-level MMA takes 2-D operand tiles")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+    return a.shape[0], a.shape[1], b.shape[1]
+
+
+def _lane_slots(
+    a: np.ndarray, b: np.ndarray, negate: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All multiplier-lane products of one (A, B) component pairing.
+
+    Returns ``(sign, sig, lsb)`` int64 tensors of shape ``(M, N, K, 4)``
+    with the last axis in lane-schedule order; flattening the last two
+    axes gives the k-major, lane-minor slot order of the scalar loop.
+    """
+    sa, ea, ah, al = split_fp32_fields(a)
+    sb, eb, bh, bl = split_fp32_fields(b)
+    a_parts = (ah, al)
+    b_parts = (bh, bl)
+    # (M, 1, K) x (1, N, K) broadcasting: one int64 multiply per lane.
+    sig = np.stack(
+        [
+            a_parts[ia][:, None, :] * b_parts[ib].T[None, :, :]
+            for ia, ib, _ in _LANE_SCHEDULE
+        ],
+        axis=-1,
+    )
+    # Every lane's product LSB sits at 2^(Ea + Eb - 46 + lane_shift).
+    pair_exp = _effective_exp(ea)[:, None, :] + _effective_exp(eb).T[None, :, :]
+    shifts = np.array([s for _, _, s in _LANE_SCHEDULE], dtype=np.int64)
+    lsb = pair_exp[..., None] + (shifts - 46)
+    sgn = (sa[:, None, :] ^ sb.T[None, :, :]) ^ np.int64(negate)
+    return (
+        np.broadcast_to(sgn[..., None], sig.shape),
+        sig,
+        np.broadcast_to(lsb, sig.shape),
+    )
+
+
+def vector_mma_fp32(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float = 0.0,
+    *,
+    acc_bits: int = 48,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    product_fault: ProductFault | None = None,
+) -> np.ndarray:
+    """One FP32 MMA tile through the vectorized bit-level datapath.
+
+    Bit-identical to running :func:`~repro.mxu.bitlevel.bit_level_fp32_dot`
+    per output element (asserted by the property suite). Operands must be
+    finite FP32-representable float64 arrays: A ``(M, K)``, B ``(K, N)``,
+    C scalar or ``(M, N)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m_dim, k_dim, n_dim = _require_tile(a, b)
+    sgn, sig, lsb = _lane_slots(a, b)
+    slots = _LANES_PER_PAIR * k_dim
+    sgn = np.ascontiguousarray(sgn).reshape(m_dim, n_dim, slots)
+    sig = sig.reshape(m_dim, n_dim, slots)
+    lsb = np.ascontiguousarray(lsb).reshape(m_dim, n_dim, slots)
+    if product_fault is not None:
+        _check_fault(product_fault, slots, (m_dim, n_dim))
+        em, en = product_fault.element
+        sig[em, en, product_fault.slot] ^= np.int64(1) << np.int64(product_fault.bit)
+
+    c_arr = np.broadcast_to(np.asarray(c, dtype=np.float64), (m_dim, n_dim))
+    cs, csig, clsb = _c_slot(c_arr)
+    sgn = np.concatenate([sgn, cs[..., None]], axis=-1)
+    sig = np.concatenate([sig, csig[..., None]], axis=-1)
+    lsb = np.concatenate([lsb, clsb[..., None]], axis=-1)
+
+    value, window_lsb = sequential_windowed_sum(
+        sgn, sig, lsb, acc_bits=acc_bits, mode=rounding
+    )
+    return int_window_to_float(value, window_lsb, FP32)
+
+
+def _fp32c_component_slots(
+    a: np.ndarray,
+    b: np.ndarray,
+    accumulator: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Slot tensors ``(M, N, 8K)`` for one FP32C accumulation register."""
+    comps = {
+        "real": (np.ascontiguousarray(a.real), np.ascontiguousarray(b.real)),
+        "imag": (np.ascontiguousarray(a.imag), np.ascontiguousarray(b.imag)),
+    }
+    sgn_l, sig_l, lsb_l = [], [], []
+    for ca, cb, negate, acc in _COMPONENT_SCHEDULE:
+        if acc != accumulator:
+            continue
+        sgn, sig, lsb = _lane_slots(comps[ca][0], comps[cb][1], negate)
+        sgn_l.append(sgn)
+        sig_l.append(sig)
+        lsb_l.append(lsb)
+    # (M, N, K, comps, 4) -> (M, N, 8K): k-major, component, lane — the
+    # exact subsequence this register sees in the scalar loop.
+    sgn = np.stack(sgn_l, axis=-2)
+    sig = np.stack(sig_l, axis=-2)
+    lsb = np.stack(lsb_l, axis=-2)
+    m_dim, n_dim = sig.shape[0], sig.shape[1]
+    flat = sig.shape[2] * sig.shape[3] * sig.shape[4]
+    return (
+        sgn.reshape(m_dim, n_dim, flat),
+        sig.reshape(m_dim, n_dim, flat),
+        lsb.reshape(m_dim, n_dim, flat),
+    )
+
+
+def _fp32c_local_fault(
+    fault: ProductFault, accumulator: str
+) -> ProductFault | None:
+    """Map a global FP32C product slot onto one register's local slots."""
+    per_k = _LANES_PER_PAIR * len(_COMPONENT_SCHEDULE)
+    k, rem = divmod(fault.slot, per_k)
+    comp, lane = divmod(rem, _LANES_PER_PAIR)
+    target = _COMPONENT_SCHEDULE[comp][3]
+    if target != accumulator:
+        return None
+    local_comp = comp if comp < 2 else comp - 2
+    local = k * (2 * _LANES_PER_PAIR) + local_comp * _LANES_PER_PAIR + lane
+    return ProductFault(slot=local, element=fault.element, bit=fault.bit)
+
+
+def vector_mma_fp32c(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | complex = 0.0,
+    *,
+    acc_bits: int = 48,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    product_fault: ProductFault | None = None,
+) -> np.ndarray:
+    """One FP32C MMA tile through the vectorized bit-level datapath.
+
+    Fig. 3(c)'s 4-step schedule with the imag*imag sign flip as a mask;
+    bit-identical per element to
+    :func:`~repro.mxu.bitlevel.bit_level_fp32c_dot`.
+    """
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    m_dim, k_dim, n_dim = _require_tile(a, b)
+    if product_fault is not None:
+        _check_fault(
+            product_fault,
+            product_slot_count(MXUMode.FP32C, k_dim),
+            (m_dim, n_dim),
+        )
+    c_arr = np.broadcast_to(np.asarray(c, dtype=np.complex128), (m_dim, n_dim))
+
+    out = {}
+    for accumulator, c_part in (("real", c_arr.real), ("imag", c_arr.imag)):
+        sgn, sig, lsb = _fp32c_component_slots(a, b, accumulator)
+        if product_fault is not None:
+            local = _fp32c_local_fault(product_fault, accumulator)
+            if local is not None:
+                em, en = local.element
+                sig[em, en, local.slot] ^= np.int64(1) << np.int64(local.bit)
+        cs, csig, clsb = _c_slot(np.ascontiguousarray(c_part))
+        sgn = np.concatenate([sgn, cs[..., None]], axis=-1)
+        sig = np.concatenate([sig, csig[..., None]], axis=-1)
+        lsb = np.concatenate([lsb, clsb[..., None]], axis=-1)
+        value, window_lsb = sequential_windowed_sum(
+            sgn, sig, lsb, acc_bits=acc_bits, mode=rounding
+        )
+        out[accumulator] = int_window_to_float(value, window_lsb, FP32)
+    # Component-wise assembly: ``re + 1j*im`` would turn an overflowed
+    # ±inf register into NaN via the complex multiply's 0*inf terms.
+    result = np.empty(out["real"].shape, dtype=np.complex128)
+    result.real = out["real"]
+    result.imag = out["imag"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Scalar oracle engine (BitAccumulator, same slot order, same fault hook)
+# ---------------------------------------------------------------------------
+
+
+def scalar_mma_fp32(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float = 0.0,
+    *,
+    acc_bits: int = 48,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    product_fault: ProductFault | None = None,
+) -> np.ndarray:
+    """The FP32 MMA tile through per-element :class:`BitAccumulator` runs.
+
+    The oracle the vector engine is validated against; same signature,
+    same slot ordering, same fault hook.
+    """
+    from .bitlevel import BitAccumulator
+
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m_dim, k_dim, n_dim = _require_tile(a, b)
+    if product_fault is not None:
+        _check_fault(
+            product_fault, product_slot_count(MXUMode.FP32, k_dim), (m_dim, n_dim)
+        )
+    sa, ea, ah, al = split_fp32_fields(a)
+    sb, eb, bh, bl = split_fp32_fields(b)
+    ea_eff = _effective_exp(ea)
+    eb_eff = _effective_exp(eb)
+    a_parts = (ah, al)
+    b_parts = (bh, bl)
+    c_arr = np.broadcast_to(np.asarray(c, dtype=np.float64), (m_dim, n_dim))
+    cs, csig, clsb = _c_slot(c_arr)
+
+    out = np.zeros((m_dim, n_dim), dtype=np.float64)
+    for m in range(m_dim):
+        for n in range(n_dim):
+            acc = BitAccumulator(width=acc_bits, mode=rounding)
+            slot = 0
+            for k in range(k_dim):
+                pair_exp = int(ea_eff[m, k] + eb_eff[k, n]) - 46
+                sign_mk = int(sa[m, k] ^ sb[k, n])
+                for ia, ib, shift in _LANE_SCHEDULE:
+                    sig = int(a_parts[ia][m, k]) * int(b_parts[ib][k, n])
+                    if (
+                        product_fault is not None
+                        and product_fault.element == (m, n)
+                        and product_fault.slot == slot
+                    ):
+                        sig ^= 1 << product_fault.bit
+                    slot += 1
+                    if sig:
+                        acc.add(sign_mk, sig, pair_exp + shift)
+            acc.add(int(cs[m, n]), int(csig[m, n]), int(clsb[m, n]))
+            out[m, n] = acc.to_float()
+    return out
+
+
+def scalar_mma_fp32c(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | complex = 0.0,
+    *,
+    acc_bits: int = 48,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    product_fault: ProductFault | None = None,
+) -> np.ndarray:
+    """The FP32C MMA tile through per-element :class:`BitAccumulator` runs."""
+    from .bitlevel import BitAccumulator
+
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    m_dim, k_dim, n_dim = _require_tile(a, b)
+    if product_fault is not None:
+        _check_fault(
+            product_fault, product_slot_count(MXUMode.FP32C, k_dim), (m_dim, n_dim)
+        )
+    fields = {
+        ("a", "real"): split_fp32_fields(np.ascontiguousarray(a.real)),
+        ("a", "imag"): split_fp32_fields(np.ascontiguousarray(a.imag)),
+        ("b", "real"): split_fp32_fields(np.ascontiguousarray(b.real)),
+        ("b", "imag"): split_fp32_fields(np.ascontiguousarray(b.imag)),
+    }
+    c_arr = np.broadcast_to(np.asarray(c, dtype=np.complex128), (m_dim, n_dim))
+    c_slots = {
+        "real": _c_slot(np.ascontiguousarray(c_arr.real)),
+        "imag": _c_slot(np.ascontiguousarray(c_arr.imag)),
+    }
+
+    out = np.zeros((m_dim, n_dim), dtype=np.complex128)
+    for m in range(m_dim):
+        for n in range(n_dim):
+            accs = {
+                "real": BitAccumulator(width=acc_bits, mode=rounding),
+                "imag": BitAccumulator(width=acc_bits, mode=rounding),
+            }
+            slot = 0
+            for k in range(k_dim):
+                for ca, cb, negate, reg in _COMPONENT_SCHEDULE:
+                    fsa, fea, fah, fal = fields[("a", ca)]
+                    fsb, feb, fbh, fbl = fields[("b", cb)]
+                    pair_exp = (
+                        int(_effective_exp(fea[m : m + 1, k])[0])
+                        + int(_effective_exp(feb[k : k + 1, n])[0])
+                        - 46
+                    )
+                    sign_mk = int(fsa[m, k] ^ fsb[k, n]) ^ negate
+                    pa = (int(fah[m, k]), int(fal[m, k]))
+                    pb = (int(fbh[k, n]), int(fbl[k, n]))
+                    for ia, ib, shift in _LANE_SCHEDULE:
+                        sig = pa[ia] * pb[ib]
+                        if (
+                            product_fault is not None
+                            and product_fault.element == (m, n)
+                            and product_fault.slot == slot
+                        ):
+                            sig ^= 1 << product_fault.bit
+                        slot += 1
+                        if sig:
+                            accs[reg].add(sign_mk, sig, pair_exp + shift)
+            for reg in ("real", "imag"):
+                rs, rsig, rlsb = c_slots[reg]
+                accs[reg].add(int(rs[m, n]), int(rsig[m, n]), int(rlsb[m, n]))
+            out[m, n] = complex(accs["real"].to_float(), accs["imag"].to_float())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The MXU-shaped wrapper
+# ---------------------------------------------------------------------------
+
+_ENGINES = {
+    "vector": {MXUMode.FP32: vector_mma_fp32, MXUMode.FP32C: vector_mma_fp32c},
+    "scalar": {MXUMode.FP32: scalar_mma_fp32, MXUMode.FP32C: scalar_mma_fp32c},
+}
+
+
+class BitLevelMXU:
+    """The bit-level datapath behind the ``mma``/``mma_parts`` contract.
+
+    Drop-in MXU model for :class:`~repro.gemm.tiled.TiledGEMM` (and thus
+    for ABFT-guarded runs and fault campaigns): every MMA executes the
+    true split -> 12x12 multiply -> shifted 48-bit accumulate pipeline,
+    with the engine (vectorized or scalar oracle) chosen per
+    :func:`resolve_bitlevel_engine`. FP32 and FP32C only; the value-level
+    parts handed to :meth:`mma_parts` are ignored — this model re-derives
+    the slices from the operand bits, which is the point.
+    """
+
+    #: Marks bit-level capability for drivers and fault injectors.
+    bitlevel = True
+    #: Never takes the BLAS shortcut; attribute kept for driver parity.
+    fastpath = False
+
+    def __init__(
+        self,
+        engine: str | None = None,
+        config: MXUConfig = M3XU_CONFIG,
+        acc_bits: int | None = None,
+        rounding: RoundingMode | None = None,
+    ) -> None:
+        self.engine = resolve_bitlevel_engine(engine)
+        self.config = config
+        width = acc_bits if acc_bits is not None else config.acc_bits
+        self.acc_bits = int(width if width is not None else 48)
+        self.rounding = rounding if rounding is not None else config.acc_rounding
+
+    # -- contract ------------------------------------------------------
+    def supported_modes(self) -> frozenset[MXUMode]:
+        return frozenset({MXUMode.FP32, MXUMode.FP32C})
+
+    def steps(self, mode: MXUMode) -> int:
+        return step_plan(mode).n_steps
+
+    def output_format(self, mode: MXUMode) -> FloatFormat:
+        return FP32
+
+    # -- MMA entry points ----------------------------------------------
+    def mma(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | float,
+        mode: MXUMode,
+        *,
+        product_fault: ProductFault | None = None,
+    ) -> np.ndarray:
+        if mode not in self.supported_modes():
+            raise ValueError(
+                f"bit-level engines model fp32/fp32c only, not {mode.value}"
+            )
+        if mode is MXUMode.FP32C:
+            aq = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
+            bq = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
+            cq = quantize_complex(np.asarray(c, dtype=np.complex128), FP32)
+        else:
+            aq = quantize(np.asarray(a, dtype=np.float64), FP32)
+            bq = quantize(np.asarray(b, dtype=np.float64), FP32)
+            cq = quantize(np.asarray(c, dtype=np.float64), FP32)
+        fn = _ENGINES[self.engine][mode]
+        return fn(
+            aq,
+            bq,
+            cq,
+            acc_bits=self.acc_bits,
+            rounding=self.rounding,
+            product_fault=product_fault,
+        )
+
+    def mma_parts(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        a_parts: Mapping[str, np.ndarray],
+        b_parts: Mapping[str, np.ndarray],
+        c: np.ndarray | float,
+        mode: MXUMode,
+        *,
+        c_quantized: bool = False,
+        product_fault: ProductFault | None = None,
+    ) -> np.ndarray:
+        """Plan-driven entry: dense slices are used, value parts ignored."""
+        if mode not in self.supported_modes():
+            raise ValueError(
+                f"bit-level engines model fp32/fp32c only, not {mode.value}"
+            )
+        if mode is MXUMode.FP32C:
+            cq = (
+                np.asarray(c, dtype=np.complex128)
+                if c_quantized
+                else quantize_complex(np.asarray(c, dtype=np.complex128), FP32)
+            )
+        else:
+            cq = (
+                np.asarray(c, dtype=np.float64)
+                if c_quantized
+                else quantize(np.asarray(c, dtype=np.float64), FP32)
+            )
+        fn = _ENGINES[self.engine][mode]
+        return fn(
+            np.asarray(a),
+            np.asarray(b),
+            cq,
+            acc_bits=self.acc_bits,
+            rounding=self.rounding,
+            product_fault=product_fault,
+        )
+
+    # Convenience wrappers mirroring the M3XU API ----------------------
+    def mma_fp32(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float
+    ) -> np.ndarray:
+        return self.mma(a, b, c, MXUMode.FP32)
+
+    def mma_fp32c(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float
+    ) -> np.ndarray:
+        return self.mma(a, b, c, MXUMode.FP32C)

@@ -19,6 +19,15 @@ classifies the outcome against the fault-free reference:
 ``DETECTED_UNCORRECTED``
     The guard detected corruption but recompute could not clear it
     (a persistent fault): surfaced as a raise, never as silent data.
+``CRASH``
+    The datapath itself refused to continue: a fault drove an
+    intermediate chunk result (or an operand) to ±inf/NaN, and the
+    bit-level engine's finite-operand contract rejected it
+    (:class:`~repro.mxu.vectorized.NonFiniteOperandError`). Like
+    ``DETECTED_UNCORRECTED`` this is a detected unrecoverable error —
+    loud, never silent data — and it can only occur on the
+    ``bitlevel`` engine (the value-level model propagates non-finite
+    values IEEE-style instead).
 ``SDC``
     The final output is corrupted beyond the threshold. ``SDC`` with no
     detection event is *undetected SDC* — the one outcome the guard
@@ -43,19 +52,36 @@ __all__ = [
     "TrialRecord",
     "CampaignResult",
     "run_campaign",
+    "CLASSIC_STAGES",
+    "BITLEVEL_STAGES",
 ]
+
+#: The output-side stages every engine supports (the pre-PRODUCT default,
+#: pinned explicitly so seeded campaign results are stable across enum
+#: growth).
+CLASSIC_STAGES: tuple[FaultStage, ...] = (
+    FaultStage.OPERAND,
+    FaultStage.ACCUMULATOR,
+    FaultStage.SHIFT_ALIGN,
+    FaultStage.SIGN_FLIP,
+)
+
+#: Stage mix for the bit-level engine: the classic four plus in-datapath
+#: multiplier-product upsets.
+BITLEVEL_STAGES: tuple[FaultStage, ...] = CLASSIC_STAGES + (FaultStage.PRODUCT,)
 
 
 class Outcome(enum.Enum):
     MASKED = "masked"
     DETECTED_CORRECTED = "detected_corrected"
     DETECTED_UNCORRECTED = "detected_uncorrected"
+    CRASH = "crash"
     SDC = "sdc"
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """One campaign's shape, sites, and guard parameters."""
+    """One campaign's shape, sites, engine, and guard parameters."""
 
     trials: int = 200
     seed: int = 2024
@@ -63,20 +89,36 @@ class CampaignConfig:
     n: int = 20
     k: int = 24
     mode: str = "fp32"  #: "fp32" or "fp32c"
-    stages: tuple[FaultStage, ...] = tuple(FaultStage)
+    stages: tuple[FaultStage, ...] = CLASSIC_STAGES
     tile: int = 8
     safety: float = 8.0
+    #: "m3xu" runs the value-level model; "bitlevel" runs the true
+    #: split/multiply/shift/accumulate datapath (vector or scalar per
+    #: ``REPRO_BITLEVEL``), which also unlocks PRODUCT-stage faults.
+    engine: str = "m3xu"
 
     def __post_init__(self) -> None:
         if self.mode not in ("fp32", "fp32c"):
             raise ValueError(f"unsupported campaign mode {self.mode!r}")
         if not self.stages:
             raise ValueError("campaign needs at least one fault stage")
+        if self.engine not in ("m3xu", "bitlevel"):
+            raise ValueError(f"unsupported campaign engine {self.engine!r}")
+        if FaultStage.PRODUCT in self.stages and self.engine != "bitlevel":
+            raise ValueError(
+                "product-stage faults need engine='bitlevel' — the "
+                "value-level model has no product significands to corrupt"
+            )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TrialRecord:
-    """One trial: what was injected, what the guard saw, how it ended."""
+    """One trial: what was injected, what the guard saw, how it ended.
+
+    ``max_abs_error`` is NaN for outcomes with no comparable output
+    (``DETECTED_UNCORRECTED``, ``CRASH``); record equality treats those
+    NaNs as equal so engine-parity checks can compare records directly.
+    """
 
     trial: int
     stage: str
@@ -85,6 +127,28 @@ class TrialRecord:
     detected: bool
     recomputed_tiles: int
     max_abs_error: float
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrialRecord):
+            return NotImplemented
+        mine, theirs = self.max_abs_error, other.max_abs_error
+        return (
+            (self.trial, self.stage, self.detail, self.outcome,
+             self.detected, self.recomputed_tiles)
+            == (other.trial, other.stage, other.detail, other.outcome,
+                other.detected, other.recomputed_tiles)
+            and (mine == theirs or (mine != mine and theirs != theirs))
+        )
+
+    def __hash__(self) -> int:
+        # Python >= 3.10 hashes each NaN object by id; fold every NaN to
+        # one surrogate so records equal under __eq__ hash equal too.
+        err = self.max_abs_error
+        return hash(
+            (self.trial, self.stage, self.detail, self.outcome,
+             self.detected, self.recomputed_tiles,
+             None if err != err else err)
+        )
 
 
 @dataclass
@@ -119,6 +183,7 @@ class CampaignResult:
         return {
             "trials": len(self.records),
             "mode": self.config.mode,
+            "engine": self.config.engine,
             "shape": [self.config.m, self.config.k, self.config.n],
             "counts": self.counts,
             "by_stage": self.by_stage(),
@@ -130,7 +195,7 @@ class CampaignResult:
             f"fault-injection campaign: {len(self.records)} trials, "
             f"{self.config.mode} GEMM "
             f"{self.config.m}x{self.config.k}x{self.config.n}, "
-            f"ABFT tile={self.config.tile}"
+            f"engine={self.config.engine}, ABFT tile={self.config.tile}"
         ]
         header = f"  {'stage':14s}" + "".join(f"{o.value:>22s}" for o in Outcome)
         lines.append(header)
@@ -165,6 +230,7 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
     from ..mxu.faults import FaultyM3XU
     from ..mxu.m3xu import M3XU
     from ..mxu.modes import MXUMode
+    from ..mxu.vectorized import BitLevelMXU, NonFiniteOperandError
     from ..types.formats import FP32
     from ..types.quantize import quantize, quantize_complex
 
@@ -174,7 +240,12 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
     rng = np.random.default_rng(cfg.seed)
     result = CampaignResult(config=cfg)
 
-    clean_driver = TiledGEMM(M3XU(), mode, abft=False)
+    def make_unit() -> "M3XU | BitLevelMXU":
+        # The golden run and every faulty trial execute the same engine,
+        # so the clean reference is bit-identical to a fault-free trial.
+        return BitLevelMXU() if cfg.engine == "bitlevel" else M3XU()
+
+    clean_driver = TiledGEMM(make_unit(), mode, abft=False)
     n_calls = -(-cfg.k // int(clean_driver.k_chunk))  # MMAs per GEMM
 
     for trial in range(cfg.trials):
@@ -194,7 +265,7 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
 
         stage = cfg.stages[trial % len(cfg.stages)]
         spec = FaultSpec.random(rng, stage, n_calls=n_calls)
-        unit = FaultyM3XU(spec, M3XU())
+        unit = FaultyM3XU(spec, make_unit())
         guarded = TiledGEMM(unit, mode, abft=True, abft_config=abft_cfg)
 
         detected = False
@@ -213,6 +284,24 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
                 max_abs_error=float("nan"),
             )
             result.records.append(record)
+            continue
+        except NonFiniteOperandError:
+            # The fault pushed a chunk output (or an operand) out of the
+            # finite domain and the bit-level datapath rejected it. Loud
+            # and deterministic in both engines (the validation lives in
+            # the shared field-extraction front end), so it classifies as
+            # a detected unrecoverable outcome, never silent data.
+            result.records.append(
+                TrialRecord(
+                    trial=trial,
+                    stage=stage.value,
+                    detail=(unit.injected or spec).describe(),
+                    outcome=Outcome.CRASH,
+                    detected=True,
+                    recomputed_tiles=0,
+                    max_abs_error=float("nan"),
+                )
+            )
             continue
 
         report = guarded.abft_report
