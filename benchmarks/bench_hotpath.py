@@ -38,7 +38,9 @@ from repro.gemm.batched import _batched_legacy, batched_mxu_cgemm, batched_mxu_s
 from repro.gemm.tiled import TiledGEMM
 from repro.mxu.m3xu import M3XU
 from repro.mxu.modes import MXUMode
+from repro.mxu.parallel_bitlevel import resolve_bitlevel_chunk, sharded_bitlevel_gemm
 from repro.mxu.vectorized import BitLevelMXU
+from repro.parallel import resolve_workers
 from repro.resilience.campaign import BITLEVEL_STAGES, CampaignConfig, run_campaign
 from repro.types.formats import FP32
 from repro.types.quantize import quantize, quantize_complex
@@ -86,10 +88,14 @@ def _timed(fn, repeats: int = 3) -> tuple[float, np.ndarray]:
 
 
 def _record(name: str, shape: str, mode: str, legacy_s: float, fast_s: float,
-            min_speedup: float) -> None:
+            min_speedup: float, *, engine: str = "m3xu",
+            workers: int | None = None, chunk: int | None = None) -> None:
     speedup = legacy_s / fast_s
     _RESULTS.append({
         "name": name, "shape": shape, "mode": mode,
+        "engine": engine,
+        "workers": resolve_workers(workers),
+        "chunk": chunk,
         "legacy_s": legacy_s, "fast_s": fast_s, "speedup": speedup,
     })
     if not SMOKE:
@@ -97,6 +103,20 @@ def _record(name: str, shape: str, mode: str, legacy_s: float, fast_s: float,
             f"{name}: fast path only {speedup:.2f}x over legacy "
             f"(required >= {min_speedup}x)"
         )
+
+
+#: Scalar bit-level oracle timings, keyed by (n, cols) — the oracle slice
+#: is expensive, and both bit-level GEMM rows must compare against the
+#: *same* measurement so their speedups are mutually consistent.
+_SCALAR_SLICE: dict[tuple[int, int], tuple[float, np.ndarray]] = {}
+
+
+def _scalar_slice(a: np.ndarray, b: np.ndarray, cols: int) -> tuple[float, np.ndarray]:
+    key = (a.shape[0], cols)
+    if key not in _SCALAR_SLICE:
+        driver = TiledGEMM(BitLevelMXU(engine="scalar"), MXUMode.FP32)
+        _SCALAR_SLICE[key] = _timed(lambda: driver.run(a, b[:, :cols]), repeats=1)
+    return _SCALAR_SLICE[key]
 
 
 def test_sgemm_single(benchmark):
@@ -182,16 +202,46 @@ def test_bitlevel_sgemm(benchmark):
     a = quantize(rng.standard_normal((n, n)), FP32)
     b = quantize(rng.standard_normal((n, n)), FP32)
     vector_driver = TiledGEMM(BitLevelMXU(engine="vector"), MXUMode.FP32)
-    scalar_driver = TiledGEMM(BitLevelMXU(engine="scalar"), MXUMode.FP32)
 
     got = benchmark.pedantic(vector_driver.run, args=(a, b), rounds=3, iterations=1)
     fast_s, _ = _timed(lambda: vector_driver.run(a, b))
-    slice_s, want_slice = _timed(lambda: scalar_driver.run(a, b[:, :cols]), repeats=1)
+    slice_s, want_slice = _scalar_slice(a, b, cols)
     legacy_s = slice_s * (n / cols)
 
+    # Bit-identity on the timed slice, before anything reaches the JSON.
     assert got[:, :cols].tobytes() == want_slice.tobytes()
     _record("bitlevel_vector_sgemm", f"{n}x{n}x{n}", "fp32",
-            legacy_s, fast_s, 10.0)
+            legacy_s, fast_s, 10.0, engine="bitlevel:vector")
+    _RESULTS[-1]["extrapolated"] = f"scalar timed on {cols}/{n} columns"
+
+
+def test_bitlevel_parallel(benchmark):
+    """The sharded whole-chain driver vs the scalar oracle — the headline.
+
+    ``sharded_bitlevel_gemm`` composes the vector engine's batched
+    K-chain kernel with the worker pool (serial in-process when
+    ``REPRO_WORKERS`` <= 1, as on single-core CI). The scalar oracle is
+    timed on a column slice of the same operands, asserted bit-identical
+    on that slice, and extrapolated to the full width.
+    """
+    n, cols = BITLEVEL_N, BITLEVEL_COLS
+    rng = np.random.default_rng(15)
+    a = quantize(rng.standard_normal((n, n)), FP32)
+    b = quantize(rng.standard_normal((n, n)), FP32)
+
+    def run() -> np.ndarray:
+        return sharded_bitlevel_gemm(a, b, engine="vector")
+
+    got = benchmark.pedantic(run, rounds=3, iterations=1)
+    fast_s, _ = _timed(run)
+    slice_s, want_slice = _scalar_slice(a, b, cols)
+    legacy_s = slice_s * (n / cols)
+
+    # Bit-identity on the timed slice, before anything reaches the JSON.
+    assert got[:, :cols].tobytes() == want_slice.tobytes()
+    _record("bitlevel_parallel", f"{n}x{n}x{n}", "fp32",
+            legacy_s, fast_s, 100.0, engine="bitlevel:vector",
+            chunk=resolve_bitlevel_chunk())
     _RESULTS[-1]["extrapolated"] = f"scalar timed on {cols}/{n} columns"
 
 
@@ -212,7 +262,7 @@ def test_bitlevel_campaign(benchmark):
     try:
         vec_result = benchmark.pedantic(run_campaign, args=(cfg,), rounds=1,
                                         iterations=1)
-        fast_s, vec_result = _timed(lambda: run_campaign(cfg), repeats=1)
+        fast_s, vec_result = _timed(lambda: run_campaign(cfg))
         os.environ["REPRO_BITLEVEL"] = "scalar"
         slice_s, scalar_result = _timed(lambda: run_campaign(cfg_slice), repeats=1)
     finally:
@@ -223,5 +273,5 @@ def test_bitlevel_campaign(benchmark):
     assert scalar_result.records == vec_result.records[:sl]
     assert vec_result.undetected_sdc == 0
     _record("bitlevel_vector_campaign", f"{trials}x({d}x{d}x{d})", "fp32",
-            legacy_s, fast_s, 10.0)
+            legacy_s, fast_s, 10.0, engine="bitlevel:vector")
     _RESULTS[-1]["extrapolated"] = f"scalar timed on {sl}/{trials} trials"

@@ -13,6 +13,13 @@ between every configuration:
 * **Cache** — a first (cold) ``run_all()`` vs a second in the same
   process. Acceptance: the cached sweep is ≥ 10× faster, and
   ``use_cache=False`` reproduces the cold results bit-identically.
+* **Bit-level strong scaling** — the sharded whole-chain bit-level GEMM
+  (:func:`repro.mxu.parallel_bitlevel.sharded_bitlevel_gemm`) at
+  ``workers ∈ {1, 2, 4, cpu_count}``. No speed floor (the CI box may be
+  single-core, where extra workers only add transport overhead); the
+  contract asserted is bit-identity to the serial chain at *every*
+  worker count, with the wall-time curve recorded for machines that do
+  have cores to scale onto.
 
 Results land in ``BENCH_parallel.json`` at the repo root.
 ``REPRO_BENCH_SMOKE=1`` shrinks the shapes so the suite doubles as a CI
@@ -34,6 +41,9 @@ from repro import parallel
 from repro.cache import DEFAULT_CACHE
 from repro.eval.runner import render_report, run_all
 from repro.gemm.batched import batched_mxu_sgemm
+from repro.mxu.parallel_bitlevel import resolve_bitlevel_chunk, sharded_bitlevel_gemm
+from repro.types.formats import FP32
+from repro.types.quantize import quantize
 
 from conftest import bench_print
 
@@ -44,7 +54,11 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
 BATCH, N = (6, 24) if SMOKE else (16, 48)
 WORKER_GRID = [1, 2, 4]
 
-_DATA: dict = {"smoke": SMOKE, "pool": [], "cache": {}}
+#: Square bit-level GEMM size for the strong-scaling sweep — big enough
+#: that the chain kernel dominates the pool/transport overhead.
+BITLEVEL_N = 32 if SMOKE else 128
+
+_DATA: dict = {"smoke": SMOKE, "pool": [], "cache": {}, "bitlevel": []}
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
@@ -66,6 +80,11 @@ def _write_json():
             f"  run_all  cold {c['first_s'] * 1e3:8.1f} ms"
             f" / cached {c['second_s'] * 1e3:8.1f} ms = {c['speedup']:.0f}x"
             f"  (no-cache bit-identical: {c['nocache_identical']})"
+        )
+    for r in _DATA["bitlevel"]:
+        bench_print(
+            f"  bitlevel {r['shape']}  workers={r['workers']}"
+            f"  {r['wall_s'] * 1e3:8.1f} ms  ({r['vs_serial']:.2f}x vs serial)"
         )
 
 
@@ -119,6 +138,47 @@ def test_pool_scaling(benchmark):
             f"warm pool only {at4['warm_speedup']:.2f}x over the per-call engine "
             f"at workers=4 (required >= 1.3x)"
         )
+
+
+def test_bitlevel_strong_scaling(benchmark):
+    """Sharded bit-level GEMM wall time vs worker count, bit-identical."""
+    n = BITLEVEL_N
+    rng = np.random.default_rng(23)
+    a = quantize(rng.standard_normal((n, n)), FP32)
+    b = quantize(rng.standard_normal((n, n)), FP32)
+    reference = sharded_bitlevel_gemm(a, b, engine="vector", workers=1)
+
+    grid = sorted({1, 2, 4, os.cpu_count() or 1})
+    serial_s = None
+    for w in grid:
+        parallel.shutdown()
+        if w > 1:  # prime the persistent pool so spawn cost isn't timed
+            sharded_bitlevel_gemm(a, b, engine="vector", workers=w)
+        wall_s, got = _best_of(
+            lambda w=w: sharded_bitlevel_gemm(a, b, engine="vector", workers=w)
+        )
+        assert got.tobytes() == reference.tobytes(), (
+            f"sharded bit-level GEMM diverged from serial at workers={w}"
+        )
+        if serial_s is None:
+            serial_s = wall_s
+        _DATA["bitlevel"].append(
+            {
+                "workers": w,
+                "shape": f"{n}x{n}x{n}",
+                "engine": "bitlevel:vector",
+                "chunk": resolve_bitlevel_chunk(),
+                "wall_s": wall_s,
+                "vs_serial": serial_s / wall_s,
+            }
+        )
+
+    got = benchmark.pedantic(
+        sharded_bitlevel_gemm, args=(a, b),
+        kwargs={"engine": "vector", "workers": grid[-1]},
+        rounds=3, iterations=1,
+    )
+    assert got.tobytes() == reference.tobytes()
 
 
 def test_cache_hit_vs_miss():

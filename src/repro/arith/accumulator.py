@@ -27,6 +27,18 @@ Two accumulation disciplines live here:
   sequential path rounds their sum), so the vectorized bit-level engine
   must replicate the sequential discipline rather than reuse the
   single-anchor kernels.
+* :func:`segmented_windowed_sum` — the same sequential discipline
+  reformulated as a **segmented** exact reduction: the anchor trajectory
+  is a masked cummax (known up front), rounding happens only at the
+  slots that raise the anchor, the slots between two raises form
+  segments whose contributions sum *exactly* (integer addition is
+  associative), and the per-segment partial sums — one segmented
+  ``reduceat`` over the aligned addends — are merged with the same
+  re-round-on-anchor-raise
+  rule. Provably bit-identical to :func:`sequential_windowed_sum` (the
+  retained oracle). :func:`segmented_windowed_sum_f32` is its packed
+  fast path — signed float32 slots carrying exact 24-bit integers —
+  and is what the hot bit-level engine runs on.
 """
 
 from __future__ import annotations
@@ -40,6 +52,8 @@ __all__ = [
     "aligned_sum",
     "aligned_sum_groups",
     "sequential_windowed_sum",
+    "segmented_windowed_sum",
+    "segmented_windowed_sum_f32",
     "int_window_to_float",
 ]
 
@@ -322,6 +336,388 @@ def sequential_windowed_sum(
     )
 
 
+def _rne_shift_positive(sig: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Round-half-even of ``sig >> shift`` for ``sig >= 0``, ``1 <= shift``.
+
+    The fused three-term form of the RNE decision table: with
+    ``half = 2**(shift-1)`` and ``b = (sig >> shift) & 1`` (the quotient's
+    parity), ``(sig + half - 1 + b) >> shift`` rounds up exactly when the
+    remainder exceeds ``half``, or ties with an odd quotient — one shift
+    chain instead of the mask/compare cascade of
+    :func:`~repro.types.rounding.round_significand`. Valid in any integer
+    width as long as ``sig + 2**(shift-1)`` has headroom and ``shift``
+    stays below the bit width; callers pre-clamp the shifts so both hold.
+    """
+    one = sig.dtype.type(1)
+    b = (sig >> shift) & one
+    bias = ((one << (shift - one)) - one) + b
+    return (sig + bias) >> shift
+
+
+def _merge_segments(
+    aligned_flat: np.ndarray,
+    rescale_flat: np.ndarray,
+    n_slots: int,
+    n_rows: int,
+    mode: RoundingMode,
+) -> np.ndarray:
+    """Merge constant-anchor segments row by row, re-rounding at raises.
+
+    ``aligned_flat`` holds the signed window-aligned addends of ``n_rows``
+    reduction rows laid out contiguously (``n_slots`` per row); a positive
+    ``rescale_flat`` entry marks an anchor raise. Segment totals come from
+    one :func:`np.add.reduceat` over the flat buffer — a segment may spill
+    past its row's end into the *leading* slots of the next row, but those
+    sit before that row's first anchor raise and are therefore exactly
+    zero, so the spill adds nothing. Float32 addends are reduced with a
+    float64 accumulator: every addend is an integer below ``2**48`` and
+    row totals stay below ``2**53``, so the sums are exact.
+
+    Events are then merged rank by rank (a row's e-th anchor raise) on
+    compacted index lists with the re-round-on-anchor-raise rule; total
+    merge work is proportional to the event count. The first event of
+    every row merges into a zero partial sum — rounding zero is a no-op,
+    which is what makes the oracle's sentinel-relative first shift
+    irrelevant here.
+    """
+    mask = rescale_flat > 0
+    event_idx = np.flatnonzero(mask)
+    value = np.zeros(n_rows, dtype=np.int64)
+    if not event_idx.size:
+        return value
+    if aligned_flat.dtype == np.float32:
+        seg = np.add.reduceat(aligned_flat, event_idx, dtype=np.float64)
+        seg = seg.astype(np.int64)
+    else:
+        seg = np.add.reduceat(aligned_flat, event_idx)
+    shifts = rescale_flat[event_idx].astype(np.int64, copy=False)
+    # Events are row-grouped (flatnonzero returns sorted indices), so a
+    # row's e-th event sits at ``starts[row] + e`` in the compacted
+    # arrays. Merging rank by rank then needs no sort and no per-event
+    # rescans: iteration ``e`` selects the rows with more than ``e``
+    # events — total work is the event count, not n_rows * e_max.
+    # Per-row event counts from the (sorted) event stream — a bincount
+    # over 2ish events/row beats a boolean reduction over every slot.
+    counts = np.bincount(event_idx // n_slots, minlength=n_rows)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    e_max = int(counts.max())
+    rne = mode is RoundingMode.NEAREST_EVEN
+    # Same clamps as the alignment pass, hoisted over the whole event
+    # stream: magnitudes stay below 2**53, so shift 62 (the reference's
+    # everything-rounds-away point) maps to 63 under RNE and is already
+    # exact under truncation.
+    if e_max > 1:
+        np.clip(shifts, 1, 63, out=shifts)
+        if rne:
+            np.copyto(shifts, np.int64(63), where=shifts >= 62)
+    # A row's rank-0 event merges into a zero partial sum, so its shift
+    # is skipped outright.
+    rows0 = np.flatnonzero(counts)
+    value[rows0] = seg[starts[rows0]]
+    for e in range(1, e_max):
+        r = np.flatnonzero(counts > e)
+        sel = starts[r] + e
+        partial = value[r]
+        neg = partial < 0
+        mag = np.abs(partial)
+        if rne:
+            mag = _rne_shift_positive(mag, shifts[sel])
+        else:
+            mag = mag >> shifts[sel]
+        np.negative(mag, out=mag, where=neg)
+        value[r] = mag + seg[sel]
+    return value
+
+
+def segmented_windowed_sum(
+    sign: np.ndarray,
+    sig: np.ndarray,
+    lsb_exp: np.ndarray,
+    acc_bits: int = M3XU_ACC_BITS,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked/segmented exact reduction of the sequential window discipline.
+
+    Bit-identical to :func:`sequential_windowed_sum` on every input (the
+    property suite sweeps adversarial anchor trajectories), but the slot
+    walk is replaced by a segmented reduction whose step count is the
+    number of *anchor raises*, not the number of slots:
+
+    1. The anchor trajectory is the masked running maximum of the slot
+       MSB exponents (a cummax — the same observation the sequential
+       kernel already exploits for alignment).
+    2. The partial sum is re-rounded **only** at slots that raise the
+       anchor (``rescale > 0``); everywhere else the discipline adds
+       already-aligned integers, which is associative. Each maximal run
+       of constant anchor is therefore a *segment* whose net contribution
+       is an exact integer: one segmented reduction (``np.add.reduceat``
+       at the anchor-raising slots) recovers every segment total without
+       walking the slots in Python.
+    3. Segment totals are merged in order with the same
+       re-round-on-anchor-raise rule the scalar
+       :class:`~repro.mxu.bitlevel.BitAccumulator` applies: ``value =
+       round(value, rescale) + segment``. Elements with fewer raises are
+       padded with no-op merges (shift 0, segment 0).
+
+    Random operands raise the anchor O(log S) times per element, so the
+    merge loop is much shorter than the slot loop; all heavy tensors run
+    in the narrowest safe integer dtype (the alignment rounding fits
+    int32 whenever significands stay below 2**30, exponent-side arrays
+    fit int32 whenever LSB weights stay within 2**28 — both always true
+    for the 24-bit products of the bit-level engine).
+
+    Parameters and return value match :func:`sequential_windowed_sum`;
+    ``sig`` additionally accepts any integer dtype (converted exactly),
+    and ``lsb_exp``/``sign`` may be narrow integer types.
+    """
+    sign_arr = np.asarray(sign)
+    sig_in = np.asarray(sig)
+    lsb_in = np.asarray(lsb_exp)
+    if lsb_in.dtype.kind != "i":
+        lsb_in = lsb_in.astype(np.int64)
+    shape = np.broadcast_shapes(sign_arr.shape, sig_in.shape, lsb_in.shape)
+    if not shape:
+        raise ValueError("addend slots must have at least one axis")
+    if acc_bits < 8:
+        raise ValueError("accumulator width must be >= 8 bits")
+    n_slots = shape[-1]
+    if acc_bits + int(np.ceil(np.log2(max(n_slots, 1)))) + 1 > 63:
+        raise ValueError(
+            f"acc_bits={acc_bits} with {n_slots} slots overflows the int64 window"
+        )
+    lead = shape[:-1]
+    if n_slots == 0:
+        return (
+            np.zeros(lead, dtype=np.int64),
+            np.full(lead, _ANCHOR_SENTINEL - acc_bits + 1, dtype=np.int64),
+        )
+    sig_arr = np.broadcast_to(sig_in.astype(np.int64, copy=False), shape)
+    lsb_arr = np.broadcast_to(lsb_in, shape)
+    if np.any(sig_arr < 0):
+        raise ValueError("significands must be non-negative")
+    sig_max = int(sig_arr.max()) if sig_arr.size else 0
+
+    # Exponent-side dtype: int32 whenever the LSB range provably fits
+    # (always true for the engine's int16 slot buffers); otherwise int64
+    # with the full sentinel. The merge algebra is dtype-independent —
+    # the first-slot rescale differs from the oracle's (sentinel offset)
+    # but both land in the everything-rounds-away regime on a zero
+    # partial sum, and the returned window LSB is fixed up below.
+    if lsb_arr.size == 0 or lsb_arr.dtype.itemsize <= 2:
+        small_exp = True
+    elif lsb_arr.dtype == np.int64 or lsb_arr.dtype.itemsize == 4:
+        lo, hi = int(lsb_arr.min()), int(lsb_arr.max())
+        small_exp = -(1 << 28) <= lo and hi <= (1 << 28)
+    else:
+        small_exp = False
+    exp_dt = np.int32 if small_exp else np.int64
+    sentinel = exp_dt(-(1 << 30)) if small_exp else _ANCHOR_SENTINEL
+
+    # Slot MSB exponents -> masked-cummax anchor trajectory. frexp of the
+    # float32 cast is the cheap exact bit length below 2**24; the general
+    # path goes through the correction in _bit_length_int64.
+    nz = sig_arr != 0
+    if sig_max < (1 << 24):
+        f32 = sig_arr.astype(np.float32)  # repro: allow[PS105]
+        e = np.frexp(f32)[1]
+        top = np.add(lsb_arr, e, dtype=exp_dt)
+        top -= exp_dt(1)
+    else:
+        bl = _bit_length_int64(np.where(nz, sig_arr, 1))
+        top = np.add(lsb_arr, bl, dtype=exp_dt)
+        top -= exp_dt(1)
+    top = np.where(nz, top, sentinel)
+    anchor = np.maximum.accumulate(top, axis=-1)
+    rescale = np.empty_like(anchor)
+    rescale[..., 0] = anchor[..., 0] - sentinel
+    np.subtract(anchor[..., 1:], anchor[..., :-1], out=rescale[..., 1:])
+
+    # Alignment against each slot's window: left shifts are exact; the
+    # rounded right shifts are patched in afterwards (disjoint masks), in
+    # int32 when the significands allow.
+    window_lo = anchor - exp_dt(acc_bits - 1)
+    rel = np.subtract(lsb_arr, window_lo, dtype=exp_dt)
+    aligned = sig_arr << np.clip(rel, 0, 63)
+    # Shift clamps, chosen so the shift stays below the working bit width
+    # and matches the reference's shift>=62 -> 0 rule exactly: in int32
+    # (sig < 2**30) every shift >= 31 genuinely rounds to 0, so clamping
+    # at 31 is lossless; in int64 a shift of exactly 62 must *also* give
+    # 0 (the reference clamps there), so 62 is mapped up to 63.
+    need_round = rel < 0
+    if bool(np.any(need_round)):
+        nrel = np.negative(rel)
+        if sig_max < (1 << 30):
+            x: np.ndarray = sig_arr.astype(np.int32)
+            s = np.clip(nrel, 1, 31).astype(np.int32, copy=False)
+        else:
+            x = np.asarray(sig_arr)
+            s = np.clip(nrel, 1, 63).astype(np.int64, copy=False)
+            if mode is RoundingMode.NEAREST_EVEN:
+                np.copyto(s, np.int64(63), where=s >= 62)
+        if mode is RoundingMode.NEAREST_EVEN:
+            rounded = _rne_shift_positive(x, s)
+        else:
+            rounded = x >> s
+        np.copyto(aligned, rounded, where=need_round, casting="same_kind")
+
+    # Signed addends (zero slots align to 0, so no explicit mask is
+    # needed); segment totals and the ordered merge live in the shared
+    # helper.
+    np.negative(aligned, out=aligned, where=np.broadcast_to(sign_arr != 0, shape))
+    n_rows = aligned.size // n_slots
+    value = _merge_segments(
+        np.ascontiguousarray(aligned).reshape(-1),
+        np.ascontiguousarray(rescale).reshape(-1),
+        n_slots,
+        n_rows,
+        mode,
+    ).reshape(lead)
+
+    last = anchor[..., -1]
+    window_last = np.where(last == sentinel, _ANCHOR_SENTINEL, last) - (
+        acc_bits - 1
+    )
+    return value, window_last.astype(np.int64, copy=False)
+
+
+#: Sentinel for the packed-float32 path's int16 exponent arrays.
+_SENTINEL_I16 = np.int16(-(1 << 14))
+
+#: Largest |LSB weight| the packed-float32 path accepts; keeps every
+#: exponent-side intermediate (top, rescale, rel) inside int16 next to
+#: the ``-2**14`` sentinel.
+_F32_LSB_LIMIT = 1 << 13
+
+
+def segmented_windowed_sum_f32(
+    signed_sig: np.ndarray,
+    lsb_exp: np.ndarray,
+    acc_bits: int = M3XU_ACC_BITS,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Packed-operand fast path of :func:`segmented_windowed_sum`.
+
+    The bit-level engine's partial products are at most 24-bit integers
+    (12-bit operand halves), so a *signed float32* carries each addend
+    exactly — sign, significand and (via the exponent field) its own bit
+    length — in half the bytes of the split int64/int8 representation:
+
+    * the slot MSB exponent is read straight out of the IEEE exponent
+      bits (biased exponent minus 127 is the bit length minus one for
+      any positive integer, and the field ignores the sign bit);
+    * exact alignment is one :func:`np.ldexp` (``sig * 2**rel`` with
+      ``|sig| < 2**24`` and ``rel <= acc_bits - 1`` never leaves float32's
+      exact-integer range);
+    * the few slots that shift *down* (``rel < 0``) are rounded on a
+      compacted index list in int32 and patched back;
+    * segment totals are reduced with a float64 accumulator (exact below
+      ``2**53``) and merged by :func:`_merge_segments`.
+
+    Bit-identical to :func:`sequential_windowed_sum` applied to the
+    unpacked (sign, |sig|, lsb) triple — the property suite drives both
+    through the same adversarial trajectories.
+
+    Parameters
+    ----------
+    signed_sig:
+        ``float32`` array, each element an integer with ``|sig| < 2**24``
+        (negative zero is treated as zero). Last axis is the slot axis.
+    lsb_exp:
+        Integer LSB weights, ``|lsb_exp| <= 2**13``, same shape.
+    acc_bits, mode:
+        As in :func:`sequential_windowed_sum`.
+    """
+    sig_arr = np.asarray(signed_sig)
+    lsb_in = np.asarray(lsb_exp)
+    if sig_arr.dtype != np.float32:
+        raise TypeError("packed significands must be float32")
+    if sig_arr.shape != lsb_in.shape:
+        raise ValueError("signed_sig and lsb_exp must have identical shapes")
+    if not sig_arr.ndim:
+        raise ValueError("addend slots must have at least one axis")
+    if acc_bits < 8:
+        raise ValueError("accumulator width must be >= 8 bits")
+    n_slots = sig_arr.shape[-1]
+    # Aligned addends stay below 2**acc_bits, so a segment total (and
+    # every float64 intermediate while reducing it) stays below
+    # n_slots * 2**acc_bits; exactness needs that under 2**53.
+    if n_slots * (1 << acc_bits) > (1 << 53):
+        raise ValueError(
+            f"acc_bits={acc_bits} with {n_slots} slots overflows the exact "
+            "float64 segment accumulator"
+        )
+    lead = sig_arr.shape[:-1]
+    if n_slots == 0:
+        return (
+            np.zeros(lead, dtype=np.int64),
+            np.full(lead, _ANCHOR_SENTINEL - acc_bits + 1, dtype=np.int64),
+        )
+    lsb_arr = lsb_in.astype(np.int16, copy=False)
+    if lsb_arr.size and (
+        int(lsb_arr.min()) < -_F32_LSB_LIMIT or int(lsb_arr.max()) > _F32_LSB_LIMIT
+    ):
+        raise ValueError("packed path requires |lsb_exp| <= 2**13")
+    sig2 = np.ascontiguousarray(sig_arr).reshape(-1, n_slots)
+    lsb2 = np.ascontiguousarray(lsb_arr).reshape(-1, n_slots)
+
+    # MSB exponents from the IEEE exponent field; +-0 maps to the
+    # sentinel so zero slots never move the anchor.
+    nz = sig2 != 0
+    biased = (sig2.view(np.int32) >> 23) & np.int32(0xFF)
+    top = lsb2 + biased.astype(np.int16)
+    top -= np.int16(127)
+    top = np.where(nz, top, _SENTINEL_I16)
+    if n_slots <= 32:
+        # Slot-major running maximum: ufunc accumulate walks a scalar
+        # inner loop per row, but with few slots and many rows the
+        # transposed walk is a handful of full-width SIMD passes.
+        top_t = np.ascontiguousarray(top.T)
+        for k in range(1, n_slots):
+            np.maximum(top_t[k], top_t[k - 1], out=top_t[k])
+        anchor = np.ascontiguousarray(top_t.T)
+    else:
+        anchor = np.maximum.accumulate(top, axis=-1)
+    rescale = np.empty_like(anchor)
+    rescale[:, 0] = anchor[:, 0] - _SENTINEL_I16
+    np.subtract(anchor[:, 1:], anchor[:, :-1], out=rescale[:, 1:])
+
+    # Window-relative alignment. Left shifts stay exact in float32; the
+    # upward clip only ever fires on zero slots (a nonzero slot has
+    # anchor >= top, hence rel <= acc_bits - 1), where ldexp keeps +-0.
+    rel = np.subtract(lsb2, anchor, dtype=np.int16)
+    rel += np.int16(acc_bits - 1)
+    aligned = np.ldexp(sig2, np.maximum(rel, np.int16(0)).astype(np.int32))
+    need = np.flatnonzero((rel < 0).reshape(-1))
+    if need.size:
+        # Compact rounding of the downward shifts: |sig| < 2**24 keeps
+        # the fused RNE bias inside int32, and every shift >= 31 rounds
+        # the whole addend away, so the clamp at 31 is lossless.
+        f_flat = sig2.reshape(-1)[need]
+        neg = f_flat < 0
+        mag = np.abs(f_flat).astype(np.int32)
+        shift = np.clip(
+            -rel.reshape(-1)[need].astype(np.int32), np.int32(1), np.int32(31)
+        )
+        if mode is RoundingMode.NEAREST_EVEN:
+            rounded = _rne_shift_positive(mag, shift)
+        else:
+            rounded = mag >> shift
+        patched = rounded.astype(np.float32)  # repro: allow[PS105]
+        np.negative(patched, out=patched, where=neg)
+        aligned.reshape(-1)[need] = patched
+
+    n_rows = sig2.shape[0]
+    value = _merge_segments(
+        aligned.reshape(-1), rescale.reshape(-1), n_slots, n_rows, mode
+    ).reshape(lead)
+    last = anchor[:, -1]
+    window_last = np.where(
+        last == _SENTINEL_I16, _ANCHOR_SENTINEL, last.astype(np.int64)
+    ) - (acc_bits - 1)
+    return value, window_last.reshape(lead)
+
+
 def int_window_to_float(
     value: np.ndarray,
     window_lsb: np.ndarray,
@@ -340,23 +736,40 @@ def int_window_to_float(
     value_arr = np.asarray(value, dtype=np.int64)
     lsb_arr = np.asarray(window_lsb, dtype=np.int64)
     value_arr, lsb_arr = np.broadcast_arrays(value_arr, lsb_arr)
-    zero = value_arr == 0
     neg = value_arr < 0
-    mag = np.where(neg, -value_arr, value_arr)
-    bl = _bit_length_int64(np.where(zero, 1, mag))
+    mag = np.abs(value_arr)
+    zero = mag == 0
+    # Bit length inline (zero slots borrow length 1; their output is
+    # forced to +0.0 below): frexp is exact under 2**53, and the
+    # round-up-across-a-power-of-two correction of _bit_length_int64 only
+    # fires above that, so it is skipped when no value can need it.
+    bl = np.frexp((mag + zero).astype(np.float64))[1].astype(np.int64)
+    if int(mag.max(initial=0)) >= (1 << 53):
+        bl -= (mag + zero) >> np.minimum(bl - 1, np.int64(63)) == 0
     msb_exp = lsb_arr + bl - 1
     grid = np.maximum(msb_exp, fmt.emin) - fmt.mantissa_bits
     drop = grid - lsb_arr
     # drop <= 0 means the window LSB already sits on or above the grid:
     # mag then carries at most mantissa_bits + 1 bits and is exact below.
-    mag_r = round_significand(mag, np.maximum(drop, 0), mode)
+    # The fused shifts reproduce round_significand bit for bit: shift 0
+    # passes mag through, shifts >= 62 round everything away (mag < 2**62,
+    # so an RNE shift of 63 is exactly 0), and the in-between shifts are
+    # the standard add-half-minus-one-plus-parity form.
+    dropc = np.maximum(drop, 0)
+    if mode is RoundingMode.NEAREST_EVEN:
+        s = np.where(dropc >= 62, np.int64(63), dropc)
+        mag_r = np.where(s > 0, _rne_shift_positive(mag, np.maximum(s, 1)), mag)
+    else:
+        mag_r = np.where(dropc >= 62, 0, mag >> np.minimum(dropc, np.int64(61)))
     exp_r = np.where(drop > 0, grid, lsb_arr)
     with np.errstate(over="ignore"):
-        out = np.ldexp(mag_r.astype(np.float64), exp_r)
-    over = np.abs(out) > fmt.max_value
+        out = np.asarray(np.ldexp(mag_r.astype(np.float64), exp_r))
+    # mag_r >= 0, so overflow is one-sided and the sign is applied last.
+    over = out > fmt.max_value
     if mode is RoundingMode.NEAREST_EVEN:
-        out = np.where(over, np.inf, out)
+        np.copyto(out, np.inf, where=over)
     else:
-        out = np.where(over, fmt.max_value, out)
-    out = np.where(neg, -out, out)
-    return np.where(zero, 0.0, out)
+        np.copyto(out, fmt.max_value, where=over)
+    np.negative(out, out=out, where=neg)
+    np.copyto(out, 0.0, where=zero)
+    return out

@@ -82,7 +82,11 @@ def _batched(
     unit = mxu or M3XU()
     _check_batched(a, b)
     n_workers = resolve_workers(workers)
-    if n_workers <= 1 or a.shape[0] <= 1:
+    # Stateful units (e.g. the one-shot fault wrapper) must see the whole
+    # batch as one call sequence — fanning out would run a pickled copy of
+    # the unit per worker, firing its state machine once per slice against
+    # slice-local indices.
+    if n_workers <= 1 or a.shape[0] <= 1 or getattr(unit, "requires_serial", False):
         out = _batched_serial(a, b, mode, unit)
     else:
         ranges = split_ranges(a.shape[0], n_workers)

@@ -24,6 +24,7 @@ import numpy as np
 from ..mxu.baseline import TensorCoreMXU
 from ..mxu.m3xu import M3XU
 from ..mxu.modes import MXUMode, step_plan
+from ..mxu.parallel_bitlevel import sharded_bitlevel_gemm
 from ..mxu.vectorized import BitLevelMXU
 from ..resilience.abft import (
     AbftConfig,
@@ -79,6 +80,16 @@ class TiledGEMM:
         a model already exposing ``bitlevel`` capability is kept as-is;
         anything else raises. ABFT tile recomputation inherits the same
         engine because the guard re-invokes this driver's own compute.
+    workers:
+        Worker count for the sharded bit-level path (plain
+        :class:`~repro.mxu.vectorized.BitLevelMXU` only). ``None`` defers
+        to ``REPRO_WORKERS``; every worker count is bit-identical to
+        serial. Ignored by value-level models and fault-injecting
+        wrappers, which keep the per-MMA path.
+    bitlevel_chunk:
+        Output-column block size for the sharded bit-level path
+        (``None`` defers to ``REPRO_BITLEVEL_CHUNK``); a pure
+        performance knob, never a rounding boundary.
     """
 
     mxu: MXULike
@@ -88,6 +99,8 @@ class TiledGEMM:
     abft: bool | None = None
     abft_config: AbftConfig | None = None
     fused: bool = True
+    workers: int | None = None
+    bitlevel_chunk: int | None = None
     #: The last guarded run's :class:`~repro.resilience.abft.AbftReport`
     #: (``None`` when the guard is off or :meth:`run` has not executed).
     abft_report: AbftReport | None = field(default=None, init=False, compare=False)
@@ -117,6 +130,23 @@ class TiledGEMM:
     def _run_plain(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | float = 0.0
     ) -> np.ndarray:
+        # Plain bit-level models take the column-sharded driver (bit-identical
+        # to the per-MMA chain at every worker count). Subclasses and
+        # fault-injecting wrappers keep the per-MMA path so their hooks see
+        # every instruction.
+        if type(self.mxu) is BitLevelMXU:
+            return sharded_bitlevel_gemm(
+                a,
+                b,
+                c,
+                self.mode,
+                engine=self.mxu.engine,
+                acc_bits=self.mxu.acc_bits,
+                rounding=self.mxu.rounding,
+                k_chunk=int(self.k_chunk),
+                workers=self.workers,
+                chunk=self.bitlevel_chunk,
+            )
         if self.use_plan and hasattr(self.mxu, "mma_parts"):
             plan = GemmPlan.build(a, b, self.mode, int(self.k_chunk))
             return self.run_plan(plan, c)
@@ -221,13 +251,18 @@ def mxu_sgemm(
     mxu: M3XU | None = None,
     abft: bool | None = None,
     fused: bool = True,
+    workers: int | None = None,
 ) -> np.ndarray:
     """FP32 GEMM on M3XU hardware (the functional ``M3XU_sgemm`` kernel).
 
     ``fused=False`` executes the true bit-level datapath (engine chosen
-    by ``REPRO_BITLEVEL``) instead of the value-level model.
+    by ``REPRO_BITLEVEL``) instead of the value-level model; that path is
+    column-sharded over ``workers`` pool workers (``REPRO_WORKERS`` by
+    default) with a bit-identical result at every worker count.
     """
-    return TiledGEMM(mxu or M3XU(), MXUMode.FP32, abft=abft, fused=fused).run(a, b, c)
+    return TiledGEMM(
+        mxu or M3XU(), MXUMode.FP32, abft=abft, fused=fused, workers=workers
+    ).run(a, b, c)
 
 
 def mxu_cgemm(
@@ -237,13 +272,18 @@ def mxu_cgemm(
     mxu: M3XU | None = None,
     abft: bool | None = None,
     fused: bool = True,
+    workers: int | None = None,
 ) -> np.ndarray:
     """FP32C GEMM on M3XU hardware (the functional ``M3XU_cgemm`` kernel).
 
     ``fused=False`` executes the true bit-level datapath (engine chosen
-    by ``REPRO_BITLEVEL``) instead of the value-level model.
+    by ``REPRO_BITLEVEL``) instead of the value-level model; that path is
+    column-sharded over ``workers`` pool workers (``REPRO_WORKERS`` by
+    default) with a bit-identical result at every worker count.
     """
-    return TiledGEMM(mxu or M3XU(), MXUMode.FP32C, abft=abft, fused=fused).run(a, b, c)
+    return TiledGEMM(
+        mxu or M3XU(), MXUMode.FP32C, abft=abft, fused=fused, workers=workers
+    ).run(a, b, c)
 
 
 def tensorcore_gemm(

@@ -31,6 +31,11 @@ from .extension import DesignPoint, MultiStepScheme, composed_gemm, design_space
 from .isa import MMA_DESCRIPTORS, EmulationCosts, MmaDescriptor, emulation_costs
 from .m3xu import M3XU
 from .modes import MODE_INFO, MXUMode, Step, StepPlan, StepProduct, step_plan
+from .parallel_bitlevel import (
+    BITLEVEL_CHUNK_ENV,
+    resolve_bitlevel_chunk,
+    sharded_bitlevel_gemm,
+)
 from .vectorized import (
     BITLEVEL_ENV,
     BitLevelMXU,
@@ -52,8 +57,11 @@ __all__ = [
     "bit_level_fp32_dot",
     "bit_level_fp32c_dot",
     "split_fp32_bits",
+    "BITLEVEL_CHUNK_ENV",
     "BITLEVEL_ENV",
     "BitLevelMXU",
+    "resolve_bitlevel_chunk",
+    "sharded_bitlevel_gemm",
     "NonFiniteOperandError",
     "ProductFault",
     "fp32_bit_fields",

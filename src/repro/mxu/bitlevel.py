@@ -19,7 +19,11 @@ the value-level model in tests. It makes the paper's bookkeeping concrete:
   arbitrary-width integer accumulator model (48 bits in M3XU), then
   normalised and rounded once to FP32.
 
-It is scalar and slow — the point is bit-exactness, not speed.
+It is scalar and slow — the point is bit-exactness, not speed. It is the
+innermost oracle in the verification chain: the vectorised engines in
+:mod:`repro.mxu.vectorized` are held bit-identical to it, and the sharded
+parallel driver in :mod:`repro.mxu.parallel_bitlevel` is in turn held
+bit-identical to the serial engines at every worker count.
 """
 
 from __future__ import annotations

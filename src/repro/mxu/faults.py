@@ -240,7 +240,15 @@ class FaultyM3XU:
     output according to the microarchitectural prediction for their
     stage. The fault fires exactly once — the transient-upset model —
     so a recomputation of the affected region observes a clean unit.
+
+    The wrapper is stateful (call counter, one-shot flag), so drivers
+    that fan work out across processes must keep it on the serial path:
+    each worker would otherwise run its own pickled copy, firing the
+    fault once per worker against worker-local indices.
     """
+
+    #: Stateful unit — batch/shard drivers must not fan it out.
+    requires_serial = True
 
     def __init__(self, spec: FaultSpec, unit: "M3XU | BitLevelMXU | None" = None):
         from .m3xu import M3XU

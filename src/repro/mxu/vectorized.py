@@ -12,14 +12,21 @@ tiles, bit-identically:
   finiteness/representability contract are handled by masks and upfront
   checks, exactly as the scalar :func:`~repro.mxu.bitlevel.split_fp32_bits`.
 * **Multiplying** — every 12x12-bit multiplier lane of one MMA becomes a
-  single elementwise int64 product over the ``(M, N, K)`` tile; the four
-  lanes per step plan entry are stacked into an ``(M, N, slots)`` tensor
-  ordered exactly as the scalar loop visits them (k-major, lane-minor).
-* **Shifted 48-bit accumulation** (Fig. 3b) — the per-slot sequence feeds
-  :func:`~repro.arith.accumulator.sequential_windowed_sum`, which
-  replicates the :class:`~repro.mxu.bitlevel.BitAccumulator` discipline
-  array-at-a-time (running cummax anchor + vectorized window alignment;
-  only the rounding value-recursion stays a slot loop). The single-anchor
+  single elementwise *float32* product over the ``(M, N, K)`` tile
+  (exact: the pre-signed slices carry at most 12 bits each), written
+  straight into a strided column view of one preallocated ``(M, N,
+  slots+1)`` buffer ordered exactly as the scalar loop visits the slots
+  (k-major, lane-minor; the last column holds the C operand).
+* **Shifted 48-bit accumulation** (Fig. 3b) — the packed slot sequence
+  feeds :func:`~repro.arith.accumulator.segmented_windowed_sum_f32`, the
+  segmented exact reformulation of the
+  :class:`~repro.mxu.bitlevel.BitAccumulator` discipline (masked-cummax
+  anchor trajectory, exact per-segment sums via a float64 ``reduceat``,
+  re-round-on-anchor-raise merge), proven bit-identical to the
+  sequential :func:`~repro.arith.accumulator.sequential_windowed_sum`
+  oracle by the property suite (accumulations too deep for the packed
+  kernel's exactness bound unpack to the general integer
+  :func:`~repro.arith.accumulator.segmented_windowed_sum`). The single-anchor
   :func:`~repro.arith.accumulator.aligned_sum_groups` kernel is *not*
   reused for this: it rounds each addend against the final anchor, which
   diverges from the sequential discipline once the exponent span exceeds
@@ -47,10 +54,16 @@ from typing import Mapping
 
 import numpy as np
 
-from ..arith.accumulator import int_window_to_float, sequential_windowed_sum
+from ..arith.accumulator import (
+    _ANCHOR_SENTINEL,
+    _rne_shift_positive,
+    int_window_to_float,
+    segmented_windowed_sum,
+    segmented_windowed_sum_f32,
+)
 from ..types.formats import FP32, FloatFormat
 from ..types.quantize import quantize, quantize_complex
-from ..types.rounding import RoundingMode
+from ..types.rounding import RoundingMode, round_significand
 from .config import M3XU_CONFIG, MXUConfig
 from .modes import MXUMode, step_plan
 
@@ -65,6 +78,7 @@ __all__ = [
     "PRODUCT_BITS",
     "vector_mma_fp32",
     "vector_mma_fp32c",
+    "chained_vector_fp32",
     "scalar_mma_fp32",
     "scalar_mma_fp32c",
     "BitLevelMXU",
@@ -246,36 +260,108 @@ def _require_tile(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
     return a.shape[0], a.shape[1], b.shape[1]
 
 
-def _lane_slots(
-    a: np.ndarray, b: np.ndarray, negate: int = 0
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """All multiplier-lane products of one (A, B) component pairing.
+def _alloc_slots(m: int, n: int, n_cols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Preallocated packed ``(signed sig, lsb)`` slot buffers.
 
-    Returns ``(sign, sig, lsb)`` int64 tensors of shape ``(M, N, K, 4)``
-    with the last axis in lane-schedule order; flattening the last two
-    axes gives the k-major, lane-minor slot order of the scalar loop.
+    One ``(M, N, slots+1)`` allocation per tensor — the product lanes are
+    written straight into strided column views and the C operand into the
+    last column, so no ``stack``/``concatenate`` copies the slot tensors
+    a second time. Significands are *signed float32*: a 12x12-bit lane
+    product is at most 24 bits, which float32 carries exactly together
+    with its sign (the sign of an IEEE product is the XOR of the operand
+    signs even for zeros, so no separate sign tensor is needed), and the
+    float multiply is the cheapest SIMD path numpy has. LSB weights live
+    in int16 — FP32 slice exponents span a few hundred either way.
+    """
+    return (
+        np.empty((m, n, n_cols), dtype=np.float32),
+        np.empty((m, n, n_cols), dtype=np.int16),
+    )
+
+
+def _signed_parts(
+    sign: np.ndarray, hi: np.ndarray, lo: np.ndarray, negate: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """The 12-bit slices as sign-carrying float32 (exact: < 2**12)."""
+    factor = np.int64(1) - (np.int64(2) * (sign ^ np.int64(negate)))
+    return (
+        (hi * factor).astype(np.float32),  # repro: allow[PS105]
+        (lo * factor).astype(np.float32),  # repro: allow[PS105]
+    )
+
+
+def _fill_lane_slots(
+    sig: np.ndarray,
+    lsb: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    base: int,
+    stride: int,
+    negate: int = 0,
+) -> None:
+    """Write one (A, B) component pairing's multiplier lanes into the slot
+    buffers at columns ``base + lane + k*stride`` (k-major, lane-minor —
+    the scalar loop's visit order).
+
+    Each 12x12-bit lane is a single broadcast float32 multiply
+    ``(M, 1, K) x (1, N, K)`` evaluated directly into the strided column
+    view — exact, since both slices carry at most 12 bits — with the
+    product sign folded into the pre-signed slices (``negate`` flips the
+    B side, implementing the FP32C imag*imag subtraction); every lane's
+    product LSB sits at ``2^(Ea + Eb - 46 + shift)``.
     """
     sa, ea, ah, al = split_fp32_fields(a)
     sb, eb, bh, bl = split_fp32_fields(b)
-    a_parts = (ah, al)
-    b_parts = (bh, bl)
-    # (M, 1, K) x (1, N, K) broadcasting: one int64 multiply per lane.
-    sig = np.stack(
-        [
-            a_parts[ia][:, None, :] * b_parts[ib].T[None, :, :]
-            for ia, ib, _ in _LANE_SCHEDULE
-        ],
-        axis=-1,
+    a_parts = _signed_parts(sa, ah, al)
+    b_parts = _signed_parts(sb, bh, bl, negate=negate)
+    k = a.shape[1]
+    pair_exp = (
+        _effective_exp(ea).astype(np.int16)[:, None, :]
+        + _effective_exp(eb).astype(np.int16).T[None, :, :]
     )
-    # Every lane's product LSB sits at 2^(Ea + Eb - 46 + lane_shift).
-    pair_exp = _effective_exp(ea)[:, None, :] + _effective_exp(eb).T[None, :, :]
-    shifts = np.array([s for _, _, s in _LANE_SCHEDULE], dtype=np.int64)
-    lsb = pair_exp[..., None] + (shifts - 46)
-    sgn = (sa[:, None, :] ^ sb.T[None, :, :]) ^ np.int64(negate)
-    return (
-        np.broadcast_to(sgn[..., None], sig.shape),
-        sig,
-        np.broadcast_to(lsb, sig.shape),
+    for lane, (ia, ib, shift) in enumerate(_LANE_SCHEDULE):
+        col = slice(base + lane, base + stride * k, stride)
+        np.multiply(
+            a_parts[ia][:, None, :], b_parts[ib].T[None, :, :], out=sig[:, :, col]
+        )
+        np.add(pair_exp, np.int16(shift - 46), out=lsb[:, :, col])
+
+
+def _packed_c_slot(c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The C operand as one packed slot: (signed float32 sig, LSB exp)."""
+    cs, csig, clsb = _c_slot(c)
+    packed = np.where(cs != 0, -csig, csig).astype(np.float32)  # repro: allow[PS105]
+    return packed, clsb.astype(np.int16)
+
+
+def _flip_product_bit(sig: np.ndarray, element: tuple[int, int], slot: int, bit: int) -> None:
+    """XOR one bit of a packed slot's 24-bit product significand."""
+    em, en = element
+    val = float(sig[em, en, slot])
+    mag = int(abs(val)) ^ (1 << bit)
+    sig[em, en, slot] = np.float32(-mag if np.signbit(val) else mag)
+
+
+def _windowed_sum_packed(
+    sig: np.ndarray,
+    lsb: np.ndarray,
+    acc_bits: int,
+    rounding: RoundingMode,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch packed slots to the fastest bit-identical reduction.
+
+    The float32 kernel needs ``slots * 2**acc_bits`` inside the exact
+    float64 range; unusually deep accumulations (huge K at full 48-bit
+    width) unpack to the general integer kernel instead.
+    """
+    if sig.shape[-1] * (1 << acc_bits) <= (1 << 53):
+        return segmented_windowed_sum_f32(sig, lsb, acc_bits=acc_bits, mode=rounding)
+    return segmented_windowed_sum(
+        np.signbit(sig).astype(np.int8),
+        np.abs(sig).astype(np.int64),
+        lsb,
+        acc_bits=acc_bits,
+        mode=rounding,
     )
 
 
@@ -298,58 +384,197 @@ def vector_mma_fp32(
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     m_dim, k_dim, n_dim = _require_tile(a, b)
-    sgn, sig, lsb = _lane_slots(a, b)
     slots = _LANES_PER_PAIR * k_dim
-    sgn = np.ascontiguousarray(sgn).reshape(m_dim, n_dim, slots)
-    sig = sig.reshape(m_dim, n_dim, slots)
-    lsb = np.ascontiguousarray(lsb).reshape(m_dim, n_dim, slots)
+    sig, lsb = _alloc_slots(m_dim, n_dim, slots + 1)
+    _fill_lane_slots(sig, lsb, a, b, base=0, stride=_LANES_PER_PAIR)
     if product_fault is not None:
         _check_fault(product_fault, slots, (m_dim, n_dim))
-        em, en = product_fault.element
-        sig[em, en, product_fault.slot] ^= np.int64(1) << np.int64(product_fault.bit)
+        _flip_product_bit(
+            sig, product_fault.element, product_fault.slot, product_fault.bit
+        )
 
     c_arr = np.broadcast_to(np.asarray(c, dtype=np.float64), (m_dim, n_dim))
-    cs, csig, clsb = _c_slot(c_arr)
-    sgn = np.concatenate([sgn, cs[..., None]], axis=-1)
-    sig = np.concatenate([sig, csig[..., None]], axis=-1)
-    lsb = np.concatenate([lsb, clsb[..., None]], axis=-1)
+    csig, clsb = _packed_c_slot(c_arr)
+    sig[..., slots] = csig
+    lsb[..., slots] = clsb
 
-    value, window_lsb = sequential_windowed_sum(
-        sgn, sig, lsb, acc_bits=acc_bits, mode=rounding
-    )
+    value, window_lsb = _windowed_sum_packed(sig, lsb, acc_bits, rounding)
     return int_window_to_float(value, window_lsb, FP32)
+
+
+def _chain_c_merge(
+    value_p: np.ndarray,
+    anchor_p: np.ndarray,
+    c: np.ndarray,
+    acc_bits: int,
+    rounding: RoundingMode,
+) -> np.ndarray:
+    """Fold the C operand into a chunk's precomputed product reduction.
+
+    ``value_p``/``anchor_p`` are the windowed sum and final anchor of the
+    chunk's *product* slots (``_ANCHOR_SENTINEL`` where all products were
+    zero). The C operand is the last slot of the accumulation order, so
+    finishing the chunk is one more step of the sequential discipline:
+    align C against ``max(anchor_p, c_top)`` (below-window addends round
+    like any other slot), re-round the product partial iff C raises a
+    non-empty anchor (an empty partial is zero, so its re-round is a
+    no-op) — same shift clamps as the segmented merge — add, then round
+    the window to FP32.
+    """
+    cs, csig, clsb = _c_slot(c)
+    nzc = csig > 0
+    # bit_length via frexp: C significands are < 2**24, exact in float64.
+    ctop = clsb + np.frexp(csig.astype(np.float64))[1] - 1
+    ctop = np.where(nzc, ctop, _ANCHOR_SENTINEL)
+    anchor = np.maximum(anchor_p, ctop)
+    rel = clsb - anchor + (acc_bits - 1)
+    aligned = np.zeros_like(csig)
+    pos = nzc & (rel >= 0)
+    np.copyto(aligned, csig << np.clip(rel, 0, 63), where=pos)
+    below = nzc & ~pos
+    if np.any(below):
+        aligned[below] = round_significand(csig[below], -rel[below], rounding)
+    np.negative(aligned, out=aligned, where=cs != 0)
+
+    value = np.array(value_p)
+    fix = np.flatnonzero(
+        ((ctop > anchor_p) & (anchor_p != _ANCHOR_SENTINEL)).reshape(-1)
+    )
+    if fix.size:
+        flat = value.reshape(-1)
+        partial = flat[fix]
+        neg = partial < 0
+        mag = np.where(neg, -partial, partial)
+        # Magnitudes stay below 2**53, so shift 62 (the reference's
+        # everything-rounds-away point) maps to 63 under RNE and is
+        # already exact under truncation.
+        shift = np.clip((ctop - anchor_p).reshape(-1)[fix], 1, 63)
+        if rounding is RoundingMode.NEAREST_EVEN:
+            np.copyto(shift, np.int64(63), where=shift >= 62)
+            mag = _rne_shift_positive(mag, shift)
+        else:
+            mag = mag >> shift
+        np.negative(mag, out=mag, where=neg)
+        flat[fix] = mag
+    value += aligned
+    # anchor is _ANCHOR_SENTINEL exactly when both sides were empty, which
+    # is also the sentinel window convention — no special case needed.
+    window = anchor - (acc_bits - 1)
+    return int_window_to_float(value, window, FP32)
+
+
+def chained_vector_fp32(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | float = 0.0,
+    *,
+    k_chunk: int = 4,
+    acc_bits: int = 48,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    block: int = 64,
+    group: int = 2,
+) -> np.ndarray:
+    """A whole FP32 K-chain of MMAs with one batched product reduction.
+
+    Bit-identical to chaining :func:`vector_mma_fp32` ``k_chunk`` columns
+    at a time (the property suite asserts it), but restructured around
+    the observation that the C operand is the *last* slot of every
+    chunk's accumulation order: the 16 product slots of a chunk depend
+    only on A and B, so their windowed sums and anchor trajectories are
+    precomputed in batched :func:`segmented_windowed_sum_f32` calls —
+    ``block`` output columns x ``group`` chunks per call, sized to keep
+    the slot buffers cache-resident — and the sequential part of the
+    chain (fold in C, round to FP32, feed the next chunk) touches one
+    full-width ``(M, N)`` slot per chunk (:func:`_chain_c_merge`)
+    instead of re-reducing all ``4*k_chunk + 1`` slots. ``block`` and
+    ``group`` are pure performance knobs; no setting changes a bit.
+
+    No fault hook: campaign runs inject into per-MMA calls, which is why
+    the sharded driver only routes fault-free chains here.
+    """
+    if k_chunk < 1:
+        raise ValueError("k_chunk must be >= 1")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m_dim, k_total, n_dim = _require_tile(a, b)
+    c_arr = np.broadcast_to(np.asarray(c, dtype=np.float64), (m_dim, n_dim))
+    if k_total == 0 or n_dim == 0 or m_dim == 0:
+        return c_arr.copy()
+    block = max(int(block), 1)
+    group = max(int(group), 1)
+    spc = _LANES_PER_PAIR * k_chunk  # product slots per chunk
+    n_chunks = -(-k_total // k_chunk)
+    # Chunk-major layout: the sequential merge loop walks whole (M, N)
+    # planes, so keep each plane contiguous.
+    value_p = np.empty((n_chunks, m_dim, n_dim), dtype=np.int64)
+    anchor_p = np.empty((n_chunks, m_dim, n_dim), dtype=np.int64)
+    for j0 in range(0, n_dim, block):
+        j1 = min(n_dim, j0 + block)
+        b_cols = np.ascontiguousarray(b[:, j0:j1])
+        for g0 in range(0, n_chunks, group):
+            n_g = min(group, n_chunks - g0)
+            kg0 = g0 * k_chunk
+            kg1 = min(k_total, (g0 + n_g) * k_chunk)
+            a_g, b_g = a[:, kg0:kg1], b_cols[kg0:kg1, :]
+            if kg1 - kg0 < n_g * k_chunk:
+                # Ragged tail: zero-pad to a whole chunk. Zero products
+                # are non-events in the window discipline, so a padded
+                # chunk is bit-identical to the short one.
+                pad = n_g * k_chunk - (kg1 - kg0)
+                a_g = np.pad(a_g, ((0, 0), (0, pad)))
+                b_g = np.pad(b_g, ((0, pad), (0, 0)))
+            sig, lsb = _alloc_slots(m_dim, j1 - j0, n_g * spc)
+            _fill_lane_slots(sig, lsb, a_g, b_g, base=0, stride=_LANES_PER_PAIR)
+            vp, wp = _windowed_sum_packed(
+                sig.reshape(m_dim, j1 - j0, n_g, spc),
+                lsb.reshape(m_dim, j1 - j0, n_g, spc),
+                acc_bits,
+                rounding,
+            )
+            value_p[g0 : g0 + n_g, :, j0:j1] = vp.transpose(2, 0, 1)
+            # The f32 kernel's sentinel window maps back to the sentinel
+            # anchor exactly, so this recovers the product anchors.
+            anchor_p[g0 : g0 + n_g, :, j0:j1] = wp.transpose(2, 0, 1) + (acc_bits - 1)
+    acc = c_arr
+    for j in range(n_chunks):
+        acc = _chain_c_merge(value_p[j], anchor_p[j], acc, acc_bits, rounding)
+    return acc
 
 
 def _fp32c_component_slots(
     a: np.ndarray,
     b: np.ndarray,
     accumulator: str,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Slot tensors ``(M, N, 8K)`` for one FP32C accumulation register."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """Slot buffers ``(M, N, 8K + 1)`` for one FP32C accumulation register.
+
+    Columns 0..8K-1 hold the register's product slots in k-major,
+    component, lane order — the exact subsequence this register sees in
+    the scalar loop — written through strided views (stride 8, component
+    base 0 or 4); the final column is left for the C operand.
+    """
     comps = {
         "real": (np.ascontiguousarray(a.real), np.ascontiguousarray(b.real)),
         "imag": (np.ascontiguousarray(a.imag), np.ascontiguousarray(b.imag)),
     }
-    sgn_l, sig_l, lsb_l = [], [], []
+    m_dim, k_dim, n_dim = a.shape[0], a.shape[1], b.shape[1]
+    stride = 2 * _LANES_PER_PAIR
+    sig, lsb = _alloc_slots(m_dim, n_dim, stride * k_dim + 1)
+    local = 0
     for ca, cb, negate, acc in _COMPONENT_SCHEDULE:
         if acc != accumulator:
             continue
-        sgn, sig, lsb = _lane_slots(comps[ca][0], comps[cb][1], negate)
-        sgn_l.append(sgn)
-        sig_l.append(sig)
-        lsb_l.append(lsb)
-    # (M, N, K, comps, 4) -> (M, N, 8K): k-major, component, lane — the
-    # exact subsequence this register sees in the scalar loop.
-    sgn = np.stack(sgn_l, axis=-2)
-    sig = np.stack(sig_l, axis=-2)
-    lsb = np.stack(lsb_l, axis=-2)
-    m_dim, n_dim = sig.shape[0], sig.shape[1]
-    flat = sig.shape[2] * sig.shape[3] * sig.shape[4]
-    return (
-        sgn.reshape(m_dim, n_dim, flat),
-        sig.reshape(m_dim, n_dim, flat),
-        lsb.reshape(m_dim, n_dim, flat),
-    )
+        _fill_lane_slots(
+            sig,
+            lsb,
+            comps[ca][0],
+            comps[cb][1],
+            base=local * _LANES_PER_PAIR,
+            stride=stride,
+            negate=negate,
+        )
+        local += 1
+    return sig, lsb
 
 
 def _fp32c_local_fault(
@@ -394,20 +619,17 @@ def vector_mma_fp32c(
     c_arr = np.broadcast_to(np.asarray(c, dtype=np.complex128), (m_dim, n_dim))
 
     out = {}
+    slots = 2 * _LANES_PER_PAIR * k_dim
     for accumulator, c_part in (("real", c_arr.real), ("imag", c_arr.imag)):
-        sgn, sig, lsb = _fp32c_component_slots(a, b, accumulator)
+        sig, lsb = _fp32c_component_slots(a, b, accumulator)
         if product_fault is not None:
             local = _fp32c_local_fault(product_fault, accumulator)
             if local is not None:
-                em, en = local.element
-                sig[em, en, local.slot] ^= np.int64(1) << np.int64(local.bit)
-        cs, csig, clsb = _c_slot(np.ascontiguousarray(c_part))
-        sgn = np.concatenate([sgn, cs[..., None]], axis=-1)
-        sig = np.concatenate([sig, csig[..., None]], axis=-1)
-        lsb = np.concatenate([lsb, clsb[..., None]], axis=-1)
-        value, window_lsb = sequential_windowed_sum(
-            sgn, sig, lsb, acc_bits=acc_bits, mode=rounding
-        )
+                _flip_product_bit(sig, local.element, local.slot, local.bit)
+        csig, clsb = _packed_c_slot(np.ascontiguousarray(c_part))
+        sig[..., slots] = csig
+        lsb[..., slots] = clsb
+        value, window_lsb = _windowed_sum_packed(sig, lsb, acc_bits, rounding)
         out[accumulator] = int_window_to_float(value, window_lsb, FP32)
     # Component-wise assembly: ``re + 1j*im`` would turn an overflowed
     # ±inf register into NaN via the complex multiply's 0*inf terms.

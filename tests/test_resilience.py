@@ -161,6 +161,21 @@ class TestAbftGuard:
         healed = batched_mxu_sgemm(a, b, mxu=bad_unit, abft=True)
         np.testing.assert_array_equal(healed, plain)
 
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_batched_guard_faulty_unit_collapses_to_serial(self, rng, workers):
+        # The one-shot fault wrapper is stateful: a batch fan-out would run
+        # a pickled copy per worker, firing the fault once per slice against
+        # slice-local (out-of-range) indices. requires_serial keeps it on
+        # the serial path, so workers>1 behaves exactly like serial.
+        a = rng.uniform(-1.0, 1.0, size=(4, 16, 12))
+        b = rng.uniform(-1.0, 1.0, size=(4, 12, 10))
+        plain = batched_mxu_sgemm(a, b)
+        spec = FaultSpec(FaultStage.SIGN_FLIP, call_index=1, element=(2, 3, 4))
+        bad_unit = FaultyM3XU(spec, M3XU())
+        healed = batched_mxu_sgemm(a, b, mxu=bad_unit, abft=True, workers=workers)
+        np.testing.assert_array_equal(healed, plain)
+        assert bad_unit.fired
+
     def test_sdc_threshold_shape_and_positivity(self, operands):
         a, b = operands
         thr = sdc_threshold(a, b, np.zeros((24, 20)), 2.0**-23,
