@@ -1,0 +1,134 @@
+"""Serving-layer load test: latency and shedding under a 3-level ramp.
+
+Not a paper figure: this regression-guards the serving layer the same
+way ``bench_abft.py`` guards the resilience layer. A self-hosted
+:class:`~repro.serve.server.GemmServer` (fault injection enabled) is
+driven through three open-loop load levels — comfortable, near
+saturation, and far past it — plus a fault campaign, and three
+properties are asserted on the results:
+
+* **Zero undetected SDCs** — every ``OK`` response is checked against a
+  float64 reference by the load generator; a silently corrupt served
+  result fails the benchmark at any load level.
+* **Structured overload** — the overload level must produce structured
+  rejections (``queue_full``/``overload``), never hangs: every request
+  sent is accounted for and the level completes in bounded time.
+* **Bounded tail latency** — p95 at every level stays under the
+  request deadline plus the server's grace window.
+
+Results land in ``BENCH_serve.json`` at the repo root.
+``REPRO_BENCH_SMOKE=1`` shrinks the levels so the suite doubles as the
+CI smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.serve import LoadgenConfig, run_loadgen
+
+from conftest import bench_print
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+#: Per-level duration and the open-loop ramp (requests/second). The top
+#: level is far beyond single-executor capacity by construction.
+DURATION_S = 2.0 if SMOKE else 5.0
+RAMP = [20.0, 120.0, 600.0] if SMOKE else [30.0, 200.0, 1000.0]
+DEADLINE_MS = 1500.0
+#: p95 acceptance: deadline + the server's 5 s response-grace window.
+MAX_P95_MS = DEADLINE_MS + 5000.0
+#: Fault campaign settings (closed loop, so every fault gets resolved).
+FAULT_RATE = 0.25
+FAULT_DURATION_S = 3.0 if SMOKE else 6.0
+
+_DATA: dict = {"smoke": SMOKE, "ramp": [], "faults": {}}
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json():
+    yield
+    _JSON_PATH.write_text(json.dumps(_DATA, indent=2))
+    bench_print(f"\nServing load ramp written to {_JSON_PATH.name}:")
+    for level in _DATA["ramp"]:
+        bench_print(
+            f"  {level['rate']:6.0f} rps: sent {level['sent']:5d}"
+            f"  served {level['served']:5d}"
+            f"  shed {level['shed_rate'] * 100:5.1f}%"
+            f"  p50 {level['p50_latency_ms']:7.1f} ms"
+            f"  p95 {level['p95_latency_ms']:7.1f} ms"
+            f"  sdc {level['sdc_count']}"
+        )
+    faults = _DATA["faults"]
+    if faults:
+        bench_print(
+            f"  faults: sent {faults['faults_sent']}"
+            f" outcomes {faults['outcomes']}"
+            f" sdc {faults['sdc_count']}"
+        )
+
+
+def test_load_ramp_sheds_structurally_with_bounded_p95():
+    for i, rate in enumerate(RAMP):
+        report = run_loadgen(LoadgenConfig(
+            duration_s=DURATION_S, mode="open", rate=rate, concurrency=4,
+            size=12, seed=100 + i, deadline_ms=DEADLINE_MS,
+        ))
+        rejected = report["outcomes"].get("REJECTED", 0)
+        level = {
+            "rate": rate,
+            "sent": report["sent"],
+            "served": report["served"],
+            "rejected": rejected,
+            "shed_rate": rejected / max(report["sent"], 1),
+            "reasons": report["reasons"],
+            "p50_latency_ms": report["p50_latency_ms"],
+            "p95_latency_ms": report["p95_latency_ms"],
+            "throughput_rps": report["throughput_rps"],
+            "sdc_count": report["sdc_count"],
+            "elapsed_s": report["elapsed_s"],
+        }
+        _DATA["ramp"].append(level)
+
+        assert report["sdc_count"] == 0, f"SDC at {rate} rps: {report['sdc_ids']}"
+        # No hangs: everything sent is answered or accounted as lost,
+        # and the level finishes in bounded time.
+        assert sum(report["outcomes"].values()) == report["sent"]
+        assert report["elapsed_s"] < DURATION_S + 60.0
+        if report["served"]:
+            assert report["p95_latency_ms"] < MAX_P95_MS
+
+    # The ramp's top level must overload the server into structured
+    # shedding — otherwise the benchmark is not exercising admission
+    # control at all.
+    top = _DATA["ramp"][-1]
+    assert top["rejected"] > 0, "overload level produced no rejections"
+    assert set(top["reasons"]) <= {
+        "queue_full", "overload", "deadline", "worker_lost", "execution",
+        "circuit_open",
+    }
+
+
+def test_fault_campaign_zero_undetected_sdc():
+    report = run_loadgen(LoadgenConfig(
+        duration_s=FAULT_DURATION_S, mode="closed", concurrency=3,
+        size=10, seed=7, deadline_ms=2500.0, fault_rate=FAULT_RATE,
+    ))
+    _DATA["faults"] = {
+        "sent": report["sent"],
+        "outcomes": report["outcomes"],
+        "reasons": report["reasons"],
+        "faults_sent": report["faults_sent"],
+        "sdc_count": report["sdc_count"],
+        "p95_latency_ms": report["p95_latency_ms"],
+        "elapsed_s": report["elapsed_s"],
+    }
+    assert report["sent"] > 0 and report["outcomes"].get("OK", 0) > 0
+    assert report["sdc_count"] == 0, f"undetected SDCs: {report['sdc_ids']}"
+    assert sum(report["outcomes"].values()) == report["sent"]
+    assert report["elapsed_s"] < FAULT_DURATION_S + 60.0

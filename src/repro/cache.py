@@ -145,6 +145,12 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Disk writes that landed on an already-existing entry — i.e. a
+        #: concurrent (or earlier) writer stored the same key. The
+        #: tmp-file + ``os.replace`` protocol makes each such collision
+        #: harmless: a reader sees either the old complete pickle or the
+        #: new complete pickle, never a torn mixture.
+        self.collisions = 0
         self._mem: OrderedDict[str, bytes] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -220,6 +226,12 @@ class ResultCache:
                 fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(blob)
+                if path.exists():
+                    # Another writer (process or thread) beat us to this
+                    # key; the atomic replace below prevents any reader
+                    # from ever seeing a torn mixture of the two writes.
+                    with self._lock:
+                        self.collisions += 1
                 os.replace(tmp, path)  # atomic: readers never see partials
             except OSError:
                 pass  # disk layer is best-effort
@@ -235,7 +247,7 @@ class ResultCache:
         if memory:
             with self._lock:
                 self._mem.clear()
-            self.hits = self.misses = self.corrupt = 0
+            self.hits = self.misses = self.corrupt = self.collisions = 0
         if disk:
             root = self._disk_dir()
             if root is not None and root.is_dir():
@@ -253,6 +265,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
+            "collisions": self.collisions,
             "disk_dir": str(root) if root else None,
         }
 

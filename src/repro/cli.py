@@ -99,6 +99,73 @@ def build_parser() -> argparse.ArgumentParser:
                            "accumulate datapath (REPRO_BITLEVEL selects "
                            "vector or scalar) and adds product-stage faults")
 
+    srv = sub.add_parser("serve",
+                         help="run the GEMM-as-a-service front end "
+                              "(line-delimited JSON over TCP)")
+    srv.add_argument("--host", default=None,
+                     help="bind address (default: REPRO_SERVE_HOST or "
+                          "127.0.0.1)")
+    srv.add_argument("--port", type=int, default=None,
+                     help="TCP port, 0 for ephemeral (default: "
+                          "REPRO_SERVE_PORT or 8135)")
+    srv.add_argument("--max-queue", type=int, default=None, dest="max_queue",
+                     help="admitted-but-unfinished request ceiling "
+                          "(default: REPRO_SERVE_MAX_QUEUE or 64)")
+    srv.add_argument("--rate", type=float, default=None,
+                     help="token-bucket admission rate in req/s "
+                          "(default: REPRO_SERVE_RATE; 0 disables)")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     dest="deadline_ms",
+                     help="default per-request deadline "
+                          "(default: REPRO_SERVE_DEADLINE_MS or 10000)")
+    srv.add_argument("--degrade", default=None,
+                     choices=["auto", "off", "0", "1", "2", "3"],
+                     help="degradation policy (default: REPRO_SERVE_DEGRADE "
+                          "or auto)")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="pool fan-out width (default: REPRO_WORKERS)")
+    srv.add_argument("--abft", action="store_true", default=None,
+                     help="force the ABFT guard on served results "
+                          "(default: REPRO_ABFT gate)")
+    srv.add_argument("--fault-injection", action="store_true", default=None,
+                     dest="fault_injection",
+                     help="honour per-request fault directives (load "
+                          "tests only)")
+    srv.add_argument("--allow-shutdown", action="store_true", default=None,
+                     dest="allow_shutdown",
+                     help="honour the remote 'shutdown' op")
+    srv.add_argument("--run-table", default=None, dest="run_table",
+                     help="write the per-request run_table.csv here on exit")
+
+    lg = sub.add_parser("loadgen",
+                        help="drive a server with generated load + "
+                             "injected faults; checks every OK result "
+                             "against a float64 reference (SDC detector)")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=0,
+                    help="target server port; 0 self-hosts a throwaway "
+                         "in-process server with fault injection enabled")
+    lg.add_argument("--duration", type=float, default=10.0,
+                    help="seconds per load level")
+    lg.add_argument("--mode", default="closed", choices=["closed", "open"],
+                    help="closed: N workers, one request in flight each; "
+                         "open: dispatch at --rate regardless of "
+                         "completions")
+    lg.add_argument("--concurrency", type=int, default=4)
+    lg.add_argument("--rate", type=float, default=50.0,
+                    help="open-loop dispatch rate (req/s)")
+    lg.add_argument("--size", type=int, default=16,
+                    help="square-GEMM dimension of generated requests")
+    lg.add_argument("--deadline-ms", type=float, default=2000.0,
+                    dest="deadline_ms")
+    lg.add_argument("--fault-rate", type=float, default=0.0,
+                    dest="fault_rate",
+                    help="fraction of requests carrying an injected fault "
+                         "(worker kill / stall / poisoned datapath)")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable report on stdout")
+
     lint = sub.add_parser("lint",
                           help="run the precision/determinism/fork-safety "
                                "static analysis")
@@ -290,6 +357,77 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import GemmServer, ServeConfig
+
+    cfg = ServeConfig.from_env(
+        host=args.host,
+        max_queue=args.max_queue,
+        rate=args.rate,
+        deadline_ms=args.deadline_ms,
+        degrade=args.degrade,
+        workers=args.workers,
+        abft=args.abft,
+        fault_injection=args.fault_injection,
+        allow_shutdown=args.allow_shutdown,
+    )
+    if args.port is not None:
+        cfg.port = args.port
+    elif cfg.port == 0:
+        cfg.port = 8135
+
+    async def _run() -> int:
+        server = GemmServer(cfg)
+        await server.start()
+        print(f"repro serve: listening on {cfg.host}:{server.port} "
+              f"(degrade={cfg.degrade}, max_queue={cfg.max_queue}, "
+              f"fault_injection={cfg.fault_injection})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            if args.run_table:
+                rows = server.run_table.write_csv(args.run_table)
+                print(f"repro serve: wrote {rows} rows to {args.run_table}")
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from .serve import LoadgenConfig, run_loadgen
+
+    cfg = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        duration_s=args.duration,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        size=args.size,
+        deadline_ms=args.deadline_ms,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    )
+    report = run_loadgen(cfg)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"loadgen: sent={report['sent']} outcomes={report['outcomes']} "
+              f"reasons={report['reasons']}")
+        print(f"loadgen: p50={report['p50_latency_ms']:.1f}ms "
+              f"p95={report['p95_latency_ms']:.1f}ms "
+              f"throughput={report['throughput_rps']:.1f}rps")
+        print(f"loadgen: faults={report['faults_sent']} "
+              f"sdc_count={report['sdc_count']}")
+    # An undetected SDC is the one unacceptable outcome.
+    return 1 if report["sdc_count"] else 0
+
+
 _COMMANDS = {
     "report": _cmd_report,
     "gemm": _cmd_gemm,
@@ -298,6 +436,8 @@ _COMMANDS = {
     "design-space": _cmd_design_space,
     "peaks": _cmd_peaks,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "lint": _cmd_lint,
 }
 

@@ -78,17 +78,26 @@ def _batched(
     workers: int | None = None,
     fresh_pool: bool = False,
     abft: bool | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
 ) -> np.ndarray:
     unit = mxu or M3XU()
     _check_batched(a, b)
     n_workers = resolve_workers(workers)
+    has_deadline = timeout is not None and timeout > 0
     # Stateful units (e.g. the one-shot fault wrapper) must see the whole
     # batch as one call sequence — fanning out would run a pickled copy of
     # the unit per worker, firing its state machine once per slice against
-    # slice-local indices.
-    if n_workers <= 1 or a.shape[0] <= 1 or getattr(unit, "requires_serial", False):
+    # slice-local indices. A deadline always routes through parallel_map
+    # (the timeout is enforced by killing hung pool workers), even for a
+    # single-slice batch.
+    if not has_deadline and (
+        n_workers <= 1 or a.shape[0] <= 1 or getattr(unit, "requires_serial", False)
+    ):
         out = _batched_serial(a, b, mode, unit)
     else:
+        if getattr(unit, "requires_serial", False):
+            n_workers = 1
         ranges = split_ranges(a.shape[0], n_workers)
         pieces = parallel_map(
             _batched_worker,
@@ -96,6 +105,8 @@ def _batched(
             workers=n_workers,
             chunk_size=1,
             fresh_pool=fresh_pool,
+            timeout=timeout,
+            retries=retries,
         )
         out = np.concatenate(pieces, axis=0)
     if resolve_abft(abft):
@@ -149,15 +160,22 @@ def batched_mxu_sgemm(
     workers: int | None = None,
     fresh_pool: bool = False,
     abft: bool | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
 ) -> np.ndarray:
     """FP32 batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``.
 
     ``abft=True`` (or ``REPRO_ABFT=1``) checksum-verifies every matrix of
-    the result and transparently recomputes corrupted tiles.
+    the result and transparently recomputes corrupted tiles. ``timeout``
+    is a per-slice wall-clock deadline in seconds enforced through
+    :func:`repro.parallel.parallel_map` (hung workers are killed, the
+    pool respawned); ``retries`` bounds re-attempts — the serving layer's
+    per-request deadline propagates through these.
     """
     a = quantize(np.asarray(a, dtype=np.float64), FP32)
     b = quantize(np.asarray(b, dtype=np.float64), FP32)
-    return _batched(a, b, MXUMode.FP32, mxu, workers, fresh_pool, abft)
+    return _batched(a, b, MXUMode.FP32, mxu, workers, fresh_pool, abft,
+                    timeout, retries)
 
 
 def batched_mxu_cgemm(
@@ -167,12 +185,17 @@ def batched_mxu_cgemm(
     workers: int | None = None,
     fresh_pool: bool = False,
     abft: bool | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
 ) -> np.ndarray:
     """FP32C batched GEMM over complex128 operands (``abft=True`` /
-    ``REPRO_ABFT=1`` adds per-matrix checksum verification)."""
+    ``REPRO_ABFT=1`` adds per-matrix checksum verification; ``timeout`` /
+    ``retries`` propagate a wall-clock deadline into the pool fan-out as
+    in :func:`batched_mxu_sgemm`)."""
     a = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
     b = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
-    return _batched(a, b, MXUMode.FP32C, mxu, workers, fresh_pool, abft)
+    return _batched(a, b, MXUMode.FP32C, mxu, workers, fresh_pool, abft,
+                    timeout, retries)
 
 
 def strided_batch_view(x: np.ndarray, rows: int, cols: int) -> np.ndarray:

@@ -181,6 +181,32 @@ _pool_workers: int = 0
 _pool_pid: int = -1
 _pool_spawns: int = 0
 
+# Health counters (monotonic per process). They feed the serving layer's
+# circuit breaker (:mod:`repro.serve.degrade`): a run of consecutive
+# broken-pool / timeout events is the signal that the pool — not any one
+# request — is sick. ``_pool_failure_streak`` counts events since the
+# last successful pool round-trip; successes reset it.
+_broken_events: int = 0
+_timeout_events: int = 0
+_task_retries: int = 0
+_pool_failure_streak: int = 0
+
+
+def _note_pool_event(kind: str) -> None:
+    """Record one pool-health event (``"broken"`` | ``"timeout"`` |
+    ``"retry"`` | ``"ok"``) in the process-wide counters."""
+    global _broken_events, _timeout_events, _task_retries, _pool_failure_streak
+    if kind == "broken":
+        _broken_events += 1
+        _pool_failure_streak += 1
+    elif kind == "timeout":
+        _timeout_events += 1
+        _pool_failure_streak += 1
+    elif kind == "retry":
+        _task_retries += 1
+    elif kind == "ok":
+        _pool_failure_streak = 0
+
 #: True inside a pool worker process. Nested ``parallel_map`` calls there
 #: run serially: a task that fans out again (``run_all`` dispatching an
 #: accuracy study which itself consults ``REPRO_WORKERS``) would otherwise
@@ -261,13 +287,19 @@ def _terminate_pool() -> None:
 
 
 def pool_info() -> dict[str, Any]:
-    """Introspection for tests and benchmarks: pool liveness, width, and
-    how many executors this process has created so far."""
+    """Introspection for tests, benchmarks and the serving layer: pool
+    liveness, width, how many executors this process has created, and the
+    health counters (broken-pool events, per-task timeouts, retries, and
+    the consecutive-failure streak since the last healthy round-trip)."""
     alive = _pool is not None and _pool_pid == os.getpid()
     return {
         "alive": alive,
         "workers": _pool_workers if alive else 0,
         "spawns": _pool_spawns,
+        "broken_events": _broken_events,
+        "timeout_events": _timeout_events,
+        "task_retries": _task_retries,
+        "failure_streak": _pool_failure_streak,
     }
 
 
@@ -496,7 +528,12 @@ def _resilient_map(
 
     def account(index: int, cause: str, exc: BaseException | None) -> None:
         attempts[index] += 1
+        if cause == "broken-pool":
+            _note_pool_event("broken")
+        elif cause == "timeout":
+            _note_pool_event("timeout")
         if attempts[index] <= policy.retries:
+            _note_pool_event("retry")
             queue.append(index)
             retry_delay[index] = policy.delay(attempts[index], rng)
         elif exc is not None:
@@ -535,6 +572,7 @@ def _resilient_map(
                 account(i, "exception", exc)
             else:
                 results[i] = out
+                _note_pool_event("ok")
                 if on_result is not None:
                     on_result(i, out)
         if hung:
@@ -649,11 +687,14 @@ def parallel_map(
                 return _drain(pool.map(call, payload, chunksize=chunk_size), on_result)
         try:
             pool = _get_pool(n_workers)
-            return _drain(pool.map(call, payload, chunksize=chunk_size), on_result)
+            out = _drain(pool.map(call, payload, chunksize=chunk_size), on_result)
+            _note_pool_event("ok")
+            return out
         except BrokenProcessPool:
             # A dead worker poisons the whole executor: drop it so the
             # next call starts from a clean pool, then let callers see
             # the failure.
+            _note_pool_event("broken")
             shutdown(wait=False)
             raise
     finally:

@@ -77,7 +77,14 @@ class CheckpointJournal:
 
     # ------------------------------------------------------------------
     def append(self, name: str, key: str, value: Any) -> None:
-        """Durably record one completed unit (flushed + fsynced)."""
+        """Durably record one completed unit (flushed + fsynced).
+
+        Missing parent directories are created on the way (a journal
+        pointed at a fresh ``REPRO_CHECKPOINT_DIR`` must not require a
+        separate mkdir step); the first append after the file is created
+        also fsyncs the directory entry so the journal *name* survives a
+        crash, not just its bytes.
+        """
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         record = {
             "name": name,
@@ -86,10 +93,45 @@ class CheckpointJournal:
             "blob": base64.b64encode(blob).decode("ascii"),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
         with open(self.path, "a", encoding="ascii") as fh:
             fh.write(json.dumps(record, separators=(",", ":")) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        if created:
+            self._fsync_dir()
+
+    def rotate(self) -> "Path | None":
+        """Retire the current journal to a numbered sibling.
+
+        The live file is renamed to the first free
+        ``<name>.jsonl.<n>`` (n = 1, 2, ...) and the *directory entry* is
+        fsynced afterwards, so the rename itself is durable — a crash
+        right after rotation cannot resurrect the old name with torn
+        contents. Missing parent directories are created first (rotating
+        a journal that was configured but never written is a no-op
+        returning ``None``).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            return None
+        n = 1
+        while (target := self.path.with_name(f"{self.path.name}.{n}")).exists():
+            n += 1
+        os.replace(self.path, target)
+        self._fsync_dir()
+        return target
+
+    def _fsync_dir(self) -> None:
+        """Flush the parent directory entry (rename/create durability)."""
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. non-POSIX directory fd
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def load(self) -> dict[str, tuple[str, Any]]:
         """All valid journal entries as ``{name: (key, value)}``.

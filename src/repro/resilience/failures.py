@@ -139,6 +139,17 @@ class RetryPolicy:
         base = min(self.backoff * (2.0 ** max(attempt - 1, 0)), MAX_BACKOFF)
         return base * (1.0 + self.jitter * rng.random())
 
+    def schedule(self, attempts: int | None = None) -> list[float]:
+        """The full retry-delay schedule from a fresh :meth:`jitter_rng`.
+
+        Deterministic for a given seed: two calls — or two processes, or
+        the same process before and after a pool respawn — produce the
+        same list, which is what makes failure timelines replayable.
+        """
+        n = self.retries if attempts is None else attempts
+        rng = self.jitter_rng()
+        return [self.delay(attempt, rng) for attempt in range(1, n + 1)]
+
 
 def _env_number(
     env: str,

@@ -1,0 +1,141 @@
+"""Admission control: token-bucket rate limiting + queue-depth backpressure.
+
+The serving layer's first line of defence. Overload is handled at the
+door, before any memory or compute is committed to a request:
+
+* A **token bucket** bounds the sustained admission rate (``rate``
+  requests/second, with a ``burst``-deep reservoir so short spikes ride
+  through). A dry bucket sheds the request with the structured reason
+  ``"overload"``.
+* **Queue-depth backpressure** bounds the number of admitted-but-not-
+  finished requests. A full queue sheds with ``"queue_full"`` — the
+  queue can never grow without bound, so a slow pool degrades into fast
+  rejections instead of unbounded memory growth and timeout cascades.
+
+Both checks are deterministic given a clock: the bucket refills by
+elapsed time, not by a background thread, so tests can drive it with a
+fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket; refill computed lazily from the clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 requests/second")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError("burst must allow at least one request")
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class AdmissionController:
+    """Admit-or-shed decision plus in-flight accounting.
+
+    ``admit()`` returns ``None`` to admit or a structured rejection
+    reason. Every admitted request must be balanced by ``release()``
+    (the server does this in a ``finally``), which is what keeps the
+    queue-depth signal truthful.
+    """
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_queue: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = int(max_queue)
+        self.bucket = TokenBucket(rate, burst, clock) if rate else None
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected_overload = 0
+        self.rejected_queue = 0
+
+    def admit(self) -> str | None:
+        """``None`` when admitted (in-flight count incremented), else the
+        rejection reason (``"overload"`` | ``"queue_full"``)."""
+        with self._lock:
+            if self._in_flight >= self.max_queue:
+                self.rejected_queue += 1
+                return "queue_full"
+            if self.bucket is not None and not self.bucket.try_take():
+                self.rejected_overload += 1
+                return "overload"
+            self._in_flight += 1
+            self.admitted += 1
+            return None
+
+    def release(self) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def pressure(self, exclude_self: bool = False) -> float:
+        """Queue occupancy in [0, 1] — the degradation ladder's input.
+
+        ``exclude_self=True`` reports the occupancy *around* one admitted
+        request (its own slot subtracted): the load a request is deciding
+        under should not include the request itself, or a lone request on
+        a small queue would look like full pressure.
+        """
+        with self._lock:
+            n = self._in_flight - (1 if exclude_self else 0)
+            return max(n, 0) / self.max_queue
+
+    def info(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "max_queue": self.max_queue,
+                "admitted": self.admitted,
+                "rejected_overload": self.rejected_overload,
+                "rejected_queue": self.rejected_queue,
+                "rate": self.bucket.rate if self.bucket else None,
+                "burst": self.bucket.burst if self.bucket else None,
+            }

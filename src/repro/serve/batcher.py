@@ -1,0 +1,136 @@
+"""Request coalescing: compatible small GEMMs become one batched GEMM.
+
+The serving workload is dominated by many small, identically shaped
+GEMMs (FFT radix stages, EPG recursions, fingerprint matches). Executing
+them one pool round-trip each wastes the batch axis the batched entry
+points (:mod:`repro.gemm.batched`) were built for: one
+:class:`~repro.gemm.plan.GemmPlan` over the whole stack splits each
+operand once and fans the batch across workers.
+
+The batcher groups pending jobs by :class:`BatchKey` — op, GEMM shape,
+dtype kind and execution class (degrade level, ABFT flag) — and flushes
+a group when it reaches ``max_batch`` jobs or its oldest job has waited
+``max_wait`` seconds, whichever comes first. Batching is a pure
+scheduling transform: the batched entry points are bit-identical per
+matrix to the single-GEMM driver, so a coalesced request returns exactly
+the bytes it would have alone (asserted in ``tests/serve/``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, NamedTuple
+
+__all__ = ["BatchKey", "PendingJob", "Batcher"]
+
+
+class BatchKey(NamedTuple):
+    """Compatibility class: jobs sharing a key may share a batched GEMM."""
+
+    op: str
+    m: int
+    k: int
+    n: int
+    #: Execution class — degrade level and ABFT flag must match so every
+    #: job in the batch gets the assurance its response claims.
+    level: int
+    abft: bool
+
+
+@dataclass
+class PendingJob:
+    """One admitted request waiting for execution."""
+
+    key: BatchKey
+    payload: dict[str, Any]
+    future: "asyncio.Future[Any]"
+    deadline: float  # absolute time.monotonic() deadline
+    enqueued: float = field(default_factory=time.monotonic)
+
+
+class Batcher:
+    """Shape/dtype-compatible coalescing with a bounded wait window.
+
+    ``flush_cb(key, jobs)`` is awaited for every flushed group; it must
+    resolve each job's future. The batcher owns only grouping and
+    timing — execution, degradation and failure semantics live in the
+    server.
+    """
+
+    def __init__(
+        self,
+        flush_cb: Callable[[BatchKey, list[PendingJob]], Awaitable[None]],
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush_cb = flush_cb
+        self.max_batch = int(max_batch)
+        self.max_wait = max(0.0, float(max_wait))
+        self._buckets: dict[BatchKey, list[PendingJob]] = {}
+        self._timers: dict[BatchKey, asyncio.TimerHandle] = {}
+        self._tasks: set[asyncio.Task[None]] = set()
+        self.flushes = 0
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, job: PendingJob) -> None:
+        """Enqueue one job; flushes its group when full, else arms the
+        wait-window timer on the group's first job."""
+        bucket = self._buckets.setdefault(job.key, [])
+        bucket.append(job)
+        if len(bucket) >= self.max_batch:
+            self._flush(job.key)
+        elif len(bucket) == 1:
+            if self.max_wait <= 0.0:
+                self._flush(job.key)
+            else:
+                loop = asyncio.get_running_loop()
+                self._timers[job.key] = loop.call_later(
+                    self.max_wait, self._flush, job.key
+                )
+
+    def _flush(self, key: BatchKey) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        jobs = self._buckets.pop(key, [])
+        if not jobs:
+            return
+        self.flushes += 1
+        if len(jobs) > 1:
+            self.coalesced += len(jobs)
+        task = asyncio.get_running_loop().create_task(self._run_flush(key, jobs))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_flush(self, key: BatchKey, jobs: list[PendingJob]) -> None:
+        try:
+            await self._flush_cb(key, jobs)
+        except Exception as exc:  # repro: allow[RH403] futures carry the failure
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    async def drain(self) -> None:
+        """Flush everything and wait for in-flight flush tasks."""
+        for key in list(self._buckets):
+            self._flush(key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "pending": self.pending(),
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1e3,
+            "flushes": self.flushes,
+            "coalesced": self.coalesced,
+        }

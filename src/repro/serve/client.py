@@ -1,0 +1,438 @@
+"""Clients for the GEMM service, plus the fault-injecting load generator.
+
+:class:`ServeClient` is the simple blocking client (one request on the
+wire at a time). :class:`AsyncConnection` pipelines: requests are sent
+as they come and a background reader matches responses by ``id``, so a
+single connection can hold many requests in flight — which is what lets
+the open-loop load generator actually overload the server instead of
+self-throttling.
+
+:func:`run_loadgen` drives a server (optionally self-hosted in-process)
+through a configurable mix of GEMM/FFT/MRF requests with injected faults
+(worker kills, poisoned datapaths, stalls) and checks every ``OK``
+response against a float64 reference — an undetected silent data
+corruption (SDC) in a served result is the one unacceptable outcome, and
+the report counts them explicitly so CI can assert zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .records import percentile
+from .server import GemmServer, ServeConfig, decode_array, encode_array
+
+__all__ = [
+    "ServeClient",
+    "AsyncConnection",
+    "LoadgenConfig",
+    "run_loadgen",
+    "run_loadgen_async",
+]
+
+
+class ServeClient:
+    """Blocking line-delimited JSON client (one request in flight)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._seq = 0
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._seq += 1
+        payload = dict(payload)
+        payload.setdefault("id", f"c{self._seq}")
+        self._sock.sendall((json.dumps(payload) + "\n").encode())
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        assert isinstance(response, dict)
+        return response
+
+    # -- convenience wrappers ------------------------------------------
+    def gemm(self, a: np.ndarray, b: np.ndarray, **extra: Any) -> dict[str, Any]:
+        op = "cgemm" if np.iscomplexobj(a) or np.iscomplexobj(b) else "gemm"
+        return self.request(
+            {"op": op, "a": encode_array(np.asarray(a)),
+             "b": encode_array(np.asarray(b)), **extra}
+        )
+
+    def fft(self, x: np.ndarray, **extra: Any) -> dict[str, Any]:
+        return self.request({"op": "fft", "x": encode_array(np.asarray(x)), **extra})
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def result(self, response: dict[str, Any]) -> np.ndarray:
+        """Decode an ``OK`` response's result array (raises otherwise)."""
+        if response.get("status") != "OK":
+            raise RuntimeError(
+                f"request {response.get('id')} failed: "
+                f"{response.get('status')}/{response.get('reason')}"
+            )
+        return decode_array(response["result"], max_elements=1 << 62)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class AsyncConnection:
+    """Pipelined asyncio client connection; responses matched by id."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[str, asyncio.Future[dict[str, Any]]] = {}
+        self._seq = 0
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "AsyncConnection":
+        from .server import STREAM_LIMIT
+
+        reader, writer = await asyncio.open_connection(host, port, limit=STREAM_LIMIT)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                future = self._pending.pop(str(response.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("connection closed"))
+            self._pending.clear()
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self._reader_task.done():
+            raise ConnectionError("connection closed")
+        self._seq += 1
+        payload = dict(payload)
+        request_id = str(payload.setdefault("id", f"p{id(self):x}-{self._seq}"))
+        future: asyncio.Future[dict[str, Any]] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        self._writer.write((json.dumps(payload) + "\n").encode())
+        await self._writer.drain()
+        return await future
+
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+@dataclass
+class LoadgenConfig:
+    """One load level against one server."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    duration_s: float = 5.0
+    #: ``closed``: *concurrency* workers each keep one request in
+    #: flight. ``open``: requests dispatched at *rate*/s regardless of
+    #: completions (pipelined over *concurrency* connections) — the mode
+    #: that can actually push the server into overload.
+    mode: str = "closed"
+    concurrency: int = 4
+    rate: float = 50.0  # open-loop dispatch rate (requests/second)
+    deadline_ms: float = 2_000.0
+    #: Square-GEMM dimension for generated requests.
+    size: int = 16
+    #: Op mix weights (gemm, cgemm, fft, mrf).
+    mix: tuple[float, float, float, float] = (0.7, 0.15, 0.1, 0.05)
+    #: Fraction of requests carrying an injected fault.
+    fault_rate: float = 0.0
+    #: Fault-kind weights (stall, kill_worker, poison).
+    fault_mix: tuple[float, float, float] = (0.3, 0.3, 0.4)
+    stall_ms: float = 4_000.0
+    seed: int = 0
+    #: Hard cap so a stuck server cannot hang the generator.
+    max_requests: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"loadgen mode {self.mode!r} not in ('closed', 'open')")
+        if self.concurrency < 1 or self.size < 2 or self.duration_s <= 0:
+            raise ValueError("concurrency >= 1, size >= 2, duration > 0 required")
+
+
+@dataclass
+class _LoadState:
+    """Shared accumulator across generator workers."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    outcomes: dict[str, int] = field(default_factory=dict)
+    reasons: dict[str, int] = field(default_factory=dict)
+    sdc: int = 0
+    sdc_ids: list[str] = field(default_factory=list)
+    faults_sent: dict[str, int] = field(default_factory=dict)
+    sent: int = 0
+    degraded: int = 0
+    cached: int = 0
+    batched: int = 0
+
+    def note(self, response: dict[str, Any], latency_ms: float) -> None:
+        status = str(response.get("status", "LOST"))
+        self.outcomes[status] = self.outcomes.get(status, 0) + 1
+        reason = response.get("reason")
+        if reason:
+            self.reasons[str(reason)] = self.reasons.get(str(reason), 0) + 1
+        if status == "OK":
+            self.latencies_ms.append(latency_ms)
+            self.degraded += bool(response.get("degraded"))
+            self.cached += bool(response.get("cached"))
+            self.batched += bool(response.get("batched"))
+
+
+def _make_request(
+    rng: np.random.Generator, cfg: LoadgenConfig, seq: int
+) -> tuple[dict[str, Any], np.ndarray]:
+    """One generated request plus its float64 reference result."""
+    n = cfg.size
+    ops = ("gemm", "cgemm", "fft", "mrf")
+    op = ops[int(rng.choice(4, p=np.asarray(cfg.mix) / sum(cfg.mix)))]
+    request: dict[str, Any] = {"id": f"lg-{seq}", "op": op,
+                               "deadline_ms": cfg.deadline_ms}
+    if op == "gemm":
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        request["a"], request["b"] = encode_array(a), encode_array(b)
+        ref = a.astype(np.float32).astype(np.float64) @ (
+            b.astype(np.float32).astype(np.float64)
+        )
+    elif op == "cgemm":
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        request["a"], request["b"] = encode_array(a), encode_array(b)
+        a32 = a.astype(np.complex64).astype(np.complex128)
+        b32 = b.astype(np.complex64).astype(np.complex128)
+        ref = a32 @ b32
+    elif op == "fft":
+        n_fft = 1 << max((n - 1).bit_length(), 1)  # fft needs a power of two
+        x = rng.standard_normal(n_fft) + 1j * rng.standard_normal(n_fft)
+        request["x"] = encode_array(x)
+        ref = np.asarray(np.fft.fft(x))
+    else:  # mrf
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        b = rng.standard_normal((2, n)) + 1j * rng.standard_normal((2, n))
+        request["a"], request["b"] = encode_array(a), encode_array(b)
+        ref = np.abs(np.conj(a) @ b.T)
+    if cfg.fault_rate > 0 and rng.random() < cfg.fault_rate:
+        kinds = ("stall", "kill_worker", "poison")
+        weights = np.asarray(cfg.fault_mix) / sum(cfg.fault_mix)
+        kind = kinds[int(rng.choice(3, p=weights))]
+        fault: dict[str, Any] = {"kind": kind, "seed": int(rng.integers(2**31 - 1))}
+        if kind == "stall":
+            fault["ms"] = cfg.stall_ms
+        request["fault"] = fault
+    return request, ref
+
+
+def _sdc_tolerance(op: str, k: int, ref: np.ndarray) -> float:
+    """Detection threshold: generous for accumulated FP32 roundoff,
+    far below any real datapath corruption."""
+    scale = float(np.max(np.abs(ref))) if ref.size else 1.0
+    stages = 4 * k if op != "fft" else 64 * k
+    return max(stages * 2.0**-23 * max(scale, 1.0), 1e-9)
+
+
+def _check_sdc(
+    request: dict[str, Any], response: dict[str, Any], ref: np.ndarray
+) -> bool:
+    """True if an OK response silently disagrees with the reference."""
+    try:
+        got = decode_array(response["result"], max_elements=1 << 62)
+    except (KeyError, ValueError):
+        return True  # an OK response without a decodable result is corrupt
+    if got.shape != ref.shape:
+        return True
+    k = int(request.get("_k") or ref.shape[-1])
+    tol = _sdc_tolerance(str(request.get("op")), k, ref)
+    return bool(np.max(np.abs(got - ref)) > tol)
+
+
+async def _run_level(cfg: LoadgenConfig, state: _LoadState) -> None:
+    conns = [
+        await AsyncConnection.open(cfg.host, cfg.port)
+        for _ in range(cfg.concurrency)
+    ]
+    rng = np.random.default_rng(cfg.seed)
+    t_end = time.monotonic() + cfg.duration_s
+    tasks: list[asyncio.Task[None]] = []
+
+    async def one(conn: AsyncConnection, seq: int) -> None:
+        request, ref = _make_request(rng, cfg, seq)
+        fault = request.get("fault")
+        if fault:
+            kind = str(fault["kind"])
+            state.faults_sent[kind] = state.faults_sent.get(kind, 0) + 1
+        t0 = time.monotonic()
+        try:
+            response = await conn.request(request)
+        except (ConnectionError, OSError):
+            state.outcomes["LOST"] = state.outcomes.get("LOST", 0) + 1
+            return
+        latency_ms = (time.monotonic() - t0) * 1e3
+        state.note(response, latency_ms)
+        if response.get("status") == "OK" and not fault:
+            # Poisoned requests are checked too — ABFT must have repaired
+            # them — but stalls/kills may legitimately return late OKs.
+            if _check_sdc(request, response, ref):
+                state.sdc += 1
+                state.sdc_ids.append(str(request["id"]))
+        elif response.get("status") == "OK" and fault and fault["kind"] == "poison":
+            if _check_sdc(request, response, ref):
+                state.sdc += 1
+                state.sdc_ids.append(str(request["id"]))
+
+    try:
+        if cfg.mode == "closed":
+            async def worker(conn: AsyncConnection, offset: int) -> None:
+                seq = offset
+                while time.monotonic() < t_end and state.sent < cfg.max_requests:
+                    state.sent += 1
+                    await one(conn, seq)
+                    seq += cfg.concurrency
+
+            await asyncio.gather(
+                *(worker(conn, i) for i, conn in enumerate(conns))
+            )
+        else:
+            interval = 1.0 / max(cfg.rate, 1e-3)
+            seq = 0
+            next_send = time.monotonic()
+            while time.monotonic() < t_end and state.sent < cfg.max_requests:
+                state.sent += 1
+                conn = conns[seq % len(conns)]
+                tasks.append(asyncio.get_running_loop().create_task(one(conn, seq)))
+                seq += 1
+                next_send += interval
+                delay = next_send - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+        if tasks:
+            done, pending = await asyncio.wait(
+                tasks, timeout=cfg.deadline_ms / 1e3 + 10.0
+            )
+            for task in pending:
+                task.cancel()
+                state.outcomes["LOST"] = state.outcomes.get("LOST", 0) + 1
+    finally:
+        for conn in conns:
+            await conn.close()
+
+
+async def run_loadgen_async(
+    cfg: LoadgenConfig, server: GemmServer | None = None
+) -> dict[str, Any]:
+    """Run one load level inside the current event loop; returns the
+    report dict.
+
+    With ``server=None`` and ``cfg.port == 0`` a throwaway in-process
+    server (fault injection enabled) is hosted for the duration — the
+    self-contained smoke-test mode. Passing a started
+    :class:`GemmServer`, or a nonzero ``cfg.port``, drives that target
+    instead.
+    """
+    own_server: GemmServer | None = None
+    run_cfg = cfg
+    if server is not None:
+        run_cfg = LoadgenConfig(**{**cfg.__dict__, "port": server.port,
+                                   "host": server.config.host})
+    elif cfg.port == 0:
+        own_server = GemmServer(
+            ServeConfig(port=0, fault_injection=True, max_queue=32)
+        )
+        await own_server.start()
+        run_cfg = LoadgenConfig(**{**cfg.__dict__, "port": own_server.port,
+                                   "host": own_server.config.host})
+    state = _LoadState()
+    t0 = time.monotonic()
+    try:
+        await _run_level(run_cfg, state)
+    finally:
+        elapsed = time.monotonic() - t0
+        if own_server is not None:
+            await own_server.stop()
+    ok = state.outcomes.get("OK", 0)
+    return {
+        "config": {
+            "mode": run_cfg.mode,
+            "duration_s": run_cfg.duration_s,
+            "concurrency": run_cfg.concurrency,
+            "rate": run_cfg.rate if run_cfg.mode == "open" else None,
+            "size": run_cfg.size,
+            "fault_rate": run_cfg.fault_rate,
+            "seed": run_cfg.seed,
+        },
+        "sent": state.sent,
+        "outcomes": dict(sorted(state.outcomes.items())),
+        "reasons": dict(sorted(state.reasons.items())),
+        "faults_sent": dict(sorted(state.faults_sent.items())),
+        "served": ok,
+        "degraded": state.degraded,
+        "cached": state.cached,
+        "batched": state.batched,
+        "throughput_rps": ok / max(elapsed, 1e-9),
+        "p50_latency_ms": percentile(state.latencies_ms, 50.0),
+        "p95_latency_ms": percentile(state.latencies_ms, 95.0),
+        "max_latency_ms": max(state.latencies_ms, default=0.0),
+        "sdc_count": state.sdc,
+        "sdc_ids": state.sdc_ids[:10],
+        "elapsed_s": elapsed,
+    }
+
+
+def run_loadgen(
+    cfg: LoadgenConfig, server: GemmServer | None = None
+) -> dict[str, Any]:
+    """Synchronous wrapper around :func:`run_loadgen_async` (CLI entry)."""
+    return asyncio.run(run_loadgen_async(cfg, server))

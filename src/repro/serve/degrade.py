@@ -1,0 +1,205 @@
+"""Graceful degradation: the quality ladder and the pool circuit breaker.
+
+Under pressure the server trades result *assurance* for latency in
+explicit, tagged steps rather than falling over. The ladder, from full
+fidelity down:
+
+``NORMAL`` (0)
+    Full pipeline: cache hits are ABFT re-verified, execution fans out
+    through the worker pool, per-request deadlines enforced by killing
+    hung workers.
+``NO_REVERIFY`` (1)
+    Cache hits are served without ABFT re-verification (the entry was
+    verified when it was stored); misses still run the full pipeline.
+``SERIAL`` (2)
+    Execution falls back from the pool fan-out to serial in-process
+    compute (``workers=1``, no pool dispatch) — the right call when the
+    pool itself is the suspect (circuit open) or respawn churn would add
+    more latency than serial compute costs.
+``REFERENCE`` (3)
+    The request is served from the FP32 numpy reference instead of the
+    emulated datapath and tagged ``degraded=true`` — numerically honest
+    (it is *more* accurate than the emulation, but it is not the bits
+    the service contract promises), orders of magnitude cheaper, and
+    clearly labelled so the client can decide whether to keep it.
+
+Every response carries its level; the ladder never silently changes
+meaning. :class:`AbftUncorrectedError` is *not* a degradation — it
+always fails the single request it hit (never the server): returning a
+result the guard could not repair would be the one unforgivable lie.
+
+The **circuit breaker** guards the pool: consecutive broken-pool /
+timeout events (from the health counters in
+:func:`repro.parallel.pool_info` plus the server's own observations)
+trip it OPEN; while OPEN, requests skip the pool (level >= SERIAL).
+After a cooldown it admits a single HALF_OPEN probe back through the
+pool — success closes the circuit, failure re-opens it with a fresh
+cooldown. The classic pattern, sized for a process pool instead of a
+remote dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Callable
+
+__all__ = ["DegradeLevel", "CircuitBreaker", "DegradePolicy"]
+
+
+class DegradeLevel(IntEnum):
+    NORMAL = 0
+    NO_REVERIFY = 1
+    SERIAL = 2
+    REFERENCE = 3
+
+
+class CircuitBreaker:
+    """CLOSED -> OPEN -> HALF_OPEN -> CLOSED breaker around the pool."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._streak = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow_pool(self) -> bool:
+        """May this request use the worker pool?
+
+        CLOSED: yes. OPEN: no. HALF_OPEN: exactly one in-flight probe is
+        let through; everyone else stays off the pool until the probe
+        reports back.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A pool round-trip completed cleanly."""
+        with self._lock:
+            state = self._effective_state()
+            self._streak = 0
+            self._probing = False
+            if state in (self.HALF_OPEN, self.OPEN):
+                self._state = self.CLOSED
+                self.recoveries += 1
+
+    def record_failure(self, kind: str = "broken-pool") -> None:
+        """A pool round-trip broke (``broken-pool`` | ``timeout``)."""
+        with self._lock:
+            state = self._effective_state()
+            self._streak += 1
+            if state == self.HALF_OPEN:
+                # The probe failed: straight back to OPEN, fresh cooldown.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                self.trips += 1
+            elif state == self.CLOSED and self._streak >= self.threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def record_events(self, failures: int) -> None:
+        """Fold in *failures* pool-health events observed externally
+        (e.g. a delta of ``pool_info()['broken_events']``)."""
+        for _ in range(max(0, failures)):
+            self.record_failure()
+
+    def info(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "streak": self._streak,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "trips": self.trips,
+                "recoveries": self.recoveries,
+            }
+
+
+@dataclass
+class DegradePolicy:
+    """Maps load pressure + breaker state to a :class:`DegradeLevel`.
+
+    ``mode`` is one of:
+
+    * ``"auto"`` — the ladder engages by queue pressure and breaker
+      state (the default).
+    * ``"off"`` — never degrade; overload is handled purely by admission
+      control, and a broken pool surfaces as request errors.
+    * ``"0" .. "3"`` — pin a fixed level (useful for tests and for
+      operating through a known-bad pool).
+
+    Thresholds are queue-occupancy fractions: at or above
+    ``no_reverify_at`` cache hits stop being re-verified, at
+    ``serial_at`` execution goes serial, at ``reference_at`` requests
+    are served from the FP32 reference.
+    """
+
+    mode: str = "auto"
+    no_reverify_at: float = 0.5
+    serial_at: float = 0.75
+    reference_at: float = 0.9
+
+    def __post_init__(self) -> None:
+        valid = {"auto", "off", "0", "1", "2", "3"}
+        if self.mode not in valid:
+            raise ValueError(f"degrade mode {self.mode!r} not in {sorted(valid)}")
+        if not 0.0 <= self.no_reverify_at <= self.serial_at <= self.reference_at:
+            raise ValueError("degrade thresholds must be ordered in [0, 1]")
+
+    def decide(self, pressure: float, breaker_state: str) -> DegradeLevel:
+        if self.mode == "off":
+            return DegradeLevel.NORMAL
+        if self.mode in ("0", "1", "2", "3"):
+            return DegradeLevel(int(self.mode))
+        level = DegradeLevel.NORMAL
+        if pressure >= self.reference_at:
+            level = DegradeLevel.REFERENCE
+        elif pressure >= self.serial_at:
+            level = DegradeLevel.SERIAL
+        elif pressure >= self.no_reverify_at:
+            level = DegradeLevel.NO_REVERIFY
+        if breaker_state == CircuitBreaker.OPEN:
+            # The pool is out of service: at least serial execution.
+            level = max(level, DegradeLevel.SERIAL)
+        return level

@@ -1,0 +1,166 @@
+"""Per-request serving records and the ``run_table.csv``-shaped artifact.
+
+Every request the server touches — served, shed, or failed — produces
+exactly one :class:`RequestRecord`. The accumulated table is the
+analyzable artifact of a load test: one CSV row per request with
+latency, outcome, degradation level and retry count, plus a summary with
+the p50/p95 latency, throughput and failure/shed rates that the load
+generator and ``benchmarks/bench_serve.py`` assert against.
+
+The column set mirrors the ``run_table.csv`` shape of the serving-
+experiment artifact referenced by the ROADMAP (one row per request;
+throughput/latency/failure-rate aggregates derived from it), adapted to
+the GEMM-service domain: the "system size" columns are the GEMM shape,
+and the degradation columns record how far down the ladder the request
+was served.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+__all__ = [
+    "RUN_TABLE_COLUMNS",
+    "RequestRecord",
+    "RunTable",
+    "percentile",
+]
+
+#: CSV column order — one row per request.
+RUN_TABLE_COLUMNS = [
+    "request_id",
+    "op",
+    "m",
+    "n",
+    "k",
+    "batch",
+    "outcome",
+    "reason",
+    "degrade_level",
+    "degraded",
+    "cached",
+    "batched",
+    "retries",
+    "queue_ms",
+    "service_ms",
+    "latency_ms",
+    "t_submit",
+]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation.
+
+    Deterministic and stdlib-only so the summary does not depend on
+    numpy being importable in an analysis context.
+    """
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass
+class RequestRecord:
+    """One request's lifecycle, in ``run_table.csv`` column order."""
+
+    request_id: str
+    op: str
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    batch: int = 1
+    #: ``OK`` | ``REJECTED`` | ``ERROR``
+    outcome: str = "OK"
+    #: Structured reason for non-OK outcomes (``overload``,
+    #: ``queue_full``, ``deadline``, ``worker_lost``,
+    #: ``abft_uncorrected``, ``bad_request`` ...).
+    reason: str = ""
+    degrade_level: int = 0
+    degraded: bool = False
+    cached: bool = False
+    batched: bool = False
+    retries: int = 0
+    queue_ms: float = 0.0
+    service_ms: float = 0.0
+    latency_ms: float = 0.0
+    t_submit: float = field(default_factory=time.time)
+
+    def to_row(self) -> dict[str, Any]:
+        row = asdict(self)
+        return {col: row[col] for col in RUN_TABLE_COLUMNS}
+
+
+class RunTable:
+    """Thread-safe accumulator of :class:`RequestRecord` rows."""
+
+    def __init__(self) -> None:
+        self._rows: list[RequestRecord] = []
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+
+    def add(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._rows.append(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def rows(self) -> list[RequestRecord]:
+        with self._lock:
+            return list(self._rows)
+
+    def write_csv(self, path: str | os.PathLike) -> int:
+        """Write one row per request; returns the row count."""
+        rows = self.rows()
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=RUN_TABLE_COLUMNS)
+            writer.writeheader()
+            for record in rows:
+                writer.writerow(record.to_row())
+        return len(rows)
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregates over the table: counts, rates, latency percentiles.
+
+        ``shed_rate`` counts structured rejections (admission control
+        doing its job); ``failure_rate`` counts errors — a shed request
+        is *not* a failure, which is the whole point of load shedding.
+        """
+        rows = self.rows()
+        elapsed = max(time.monotonic() - self._t0, 1e-9)
+        served = [r for r in rows if r.outcome == "OK"]
+        rejected = [r for r in rows if r.outcome == "REJECTED"]
+        errored = [r for r in rows if r.outcome == "ERROR"]
+        latencies = [r.latency_ms for r in served]
+        n = len(rows)
+        return {
+            "request_count": n,
+            "served": len(served),
+            "rejected": len(rejected),
+            "errored": len(errored),
+            "throughput_rps": len(served) / elapsed,
+            "avg_latency_ms": sum(latencies) / len(latencies) if latencies else 0.0,
+            "p50_latency_ms": percentile(latencies, 50.0),
+            "p95_latency_ms": percentile(latencies, 95.0),
+            "failure_rate": len(errored) / n if n else 0.0,
+            "shed_rate": len(rejected) / n if n else 0.0,
+            "degraded_rate": (
+                sum(1 for r in served if r.degraded) / len(served) if served else 0.0
+            ),
+            "cached": sum(1 for r in served if r.cached),
+            "batched": sum(1 for r in served if r.batched),
+            "retries": sum(r.retries for r in rows),
+        }

@@ -1,0 +1,1004 @@
+"""GEMM-as-a-service: the fault-aware asyncio serving front end.
+
+``GemmServer`` accepts GEMM/FFT/MRF jobs over a line-delimited JSON
+protocol (one request object per line, one response object per line,
+matched by ``id``; responses may arrive out of order), and executes them
+on the repo's emulation stack with the full robustness kit engaged:
+
+* **Admission control** (:mod:`repro.serve.admission`): token-bucket
+  rate limiting plus queue-depth backpressure. Overload produces
+  structured ``REJECTED`` responses (``overload`` / ``queue_full``)
+  instead of hangs or unbounded queues.
+* **Coalescing** (:mod:`repro.serve.batcher`): shape/dtype-compatible
+  small GEMMs are stacked into one batched GEMM on the split-plan cache
+  (:func:`repro.gemm.batched.batched_mxu_sgemm` and friends) —
+  bit-identical per matrix to a lone request.
+* **Content-addressed cache** (:mod:`repro.cache`): repeat payloads are
+  served from the cache; at full fidelity the cached result is ABFT
+  re-verified before it leaves the building.
+* **Deadlines**: each request's remaining budget propagates into
+  :func:`repro.parallel.parallel_map` timeouts, so a hung worker is
+  killed and the pool respawned instead of the request hanging.
+* **Circuit breaker + degradation ladder**
+  (:mod:`repro.serve.degrade`): consecutive broken-pool/timeout events
+  (observed through the health counters in
+  :func:`repro.parallel.pool_info`) trip the breaker; under pressure the
+  server sheds assurance level by level down to tagged FP32-reference
+  results, and :class:`~repro.resilience.abft.AbftUncorrectedError`
+  always fails the one request it hit, never the server.
+
+Every request leaves one ``run_table.csv``-shaped
+:class:`~repro.serve.records.RequestRecord` behind for analysis.
+
+Request schema (all arrays as nested JSON lists; complex values as
+``{"re": ..., "im": ...}``)::
+
+    {"id": "r1", "op": "gemm", "a": [[...]], "b": [[...]],
+     "deadline_ms": 500, "fault": {"kind": "stall", "ms": 2000}}
+
+Ops: ``gemm`` (FP32 ``A @ B``), ``cgemm`` (FP32C), ``fft`` (1-D GEMM-FFT
+of ``x``), ``mrf`` (dictionary-match correlation scores), ``ping``,
+``stats``, ``shutdown`` (honoured only with ``allow_shutdown=True``).
+``fault`` is honoured only when the server runs with
+``fault_injection=True`` (the load-test configuration) and exercises the
+resilience machinery: ``kill_worker`` SIGKILLs the executing pool
+worker, ``stall`` sleeps past the deadline inside the worker,
+``poison`` runs the GEMM on a transient-fault datapath behind the ABFT
+guard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import tempfile
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .. import parallel
+from ..cache import ResultCache, stable_digest
+from ..gemm.batched import batched_mxu_cgemm, batched_mxu_sgemm
+from ..gemm.tiled import TiledGEMM
+from ..mxu.m3xu import M3XU
+from ..mxu.modes import MXUMode
+from ..resilience.abft import AbftUncorrectedError, guarded_gemm, resolve_abft
+from ..resilience.failures import TaskFailure
+from ..types.formats import FP32
+from ..types.quantize import quantize, quantize_complex
+from .admission import AdmissionController
+from .batcher import Batcher, BatchKey, PendingJob
+from .degrade import CircuitBreaker, DegradeLevel, DegradePolicy
+from .records import RequestRecord, RunTable
+
+__all__ = ["ServeConfig", "GemmServer", "serve_forever"]
+
+#: Environment knobs (CLI flags and explicit config win over these).
+PORT_ENV = "REPRO_SERVE_PORT"
+HOST_ENV = "REPRO_SERVE_HOST"
+MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
+DEADLINE_ENV = "REPRO_SERVE_DEADLINE_MS"
+DEGRADE_ENV = "REPRO_SERVE_DEGRADE"
+RATE_ENV = "REPRO_SERVE_RATE"
+
+#: Upper bound on any injected stall, so even an in-process stall (pool
+#: circuit open) keeps the executor thread's occupancy bounded.
+MAX_STALL_MS = 30_000.0
+
+#: Stream-reader line limit. Sized to fit a ``max_elements`` complex
+#: operand pair in JSON with headroom; an over-limit line is a protocol
+#: violation and closes the connection (it cannot be resynchronized).
+STREAM_LIMIT = 128 * 1024 * 1024
+
+_COMPUTE_OPS = ("gemm", "cgemm", "fft", "mrf")
+
+
+def _env(name: str, kind: type, fallback: Any) -> Any:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return kind(raw)
+    except ValueError:
+        return fallback
+
+
+@dataclass
+class ServeConfig:
+    """Everything one ``GemmServer`` needs, resolvable from the
+    ``REPRO_SERVE_*`` environment via :meth:`from_env`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral — read ``server.port`` after start()
+    #: Admitted-but-unfinished request ceiling (queue-depth backpressure).
+    max_queue: int = 64
+    #: Default per-request deadline; a request may lower (never raise
+    #: above ``max_deadline_ms``) it with its own ``deadline_ms``.
+    deadline_ms: float = 10_000.0
+    max_deadline_ms: float = 60_000.0
+    #: Token-bucket admission rate in requests/second (0 disables).
+    rate: float = 0.0
+    burst: float | None = None
+    #: Degradation policy mode: ``auto`` | ``off`` | ``"0"``-``"3"``.
+    degrade: str = "auto"
+    #: Coalescing window.
+    batch_max: int = 8
+    batch_wait_ms: float = 2.0
+    #: Pool fan-out width for batched execution (None: ``REPRO_WORKERS``).
+    workers: int | None = None
+    #: Retries for pool-routed work (None: ``REPRO_RETRIES``).
+    retries: int | None = 1
+    #: ABFT guard for served results (None: ``REPRO_ABFT`` gate).
+    abft: bool | None = None
+    #: Circuit breaker: consecutive pool failures to trip, and cooldown
+    #: seconds before a half-open probe.
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 1.0
+    #: Honour per-request ``fault`` directives (load tests only).
+    fault_injection: bool = False
+    #: Honour the ``shutdown`` op from clients.
+    allow_shutdown: bool = False
+    #: Result-cache entries kept in memory.
+    cache_size: int = 512
+    #: Reject operands above this element count (robustness: a huge
+    #: payload must shed, not OOM the server).
+    max_elements: int = 1 << 20
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "ServeConfig":
+        cfg = cls(
+            host=_env(HOST_ENV, str, cls.host),
+            port=_env(PORT_ENV, int, cls.port),
+            max_queue=max(1, _env(MAX_QUEUE_ENV, int, cls.max_queue)),
+            deadline_ms=_env(DEADLINE_ENV, float, cls.deadline_ms),
+            rate=_env(RATE_ENV, float, cls.rate),
+            degrade=_env(DEGRADE_ENV, str, cls.degrade),
+        )
+        for name, value in overrides.items():
+            if value is not None:
+                setattr(cfg, name, value)
+        return cfg
+
+
+# ----------------------------------------------------------------------
+# Wire encoding
+# ----------------------------------------------------------------------
+def encode_array(x: np.ndarray) -> Any:
+    """ndarray -> JSON-serializable nested lists (complex split re/im)."""
+    if np.iscomplexobj(x):
+        return {"re": x.real.tolist(), "im": x.imag.tolist()}
+    return x.tolist()
+
+
+def decode_array(obj: Any, max_elements: int) -> np.ndarray:
+    """Inverse of :func:`encode_array`, with size/type validation."""
+    if obj is None:
+        raise ValueError("missing operand")
+    try:
+        if isinstance(obj, dict):
+            if set(obj) != {"re", "im"}:
+                raise ValueError("complex arrays must be {'re': ..., 'im': ...}")
+            re = np.asarray(obj["re"], dtype=np.float64)
+            im = np.asarray(obj["im"], dtype=np.float64)
+            if re.shape != im.shape:
+                raise ValueError("re/im shape mismatch")
+            x: np.ndarray = re + 1j * im
+        else:
+            x = np.asarray(obj, dtype=np.float64)
+    except TypeError as exc:
+        raise ValueError(f"non-numeric operand: {exc}") from exc
+    if x.size == 0:
+        raise ValueError("empty operand")
+    if x.size > max_elements:
+        raise ValueError(f"operand of {x.size} elements exceeds the "
+                         f"{max_elements}-element service limit")
+    if not np.all(np.isfinite(np.abs(x))):
+        raise ValueError("operands must be finite")
+    return x
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module-level: must pickle into pool workers)
+# ----------------------------------------------------------------------
+def _build_unit(fault: dict[str, Any] | None) -> M3XU | Any:
+    if fault and fault.get("kind") == "poison":
+        from ..mxu.faults import FaultSpec, FaultStage, FaultyM3XU
+
+        spec = FaultSpec.random(
+            np.random.default_rng(int(fault.get("seed", 0))),
+            FaultStage.ACCUMULATOR,
+        )
+        return FaultyM3XU(spec)
+    return M3XU()
+
+
+def _apply_preexec_fault(fault: dict[str, Any] | None) -> None:
+    if not fault:
+        return
+    kind = fault.get("kind")
+    if kind == "stall":
+        time.sleep(min(float(fault.get("ms", 1000.0)), MAX_STALL_MS) / 1e3)
+    elif kind == "kill_worker":
+        marker = pathlib.Path(fault["marker"])
+        if not marker.exists():
+            # First attempt: die like a segfaulting worker. The marker
+            # file makes the retry attempt succeed, so the request
+            # demonstrates recovery, not a permanent black hole.
+            try:
+                marker.write_text("1")
+            except OSError:
+                pass
+            os._exit(23)
+
+
+def _exec_job(payload: dict[str, Any]) -> np.ndarray:
+    """Execute one job (possibly fault-injected) — runs in a pool worker
+    for deadline-enforced requests, in-process for degraded ones."""
+    fault = payload.get("fault")
+    _apply_preexec_fault(fault)
+    unit = _build_unit(fault)
+    poisoned = bool(fault and fault.get("kind") == "poison")
+    # A poisoned request always runs guarded: the ABFT guard correcting
+    # (or refusing to return) the corrupted result is the contract.
+    abft = True if poisoned else bool(payload.get("abft", False))
+    op = payload["op"]
+    if op == "gemm":
+        return batched_mxu_sgemm(payload["a"], payload["b"], mxu=unit, abft=abft)
+    if op == "cgemm":
+        return batched_mxu_cgemm(payload["a"], payload["b"], mxu=unit, abft=abft)
+    if op == "fft":
+        from ..apps.fft import gemm_fft
+
+        def cgemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            return TiledGEMM(unit, MXUMode.FP32C, abft=abft).run(a, b, 0.0)
+
+        return gemm_fft(payload["x"], cgemm=cgemm)
+    if op == "mrf":
+        def cgemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            return TiledGEMM(unit, MXUMode.FP32C, abft=abft).run(a, b, 0.0)
+
+        corr = cgemm(np.conj(payload["a"]), payload["b"].T)
+        return np.abs(corr)
+    raise ValueError(f"unknown op {op!r}")
+
+
+def _reference_result(payload: dict[str, Any]) -> np.ndarray:
+    """The FP32 numpy reference — the degradation ladder's last rung."""
+    op = payload["op"]
+    if op == "gemm":
+        a32 = payload["a"].astype(np.float32)
+        b32 = payload["b"].astype(np.float32)
+        return np.asarray(a32 @ b32, dtype=np.float64)
+    if op == "cgemm":
+        a64 = payload["a"].astype(np.complex64)
+        b64 = payload["b"].astype(np.complex64)
+        return np.asarray(a64 @ b64, dtype=np.complex128)
+    if op == "fft":
+        return np.asarray(np.fft.fft(payload["x"]), dtype=np.complex128)
+    if op == "mrf":
+        return np.abs(np.conj(payload["a"]) @ payload["b"].T)
+    raise ValueError(f"unknown op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+@dataclass
+class _JobOutcome:
+    """What a compute path hands back through a job's future."""
+
+    value: np.ndarray
+    cached: bool = False
+    batched: bool = False
+    retries: int = 0
+
+
+@dataclass
+class _Job:
+    """Parsed, admitted request on its way through the pipeline."""
+
+    request_id: str
+    op: str
+    payload: dict[str, Any]
+    deadline: float  # absolute monotonic deadline
+    record: RequestRecord
+    level: DegradeLevel = DegradeLevel.NORMAL
+    t_admit: float = field(default_factory=time.monotonic)
+
+
+class GemmServer:
+    """The asyncio GEMM service. ``await start()``; ``await stop()``."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.admission = AdmissionController(
+            rate=cfg.rate or None, burst=cfg.burst, max_queue=cfg.max_queue
+        )
+        self.breaker = CircuitBreaker(
+            threshold=cfg.breaker_threshold, cooldown=cfg.breaker_cooldown
+        )
+        self.policy = DegradePolicy(mode=cfg.degrade)
+        self.cache = ResultCache(maxsize=cfg.cache_size)
+        self.run_table = RunTable()
+        self.batcher = Batcher(
+            self._flush_batch,
+            max_batch=cfg.batch_max,
+            max_wait=cfg.batch_wait_ms / 1e3,
+        )
+        self.degrade_counts = {int(level): 0 for level in DegradeLevel}
+        self._server: asyncio.base_events.Server | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-exec"
+        )
+        self._closing = False
+        self._stopped = asyncio.Event()
+        self._request_seq = 0
+        self._inflight: set[asyncio.Task[None]] = set()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._fault_dir: tempfile.TemporaryDirectory[str] | None = None
+        self._abft_on = resolve_abft(cfg.abft)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        if self.config.fault_injection:
+            self._fault_dir = tempfile.TemporaryDirectory(prefix="repro-serve-fault-")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=STREAM_LIMIT,
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (e.g. via the ``shutdown`` op)."""
+        assert self._server is not None, "call start() first"
+        await self._stopped.wait()
+
+    async def stop(self, drain: float = 10.0) -> None:
+        """Graceful shutdown: stop admitting, drain, release resources.
+
+        Bounded: in-flight work gets *drain* seconds, then the server
+        closes regardless — a shutdown can be late, never hung.
+        """
+        if self._closing:
+            self._stopped.set()
+            return
+        self._closing = True
+        try:
+            await asyncio.wait_for(self._drain(), timeout=drain)
+        except asyncio.TimeoutError:
+            for task in list(self._inflight):
+                task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        await asyncio.sleep(0)  # let connection handlers observe EOF
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._fault_dir is not None:
+            self._fault_dir.cleanup()
+            self._fault_dir = None
+        self._stopped.set()
+
+    async def _drain(self) -> None:
+        await self.batcher.drain()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Connection + protocol plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # Line beyond the stream limit: the framing cannot be
+                    # recovered, so the connection is dropped (the client
+                    # sees EOF, never a hang).
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        except asyncio.CancelledError:
+            pass  # loop teardown mid-read: close the socket quietly
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self._process_line(line)
+        payload = (json.dumps(response, separators=(",", ":")) + "\n").encode()
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # client went away; the record is already written
+
+    async def _process_line(self, line: bytes) -> dict[str, Any]:
+        t0 = time.monotonic()
+        self._request_seq += 1
+        fallback_id = f"srv-{self._request_seq}"
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            return self._finish_error(
+                RequestRecord(request_id=fallback_id, op="?"),
+                t0, "bad_request", f"unparseable request: {exc}",
+            )
+        request_id = str(request.get("id", fallback_id))
+        op = str(request.get("op", ""))
+
+        if op == "ping":
+            return {"id": request_id, "status": "OK", "result": "pong"}
+        if op == "stats":
+            return {"id": request_id, "status": "OK", "result": self.stats()}
+        if op == "shutdown":
+            if not self.config.allow_shutdown:
+                return {"id": request_id, "status": "ERROR",
+                        "reason": "shutdown_not_allowed"}
+            asyncio.get_running_loop().create_task(self.stop())
+            return {"id": request_id, "status": "OK", "result": "stopping"}
+
+        record = RequestRecord(request_id=request_id, op=op)
+        if op not in _COMPUTE_OPS:
+            return self._finish_error(record, t0, "bad_request",
+                                      f"unknown op {op!r}")
+        if self._closing:
+            return self._finish_rejected(record, t0, "shutting_down")
+
+        # ---- admission: shed at the door, before decoding operands ----
+        reason = self.admission.admit()
+        if reason is not None:
+            return self._finish_rejected(record, t0, reason)
+        try:
+            return await self._admitted(request, record, t0)
+        finally:
+            self.admission.release()
+
+    # ------------------------------------------------------------------
+    # Admitted-request pipeline
+    # ------------------------------------------------------------------
+    async def _admitted(
+        self, request: dict[str, Any], record: RequestRecord, t0: float
+    ) -> dict[str, Any]:
+        try:
+            payload = self._parse_payload(request, record)
+        except ValueError as exc:
+            return self._finish_error(record, t0, "bad_request", str(exc))
+
+        deadline_ms = float(request.get("deadline_ms") or self.config.deadline_ms)
+        deadline_ms = min(max(deadline_ms, 1.0), self.config.max_deadline_ms)
+        deadline = t0 + deadline_ms / 1e3
+
+        level = self.policy.decide(
+            self.admission.pressure(exclude_self=True), self.breaker.state
+        )
+        self.degrade_counts[int(level)] += 1
+        job = _Job(
+            request_id=record.request_id,
+            op=record.op,
+            payload=payload,
+            deadline=deadline,
+            record=record,
+            level=level,
+        )
+        record.degrade_level = int(level)
+        record.degraded = level >= DegradeLevel.REFERENCE
+
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
+        if self._batchable(job):
+            key = BatchKey(
+                op=job.op,
+                m=payload["a"].shape[-2],
+                k=payload["a"].shape[-1],
+                n=payload["b"].shape[-1],
+                level=int(level),
+                abft=self._abft_on,
+            )
+            self.batcher.submit(PendingJob(key, payload, future, deadline))
+        else:
+            key = BatchKey(job.op, 0, 0, 0, int(level), self._abft_on)
+            task = asyncio.get_running_loop().create_task(
+                self._flush_batch(key, [PendingJob(key, payload, future, deadline)])
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+        try:
+            result = await asyncio.wait_for(
+                future, timeout=max(deadline - time.monotonic(), 0.0) + 5.0
+            )
+        except asyncio.TimeoutError:
+            return self._finish_error(record, t0, "deadline",
+                                      "request exceeded its deadline")
+        except AbftUncorrectedError:
+            return self._finish_error(
+                record, t0, "abft_uncorrected",
+                "ABFT guard could not repair the result; request failed "
+                "rather than returning corrupt data",
+            )
+        except _JobFailed as exc:
+            record.retries = exc.retries
+            return self._finish_error(record, t0, exc.reason, exc.detail)
+        except Exception as exc:  # repro: allow[RH403] request-level firewall
+            return self._finish_error(record, t0, "internal",
+                                      f"{type(exc).__name__}: {exc}")
+        if isinstance(result, _JobOutcome):
+            record.cached = result.cached
+            record.batched = result.batched
+            record.retries = result.retries
+            result = result.value
+        return self._finish_ok(record, t0, result)
+
+    def _parse_payload(
+        self, request: dict[str, Any], record: RequestRecord
+    ) -> dict[str, Any]:
+        cfg = self.config
+        op = record.op
+        fault = request.get("fault") if cfg.fault_injection else None
+        if fault is not None:
+            fault = dict(fault)
+            if fault.get("kind") not in ("stall", "kill_worker", "poison"):
+                raise ValueError(f"unknown fault kind {fault.get('kind')!r}")
+            if fault.get("kind") == "kill_worker":
+                assert self._fault_dir is not None
+                fault["marker"] = os.path.join(
+                    self._fault_dir.name, f"kill-{record.request_id}-{uuid.uuid4().hex}"
+                )
+        payload: dict[str, Any] = {"op": op, "fault": fault, "abft": self._abft_on}
+        if op in ("gemm", "cgemm"):
+            a = decode_array(request.get("a"), cfg.max_elements)
+            b = decode_array(request.get("b"), cfg.max_elements)
+            if a.ndim != 2 or b.ndim != 2:
+                raise ValueError("gemm operands must be 2-D matrices")
+            if a.shape[1] != b.shape[0]:
+                raise ValueError(f"K mismatch: A{a.shape} @ B{b.shape}")
+            if op == "gemm":
+                if np.iscomplexobj(a) or np.iscomplexobj(b):
+                    raise ValueError("op 'gemm' takes real operands; use 'cgemm'")
+                a, b = quantize(a.real, FP32), quantize(b.real, FP32)
+            else:
+                a = quantize_complex(a.astype(np.complex128), FP32)
+                b = quantize_complex(b.astype(np.complex128), FP32)
+            payload["a"], payload["b"] = a, b
+            record.m, record.k = a.shape
+            record.n = b.shape[1]
+        elif op == "fft":
+            x = decode_array(request.get("x"), cfg.max_elements)
+            x = np.asarray(x, dtype=np.complex128)
+            n = x.shape[-1]
+            if n < 2 or (n & (n - 1)) != 0:
+                raise ValueError("fft length must be a power of two >= 2")
+            payload["x"] = x
+            record.m, record.n, record.k = x.size // n, n, n
+        elif op == "mrf":
+            a = decode_array(request.get("a"), cfg.max_elements)
+            b = decode_array(request.get("b"), cfg.max_elements)
+            if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+                raise ValueError(
+                    "mrf expects dictionary (A, T) and voxels (V, T) operands"
+                )
+            payload["a"] = np.asarray(a, dtype=np.complex128)
+            payload["b"] = np.asarray(b, dtype=np.complex128)
+            record.m, record.k, record.n = a.shape[0], a.shape[1], b.shape[0]
+        return payload
+
+    def _batchable(self, job: _Job) -> bool:
+        return (
+            job.op in ("gemm", "cgemm")
+            and job.payload.get("fault") is None
+            and job.level <= DegradeLevel.NO_REVERIFY
+            and self.config.batch_max > 1
+        )
+
+    # ------------------------------------------------------------------
+    # Execution (batch flush -> executor thread -> pool)
+    # ------------------------------------------------------------------
+    async def _flush_batch(self, key: BatchKey, jobs: list[PendingJob]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._compute_batch, key, jobs
+            )
+        except Exception as exc:  # repro: allow[RH403] futures carry failures
+            for job in jobs:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            return
+        for job, result in zip(jobs, results):
+            if job.future.done():
+                continue
+            if isinstance(result, BaseException):
+                job.future.set_exception(result)
+            else:
+                job.future.set_result(result)
+
+    def _compute_batch(
+        self, key: BatchKey, jobs: list[PendingJob]
+    ) -> list[Any]:
+        """Runs on the single executor thread: cache, batch, dispatch.
+
+        Returns one :class:`_JobOutcome` or exception per job, in order.
+        """
+        level = DegradeLevel(key.level)
+        results: list[Any] = [None] * len(jobs)
+
+        # -- content-addressed cache: repeat payloads never recompute --
+        misses: list[int] = []
+        for i, job in enumerate(jobs):
+            cached = self._cache_get(job, level)
+            if cached is not None:
+                results[i] = _JobOutcome(cached, cached=True)
+            else:
+                misses.append(i)
+        if not misses:
+            return results
+
+        if level >= DegradeLevel.REFERENCE:
+            for i in misses:
+                results[i] = self._safe(_reference_result, jobs[i].payload)
+            return results
+
+        batchable = (
+            key.op in ("gemm", "cgemm")
+            and all(jobs[i].payload.get("fault") is None for i in misses)
+        )
+        if batchable:
+            self._run_batched(key, jobs, misses, results, level)
+        else:
+            for i in misses:
+                results[i] = self._run_single(jobs[i], level)
+
+        for i in misses:
+            if isinstance(results[i], _JobOutcome) and not results[i].cached:
+                self._cache_put(jobs[i], results[i].value)
+        return results
+
+    def _run_batched(
+        self,
+        key: BatchKey,
+        jobs: list[PendingJob],
+        misses: list[int],
+        results: list[Any],
+        level: DegradeLevel,
+    ) -> None:
+        """Coalesced execution on the batched entry points.
+
+        The per-request deadline propagates as the pool task timeout —
+        the batch inherits the *tightest* member deadline, so a
+        coalesced request can never be held past its budget by its
+        batchmates.
+        """
+        stack_a = np.stack([jobs[i].payload["a"] for i in misses])
+        stack_b = np.stack([jobs[i].payload["b"] for i in misses])
+        entry = batched_mxu_sgemm if key.op == "gemm" else batched_mxu_cgemm
+        remaining = min(jobs[i].deadline for i in misses) - time.monotonic()
+        if remaining <= 0.0:
+            for i in misses:
+                results[i] = _JobFailed("deadline", "expired while queued")
+            return
+        use_pool = level < DegradeLevel.SERIAL and self.breaker.allow_pool()
+        before = parallel.pool_info()
+        try:
+            if use_pool:
+                out = entry(
+                    stack_a, stack_b,
+                    workers=self.config.workers,
+                    abft=self._abft_on,
+                    timeout=remaining,
+                    retries=self.config.retries,
+                )
+            else:
+                out = entry(stack_a, stack_b, workers=1, abft=self._abft_on)
+        except AbftUncorrectedError as exc:
+            for i in misses:
+                results[i] = exc
+            return
+        except Exception as exc:  # repro: allow[RH403] mapped to per-request failures
+            if use_pool:
+                self._observe_pool(before, ok=False)
+            failure = self._classify(exc)
+            for i in misses:
+                results[i] = failure
+            return
+        retries = 0
+        if use_pool:
+            retries = self._observe_pool(before, ok=True)
+        coalesced = len(misses) > 1
+        for slot, i in enumerate(misses):
+            results[i] = _JobOutcome(out[slot], batched=coalesced, retries=retries)
+
+    def _run_single(self, job: PendingJob, level: DegradeLevel) -> Any:
+        """One non-coalescable job (fault-injected, fft, mrf)."""
+        payload = dict(job.payload)
+        fault = payload.get("fault")
+        remaining = job.deadline - time.monotonic()
+        if remaining <= 0.0:
+            return _JobFailed("deadline", "expired while queued")
+        if payload["op"] in ("gemm", "cgemm"):
+            payload = dict(payload)
+            payload["a"] = payload["a"][None, ...]
+            payload["b"] = payload["b"][None, ...]
+            unbatch = True
+        else:
+            unbatch = False
+
+        use_pool = level < DegradeLevel.SERIAL and self.breaker.allow_pool()
+        if not use_pool and fault is not None and fault.get("kind") == "kill_worker":
+            # Never run a worker-kill in-process: that would kill the
+            # server. With the pool out of service the request sheds.
+            return _JobFailed("circuit_open", "pool unavailable for fault job")
+        if fault is not None and fault.get("kind") == "stall" and not use_pool:
+            # In-process stalls stay bounded by the deadline.
+            fault = dict(fault)
+            fault["ms"] = min(float(fault.get("ms", 0.0)), remaining * 1e3)
+            payload["fault"] = fault
+
+        before = parallel.pool_info()
+        retries = 0
+        try:
+            if use_pool:
+                got = parallel.parallel_map(
+                    _exec_job,
+                    [payload],
+                    workers=1,
+                    timeout=remaining,
+                    retries=self.config.retries,
+                    return_failures=True,
+                )[0]
+                if isinstance(got, TaskFailure):
+                    self._observe_pool(before, ok=False)
+                    failed = self._classify_failure(got)
+                    failed.retries = max(got.attempts - 1, 0)
+                    return failed
+                retries = self._observe_pool(before, ok=True)
+                out = got
+            else:
+                out = _exec_job(payload)
+                if time.monotonic() > job.deadline:
+                    return _JobFailed("deadline", "deadline passed during "
+                                                  "in-process execution")
+        except AbftUncorrectedError as exc:
+            return exc
+        except Exception as exc:  # repro: allow[RH403] per-request firewall
+            if use_pool:
+                self._observe_pool(before, ok=False)
+            return self._classify(exc)
+        value = out[0] if unbatch else out
+        return _JobOutcome(np.asarray(value), retries=retries)
+
+    # ------------------------------------------------------------------
+    # Failure classification + breaker feeding
+    # ------------------------------------------------------------------
+    def _observe_pool(self, before: dict[str, Any], ok: bool) -> int:
+        """Feed the circuit breaker from the pool health counters.
+
+        Returns the retry-count delta so the caller can attribute
+        recovered attempts to the request record.
+        """
+        after = parallel.pool_info()
+        if ok:
+            self.breaker.record_success()
+        else:
+            events = (after["broken_events"] - before["broken_events"]) + (
+                after["timeout_events"] - before["timeout_events"]
+            )
+            self.breaker.record_events(max(events, 1))
+        return max(int(after["task_retries"] - before["task_retries"]), 0)
+
+    def _classify_failure(self, failure: TaskFailure) -> Any:
+        if failure.error_type == "AbftUncorrectedError":
+            return _JobFailed("abft_uncorrected", failure.message)
+        if failure.cause == "timeout":
+            return _JobFailed("deadline", str(failure))
+        if failure.cause == "broken-pool":
+            return _JobFailed("worker_lost", str(failure))
+        return _JobFailed("execution", str(failure))
+
+    def _classify(self, exc: BaseException) -> "_JobFailed":
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..resilience.failures import ParallelTaskError
+
+        if isinstance(exc, ParallelTaskError) and exc.failures:
+            classified = self._classify_failure(exc.failures[0])
+            if isinstance(classified, _JobFailed):
+                return classified
+        if isinstance(exc, BrokenProcessPool):
+            return _JobFailed("worker_lost", str(exc))
+        return _JobFailed("execution", f"{type(exc).__name__}: {exc}")
+
+    def _safe(self, fn: Any, payload: dict[str, Any]) -> Any:
+        try:
+            return _JobOutcome(np.asarray(fn(payload)))
+        except Exception as exc:  # repro: allow[RH403] per-request firewall
+            return _JobFailed("execution", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_key(self, job: PendingJob) -> str | None:
+        payload = job.payload
+        if payload.get("fault") is not None:
+            return None
+        op = payload["op"]
+        if op in ("gemm", "cgemm"):
+            return stable_digest("serve", op, self._abft_on,
+                                 payload["a"], payload["b"])
+        if op == "fft":
+            return stable_digest("serve", op, self._abft_on, payload["x"])
+        if op == "mrf":
+            return stable_digest("serve", op, self._abft_on,
+                                 payload["a"], payload["b"])
+        return None
+
+    def _cache_get(self, job: PendingJob, level: DegradeLevel) -> np.ndarray | None:
+        if level >= DegradeLevel.REFERENCE:
+            return None  # reference results are not full-fidelity: no cache
+        key = self._cache_key(job)
+        if key is None:
+            return None
+        hit = self.cache.get(key)
+        if hit is None:
+            return None
+        if (
+            level == DegradeLevel.NORMAL
+            and self._abft_on
+            and job.payload["op"] in ("gemm", "cgemm")
+        ):
+            # Full fidelity: re-verify the cached bytes before serving.
+            # Under pressure (level >= NO_REVERIFY) this step is shed.
+            try:
+                hit = self._reverify(job.payload, hit)
+            except AbftUncorrectedError:
+                return None  # drop the poisoned entry; recompute fresh
+        return hit
+
+    def _reverify(self, payload: dict[str, Any], out: np.ndarray) -> np.ndarray:
+        mode = MXUMode.FP32 if payload["op"] == "gemm" else MXUMode.FP32C
+        a, b = payload["a"], payload["b"]
+
+        def compute(aa: np.ndarray, bb: np.ndarray, cc: np.ndarray) -> np.ndarray:
+            return TiledGEMM(M3XU(), mode).run(aa, bb, 0.0)
+
+        zero = np.zeros((a.shape[0], b.shape[1]), dtype=out.dtype)
+        verified, _report = guarded_gemm(
+            compute, a, b, zero, roundoff=2.0**-23, out=out
+        )
+        return verified
+
+    def _cache_put(self, job: PendingJob, result: Any) -> None:
+        if not isinstance(result, np.ndarray):
+            return
+        key = self._cache_key(job)
+        if key is not None:
+            self.cache.put(key, result)
+
+    # ------------------------------------------------------------------
+    # Response finalization
+    # ------------------------------------------------------------------
+    def _finish_ok(
+        self, record: RequestRecord, t0: float, result: Any
+    ) -> dict[str, Any]:
+        record.outcome = "OK"
+        record.latency_ms = (time.monotonic() - t0) * 1e3
+        record.service_ms = record.latency_ms
+        self.run_table.add(record)
+        return {
+            "id": record.request_id,
+            "status": "OK",
+            "result": encode_array(np.asarray(result)),
+            "degraded": record.degraded,
+            "degrade_level": record.degrade_level,
+            "cached": record.cached,
+            "batched": record.batched,
+            "latency_ms": record.latency_ms,
+        }
+
+    def _finish_rejected(
+        self, record: RequestRecord, t0: float, reason: str
+    ) -> dict[str, Any]:
+        record.outcome = "REJECTED"
+        record.reason = reason
+        record.latency_ms = (time.monotonic() - t0) * 1e3
+        self.run_table.add(record)
+        return {
+            "id": record.request_id,
+            "status": "REJECTED",
+            "reason": reason,
+            "latency_ms": record.latency_ms,
+        }
+
+    def _finish_error(
+        self, record: RequestRecord, t0: float, reason: str, detail: str
+    ) -> dict[str, Any]:
+        record.outcome = "ERROR"
+        record.reason = reason
+        record.latency_ms = (time.monotonic() - t0) * 1e3
+        self.run_table.add(record)
+        return {
+            "id": record.request_id,
+            "status": "ERROR",
+            "reason": reason,
+            "detail": detail,
+            "degrade_level": record.degrade_level,
+            "latency_ms": record.latency_ms,
+        }
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return {
+            "admission": self.admission.info(),
+            "breaker": self.breaker.info(),
+            "pool": parallel.pool_info(),
+            "cache": self.cache.info(),
+            "batcher": self.batcher.info(),
+            "degrade_counts": {str(k): v for k, v in self.degrade_counts.items()},
+            "summary": self.run_table.summary(),
+            "closing": self._closing,
+        }
+
+
+class _JobFailed(Exception):
+    """Internal: a structured per-request failure (reason + detail)."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.reason = reason
+        self.detail = detail
+        self.retries = 0
+
+
+async def serve_forever(config: ServeConfig | None = None) -> None:
+    """Start a server and run until shut down (the CLI entry point)."""
+    server = GemmServer(config)
+    await server.start()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

@@ -1,0 +1,101 @@
+"""Admission control: token bucket + queue-depth backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_by_elapsed_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        bucket.try_take(2.0)
+        assert not bucket.try_take()
+        clock.advance(0.15)  # 10/s * 0.15s = 1.5 tokens
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == 5.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=10.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_queue_depth_backpressure(self):
+        ctrl = AdmissionController(max_queue=2)
+        assert ctrl.admit() is None
+        assert ctrl.admit() is None
+        assert ctrl.admit() == "queue_full"
+        ctrl.release()
+        assert ctrl.admit() is None
+        assert ctrl.info()["rejected_queue"] == 1
+
+    def test_rate_limit_sheds_with_overload(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(rate=10.0, burst=1.0, max_queue=64, clock=clock)
+        assert ctrl.admit() is None
+        ctrl.release()
+        assert ctrl.admit() == "overload"
+        clock.advance(0.2)
+        assert ctrl.admit() is None
+        assert ctrl.info()["rejected_overload"] == 1
+
+    def test_queue_check_precedes_rate_check(self):
+        # A full queue must shed even when tokens are available, and must
+        # not consume a token doing so.
+        clock = FakeClock()
+        ctrl = AdmissionController(rate=10.0, burst=5.0, max_queue=1, clock=clock)
+        assert ctrl.admit() is None
+        assert ctrl.admit() == "queue_full"
+        assert ctrl.bucket is not None and ctrl.bucket.tokens == 4.0
+
+    def test_pressure_is_queue_occupancy(self):
+        ctrl = AdmissionController(max_queue=4)
+        assert ctrl.pressure() == 0.0
+        ctrl.admit()
+        ctrl.admit()
+        assert ctrl.pressure() == 0.5
+
+    def test_exclusive_pressure_subtracts_own_slot(self):
+        # A lone request on a max_queue=1 server must not see itself as
+        # full pressure (it would pin every request to the worst rung).
+        ctrl = AdmissionController(max_queue=1)
+        ctrl.admit()
+        assert ctrl.pressure() == 1.0
+        assert ctrl.pressure(exclude_self=True) == 0.0
+
+    def test_release_never_goes_negative(self):
+        ctrl = AdmissionController(max_queue=4)
+        ctrl.release()
+        assert ctrl.in_flight == 0
+
+    def test_no_bucket_when_rate_disabled(self):
+        ctrl = AdmissionController(rate=None, max_queue=4)
+        assert ctrl.bucket is None
+        assert all(ctrl.admit() is None for _ in range(4))

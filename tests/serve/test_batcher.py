@@ -1,0 +1,129 @@
+"""Coalescing semantics: grouping, flush triggers, bit-exactness."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import Batcher, BatchKey, PendingJob
+
+KEY_A = BatchKey(op="gemm", m=8, k=8, n=8, level=0, abft=False)
+KEY_B = BatchKey(op="gemm", m=16, k=8, n=8, level=0, abft=False)
+
+
+def _job(key: BatchKey, i: int) -> PendingJob:
+    loop = asyncio.get_running_loop()
+    return PendingJob(key, {"i": i}, loop.create_future(),
+                      deadline=time.monotonic() + 10.0)
+
+
+class TestBatcher:
+    def test_full_bucket_flushes_immediately(self):
+        async def main():
+            flushed: list[tuple[BatchKey, int]] = []
+
+            async def cb(key, jobs):
+                flushed.append((key, len(jobs)))
+                for job in jobs:
+                    job.future.set_result(job.payload["i"])
+
+            batcher = Batcher(cb, max_batch=3, max_wait=60.0)
+            jobs = [_job(KEY_A, i) for i in range(3)]
+            for job in jobs:
+                batcher.submit(job)
+            results = await asyncio.gather(*(j.future for j in jobs))
+            assert results == [0, 1, 2]
+            assert flushed == [(KEY_A, 3)]
+            assert batcher.coalesced == 3
+
+        asyncio.run(main())
+
+    def test_wait_window_flushes_partial_bucket(self):
+        async def main():
+            flushed = []
+
+            async def cb(key, jobs):
+                flushed.append(len(jobs))
+                for job in jobs:
+                    job.future.set_result(None)
+
+            batcher = Batcher(cb, max_batch=8, max_wait=0.01)
+            job = _job(KEY_A, 0)
+            batcher.submit(job)
+            await asyncio.wait_for(job.future, timeout=2.0)
+            assert flushed == [1]
+
+        asyncio.run(main())
+
+    def test_incompatible_keys_never_share_a_batch(self):
+        async def main():
+            seen: list[BatchKey] = []
+
+            async def cb(key, jobs):
+                seen.append(key)
+                assert all(job.key == key for job in jobs)
+                for job in jobs:
+                    job.future.set_result(None)
+
+            batcher = Batcher(cb, max_batch=2, max_wait=60.0)
+            jobs = [_job(KEY_A, 0), _job(KEY_B, 1), _job(KEY_A, 2), _job(KEY_B, 3)]
+            for job in jobs:
+                batcher.submit(job)
+            await asyncio.gather(*(j.future for j in jobs))
+            assert sorted(seen, key=str) == sorted([KEY_A, KEY_B], key=str)
+
+        asyncio.run(main())
+
+    def test_flush_callback_failure_fails_every_job(self):
+        async def main():
+            async def cb(key, jobs):
+                raise RuntimeError("flush exploded")
+
+            batcher = Batcher(cb, max_batch=2, max_wait=60.0)
+            jobs = [_job(KEY_A, 0), _job(KEY_A, 1)]
+            for job in jobs:
+                batcher.submit(job)
+            for job in jobs:
+                with pytest.raises(RuntimeError, match="flush exploded"):
+                    await asyncio.wait_for(job.future, timeout=2.0)
+
+        asyncio.run(main())
+
+    def test_drain_flushes_everything(self):
+        async def main():
+            async def cb(key, jobs):
+                for job in jobs:
+                    job.future.set_result(job.payload["i"])
+
+            batcher = Batcher(cb, max_batch=100, max_wait=60.0)
+            jobs = [_job(KEY_A, i) for i in range(4)]
+            for job in jobs:
+                batcher.submit(job)
+            assert batcher.pending() == 4
+            await batcher.drain()
+            assert batcher.pending() == 0
+            assert [j.future.result() for j in jobs] == [0, 1, 2, 3]
+
+        asyncio.run(main())
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            Batcher(lambda *a: None, max_batch=0)
+
+
+class TestCoalescedBitExactness:
+    def test_batched_gemm_matches_single_requests_bitwise(self, rng):
+        """Coalescing is a scheduling transform: a request served inside
+        a batch must return exactly the bytes it would have alone."""
+        from repro.gemm.batched import batched_mxu_sgemm
+        from repro.gemm.tiled import mxu_sgemm
+
+        a = rng.standard_normal((3, 8, 8))
+        b = rng.standard_normal((3, 8, 8))
+        batch = batched_mxu_sgemm(a, b, workers=1)
+        for i in range(3):
+            single = mxu_sgemm(a[i], b[i])
+            np.testing.assert_array_equal(batch[i], single)

@@ -1,0 +1,113 @@
+"""Degradation ladder decisions and the pool circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.degrade import CircuitBreaker, DegradeLevel, DegradePolicy
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow_pool()
+        assert breaker.info()["trips"] == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=2.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow_pool()
+        clock.advance(2.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow_pool()  # the probe
+        assert not breaker.allow_pool()  # everyone else stays off
+
+    def test_probe_success_closes_and_counts_recovery(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow_pool()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_pool()
+        assert breaker.info()["recoveries"] == 1
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=2.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow_pool()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(1.0)  # inside the fresh cooldown
+        assert not breaker.allow_pool()
+        clock.advance(1.0)
+        assert breaker.allow_pool()
+
+    def test_record_events_folds_external_counter_deltas(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        breaker.record_events(2)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_events(1)
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestDegradePolicy:
+    def test_auto_ladder_by_pressure(self):
+        policy = DegradePolicy()
+        closed = CircuitBreaker.CLOSED
+        assert policy.decide(0.0, closed) == DegradeLevel.NORMAL
+        assert policy.decide(0.5, closed) == DegradeLevel.NO_REVERIFY
+        assert policy.decide(0.75, closed) == DegradeLevel.SERIAL
+        assert policy.decide(0.95, closed) == DegradeLevel.REFERENCE
+
+    def test_open_breaker_forces_at_least_serial(self):
+        policy = DegradePolicy()
+        assert policy.decide(0.0, CircuitBreaker.OPEN) == DegradeLevel.SERIAL
+        assert policy.decide(0.95, CircuitBreaker.OPEN) == DegradeLevel.REFERENCE
+
+    def test_off_mode_never_degrades(self):
+        policy = DegradePolicy(mode="off")
+        assert policy.decide(1.0, CircuitBreaker.OPEN) == DegradeLevel.NORMAL
+
+    def test_pinned_levels(self):
+        for mode in ("0", "1", "2", "3"):
+            policy = DegradePolicy(mode=mode)
+            assert policy.decide(0.0, CircuitBreaker.CLOSED) == DegradeLevel(int(mode))
+
+    def test_validates_mode_and_threshold_order(self):
+        with pytest.raises(ValueError):
+            DegradePolicy(mode="sometimes")
+        with pytest.raises(ValueError):
+            DegradePolicy(no_reverify_at=0.9, serial_at=0.5)

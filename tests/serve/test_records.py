@@ -1,0 +1,92 @@
+"""Request records, percentiles and the run_table.csv artifact."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.serve.records import (
+    RUN_TABLE_COLUMNS,
+    RequestRecord,
+    RunTable,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_and_singleton(self):
+        assert percentile([], 95.0) == 0.0
+        assert percentile([7.0], 50.0) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_p95_of_uniform_ramp(self):
+        values = [float(i) for i in range(1, 101)]
+        assert abs(percentile(values, 95.0) - 95.05) < 1e-9
+
+    def test_order_invariant(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == percentile(
+            [1.0, 2.0, 3.0], 50.0
+        )
+
+
+class TestRunTable:
+    def _record(self, i: int, outcome: str = "OK", **kw) -> RequestRecord:
+        return RequestRecord(
+            request_id=f"r{i}", op="gemm", m=8, n=8, k=8,
+            outcome=outcome, latency_ms=float(i), **kw,
+        )
+
+    def test_row_matches_column_order(self):
+        row = self._record(1).to_row()
+        assert list(row) == RUN_TABLE_COLUMNS
+
+    def test_one_csv_row_per_request(self, tmp_path):
+        table = RunTable()
+        for i in range(5):
+            table.add(self._record(i))
+        table.add(self._record(5, outcome="REJECTED", reason="overload"))
+        path = tmp_path / "run_table.csv"
+        assert table.write_csv(path) == 6
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        assert rows[0]["op"] == "gemm"
+        assert rows[5]["outcome"] == "REJECTED"
+        assert rows[5]["reason"] == "overload"
+
+    def test_summary_separates_sheds_from_failures(self):
+        table = RunTable()
+        for i in range(6):
+            table.add(self._record(i))
+        for i in range(3):
+            table.add(self._record(10 + i, outcome="REJECTED", reason="overload"))
+        table.add(self._record(20, outcome="ERROR", reason="deadline"))
+        summary = table.summary()
+        assert summary["request_count"] == 10
+        assert summary["served"] == 6
+        assert summary["rejected"] == 3
+        assert summary["errored"] == 1
+        assert summary["shed_rate"] == 0.3
+        assert summary["failure_rate"] == 0.1
+
+    def test_summary_latency_covers_only_served(self):
+        table = RunTable()
+        table.add(self._record(2))
+        table.add(self._record(4))
+        bad = self._record(9, outcome="ERROR")
+        bad.latency_ms = 1e6
+        table.add(bad)
+        summary = table.summary()
+        assert summary["p50_latency_ms"] == 3.0
+        assert summary["avg_latency_ms"] == 3.0
+
+    def test_degraded_and_batched_counts(self):
+        table = RunTable()
+        table.add(self._record(1, degraded=True, degrade_level=3))
+        table.add(self._record(2, batched=True))
+        table.add(self._record(3, cached=True))
+        summary = table.summary()
+        assert summary["degraded_rate"] == 1 / 3
+        assert summary["batched"] == 1
+        assert summary["cached"] == 1

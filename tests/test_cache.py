@@ -103,6 +103,33 @@ class TestResultCache:
         assert info["entries"] == 1 and info["maxsize"] == 8
         assert info["disk_dir"] == str(tmp_path)
 
+    def test_disk_writes_are_atomic_renames(self, tmp_path):
+        # The publish step is tmp-file + os.replace: at no point may a
+        # partially written pickle sit at the final path, and no *.tmp
+        # droppings may survive a successful put.
+        c = ResultCache(directory=tmp_path)
+        c.put("k", list(range(1000)))
+        leftovers = [p for p in tmp_path.iterdir() if not p.name.endswith(".pkl")]
+        assert leftovers == []
+        assert ResultCache(directory=tmp_path).get("k") == list(range(1000))
+
+    def test_collision_counter_counts_prevented_overwrites(self, tmp_path):
+        c = ResultCache(directory=tmp_path)
+        assert c.info()["collisions"] == 0
+        c.put("k", 1)
+        assert c.info()["collisions"] == 0
+        c.put("k", 1)  # same digest already on disk: a prevented overwrite
+        c.put("k", 1)
+        assert c.info()["collisions"] == 2
+        c.clear()
+        assert c.info()["collisions"] == 0
+
+    def test_memory_only_cache_never_counts_collisions(self):
+        c = ResultCache()
+        c.put("k", 1)
+        c.put("k", 2)
+        assert c.info()["collisions"] == 0
+
 
 class TestCacheEnabled:
     def test_default_on(self, monkeypatch):

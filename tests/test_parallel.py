@@ -367,6 +367,39 @@ class TestResilientExecution:
         got = parallel_map(_double, list(range(20)), workers=2)
         assert got == [2 * x for x in range(20)]
 
+    def test_retry_schedule_deterministic_across_pool_respawn(self, tmp_path):
+        """A seeded RetryPolicy replays the same backoff schedule before
+        and after a BrokenProcessPool recovery — the jitter RNG lives in
+        the parent and must not be perturbed by worker death/respawn."""
+        from repro.resilience.failures import RetryPolicy
+
+        policy = RetryPolicy(retries=4, backoff=0.25, seed=13)
+        before = policy.schedule()
+        # Kill a worker mid-map: the pool respawns and the task retries.
+        items = [(str(tmp_path), x) for x in range(3)]
+        assert parallel_map(_die_once, items, workers=2, retries=2,
+                            backoff=0.0) == [0, 1, 2]
+        assert (tmp_path / "died-1").exists()  # the death really happened
+        after = policy.schedule()
+        assert after == before
+        # And a fresh policy with the same seed replays it too.
+        assert RetryPolicy(retries=4, backoff=0.25, seed=13).schedule() == before
+
+    def test_pool_health_counters_track_events(self, tmp_path):
+        before = pool_info()
+        items = [(str(tmp_path), x) for x in range(3)]
+        parallel_map(_die_once, items, workers=2, retries=2, backoff=0.0)
+        after = pool_info()
+        assert after["broken_events"] >= before["broken_events"] + 1
+        assert after["task_retries"] >= before["task_retries"] + 1
+        assert after["failure_streak"] == 0  # the retry succeeded
+
+        got = parallel_map(_hang, [(1, 1)], workers=1, timeout=0.5,
+                           return_failures=True)
+        assert isinstance(got[0], TaskFailure)
+        assert pool_info()["timeout_events"] >= after["timeout_events"] + 1
+        assert pool_info()["failure_streak"] >= 1
+
 
 class TestSplitRanges:
     def test_partition(self):

@@ -286,6 +286,38 @@ class TestCheckpointJournal:
         journal.clear()
         assert not journal.path.exists() and journal.load() == {}
 
+    def test_append_creates_missing_parent_dirs(self, tmp_path):
+        # Regression: a journal pointed at a not-yet-existing directory
+        # (fresh checkpoint root, first run) must create it instead of
+        # failing the first append.
+        journal = CheckpointJournal(tmp_path / "deep" / "nested" / "j.jsonl")
+        journal.append("exp", "k", {"x": 1})
+        assert journal.path.is_file()
+        assert journal.load()["exp"] == ("k", {"x": 1})
+
+    def test_rotate_retires_journal_to_numbered_sibling(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        assert journal.rotate() is None  # nothing to rotate
+        journal.append("a", "k", 1)
+        first = journal.rotate()
+        assert first == tmp_path / "j.jsonl.1"
+        assert first.is_file() and not journal.path.exists()
+        # The live path is immediately reusable and rotation never
+        # clobbers an earlier generation.
+        journal.append("b", "k", 2)
+        second = journal.rotate()
+        assert second == tmp_path / "j.jsonl.2"
+        assert first.is_file() and second.is_file()
+        assert CheckpointJournal(first).load() == {"a": ("k", 1)}
+        assert CheckpointJournal(second).load() == {"b": ("k", 2)}
+
+    def test_rotate_skips_occupied_generation_numbers(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        (tmp_path / "j.jsonl.1").write_text("occupied\n")
+        journal.append("a", "k", 1)
+        assert journal.rotate() == tmp_path / "j.jsonl.2"
+        assert (tmp_path / "j.jsonl.1").read_text() == "occupied\n"
+
 
 # ----------------------------------------------------------------------
 # run_all killed mid-flight, then resumed
