@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench report examples clean
+.PHONY: install test lint lint-graph lint-sarif bench report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,14 @@ lint:
 	-command -v mypy >/dev/null && mypy src/repro/types src/repro/arith \
 		src/repro/mxu src/repro/parallel.py src/repro/cache.py \
 		src/repro/resilience src/repro/analysis
+
+# Dump the interprocedural call graph (symbol table + typed edges).
+lint-graph:
+	$(PY) -m repro lint --graph lint-graph.json src benchmarks examples
+
+# SARIF 2.1.0 export for CI annotation / code-scanning upload.
+lint-sarif:
+	$(PY) -m repro lint --sarif lint.sarif src benchmarks examples
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

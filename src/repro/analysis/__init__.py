@@ -31,7 +31,10 @@ from __future__ import annotations
 from .config import LintConfig, load_config
 from .engine import LintReport, apply_fixes, lint_file, lint_paths
 from .findings import Finding, Severity
+from .flow import ExactFlow
+from .graph import ProjectContext, build_project, module_name_for
 from .registry import Rule, all_rules, get_rule
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
     "Finding",
@@ -45,4 +48,10 @@ __all__ = [
     "Rule",
     "all_rules",
     "get_rule",
+    "ProjectContext",
+    "build_project",
+    "module_name_for",
+    "ExactFlow",
+    "to_sarif",
+    "render_sarif",
 ]

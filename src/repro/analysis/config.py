@@ -46,6 +46,51 @@ DEFAULT_MATH_ALLOWED = frozenset(
 #: (signed zero and small powers of two used as sentinels).
 DEFAULT_EXACT_FLOATS = frozenset({0.0, 1.0, -1.0, 2.0, -2.0, 0.5})
 
+#: Qualified names whose results live in the bit-exact domain: the split /
+#: lane-product / windowed-accumulate intermediates of the M3XU datapath.
+#: Anything flowing out of these must stay exact until it passes through
+#: ``quantize``/``quantize_complex`` (the sanctioned rounding API).
+DEFAULT_EXACT_SOURCES = (
+    "repro.arith.accumulator.aligned_sum",
+    "repro.arith.accumulator.aligned_sum_groups",
+    "repro.arith.accumulator.sequential_windowed_sum",
+    "repro.arith.accumulator.segmented_windowed_sum",
+    "repro.arith.accumulator.segmented_windowed_sum_f32",
+    "repro.arith.accumulator.int_window_to_float",
+    "repro.arith.exact.exact_dot",
+    "repro.mxu.bitlevel.split_fp32_bits",
+    "repro.mxu.bitlevel.bit_level_fp32_dot",
+    "repro.mxu.bitlevel.bit_level_fp32c_dot",
+    "repro.mxu.vectorized.split_fp32_fields",
+    "repro.mxu.vectorized.fp32_bit_fields",
+    "repro.mxu.dataflow.lane_products",
+    "repro.mxu.fused.grouped_lane_products",
+)
+
+#: Method basenames whose results are exact-domain intermediates on any
+#: receiver (the per-part MMA decomposition of every MXU model).
+DEFAULT_EXACT_SOURCE_METHODS = ("mma_parts",)
+
+#: Call basenames that *launder* exactness: the sanctioned rounding API.
+#: A value that has passed through these is an ordinary float again.
+DEFAULT_EXACT_SANITIZERS = ("quantize", "quantize_complex")
+
+#: Call names (resolved through imports) that block the calling thread —
+#: reaching one of these from a coroutine without an executor hop stalls
+#: the event loop (AS601). Parallel entrypoints are blocking implicitly.
+DEFAULT_BLOCKING_CALLS = (
+    "time.sleep",
+    "open",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -61,6 +106,22 @@ class LintConfig:
     )
     #: Names resolving to the parallel fan-out entry point (FS rules).
     parallel_entrypoints: tuple[str, ...] = ("parallel_map",)
+    #: Path fragments where exactness-flow findings are *reported* (XF
+    #: rules); taint still propagates project-wide.
+    exact_flow: tuple[str, ...] = (
+        "repro/types/", "repro/arith/", "repro/mxu/", "repro/gemm/",
+        "repro/resilience/", "repro/serve/",
+    )
+    #: Qualified names producing exact-domain values (XF taint sources).
+    exact_sources: tuple[str, ...] = DEFAULT_EXACT_SOURCES
+    #: Method basenames producing exact-domain values on any receiver.
+    exact_source_methods: tuple[str, ...] = DEFAULT_EXACT_SOURCE_METHODS
+    #: Call basenames that launder exactness (sanctioned rounding API).
+    exact_sanitizers: tuple[str, ...] = DEFAULT_EXACT_SANITIZERS
+    #: Path fragments naming the asyncio serving layer (AS rules).
+    serve_paths: tuple[str, ...] = ("repro/serve/",)
+    #: Resolved call names that block the calling thread (AS601).
+    blocking_calls: tuple[str, ...] = DEFAULT_BLOCKING_CALLS
     exact_float_literals: frozenset[float] = DEFAULT_EXACT_FLOATS
     math_allowed: frozenset[str] = DEFAULT_MATH_ALLOWED
     acc_window_bits: int = DEFAULT_ACC_WINDOW_BITS
@@ -80,6 +141,14 @@ class LintConfig:
     def is_pickle_wrapper(self, rel_path: str) -> bool:
         norm = rel_path.replace("\\", "/")
         return any(frag in norm for frag in self.pickle_wrappers)
+
+    def is_exact_flow(self, rel_path: str) -> bool:
+        norm = rel_path.replace("\\", "/")
+        return any(frag in norm for frag in self.exact_flow)
+
+    def is_serve(self, rel_path: str) -> bool:
+        norm = rel_path.replace("\\", "/")
+        return any(frag in norm for frag in self.serve_paths)
 
     def is_path_allowed(self, rule_id: str, rel_path: str) -> bool:
         norm = rel_path.replace("\\", "/")
@@ -153,6 +222,20 @@ def load_config(start: Path | str | None = None) -> LintConfig:
         ),
         parallel_entrypoints=tuple(
             table.get("parallel_entrypoints", defaults.parallel_entrypoints)
+        ),
+        exact_flow=tuple(table.get("exact_flow", defaults.exact_flow)),
+        exact_sources=tuple(
+            table.get("exact_sources", defaults.exact_sources)
+        ),
+        exact_source_methods=tuple(
+            table.get("exact_source_methods", defaults.exact_source_methods)
+        ),
+        exact_sanitizers=tuple(
+            table.get("exact_sanitizers", defaults.exact_sanitizers)
+        ),
+        serve_paths=tuple(table.get("serve_paths", defaults.serve_paths)),
+        blocking_calls=tuple(
+            table.get("blocking_calls", defaults.blocking_calls)
         ),
         exact_float_literals=frozenset(
             float(x) for x in table.get(

@@ -14,6 +14,10 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import ProjectContext
 
 __all__ = ["ModuleContext", "build_context", "fold_int"]
 
@@ -38,19 +42,36 @@ class ModuleContext:
     imports: dict[str, str] = field(default_factory=dict)
     #: line number -> set of rule ids suppressed there ("*" = all).
     allows: dict[int, set[str]] = field(default_factory=dict)
+    #: dotted module name (``repro.serve.server``) when the file sits in a
+    #: package; the bare stem otherwise. Filled in by the project builder.
+    module_name: str = ""
+    #: project-wide symbol table / call graph for the current lint run;
+    #: ``None`` when a rule is run outside :func:`~.engine.lint_paths`.
+    project: "ProjectContext | None" = field(default=None, repr=False)
 
     def parent(self, node: ast.AST) -> ast.AST | None:
         return self.parents.get(node)
 
     def is_allowed(self, rule_id: str, line: int) -> bool:
         """Inline suppression on the finding's line or in the contiguous
-        comment block immediately above it."""
+        comment block immediately above it.
+
+        The upward scan steps over decorator lines so that an allow
+        comment placed above ``@decorator`` still attaches to findings
+        anchored at the decorated ``def`` below it (only single-line
+        decorators are stepped over; a decorator call split across lines
+        ends the block).
+        """
         if self._matches(rule_id, line):
             return True
         ln = line - 1
-        while 1 <= ln <= len(self.lines) and self.lines[ln - 1].lstrip().startswith("#"):
-            if self._matches(rule_id, ln):
-                return True
+        while 1 <= ln <= len(self.lines):
+            stripped = self.lines[ln - 1].lstrip()
+            if stripped.startswith("#"):
+                if self._matches(rule_id, ln):
+                    return True
+            elif not stripped.startswith("@"):
+                break
             ln -= 1
         return False
 

@@ -8,6 +8,7 @@ from pathlib import Path
 from .config import LintConfig, load_config
 from .context import ModuleContext, build_context
 from .findings import Finding, Severity, sort_findings
+from .graph import build_project
 from .registry import all_rules, get_rule
 
 __all__ = ["LintReport", "lint_file", "lint_paths", "apply_fixes", "iter_python_files"]
@@ -26,6 +27,8 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: project symbol table / call graph of the run (``--graph`` export).
+    project: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def errors(self) -> list[Finding]:
@@ -84,6 +87,11 @@ def _run_rules(ctx: ModuleContext, cfg: LintConfig) -> list[Finding]:
         for finding in rule.check(ctx, cfg):
             if ctx.is_allowed(finding.rule_id, finding.line):
                 continue
+            # Normalize to the *effective* severity so reports (--json,
+            # --sarif) match exit-code behavior even when a rule built
+            # its Finding directly instead of via Rule.finding().
+            if finding.severity is not severity:
+                finding = finding.with_severity(severity)
             findings.append(finding)
     return findings
 
@@ -91,29 +99,46 @@ def _run_rules(ctx: ModuleContext, cfg: LintConfig) -> list[Finding]:
 def lint_file(
     path: Path | str, cfg: LintConfig | None = None
 ) -> list[Finding]:
-    """Lint one file; raises ``SyntaxError`` on unparseable source."""
+    """Lint one file; raises ``SyntaxError`` on unparseable source.
+
+    A single-module project is built so interprocedural rules still see
+    same-file flows; use :func:`lint_paths` for cross-module analysis.
+    """
     path = Path(path)
     if cfg is None:
         cfg = load_config(path)
     source = path.read_text(encoding="utf-8")
     ctx = build_context(str(path), _rel_path(path), source)
+    build_project([ctx], entrypoints=cfg.parallel_entrypoints)
     return sort_findings(_run_rules(ctx, cfg))
 
 
 def lint_paths(
     paths: list[Path | str], cfg: LintConfig | None = None
 ) -> LintReport:
-    """Lint every Python file under *paths*."""
+    """Lint every Python file under *paths*.
+
+    All files are parsed first and a project-wide symbol table / call
+    graph is built over them (``ctx.project``), so the interprocedural
+    packs (XF/AS/FS304) see every cross-module edge of the run.
+    """
     resolved = [Path(p) for p in paths]
     if cfg is None:
         cfg = load_config(resolved[0] if resolved else None)
     report = LintReport()
+    contexts: list[ModuleContext] = []
     for path in iter_python_files(resolved):
+        report.files_checked += 1
         try:
-            report.findings.extend(lint_file(path, cfg))
+            source = path.read_text(encoding="utf-8")
+            contexts.append(build_context(str(path), _rel_path(path), source))
         except SyntaxError:
             report.parse_errors.append(str(path))
-        report.files_checked += 1
+    report.project = build_project(
+        contexts, entrypoints=cfg.parallel_entrypoints
+    )
+    for ctx in contexts:
+        report.findings.extend(_run_rules(ctx, cfg))
     report.findings = sort_findings(report.findings)
     return report
 

@@ -1,0 +1,627 @@
+"""Project-wide symbol table and call graph: the interprocedural backbone.
+
+Built once per lint run over every file in the run and attached to each
+:class:`~repro.analysis.context.ModuleContext` as ``ctx.project``, so
+rules can ask questions a single-file pass cannot answer:
+
+* *Which function does this call resolve to?* — imports (including
+  relative imports and ``__init__`` re-export chains), module-level
+  defs, methods reached through ``self``/``cls``, attributes whose type
+  was inferred from ``self.x = ClassName(...)``, and locals assigned
+  from known constructors are all resolved to qualified names.
+* *What is reachable from here?* — BFS over typed edges. Edge kinds:
+  ``call`` (direct invocation), ``ref`` (a function passed as a value —
+  a callback that may run later), ``executor`` (handed to
+  ``run_in_executor``/``submit``/``to_thread``: runs on the compute
+  thread, not the event loop), and ``task`` (submitted to a parallel
+  entrypoint: runs in a forked worker process). Rules pick which kinds
+  to traverse, which is what lets AS601 stop at the executor boundary
+  and FS304 follow a task closure into the worker.
+* *Which classes are lock-guarded?* — any class whose body constructs a
+  ``threading``/``asyncio`` lock is treated as having a documented
+  cross-thread handoff (AS603).
+
+Everything is resolved statically from the ASTs already parsed for the
+per-module rules; the analyzed code is never imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from .context import ModuleContext
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "ProjectContext",
+    "build_project",
+    "module_name_for",
+]
+
+#: Lock constructors whose presence in a class body marks the class as
+#: having an explicit cross-thread handoff discipline.
+_LOCK_FACTORIES = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "asyncio.Lock", "asyncio.Condition", "asyncio.Semaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+}
+
+#: Call basenames that hand their callable argument to another thread.
+_EXECUTOR_HOPS = {"run_in_executor", "to_thread", "submit"}
+
+#: Call basenames that schedule (rather than invoke) their argument.
+_SCHEDULERS = {"create_task", "ensure_future", "call_soon", "call_later",
+               "call_at", "add_done_callback"}
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the package structure on disk.
+
+    Walks up while ``__init__.py`` exists, so ``src/repro/serve/server.py``
+    becomes ``repro.serve.server`` regardless of the lint invocation's
+    working directory. A bare script resolves to its stem.
+    """
+    path = Path(path)
+    parts: list[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        new_parent = parent.parent
+        if new_parent == parent:  # filesystem root
+            break
+        parent = new_parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition anywhere in the project."""
+
+    qual: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: ModuleContext
+    #: Qualified name of the owning class for methods.
+    cls: str | None = None
+    #: Qualified name of the enclosing function for nested defs.
+    nested_in: str | None = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in [*a.posonlyargs, *a.args, *a.kwonlyargs]]
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, inferred attribute types, bases."""
+
+    qual: str
+    module: str
+    node: ast.ClassDef
+    ctx: ModuleContext
+    bases: list[str] = field(default_factory=list)
+    #: method name -> function qual.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: ``self.X`` attribute name -> inferred class qual.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: True when the class body constructs a threading/asyncio lock.
+    has_lock: bool = False
+
+
+@dataclass
+class CallSite:
+    """One typed edge of the call graph, anchored at a source location."""
+
+    caller: str            # qual of the enclosing function, or ``mod.<module>``
+    callee: str            # resolved qualified (or external dotted) name
+    kind: str              # "call" | "ref" | "executor" | "task"
+    node: ast.AST
+    ctx: ModuleContext
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+    @property
+    def col(self) -> int:
+        return getattr(self.node, "col_offset", 0)
+
+
+@dataclass
+class _Scope:
+    """Name-resolution environment inside one function body."""
+
+    self_cls: str | None = None
+    #: local variable -> class qual (``v = ClassName(...)``).
+    local_types: dict[str, str] = field(default_factory=dict)
+    #: locally-defined nested function name -> qual.
+    local_fns: dict[str, str] = field(default_factory=dict)
+
+
+class ProjectContext:
+    """Symbol table + call graph for every module of one lint run."""
+
+    def __init__(self, entrypoints: Iterable[str] = ("parallel_map",)) -> None:
+        self.entrypoints = tuple(entrypoints)
+        self.modules: dict[str, ModuleContext] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.calls: list[CallSite] = []
+        #: per-module resolved import table (relative imports expanded).
+        self.import_map: dict[str, dict[str, str]] = {}
+        self._edges: dict[str, list[CallSite]] = {}
+        self._rev_edges: dict[str, list[CallSite]] = {}
+        self._fn_by_node: dict[ast.AST, str] = {}
+        self._scopes: dict[str, _Scope] = {}
+        self._cache: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # shared per-run analysis cache (flow/async results are project-wide)
+
+    def cached(self, key: str, factory: Callable[[], Any]) -> Any:
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    def function(self, qual: str) -> FunctionInfo | None:
+        return self.functions.get(qual)
+
+    def enclosing_qual(self, ctx: ModuleContext, node: ast.AST) -> str:
+        """Qual of the function containing *node* (``mod.<module>`` at
+        module toplevel)."""
+        fn = ctx.enclosing_function(node)
+        if fn is not None and fn in self._fn_by_node:
+            return self._fn_by_node[fn]
+        return f"{ctx.module_name}.<module>"
+
+    def scope_of(self, qual: str) -> _Scope:
+        return self._scopes.get(qual, _Scope())
+
+    def edges_from(self, qual: str) -> list[CallSite]:
+        return self._edges.get(qual, [])
+
+    def callers_of(self, qual: str) -> list[CallSite]:
+        return self._rev_edges.get(qual, [])
+
+    def async_functions(self, ctx: ModuleContext | None = None) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            if info.is_async and (ctx is None or info.ctx is ctx):
+                yield info
+
+    # ------------------------------------------------------------------
+    # name resolution
+
+    def canonical(self, dotted: str, _depth: int = 0) -> str:
+        """Chase ``__init__`` re-exports: ``repro.gemm.TiledGEMM`` ->
+        ``repro.gemm.tiled.TiledGEMM``."""
+        if _depth > 16 or not dotted:
+            return dotted
+        if (
+            dotted in self.functions
+            or dotted in self.classes
+            or dotted in self.modules
+        ):
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            return dotted
+        if head in self.modules:
+            redirect = self.import_map.get(head, {}).get(tail)
+            if redirect is not None:
+                return self.canonical(redirect, _depth + 1)
+            return dotted
+        chased = self.canonical(head, _depth + 1)
+        if chased != head:
+            return self.canonical(f"{chased}.{tail}", _depth + 1)
+        return dotted
+
+    def _attr_of(self, qual: str, attr: str, _depth: int = 0) -> str | None:
+        """Resolve one attribute step against a known entity."""
+        if _depth > 16:
+            return None
+        cls = self.classes.get(qual)
+        if cls is not None:
+            if attr in cls.methods:
+                return cls.methods[attr]
+            if attr in cls.attr_types:
+                return cls.attr_types[attr]
+            for base in cls.bases:
+                found = self._attr_of(base, attr, _depth + 1)
+                if found is not None and (
+                    found in self.functions or found in self.classes
+                ):
+                    return found
+            return None
+        return None
+
+    def resolve(
+        self,
+        ctx: ModuleContext,
+        expr: ast.expr,
+        scope: _Scope | None = None,
+    ) -> str | None:
+        """Resolve a Name/Attribute (or call-of-constructor) chain to a
+        qualified project name or an external dotted name."""
+        scope = scope or _Scope()
+        attrs: list[str] = []
+        cur: ast.expr = expr
+        while isinstance(cur, ast.Attribute):
+            attrs.append(cur.attr)
+            cur = cur.value
+        attrs.reverse()
+
+        base: str | None
+        if isinstance(cur, ast.Name):
+            base = self._resolve_root(ctx, cur.id, scope)
+        elif isinstance(cur, ast.Call):
+            # ``ClassName(...).method`` — type of the constructed value.
+            inner = self.resolve(ctx, cur.func, scope)
+            base = inner if inner in self.classes else None
+        else:
+            return None
+        if base is None:
+            return None
+
+        qual = base
+        for i, attr in enumerate(attrs):
+            step = self._attr_of(qual, attr)
+            if step is None:
+                return self.canonical(".".join([qual, *attrs[i:]]))
+            qual = step
+        return qual
+
+    def _resolve_root(self, ctx: ModuleContext, name: str, scope: _Scope) -> str:
+        if name in ("self", "cls") and scope.self_cls:
+            return scope.self_cls
+        if name in scope.local_fns:
+            return scope.local_fns[name]
+        if name in scope.local_types:
+            return scope.local_types[name]
+        mod = ctx.module_name
+        local = f"{mod}.{name}"
+        if local in self.functions or local in self.classes:
+            return local
+        imported = self.import_map.get(mod, {}).get(name)
+        if imported is not None:
+            return self.canonical(imported)
+        return name
+
+    def resolve_call(self, ctx: ModuleContext, call: ast.Call) -> str | None:
+        """Resolve the callee of *call* using the scope of its enclosing
+        function (convenience for rules walking a module AST)."""
+        qual = self.enclosing_qual(ctx, call)
+        return self.resolve(ctx, call.func, self._scopes.get(qual))
+
+    # ------------------------------------------------------------------
+    # reachability
+
+    def reachable(
+        self,
+        starts: Iterable[str],
+        kinds: tuple[str, ...] = ("call",),
+        stop: Callable[[str], bool] | None = None,
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS over edges of the given kinds.
+
+        Returns reached qual -> path of quals from the nearest start.
+        ``stop(qual)`` prevents *expanding* a node (it is still reported
+        as reached) — how AS601 avoids re-attributing an awaited
+        coroutine's own blocking calls to its caller.
+        """
+        seen: dict[str, tuple[str, ...]] = {}
+        queue: deque[str] = deque()
+        for start in starts:
+            if start not in seen:
+                seen[start] = (start,)
+                queue.append(start)
+        while queue:
+            cur = queue.popleft()
+            if stop is not None and len(seen[cur]) > 1 and stop(cur):
+                continue
+            for site in self._edges.get(cur, ()):
+                if site.kind not in kinds:
+                    continue
+                if site.callee in seen:
+                    continue
+                seen[site.callee] = seen[cur] + (site.callee,)
+                if site.callee in self.functions:
+                    queue.append(site.callee)
+        return seen
+
+    # ------------------------------------------------------------------
+    # export
+
+    def to_json(self) -> str:
+        nodes = [
+            {
+                "qual": info.qual,
+                "module": info.module,
+                "file": info.ctx.rel_path,
+                "line": info.node.lineno,
+                "async": info.is_async,
+                "class": info.cls,
+            }
+            for _, info in sorted(self.functions.items())
+        ]
+        edges = [
+            {
+                "caller": site.caller,
+                "callee": site.callee,
+                "kind": site.kind,
+                "file": site.ctx.rel_path,
+                "line": site.line,
+            }
+            for site in self.calls
+        ]
+        return json.dumps(
+            {
+                "modules": sorted(self.modules),
+                "functions": nodes,
+                "edges": edges,
+            },
+            indent=2,
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _add_edge(self, site: CallSite) -> None:
+        self.calls.append(site)
+        self._edges.setdefault(site.caller, []).append(site)
+        self._rev_edges.setdefault(site.callee, []).append(site)
+
+
+def _resolve_import_base(module_name: str, is_package: bool, node: ast.ImportFrom) -> str:
+    """Absolute dotted base for an ``ImportFrom`` (relative levels expanded)."""
+    if node.level == 0:
+        return node.module or ""
+    parts = module_name.split(".") if module_name else []
+    anchor = parts if is_package else parts[:-1]
+    cut = len(anchor) - (node.level - 1)
+    anchor = anchor[: max(cut, 0)]
+    base = ".".join(anchor)
+    if node.module:
+        base = f"{base}.{node.module}" if base else node.module
+    return base
+
+
+def _collect_import_map(ctx: ModuleContext, is_package: bool) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_import_base(ctx.module_name, is_package, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                imports[alias.asname or alias.name] = target
+    return imports
+
+
+def _infer_type(
+    project: ProjectContext,
+    ctx: ModuleContext,
+    expr: ast.expr,
+    scope: _Scope,
+    _depth: int = 0,
+) -> str | None:
+    """Class qual of *expr*'s value, for the constructor patterns the
+    serving layer actually uses (``X()``, ``a or X()``, ``a if c else X()``)."""
+    if _depth > 8:
+        return None
+    if isinstance(expr, ast.Call):
+        qual = project.resolve(ctx, expr.func, scope)
+        return qual if qual in project.classes else None
+    if isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            found = _infer_type(project, ctx, value, scope, _depth + 1)
+            if found:
+                return found
+        return None
+    if isinstance(expr, ast.IfExp):
+        return _infer_type(project, ctx, expr.body, scope, _depth + 1) or _infer_type(
+            project, ctx, expr.orelse, scope, _depth + 1
+        )
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        qual = project.resolve(ctx, expr, scope)
+        if qual in project.classes:
+            # ``self.x = other.attr`` where attr's type is known.
+            return qual
+    return None
+
+
+def _collect_defs(project: ProjectContext, ctx: ModuleContext) -> None:
+    """First pass: register every function, method and class."""
+
+    def visit(body: list[ast.stmt], prefix: str, cls: str | None, nested_in: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{node.name}"
+                info = FunctionInfo(
+                    qual=qual,
+                    module=ctx.module_name,
+                    name=node.name,
+                    node=node,
+                    ctx=ctx,
+                    cls=cls,
+                    nested_in=nested_in,
+                )
+                # First definition wins (overloads/ifdefs keep the first).
+                project.functions.setdefault(qual, info)
+                project._fn_by_node[node] = qual
+                if cls is not None:
+                    project.classes[cls].methods.setdefault(node.name, qual)
+                visit(node.body, qual, None, qual)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{prefix}.{node.name}"
+                project.classes.setdefault(
+                    qual,
+                    ClassInfo(qual=qual, module=ctx.module_name, node=node, ctx=ctx),
+                )
+                visit(node.body, qual, qual, nested_in)
+            elif isinstance(node, (ast.If, ast.Try)):
+                # defs guarded by TYPE_CHECKING / import fallbacks.
+                for sub in ast.iter_child_nodes(node):
+                    if isinstance(sub, ast.stmt):
+                        visit([sub], prefix, cls, nested_in)
+
+    visit(ctx.tree.body, ctx.module_name, None, None)
+
+
+def _finish_classes(project: ProjectContext, ctx: ModuleContext) -> None:
+    """Second pass: bases, lock detection, ``self.X`` attribute types."""
+    for cls in project.classes.values():
+        if cls.ctx is not ctx:
+            continue
+        for base in cls.node.bases:
+            resolved = project.resolve(ctx, base) if isinstance(
+                base, (ast.Name, ast.Attribute)
+            ) else None
+            if resolved:
+                cls.bases.append(resolved)
+        scope = _Scope(self_cls=cls.qual)
+        for node in ast.walk(cls.node):
+            if isinstance(node, ast.Call):
+                dotted = project.resolve(ctx, node.func, scope)
+                if dotted in _LOCK_FACTORIES:
+                    cls.has_lock = True
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and value is not None
+            ):
+                inferred = _infer_type(project, ctx, value, scope)
+                if inferred:
+                    cls.attr_types.setdefault(target.attr, inferred)
+
+
+def _build_scope(project: ProjectContext, info: FunctionInfo) -> _Scope:
+    scope = _Scope(self_cls=info.cls)
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not info.node:
+            qual = project._fn_by_node.get(node)
+            if qual is not None and project.functions[qual].nested_in == info.qual:
+                scope.local_fns[node.name] = qual
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                inferred = _infer_type(project, info.ctx, node.value, scope)
+                if inferred:
+                    scope.local_types.setdefault(target.id, inferred)
+    return scope
+
+
+def _callable_args(call: ast.Call) -> Iterator[ast.expr]:
+    """Argument expressions of *call* that may carry a function value."""
+    for arg in call.args:
+        yield arg.value if isinstance(arg, ast.Starred) else arg
+    for kw in call.keywords:
+        if kw.value is not None:
+            yield kw.value
+
+
+def _collect_edges(project: ProjectContext, ctx: ModuleContext) -> None:
+    for call in ast.walk(ctx.tree):
+        if not isinstance(call, ast.Call):
+            continue
+        caller = project.enclosing_qual(ctx, call)
+        scope = project.scope_of(caller)
+        callee = project.resolve(ctx, call.func, scope)
+        basename = callee.rsplit(".", 1)[-1] if callee else ""
+        if callee:
+            project._add_edge(CallSite(caller, callee, "call", call, ctx))
+
+        # Callable handed to another thread: run_in_executor(ex, fn, ...)
+        # and friends. The function runs executor-side, not loop-side.
+        if basename in _EXECUTOR_HOPS:
+            idx = 1 if basename == "run_in_executor" else 0
+            if len(call.args) > idx:
+                target = project.resolve(ctx, call.args[idx], scope)
+                if target in project.functions:
+                    project._add_edge(
+                        CallSite(caller, target, "executor", call, ctx)
+                    )
+            continue
+
+        # Callable shipped to a forked worker via a parallel entrypoint.
+        if basename in project.entrypoints and call.args:
+            target = project.resolve(ctx, call.args[0], scope)
+            if target in project.functions:
+                project._add_edge(CallSite(caller, target, "task", call, ctx))
+            continue
+
+        # Any other function passed as a value (callbacks, schedulers):
+        # a "ref" edge — the function may run later in the same thread
+        # context as the caller.
+        for arg in _callable_args(call):
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                target = project.resolve(ctx, arg, scope)
+                if target in project.functions and target != callee:
+                    project._add_edge(CallSite(caller, target, "ref", call, ctx))
+
+
+def build_project(
+    contexts: Iterable[ModuleContext],
+    entrypoints: Iterable[str] = ("parallel_map",),
+) -> ProjectContext:
+    """Build the symbol table + call graph and attach it to every context."""
+    project = ProjectContext(entrypoints=entrypoints)
+    ctx_list = list(contexts)
+
+    for ctx in ctx_list:
+        if not ctx.module_name:
+            ctx.module_name = module_name_for(Path(ctx.path))
+        # Duplicate module names (two fixture trees): last one wins in the
+        # module table, but functions keep per-file identity via ctx.
+        project.modules[ctx.module_name] = ctx
+
+    for ctx in ctx_list:
+        is_package = Path(ctx.path).stem == "__init__"
+        project.import_map[ctx.module_name] = _collect_import_map(ctx, is_package)
+
+    for ctx in ctx_list:
+        _collect_defs(project, ctx)
+    for ctx in ctx_list:
+        _finish_classes(project, ctx)
+    for info in project.functions.values():
+        project._scopes[info.qual] = _build_scope(project, info)
+    for ctx in ctx_list:
+        _collect_edges(project, ctx)
+
+    for ctx in ctx_list:
+        ctx.project = project
+    return project

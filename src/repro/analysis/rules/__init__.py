@@ -4,10 +4,26 @@
 * ``DT2xx`` determinism (:mod:`.determinism`)
 * ``FS3xx`` fork-safety (:mod:`.forksafety`)
 * ``RH4xx`` resilience hygiene (:mod:`.hygiene`)
+* ``XF5xx`` exactness-flow taint (:mod:`.exactflow`)
+* ``AS6xx`` async-safety (:mod:`.asyncsafety`)
 """
 
 from __future__ import annotations
 
-from . import determinism, forksafety, hygiene, precision
+from . import (
+    asyncsafety,
+    determinism,
+    exactflow,
+    forksafety,
+    hygiene,
+    precision,
+)
 
-__all__ = ["precision", "determinism", "forksafety", "hygiene"]
+__all__ = [
+    "precision",
+    "determinism",
+    "forksafety",
+    "hygiene",
+    "exactflow",
+    "asyncsafety",
+]

@@ -10,12 +10,15 @@ released on all paths or the segment leaks until reboot.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..config import LintConfig
 from ..context import ModuleContext
 from ..findings import Finding
 from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph import ProjectContext
 
 _MUTATING_METHODS = {
     "append", "extend", "insert", "add", "update", "setdefault", "pop",
@@ -301,3 +304,127 @@ class SharedMemoryLifecycle(Rule):
                         ):
                             return True
         return False
+
+
+def _fn_mutation_sites(
+    ctx: ModuleContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+) -> Iterator[tuple[ast.AST, str]]:
+    """``(node, name)`` for every module-global mutation inside *fn*."""
+    mutables = _module_level_mutables(ctx)
+    shadows = {
+        arg.arg
+        for arg in [*fn.args.args, *fn.args.kwonlyargs, *fn.args.posonlyargs]
+    }
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            yield node, ", ".join(node.names)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                node.func.attr in _MUTATING_METHODS
+                and isinstance(base, ast.Name)
+                and base.id in mutables
+                and base.id not in shadows
+            ):
+                yield node, base.id
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutables
+                    and target.value.id not in shadows
+                ):
+                    yield node, target.value.id
+
+
+def _fs304_scan(
+    project: "ProjectContext", cfg: LintConfig
+) -> list[tuple[ast.AST, ModuleContext, str]]:
+    """``(parallel-call node, its ctx, message)`` per transitive mutation."""
+    hits: list[tuple[ast.AST, ModuleContext, str]] = []
+    seen: set[tuple[int, str, int]] = set()
+    for site in project.calls:
+        if site.kind != "task":
+            continue
+        task = project.functions.get(site.callee)
+        if task is None:
+            continue
+        reach = project.reachable(
+            [site.callee],
+            kinds=("call", "ref"),
+            stop=lambda q: q.rsplit(".", 1)[-1] in cfg.parallel_entrypoints,
+        )
+        for qual, path in sorted(reach.items()):
+            if len(path) < 2:
+                continue  # depth 0 is FS302's one-hop territory
+            fn = project.functions.get(qual)
+            if fn is None or fn.name in cfg.parallel_entrypoints:
+                continue
+            for node, name in _fn_mutation_sites(fn.ctx, fn.node):
+                line = getattr(node, "lineno", 0)
+                if fn.ctx.is_allowed("FS304", line) or fn.ctx.is_allowed(
+                    "FS302", line
+                ):
+                    continue
+                key = (id(site.node), qual, line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = " -> ".join(q.rsplit(".", 1)[-1] for q in path)
+                hits.append(
+                    (
+                        site.node,
+                        site.ctx,
+                        f"task {task.name!r} transitively mutates "
+                        f"module-level {name!r} in {fn.name}() "
+                        f"({fn.ctx.rel_path}:{line}) via [{chain}]; the "
+                        "write happens in the forked worker and is lost",
+                    )
+                )
+    return hits
+
+
+@register
+class TransitiveWorkerMutation(Rule):
+    """FS304: a parallel task reaches module-global mutation transitively.
+
+    FS302 sees one hop: the task function's own body. Worker code paths
+    are deeper — the task calls helpers (possibly in other modules) that
+    mutate module-level caches or counters, and that state diverges
+    silently between the parent and the forked children. This rule
+    follows the call graph (including functions passed as values) from
+    every ``parallel_map`` task; a chain that re-enters a parallel
+    entrypoint stops there (nested fan-out collapses to the serial path
+    inside a worker, and the pool internals manage their own globals).
+
+    A genuinely fork-safe mutation (e.g. a per-worker memo cache whose
+    misses recompute bit-identically) is suppressed at the *mutation
+    site* with ``# repro: allow[FS304] <reason>`` — one annotation
+    covers every fan-out that reaches it.
+    """
+
+    rule_id = "FS304"
+    pack = "fork-safety"
+    summary = "parallel task transitively mutates module-level state"
+
+    def applies_to(self, ctx: ModuleContext, cfg: LintConfig) -> bool:
+        return ctx.project is not None
+
+    def check(self, ctx: ModuleContext, cfg: LintConfig) -> Iterator[Finding]:
+        project = ctx.project
+        assert project is not None
+        hits = project.cached("fs304", lambda: _fs304_scan(project, cfg))
+        for node, site_ctx, message in hits:
+            if site_ctx is not ctx:
+                continue
+            yield self.finding(
+                ctx,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                message,
+                cfg,
+            )

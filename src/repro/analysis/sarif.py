@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 export for ``repro lint --sarif``.
+
+The static-analysis interchange format GitHub code scanning and most
+CI annotation tooling consume. One run, one driver (``repro-lint``),
+every registered rule listed with its summary, one result per finding.
+Parse errors surface as tool-level notifications so a broken file fails
+visibly in dashboards, not just via the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+from .findings import Severity
+from .registry import all_rules
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.OFF: "none",
+}
+
+
+def to_sarif(report: LintReport) -> dict:
+    """Build the SARIF log object for one lint run."""
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"pack": rule.pack},
+            "defaultConfiguration": {
+                "level": _LEVELS[rule.default_severity]
+            },
+        }
+        for rule in all_rules()
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index.get(finding.rule_id, -1),
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"parse error in {path}"},
+        }
+        for path in report.parse_errors
+    ]
+
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/m3xu-repro/m3xu-repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.parse_errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    return json.dumps(to_sarif(report), indent=2)

@@ -24,11 +24,13 @@ Commands
     Tabulate the Section IV-C higher-bitwidth design points.
 ``peaks [--gpu a100|h100|mi100]``
     Print the device peak-throughput table (Table I).
-``lint [paths...] [--fix] [--json] [--list-rules]``
+``lint [paths...] [--fix] [--json] [--list-rules] [--graph OUT] [--sarif OUT]``
     Run the repo's static-analysis rule packs (precision-safety,
-    determinism, fork-safety, resilience hygiene) over the given paths
-    (default: ``src``). Exits 0 when clean (warnings allowed), 1 on any
-    error-severity finding, 2 on usage errors — CI-grade.
+    determinism, fork-safety, resilience hygiene, exactness-flow,
+    async-safety) over the given paths (default: ``src``). ``--graph``
+    dumps the interprocedural call graph as JSON; ``--sarif`` writes
+    SARIF 2.1.0 for CI annotations. Exits 0 when clean (warnings
+    allowed), 1 on any error-severity finding, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -177,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable findings on stdout")
     lint.add_argument("--list-rules", action="store_true", dest="list_rules",
                       help="print every registered rule and exit")
+    lint.add_argument("--graph", metavar="OUT.json", default=None,
+                      dest="graph_out",
+                      help="dump the project call graph (symbol table + "
+                           "typed edges) to a JSON file")
+    lint.add_argument("--sarif", metavar="OUT.sarif", default=None,
+                      dest="sarif_out",
+                      help="write findings as SARIF 2.1.0 for CI "
+                           "annotation upload")
     return p
 
 
@@ -342,6 +352,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if applied:
             print(f"applied {applied} fix(es); re-linting", file=sys.stderr)
         report = lint_paths(list(paths), cfg)
+    if args.graph_out:
+        Path(args.graph_out).write_text(
+            report.project.to_json(), encoding="utf-8"
+        )
+        print(f"repro lint: call graph written to {args.graph_out}",
+              file=sys.stderr)
+    if args.sarif_out:
+        from .analysis import render_sarif
+
+        Path(args.sarif_out).write_text(
+            render_sarif(report), encoding="utf-8"
+        )
+        print(f"repro lint: SARIF written to {args.sarif_out}",
+              file=sys.stderr)
     if args.as_json:
         print(json.dumps(
             {
@@ -378,8 +402,9 @@ def _cmd_serve(args) -> int:
     elif cfg.port == 0:
         cfg.port = 8135
 
+    server = GemmServer(cfg)
+
     async def _run() -> int:
-        server = GemmServer(cfg)
         await server.start()
         print(f"repro serve: listening on {cfg.host}:{server.port} "
               f"(degrade={cfg.degrade}, max_queue={cfg.max_queue}, "
@@ -388,12 +413,19 @@ def _cmd_serve(args) -> int:
             await server.serve_forever()
         finally:
             await server.stop()
-            if args.run_table:
-                rows = server.run_table.write_csv(args.run_table)
-                print(f"repro serve: wrote {rows} rows to {args.run_table}")
         return 0
 
-    return asyncio.run(_run())
+    try:
+        code = asyncio.run(_run())
+    finally:
+        # The CSV write is blocking file I/O: it runs after the event
+        # loop has exited, never on it (AS601) — and in a finally so an
+        # interrupt still flushes the table (the exit-130 contract keeps
+        # run tables and journals intact).
+        if args.run_table:
+            rows = server.run_table.write_csv(args.run_table)
+            print(f"repro serve: wrote {rows} rows to {args.run_table}")
+    return code
 
 
 def _cmd_loadgen(args) -> int:

@@ -255,6 +255,9 @@ def accumulate_mma(
     if acc_bits is None:
         # FP64-mode accumulation registers are FP64; keep the legacy plain
         # float64 sum (bit-identical ordering included).
+        # repro: allow[XF503] this .sum() IS the FP64-mode reference
+        # semantics: fixed left-to-right float64 accumulation, bit-identical
+        # to the scalar oracle — the windowed integer path has no FP64 mode.
         wide = np.concatenate(groups + [c_b], axis=-1).sum(axis=-1)
     else:
         wide = aligned_sum_groups(groups + [c_b], acc_bits=acc_bits, mode=rounding)

@@ -249,8 +249,13 @@ def _exec_job(payload: dict[str, Any]) -> np.ndarray:
     abft = True if poisoned else bool(payload.get("abft", False))
     op = payload["op"]
     if op == "gemm":
+        # repro: allow[AS604] runs inside the pool worker; the deadline is
+        # enforced by the outer parallel_map that shipped this job, and a
+        # nested fan-out collapses to the serial in-worker path anyway.
         return batched_mxu_sgemm(payload["a"], payload["b"], mxu=unit, abft=abft)
     if op == "cgemm":
+        # repro: allow[AS604] same contract as the gemm branch above: the
+        # outer parallel_map deadline covers this nested (serial) call.
         return batched_mxu_cgemm(payload["a"], payload["b"], mxu=unit, abft=abft)
     if op == "fft":
         from ..apps.fft import gemm_fft
@@ -343,6 +348,7 @@ class GemmServer:
         self._inflight: set[asyncio.Task[None]] = set()
         self._connections: set[asyncio.StreamWriter] = set()
         self._fault_dir: tempfile.TemporaryDirectory[str] | None = None
+        self._stop_task: asyncio.Task[None] | None = None
         self._abft_on = resolve_abft(cfg.abft)
 
     # ------------------------------------------------------------------
@@ -481,7 +487,11 @@ class GemmServer:
             if not self.config.allow_shutdown:
                 return {"id": request_id, "status": "ERROR",
                         "reason": "shutdown_not_allowed"}
-            asyncio.get_running_loop().create_task(self.stop())
+            # Keep a strong reference: asyncio holds running tasks only
+            # weakly, and the drain must outlive this handler returning.
+            self._stop_task = asyncio.get_running_loop().create_task(
+                self.stop()
+            )
             return {"id": request_id, "status": "OK", "result": "stopping"}
 
         record = RequestRecord(request_id=request_id, op=op)

@@ -1,0 +1,11 @@
+"""Known-bad: coroutine reaches blocking ``open()`` via a sync helper
+without an executor hop (AS601)."""
+
+
+def _load(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def handle(path):
+    return _load(path)

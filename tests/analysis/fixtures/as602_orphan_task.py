@@ -1,0 +1,12 @@
+"""Known-bad: ``create_task`` handle neither awaited nor stored (AS602)."""
+
+import asyncio
+
+
+async def job():
+    await asyncio.sleep(0)
+
+
+async def main():
+    asyncio.create_task(job())
+    await asyncio.sleep(0)

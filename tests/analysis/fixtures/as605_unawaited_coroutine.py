@@ -1,0 +1,12 @@
+"""Known-bad: coroutine called like a plain function (AS605)."""
+
+import asyncio
+
+
+async def warmup():
+    await asyncio.sleep(0)
+
+
+async def main():
+    warmup()
+    await asyncio.sleep(0)

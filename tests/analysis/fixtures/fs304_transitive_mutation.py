@@ -1,0 +1,19 @@
+"""Known-bad: parallel task mutates a module global through a helper
+(FS304) — one hop deeper than FS302 can see."""
+
+from repro.parallel import parallel_map
+
+_CACHE = {}
+
+
+def _memo(x):
+    _CACHE[x] = x * x
+    return _CACHE[x]
+
+
+def task(x):
+    return _memo(x)
+
+
+def run(items):
+    return parallel_map(task, items, timeout=5.0)

@@ -1,0 +1,16 @@
+"""Known-bad: an exact windowed sum collapsed with ``float()`` (XF501).
+
+The exact value crosses a helper boundary first — the per-function
+PS1xx rules cannot see this; the interprocedural flow pass must.
+"""
+
+from repro.arith.accumulator import aligned_sum_groups
+
+
+def _reduce(groups):
+    return aligned_sum_groups(groups, acc_bits=48)
+
+
+def collapse(groups):
+    wide = _reduce(groups)
+    return float(wide)

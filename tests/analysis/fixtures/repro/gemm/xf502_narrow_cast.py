@@ -1,0 +1,14 @@
+"""Known-bad: exact significand fields narrowed with ``astype`` (XF502)."""
+
+import numpy as np
+
+from repro.mxu.vectorized import split_fp32_fields
+
+
+def _fields(x):
+    return split_fp32_fields(x)
+
+
+def narrow(x):
+    sign, hi, lo = _fields(x)
+    return hi.astype(np.float32)

@@ -1,0 +1,18 @@
+"""Known-bad: lane products reduced with ``np.sum`` (XF503).
+
+Float summation order changes the result; the datapath's reduction is
+the shift-aligned windowed accumulate, never a native sum.
+"""
+
+import numpy as np
+
+from repro.mxu.dataflow import lane_products
+
+
+def _products(a_parts, b_parts, mode):
+    return lane_products(a_parts, b_parts, mode)
+
+
+def reduce_lanes(a_parts, b_parts, mode):
+    prods = _products(a_parts, b_parts, mode)
+    return np.sum(prods["acc0"], axis=-1)

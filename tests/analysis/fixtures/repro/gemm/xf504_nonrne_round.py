@@ -1,0 +1,14 @@
+"""Known-bad: non-RNE rounding of an exact window sum (XF504)."""
+
+import numpy as np
+
+from repro.arith.accumulator import aligned_sum
+
+
+def _window(addends):
+    return aligned_sum(addends, acc_bits=48)
+
+
+def truncate(addends):
+    wide = _window(addends)
+    return np.trunc(wide)

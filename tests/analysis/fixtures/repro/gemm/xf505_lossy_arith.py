@@ -1,0 +1,12 @@
+"""Known-bad: native division on an exact dot product (XF505)."""
+
+from repro.arith.exact import exact_dot
+
+
+def _dot(a, b):
+    return exact_dot(a, b)
+
+
+def normalize(a, b, scale):
+    acc = _dot(a, b)
+    return acc / scale

@@ -1,0 +1,22 @@
+"""Known-bad: counter mutated from both the event loop and the executor
+thread with no lock anywhere (AS603)."""
+
+import asyncio
+
+
+class Stats:
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+    async def tick(self):
+        self.count += 1
+
+
+async def run():
+    stats = Stats()
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, stats.bump)
+    await stats.tick()

@@ -1,0 +1,11 @@
+"""Known-bad: serve-side pool fan-out that drops the deadline (AS604)."""
+
+from repro.parallel import parallel_map
+
+
+def _task(x):
+    return x + 1
+
+
+def handle(items):
+    return parallel_map(_task, items)

@@ -1,0 +1,12 @@
+"""Cross-module exactness-flow fixture: the helper that launders taint.
+
+``reduce_exact`` returns a value straight out of the bit-exact domain;
+every lossy sink lives one *module* away in ``sinks.py``, so only the
+interprocedural summary pass can connect them.
+"""
+
+from repro.arith.accumulator import aligned_sum_groups
+
+
+def reduce_exact(groups):
+    return aligned_sum_groups(groups, acc_bits=48)

@@ -1,0 +1,25 @@
+"""Known-bad cross-module sinks: one per XF rule, helper in helpers.py."""
+
+import numpy as np
+
+from .helpers import reduce_exact
+
+
+def to_native_float(groups):
+    return float(reduce_exact(groups))
+
+
+def narrow_cast(groups):
+    return np.float32(reduce_exact(groups))
+
+
+def unordered_resum(groups):
+    return sum(reduce_exact(groups))
+
+
+def floor_round(groups):
+    return np.floor(reduce_exact(groups))
+
+
+def lossy_scale(groups):
+    return reduce_exact(groups) / 3.0

@@ -1,0 +1,5 @@
+"""Adversarial call-graph fixture package (re-export chain)."""
+
+from .alpha import ping
+
+__all__ = ["ping"]

@@ -1,0 +1,21 @@
+"""One half of a deliberate import cycle, plus self-method dispatch."""
+
+from . import beta
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return beta.pong(n - 1)
+
+
+class Engine:
+    def __init__(self):
+        self.steps = 0
+
+    def helper(self, n):
+        self.steps += 1
+        return n
+
+    def run(self, n):
+        return self.helper(n)

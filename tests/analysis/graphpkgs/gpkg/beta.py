@@ -1,0 +1,7 @@
+"""Other half of the cycle; imports through an ``as`` alias."""
+
+from .alpha import ping as bounce
+
+
+def pong(n):
+    return bounce(n)

@@ -1,0 +1,11 @@
+"""A function handed *as a value* into the pool entrypoint."""
+
+from repro.parallel import parallel_map
+
+
+def work(x):
+    return x * x
+
+
+def fan_out(items):
+    return parallel_map(work, items, timeout=5.0)

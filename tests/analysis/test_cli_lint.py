@@ -65,6 +65,49 @@ def test_json_output(capsys):
     assert payload["findings"][0]["line"] == 8
 
 
+def test_json_reports_effective_severity(tmp_path, capsys):
+    """A config severity override must show up in --json output (CI
+    dashboards have to match exit-code behavior, not registry defaults)."""
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint.severity]\nRH402 = \"warning\"\n", encoding="utf-8"
+    )
+    target = tmp_path / "f.py"
+    target.write_text(
+        "import pickle\n\ndef f(b):\n    return pickle.loads(b)\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--json", str(target)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 0
+    assert [f["severity"] for f in payload["findings"]] == ["warning"]
+
+
+def test_graph_flag_dumps_call_graph(tmp_path, capsys):
+    out = tmp_path / "graph.json"
+    assert main(
+        ["lint", "--graph", str(out), str(FIXTURES / "repro/types/clean_ok.py")]
+    ) == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert set(payload) == {"modules", "functions", "edges"}
+    assert "call graph written" in capsys.readouterr().err
+
+
+def test_sarif_flag_writes_sarif(tmp_path, capsys):
+    out = tmp_path / "lint.sarif"
+    assert main(
+        ["lint", "--sarif", str(out), str(FIXTURES / "rh402_raw_pickle.py")]
+    ) == 1
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["RH402", "RH402"]
+    assert all(r["level"] == "error" for r in results)
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 8
+
+
 def test_fix_flag_applies_and_relints(tmp_path, capsys):
     out = tmp_path / "rh401.py"
     out.write_text(

@@ -20,14 +20,16 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 
 class TestRegistry:
-    def test_all_fourteen_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
         assert ids == sorted(ids)
         assert set(ids) == {
             "PS101", "PS102", "PS103", "PS104", "PS105",
             "DT201", "DT202", "DT203",
-            "FS301", "FS302", "FS303",
+            "FS301", "FS302", "FS303", "FS304",
             "RH401", "RH402", "RH403",
+            "XF501", "XF502", "XF503", "XF504", "XF505",
+            "AS601", "AS602", "AS603", "AS604", "AS605",
         }
 
     def test_rules_carry_pack_and_summary(self):
@@ -125,6 +127,36 @@ class TestInlineAllow:
             encoding="utf-8",
         )
         assert [f.rule_id for f in lint_file(out, LintConfig())] == ["RH402"]
+
+    _DECORATED_ASYNC = (
+        "import time\n"
+        "\n"
+        "def deco(f):\n"
+        "    return f\n"
+        "\n"
+        "{allow}"
+        "@deco\n"
+        "async def handler():\n"
+        "    time.sleep(1)\n"
+    )
+
+    def test_allow_above_decorator_attaches_to_def(self, tmp_path):
+        # Regression: the contiguous comment-block scan used to stop at
+        # the decorator, so an allow placed above `@deco` never reached
+        # the `async def` the finding is anchored at.
+        out = tmp_path / "f.py"
+        out.write_text(
+            self._DECORATED_ASYNC.format(
+                allow="# repro: allow[AS601] demo handler, blocking on purpose\n"
+            ),
+            encoding="utf-8",
+        )
+        assert lint_file(out, LintConfig()) == []
+
+    def test_decorated_def_without_allow_still_fires(self, tmp_path):
+        out = tmp_path / "f.py"
+        out.write_text(self._DECORATED_ASYNC.format(allow=""), encoding="utf-8")
+        assert [f.rule_id for f in lint_file(out, LintConfig())] == ["AS601"]
 
 
 class TestReport:

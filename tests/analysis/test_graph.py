@@ -1,0 +1,101 @@
+"""Call-graph construction on adversarial shapes.
+
+The fixture package under ``graphpkgs/gpkg`` bakes in the shapes the
+satellite list calls out: a genuine import cycle (``alpha`` <->
+``beta``), ``from x import y as z`` aliasing, methods dispatched through
+``self``, a package ``__init__`` re-export chain, and a function passed
+*as a value* into ``parallel_map``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import build_context
+from repro.analysis.graph import ProjectContext, build_project, module_name_for
+
+GRAPHPKGS = Path(__file__).parent / "graphpkgs"
+
+
+@pytest.fixture(scope="module")
+def project() -> ProjectContext:
+    contexts = []
+    for path in sorted(GRAPHPKGS.rglob("*.py")):
+        contexts.append(
+            build_context(str(path), path.as_posix(), path.read_text(encoding="utf-8"))
+        )
+    return build_project(contexts, entrypoints=("parallel_map",))
+
+
+class TestModuleNames:
+    def test_package_module_names_from_disk_layout(self):
+        assert module_name_for(GRAPHPKGS / "gpkg" / "alpha.py") == "gpkg.alpha"
+        assert module_name_for(GRAPHPKGS / "gpkg" / "__init__.py") == "gpkg"
+
+    def test_bare_script_resolves_to_stem(self, tmp_path):
+        script = tmp_path / "standalone.py"
+        script.write_text("x = 1\n", encoding="utf-8")
+        assert module_name_for(script) == "standalone"
+
+
+class TestCyclicImports:
+    def test_all_modules_and_defs_collected_despite_cycle(self, project):
+        assert {"gpkg", "gpkg.alpha", "gpkg.beta", "gpkg.fan"} <= set(project.modules)
+        assert "gpkg.alpha.ping" in project.functions
+        assert "gpkg.beta.pong" in project.functions
+
+    def test_reachability_terminates_on_cycle(self, project):
+        reached = project.reachable(["gpkg.alpha.ping"])
+        # ping -> pong -> ping: the cycle is walked once, not forever.
+        assert set(reached) == {"gpkg.alpha.ping", "gpkg.beta.pong"}
+        assert reached["gpkg.beta.pong"] == ("gpkg.alpha.ping", "gpkg.beta.pong")
+
+
+class TestAliasedImports:
+    def test_import_as_alias_resolves_to_target(self, project):
+        assert project.import_map["gpkg.beta"]["bounce"] == "gpkg.alpha.ping"
+
+    def test_call_through_alias_becomes_edge(self, project):
+        callees = [s.callee for s in project.edges_from("gpkg.beta.pong")]
+        assert callees == ["gpkg.alpha.ping"]
+
+    def test_init_reexport_chased_to_definition(self, project):
+        assert project.canonical("gpkg.ping") == "gpkg.alpha.ping"
+
+
+class TestSelfDispatch:
+    def test_method_call_through_self_resolves(self, project):
+        callees = [s.callee for s in project.edges_from("gpkg.alpha.Engine.run")]
+        assert callees == ["gpkg.alpha.Engine.helper"]
+
+    def test_method_info_carries_owning_class(self, project):
+        info = project.function("gpkg.alpha.Engine.helper")
+        assert info is not None and info.is_method
+        assert info.cls == "gpkg.alpha.Engine"
+
+
+class TestTaskEdges:
+    def test_function_passed_into_parallel_map_is_task_edge(self, project):
+        edges = project.edges_from("gpkg.fan.fan_out")
+        kinds = {(s.callee, s.kind) for s in edges}
+        assert ("gpkg.fan.work", "task") in kinds
+        assert ("repro.parallel.parallel_map", "call") in kinds
+
+    def test_task_edges_not_walked_as_calls(self, project):
+        reached = project.reachable(["gpkg.fan.fan_out"], kinds=("call",))
+        assert "gpkg.fan.work" not in reached
+        reached = project.reachable(["gpkg.fan.fan_out"], kinds=("call", "task"))
+        assert "gpkg.fan.work" in reached
+
+
+class TestExport:
+    def test_to_json_round_trips(self, project):
+        payload = json.loads(project.to_json())
+        assert set(payload) == {"modules", "functions", "edges"}
+        quals = {n["qual"] for n in payload["functions"]}
+        assert "gpkg.alpha.Engine.run" in quals
+        assert any(
+            e["caller"] == "gpkg.fan.fan_out" and e["kind"] == "task"
+            for e in payload["edges"]
+        )

@@ -27,9 +27,20 @@ EXPECTED = {
     "fs301_lambda_task.py": [("FS301", 11), ("FS301", 16)],
     "fs302_global_mutation.py": [("FS302", 10), ("FS302", 11), ("FS302", 12)],
     "fs303_shm_leak.py": [("FS303", 7)],
+    "fs304_transitive_mutation.py": [("FS304", 19)],
     "rh401_bare_except.py": [("RH401", 8)],
     "rh402_raw_pickle.py": [("RH402", 8), ("RH402", 12)],
     "rh403_silent_swallow.py": [("RH403", 7)],
+    "repro/gemm/xf501_float_cast.py": [("XF501", 16)],
+    "repro/gemm/xf502_narrow_cast.py": [("XF502", 14)],
+    "repro/gemm/xf503_unordered_sum.py": [("XF503", 18)],
+    "repro/gemm/xf504_nonrne_round.py": [("XF504", 14)],
+    "repro/gemm/xf505_lossy_arith.py": [("XF505", 12)],
+    "as601_blocking_coroutine.py": [("AS601", 10)],
+    "as602_orphan_task.py": [("AS602", 11)],
+    "repro/serve/as603_shared_state_race.py": [("AS603", 12)],
+    "repro/serve/as604_missing_timeout.py": [("AS604", 11)],
+    "as605_unawaited_coroutine.py": [("AS605", 11)],
     "repro/types/clean_ok.py": [],
 }
 
