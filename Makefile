@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint lint-graph lint-sarif bench report examples clean
+.PHONY: install test lint lint-graph lint-sarif bench bench-check report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,10 @@ lint-sarif:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Gate fresh BENCH_*.json tables against the committed baselines.
+bench-check:
+	$(PY) benchmarks/bench_regression.py
 
 report:
 	$(PY) examples/paper_report.py

@@ -29,16 +29,19 @@ from __future__ import annotations
 import json
 import os
 import time
+from multiprocessing import shared_memory
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import parallel
 from repro.gemm.batched import _batched_legacy, batched_mxu_cgemm, batched_mxu_sgemm
 from repro.gemm.tiled import TiledGEMM
 from repro.mxu.m3xu import M3XU
 from repro.mxu.modes import MXUMode
 from repro.mxu.parallel_bitlevel import resolve_bitlevel_chunk, sharded_bitlevel_gemm
+from repro.mxu.split_cache import DEFAULT_SPLIT_CACHE, SPLIT_CACHE_ENV
 from repro.mxu.vectorized import BitLevelMXU
 from repro.parallel import resolve_workers
 from repro.resilience.campaign import BITLEVEL_STAGES, CampaignConfig, run_campaign
@@ -55,11 +58,13 @@ if SMOKE:
     BATCH_S, BATCH_C = (8, 24), (6, 16)
     BITLEVEL_N, BITLEVEL_COLS = 24, 2
     CAMPAIGN_TRIALS, CAMPAIGN_SLICE, CAMPAIGN_DIM = 5, 5, 16
+    SPLITC_B, SPLITC_N, SPLITC_P = 6, 48, 4
 else:
     SGEMM_N, CGEMM_N = 512, 256
     BATCH_S, BATCH_C = (32, 64), (24, 48)
     BITLEVEL_N, BITLEVEL_COLS = 256, 2
     CAMPAIGN_TRIALS, CAMPAIGN_SLICE, CAMPAIGN_DIM = 200, 20, 32
+    SPLITC_B, SPLITC_N, SPLITC_P = 16, 512, 8
 
 _RESULTS: list[dict] = []
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
@@ -275,3 +280,63 @@ def test_bitlevel_campaign(benchmark):
     _record("bitlevel_vector_campaign", f"{trials}x({d}x{d}x{d})", "fp32",
             legacy_s, fast_s, 10.0, engine="bitlevel:vector")
     _RESULTS[-1]["extrapolated"] = f"scalar timed on {sl}/{trials} trials"
+
+
+def test_split_cache_repeated_operand(benchmark):
+    """Warm operand split cache vs cold split on a repeated-A workload.
+
+    The fixed-weights serving pattern: a batch of ``SPLITC_B`` GEMMs
+    sharing one A operand (a stack of byte-identical slices) against
+    streaming skinny B panels. Cold disables ``REPRO_SPLIT_CACHE`` so
+    every call re-quantises and re-splits the full 3-D stack; warm lets
+    :class:`~repro.gemm.plan.OperandSplit` dedupe the identical slices
+    to one cached 2-D split broadcast across the batch. Bit-identity is
+    asserted between the two timed paths before anything reaches the
+    JSON, and the arena-hygiene contract — zero leaked shared-memory
+    segments after ``parallel.shutdown()`` — is proven by name.
+    """
+    bsz, n, p = SPLITC_B, SPLITC_N, SPLITC_P
+    rng = np.random.default_rng(21)
+    a = np.stack([quantize(rng.standard_normal((n, n)), FP32)] * bsz)
+    b = rng.standard_normal((bsz, n, p))
+
+    os.environ[SPLIT_CACHE_ENV] = "0"
+    try:
+        DEFAULT_SPLIT_CACHE.clear()
+        cold_s, want = _timed(lambda: batched_mxu_sgemm(a, b))
+    finally:
+        os.environ.pop(SPLIT_CACHE_ENV, None)
+
+    DEFAULT_SPLIT_CACHE.clear()
+    batched_mxu_sgemm(a, b)  # populate the cache once
+    got = benchmark.pedantic(batched_mxu_sgemm, args=(a, b), rounds=3, iterations=1)
+    warm_s, got_timed = _timed(lambda: batched_mxu_sgemm(a, b))
+
+    # Bit-identity on the timed slice, before anything reaches the JSON.
+    assert got.tobytes() == want.tobytes()
+    assert got_timed.tobytes() == want.tobytes()
+    info = DEFAULT_SPLIT_CACHE.info()
+    assert info["hits"] > 0, "warm batched GEMM never hit the split cache"
+    _record("split_cache_batched", f"{bsz}x({n}x{n}x{p})", "fp32",
+            cold_s, warm_s, 3.0)
+    _RESULTS[-1]["split_cache"] = {"hits": info["hits"], "misses": info["misses"]}
+
+    # Arena hygiene: publish a segment through the sharded bit-level
+    # path, then prove shutdown() unlinks it — attaching by name must
+    # fail for every segment the arena ever held.
+    an = 24 if SMOKE else 48
+    aq = quantize(rng.standard_normal((an, an)), FP32)
+    bq = quantize(rng.standard_normal((an, an)), FP32)
+    fresh = sharded_bitlevel_gemm(aq, bq, engine="vector", workers=2, chunk=an // 2)
+    assert fresh.tobytes() == sharded_bitlevel_gemm(
+        aq, bq, engine="vector", workers=1
+    ).tobytes()
+    names = parallel.arena_info()["segments"]
+    assert names, "sharded dispatch never published to the operand arena"
+    parallel.shutdown()
+    assert parallel.arena_info()["entries"] == 0
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            # repro: allow[FS303] the attach must raise — this is the
+            # zero-leaked-segments assertion itself.
+            shared_memory.SharedMemory(name=name)

@@ -1,0 +1,194 @@
+"""Benchmark regression gate: fresh BENCH_*.json vs the committed baseline.
+
+The bench suites (``bench_hotpath.py``, ``bench_parallel.py``,
+``bench_serve.py``) write machine-readable measurement tables to the
+repo root, and those tables are committed — so every checkout carries
+the last accepted performance envelope. This tool re-reads the fresh
+working-tree tables, pulls the committed baselines out of git
+(``git show <ref>:<file>``), aligns the rows, and fails when a
+measurement regresses past tolerance:
+
+* **time-like** metrics (keys ending ``_s`` / ``_ms``) are bounded from
+  above: ``fresh <= baseline * tolerance``;
+* **ratio-like** metrics (``speedup``, ``warm_speedup``, ``vs_serial``,
+  ``hit_rate``, ``repeat_hit_rate``, ``throughput_rps``) are bounded
+  from below: ``fresh >= baseline / tolerance``;
+* everything else (counters, shapes, flags) is compared structurally:
+  every baseline key must still exist with the same JSON type. New keys
+  and new rows in the fresh tables are always allowed.
+
+Rows inside lists are aligned by their identity key (``name``,
+``workers`` or ``rate``) so reordering or appending rows never
+misattributes a measurement. When the smoke flags of baseline and fresh
+disagree (CI smoke run against full committed numbers, or vice versa)
+the numeric checks are skipped and only the structural comparison runs
+— toy shapes are not comparable to full ones.
+
+Exit codes: 0 all within tolerance, 1 regression, 2 usage/IO trouble.
+
+Usage::
+
+    python benchmarks/bench_regression.py [--ref HEAD] [--tolerance 1.75]
+                                          [BENCH_hotpath.json ...]
+
+``make bench-check`` runs it with the defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The committed measurement tables guarded by default.
+DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_parallel.json", "BENCH_serve.json")
+
+#: Headroom factor. Wall times flutter with machine load; the committed
+#: numbers are best-of-N, so honest regressions blow well past this.
+DEFAULT_TOLERANCE = 1.75
+
+#: Serving latencies include queueing under deliberate overload — far
+#: noisier than kernel wall times, so they get extra headroom.
+FILE_TOLERANCE = {"BENCH_serve.json": 3.0}
+
+#: Metrics where *smaller* is a regression (checked as lower bounds).
+RATIO_KEYS = frozenset(
+    ("speedup", "warm_speedup", "vs_serial", "hit_rate", "repeat_hit_rate",
+     "throughput_rps")
+)
+
+#: List-row identity keys, in lookup order.
+IDENTITY_KEYS = ("name", "workers", "rate")
+
+
+def _is_time_key(key: str) -> bool:
+    return key.endswith("_s") or key.endswith("_ms")
+
+
+def _row_key(row: object, index: int) -> object:
+    if isinstance(row, dict):
+        for key in IDENTITY_KEYS:
+            if key in row:
+                return (key, row[key])
+    return ("index", index)
+
+
+def _compare(
+    baseline: object, fresh: object, path: str, tol: float, numeric: bool
+) -> list[str]:
+    """All regressions found under one aligned (baseline, fresh) node."""
+    problems: list[str] = []
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            return [f"{path}: baseline is an object, fresh is {type(fresh).__name__}"]
+        for key, base_value in baseline.items():
+            if key not in fresh:
+                problems.append(f"{path}.{key}: present in baseline, missing fresh")
+                continue
+            problems += _compare(base_value, fresh[key], f"{path}.{key}", tol, numeric)
+        return problems
+    if isinstance(baseline, list):
+        if not isinstance(fresh, list):
+            return [f"{path}: baseline is a list, fresh is {type(fresh).__name__}"]
+        fresh_rows = {_row_key(row, i): row for i, row in enumerate(fresh)}
+        for i, base_row in enumerate(baseline):
+            key = _row_key(base_row, i)
+            if key not in fresh_rows:
+                problems.append(f"{path}[{key[1]!r}]: baseline row missing fresh")
+                continue
+            problems += _compare(
+                base_row, fresh_rows[key], f"{path}[{key[1]!r}]", tol, numeric
+            )
+        return problems
+    # Leaves. Numeric policy applies only to measurement keys; all other
+    # leaves just need to keep their JSON type.
+    leaf_key = path.rsplit(".", 1)[-1]
+    if (
+        numeric
+        and isinstance(baseline, (int, float))
+        and not isinstance(baseline, bool)
+        and isinstance(fresh, (int, float))
+        and not isinstance(fresh, bool)
+        and baseline > 0
+    ):
+        if _is_time_key(leaf_key) and fresh > baseline * tol:
+            problems.append(
+                f"{path}: {fresh:.6g} exceeds baseline {baseline:.6g} "
+                f"x tolerance {tol:g}"
+            )
+        elif leaf_key in RATIO_KEYS and fresh < baseline / tol:
+            problems.append(
+                f"{path}: {fresh:.6g} below baseline {baseline:.6g} "
+                f"/ tolerance {tol:g}"
+            )
+    return problems
+
+
+def _load_baseline(ref: str, name: str) -> dict | None:
+    """The committed table at ``ref``, or ``None`` when not in the ref."""
+    proc = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "show", f"{ref}:{name}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def check_file(name: str, ref: str, tolerance: float | None) -> list[str]:
+    """Regressions in one fresh table against its committed baseline."""
+    fresh_path = REPO_ROOT / name
+    if not fresh_path.exists():
+        return [f"{name}: fresh table missing (run the bench suite first)"]
+    fresh = json.loads(fresh_path.read_text())
+    baseline = _load_baseline(ref, name)
+    if baseline is None:
+        print(f"  {name}: no baseline at {ref} (new table) — skipped")
+        return []
+    tol = tolerance if tolerance is not None else FILE_TOLERANCE.get(
+        name, DEFAULT_TOLERANCE
+    )
+    numeric = bool(baseline.get("smoke")) == bool(fresh.get("smoke"))
+    mode = f"numeric (tolerance {tol:g}x)" if numeric else "structural only"
+    print(f"  {name}: baseline {ref}, {mode}")
+    return [f"{name}{p[1:] if p.startswith('$') else p}" for p in
+            _compare(baseline, fresh, "$", tol, numeric)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", default=None,
+                        help=f"tables to check (default: {', '.join(DEFAULT_FILES)})")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baseline tables (default HEAD)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the per-file tolerance factor")
+    args = parser.parse_args(argv)
+    if args.tolerance is not None and args.tolerance < 1.0:
+        parser.error("--tolerance must be >= 1.0")
+
+    files = args.files or list(DEFAULT_FILES)
+    print(f"bench-check: comparing {len(files)} table(s) against {args.ref}")
+    problems: list[str] = []
+    try:
+        for name in files:
+            problems += check_file(name, args.ref, args.tolerance)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-check: cannot read tables: {exc}", file=sys.stderr)
+        return 2
+    if problems:
+        print(f"bench-check: {len(problems)} regression(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("bench-check: all measurements within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

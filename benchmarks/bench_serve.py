@@ -23,13 +23,22 @@ CI smoke test.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
+import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro import parallel
+from repro.mxu.split_cache import DEFAULT_SPLIT_CACHE, SPLIT_CACHE_ENV, \
+    split_cache_probe
 from repro.serve import LoadgenConfig, run_loadgen
+from repro.serve.client import AsyncConnection
+from repro.serve.records import percentile
+from repro.serve.server import GemmServer, ServeConfig, encode_array
 
 from conftest import bench_print
 
@@ -46,7 +55,12 @@ MAX_P95_MS = DEADLINE_MS + 5000.0
 FAULT_RATE = 0.25
 FAULT_DURATION_S = 3.0 if SMOKE else 6.0
 
-_DATA: dict = {"smoke": SMOKE, "ramp": [], "faults": {}}
+#: Fixed-weights workload: one A operand repeated across the whole
+#: request stream, streaming skinny B panels (the serving pattern the
+#: operand split cache is built for).
+FW_N, FW_P, FW_REQS = (32, 4, 6) if SMOKE else (256, 8, 16)
+
+_DATA: dict = {"smoke": SMOKE, "ramp": [], "faults": {}, "fixed_weights": {}}
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
 
@@ -70,6 +84,13 @@ def _write_json():
             f"  faults: sent {faults['faults_sent']}"
             f" outcomes {faults['outcomes']}"
             f" sdc {faults['sdc_count']}"
+        )
+    fw = _DATA["fixed_weights"]
+    if fw:
+        bench_print(
+            f"  fixed-weights: split-cache hit rate {fw['hit_rate']:.2f}"
+            f"  p50 {fw['cold_p50_ms']:.1f} -> {fw['warm_p50_ms']:.1f} ms"
+            f"  p95 {fw['cold_p95_ms']:.1f} -> {fw['warm_p95_ms']:.1f} ms"
         )
 
 
@@ -132,3 +153,86 @@ def test_fault_campaign_zero_undetected_sdc():
     assert report["sdc_count"] == 0, f"undetected SDCs: {report['sdc_ids']}"
     assert sum(report["outcomes"].values()) == report["sent"]
     assert report["elapsed_s"] < FAULT_DURATION_S + 60.0
+
+
+def _drive_fixed_weights(n: int, p: int, reqs: int) -> tuple[list[float], dict]:
+    """Serve ``reqs`` GEMMs sharing one A against streaming B panels.
+
+    Returns per-request latencies (ms) and the server's final stats.
+    """
+
+    async def drive() -> tuple[list[float], dict]:
+        server = GemmServer(ServeConfig(port=0, max_queue=32, workers=1))
+        await server.start()
+        try:
+            conn = await AsyncConnection.open(server.config.host, server.port)
+            try:
+                rng = np.random.default_rng(31)
+                a = encode_array(rng.standard_normal((n, n)))
+                latencies: list[float] = []
+                for _ in range(reqs):
+                    b = encode_array(rng.standard_normal((n, p)))
+                    t0 = time.monotonic()
+                    response = await conn.request(
+                        {"op": "gemm", "a": a, "b": b, "deadline_ms": 30_000.0}
+                    )
+                    latencies.append((time.monotonic() - t0) * 1e3)
+                    assert response["status"] == "OK", response
+                stats = (await conn.request({"op": "stats"}))["result"]
+            finally:
+                await conn.close()
+        finally:
+            await server.stop()
+        return latencies, stats
+
+    return asyncio.run(drive())
+
+
+def test_fixed_weights_split_cache():
+    """Fixed-weights serving: repeat-A requests must hit the split cache.
+
+    The same workload runs twice — cold with ``REPRO_SPLIT_CACHE=0``
+    (every request re-splits A) and warm with the cache on — and the
+    recorded deltas show what the operand split cache buys the serving
+    layer when the *result* cache can't help (B streams, so no response
+    is ever a repeat). Deadline-bearing requests execute inside the
+    (1-wide) pool, so the cache that serves them is the *worker's*
+    resident copy; it is probed through the same pool after the warm
+    run, and must have hit on every request after the worker's first
+    sight of A. The pool is respawned between phases so the workers
+    inherit the right ``REPRO_SPLIT_CACHE`` and start cold.
+    """
+    os.environ[SPLIT_CACHE_ENV] = "0"
+    try:
+        parallel.shutdown()  # respawn workers with the cache disabled
+        DEFAULT_SPLIT_CACHE.clear()
+        cold_lat, _ = _drive_fixed_weights(FW_N, FW_P, FW_REQS)
+    finally:
+        os.environ.pop(SPLIT_CACHE_ENV, None)
+
+    parallel.shutdown()  # respawn workers with the cache enabled, cold
+    DEFAULT_SPLIT_CACHE.clear()
+    warm_lat, stats = _drive_fixed_weights(FW_N, FW_P, FW_REQS)
+    split = parallel.parallel_map(
+        split_cache_probe, [None], workers=1, timeout=60.0
+    )[0]
+    parallel.shutdown()
+
+    assert stats["split_cache"]["enabled"], stats["split_cache"]
+    assert split["enabled"] and split["hits"] >= FW_REQS - 1, split
+    # Every request after the first re-presents the same A bytes; each
+    # must come back from the worker's cache (B panels all miss).
+    repeat_hit_rate = min(split["hits"] / max(FW_REQS - 1, 1), 1.0)
+    _DATA["fixed_weights"] = {
+        "shape": f"{FW_N}x{FW_N}x{FW_P}",
+        "requests": FW_REQS,
+        "hits": split["hits"],
+        "misses": split["misses"],
+        "hit_rate": split["hits"] / max(split["hits"] + split["misses"], 1),
+        "repeat_hit_rate": repeat_hit_rate,
+        "cold_p50_ms": percentile(cold_lat, 50.0),
+        "cold_p95_ms": percentile(cold_lat, 95.0),
+        "warm_p50_ms": percentile(warm_lat, 50.0),
+        "warm_p95_ms": percentile(warm_lat, 95.0),
+    }
+    assert repeat_hit_rate == 1.0, _DATA["fixed_weights"]

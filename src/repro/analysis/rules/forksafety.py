@@ -224,6 +224,10 @@ class SharedMemoryLifecycle(Rule):
     * ``return SharedMemory(...)`` — ownership escapes to the caller;
     * ``seg = SharedMemory(...)`` later ``<list>.append(seg)`` or
       ``return seg`` — ownership transferred to a tracked collection;
+    * ``seg = SharedMemory(...)`` later ``registry[key] = seg`` or
+      ``registry[key] = Entry(seg, ...)`` — ownership transferred to a
+      keyed registry (possibly wrapped in a record type) whose owner is
+      responsible for the unlink;
     * ``seg = SharedMemory(...)`` with ``seg.close()`` (or ``unlink``)
       inside a ``finally`` block of the same function.
     """
@@ -291,6 +295,21 @@ class SharedMemoryLifecycle(Rule):
                 and sub.value.id == name
             ):
                 return True
+            # Keyed registry: registry[key] = name, bare or wrapped in a
+            # record constructor (registry[key] = Entry(name, ...)).
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Subscript)
+            ):
+                value = sub.value
+                if isinstance(value, ast.Name) and value.id == name:
+                    return True
+                if isinstance(value, ast.Call) and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in [*value.args, *(kw.value for kw in value.keywords)]
+                ):
+                    return True
             # Release on the unwind path: finally { name.close()/unlink() }.
             if isinstance(sub, ast.Try) and sub.finalbody:
                 for stmt in sub.finalbody:

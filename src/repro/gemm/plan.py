@@ -24,6 +24,13 @@ import numpy as np
 
 from ..mxu.dataflow import resolve_parts
 from ..mxu.modes import MXUMode, step_plan
+from ..mxu.split_cache import (
+    DEFAULT_SPLIT_CACHE,
+    SPLIT_CACHE_MIN_BYTES,
+    SplitCache,
+    operand_digest,
+    resolve_split_cache,
+)
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
 
@@ -53,14 +60,73 @@ class OperandSplit:
     parts: Mapping[str, np.ndarray]
 
     @classmethod
-    def build(cls, x: np.ndarray, mode: MXUMode) -> "OperandSplit":
-        """Quantise *x* as the tiled driver would and split it once."""
+    def build(
+        cls,
+        x: np.ndarray,
+        mode: MXUMode,
+        *,
+        use_cache: bool | None = None,
+        cache: SplitCache | None = None,
+    ) -> "OperandSplit":
+        """Quantise *x* as the tiled driver would and split it once.
+
+        With the split cache enabled (``REPRO_SPLIT_CACHE``, default on;
+        ``use_cache`` overrides), repeated builds of byte-identical
+        operands return the cached decomposition instead of re-deriving
+        it, and a batched operand whose slices are all byte-identical —
+        the serving layer's coalesced fixed-weights pattern — is split
+        *once* in 2-D and broadcast across the batch. Both shortcuts are
+        bit-identical to the cold path: every split in
+        :mod:`repro.types.decompose` is elementwise, so splitting a
+        stack of identical slices equals stacking one slice's split.
+        Cached arrays are read-only.
+        """
+        arr = np.asarray(
+            x, dtype=np.complex128 if mode is MXUMode.FP32C else np.float64
+        )
+        if not resolve_split_cache(use_cache) or arr.nbytes < SPLIT_CACHE_MIN_BYTES:
+            return cls._split(arr, mode)
+        store = cache if cache is not None else DEFAULT_SPLIT_CACHE
+        if arr.ndim > 2:
+            lead = int(np.prod(arr.shape[:-2]))
+            flat = arr.reshape((lead,) + arr.shape[-2:])
+            if lead and flat[0].nbytes >= SPLIT_CACHE_MIN_BYTES:
+                first = operand_digest(flat[0], mode.value)
+                if all(
+                    operand_digest(flat[i], mode.value) == first
+                    for i in range(1, lead)
+                ):
+                    base = cls._cached_2d(flat[0], mode, first, store)
+                    return cls(
+                        mode=mode,
+                        dense=np.broadcast_to(base.dense, arr.shape),
+                        parts={
+                            name: np.broadcast_to(p, arr.shape)
+                            for name, p in base.parts.items()
+                        },
+                    )
+            return cls._split(arr, mode)
+        return cls._cached_2d(arr, mode, operand_digest(arr, mode.value), store)
+
+    @classmethod
+    def _cached_2d(
+        cls, arr: np.ndarray, mode: MXUMode, digest: str, store: SplitCache
+    ) -> "OperandSplit":
+        key = f"{digest}:operand-split"
+        hit = store.get(key)
+        if hit is not None:
+            return hit
+        return store.put(key, cls._split(arr, mode))
+
+    @classmethod
+    def _split(cls, arr: np.ndarray, mode: MXUMode) -> "OperandSplit":
+        """The uncached build: quantise then decompose, no shortcuts."""
         if mode is MXUMode.FP32C:
-            dense = quantize_complex(np.asarray(x, dtype=np.complex128), FP32)
+            dense = quantize_complex(arr, FP32)
         elif mode is MXUMode.FP32:
-            dense = quantize(np.asarray(x, dtype=np.float64), FP32)
+            dense = quantize(arr, FP32)
         else:
-            dense = np.asarray(x, dtype=np.float64)
+            dense = arr
         parts = resolve_parts(dense, mode)
         if mode in _SINGLE_STEP:
             # Single-step modes quantise inside resolve_parts; keep the

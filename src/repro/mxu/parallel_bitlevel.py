@@ -23,6 +23,20 @@ is bit-identical to the serial driver. This module does exactly that:
   results are reassembled in submission order, and the per-block chain
   is the unmodified engine code.
 
+**Operand split cache + arena.** The A operand is shared by every column
+block, so with the split cache enabled (``REPRO_SPLIT_CACHE``, default
+on) the FP32 vector path derives A's multiplier-lane fields
+(:func:`~repro.mxu.vectorized.fp32_lane_fields`) once per *content
+digest* instead of once per call, and FP32C/scalar paths cache the
+quantised dense operand. Parallel dispatch publishes the cached planes
+into the :mod:`repro.parallel` operand arena so task payloads carry an
+:class:`~repro.parallel.ArenaHandle` — a digest, not arrays — and a
+repeated-A workload skips both the split and the per-task transport.
+Workers attach lazily and keep their own digest → segment LRU. Every
+shortcut is bit-identical: a cache hit returns exactly the planes a
+fresh split of the same bytes produces, and nested in-worker calls take
+the plain serial path untouched.
+
 The column block size is a pure performance knob; it is *not* a rounding
 boundary (those remain the K-chunk seams of the tiled driver).
 """
@@ -30,16 +44,38 @@ boundary (those remain the K-chunk seams of the tiled driver).
 from __future__ import annotations
 
 import os
+import warnings
+from typing import Any
 
 import numpy as np
 
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import (
+    ArenaHandle,
+    arena_fetch,
+    arena_pin,
+    arena_publish,
+    arena_unpin,
+    in_worker,
+    parallel_map,
+    resolve_workers,
+)
 from ..types.formats import FP32
 from ..types.quantize import quantize, quantize_complex
 from ..types.rounding import RoundingMode
 from .config import M3XU_CONFIG
 from .modes import MXUMode
-from .vectorized import _ENGINES, chained_vector_fp32, resolve_bitlevel_engine
+from .split_cache import (
+    DEFAULT_SPLIT_CACHE,
+    SPLIT_CACHE_MIN_BYTES,
+    operand_digest,
+    resolve_split_cache,
+)
+from .vectorized import (
+    _ENGINES,
+    chained_vector_fp32,
+    fp32_lane_fields,
+    resolve_bitlevel_engine,
+)
 
 __all__ = [
     "BITLEVEL_CHUNK_ENV",
@@ -61,20 +97,29 @@ def resolve_bitlevel_chunk(chunk: int | None = None) -> int:
     """Effective column block size for sharded bit-level GEMMs.
 
     Explicit ``chunk`` wins; otherwise ``REPRO_BITLEVEL_CHUNK`` is
-    consulted; otherwise :data:`DEFAULT_BITLEVEL_CHUNK`. Values below 1
-    are rejected (the block size only affects speed, never bits, so
-    there is no "disable" setting — use the serial engines directly if
-    sharding is unwanted).
+    consulted; otherwise :data:`DEFAULT_BITLEVEL_CHUNK`. An explicit
+    value below 1 is rejected (the block size only affects speed, never
+    bits, so there is no "disable" setting — use the serial engines
+    directly if sharding is unwanted); a malformed or out-of-range
+    *environment* value warns and falls back to the default, mirroring
+    ``REPRO_WORKERS``.
     """
     if chunk is None:
         raw = os.environ.get(BITLEVEL_CHUNK_ENV)
         if raw is not None:
             try:
-                chunk = int(raw)
-            except ValueError as exc:
-                raise ValueError(
-                    f"{BITLEVEL_CHUNK_ENV} must be an integer, got {raw!r}"
-                ) from exc
+                env_chunk = int(raw)
+            except ValueError:
+                env_chunk = None
+            if env_chunk is None or env_chunk < 1:
+                warnings.warn(
+                    f"{BITLEVEL_CHUNK_ENV}={raw!r} is not a positive integer; "
+                    f"using the default ({DEFAULT_BITLEVEL_CHUNK})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                chunk = env_chunk
     if chunk is None:
         return DEFAULT_BITLEVEL_CHUNK
     if chunk < 1:
@@ -82,24 +127,52 @@ def resolve_bitlevel_chunk(chunk: int | None = None) -> int:
     return int(chunk)
 
 
-def _chain_columns(
-    payload: tuple[np.ndarray, np.ndarray, np.ndarray, str, str, int, str, int],
-) -> np.ndarray:
+def _resolve_a_entry(a_entry: Any) -> tuple[np.ndarray | None, tuple | None]:
+    """Unpack a task payload's A operand: ``(dense, lane fields)``.
+
+    The payload carries one of a dense ndarray (the legacy form), a
+    ``("fields", hi, lo, exp)`` tuple (pre-split, in-process), or an
+    :class:`~repro.parallel.ArenaHandle` naming published planes
+    (pre-split or dense, fetched from the worker's segment LRU).
+    """
+    if isinstance(a_entry, ArenaHandle):
+        planes = arena_fetch(a_entry)
+        if "dense" in planes:
+            return planes["dense"], None
+        return None, (planes["hi"], planes["lo"], planes["exp"])
+    if isinstance(a_entry, tuple) and a_entry and a_entry[0] == "fields":
+        return None, a_entry[1:]
+    return a_entry, None
+
+
+def _chain_columns(payload: tuple) -> np.ndarray:
     """Run one column block's full K-chain through a bit-level engine.
 
     Module-level (pickleable) task function for :func:`parallel_map`. The
     payload is a flat tuple so the shared-memory transport can walk it
-    and route each operand array individually.
+    and route each operand array individually; the A slot additionally
+    admits the pre-split forms of :func:`_resolve_a_entry`.
     """
-    a, b_cols, c_cols, mode_value, engine, acc_bits, rounding_value, k_chunk = payload
+    a_entry, b_cols, c_cols, mode_value, engine, acc_bits, rounding_value, k_chunk = (
+        payload
+    )
     mode = MXUMode(mode_value)
     rounding = RoundingMode(rounding_value)
+    a, a_fields = _resolve_a_entry(a_entry)
     if engine == "vector" and mode is MXUMode.FP32:
         # Fault-free FP32 chains take the batched whole-chain kernel
         # (bit-identical to the per-MMA loop below; property-tested).
         return chained_vector_fp32(
-            a, b_cols, c_cols, k_chunk=k_chunk, acc_bits=acc_bits, rounding=rounding
+            a,
+            b_cols,
+            c_cols,
+            k_chunk=k_chunk,
+            acc_bits=acc_bits,
+            rounding=rounding,
+            a_fields=a_fields,
         )
+    if a is None:  # pragma: no cover - dispatcher never pairs these
+        raise ValueError(f"engine {engine!r}/{mode.value} needs a dense A operand")
     fn = _ENGINES[engine][mode]
     acc = c_cols
     for k0 in range(0, a.shape[1], k_chunk):
@@ -117,6 +190,37 @@ def _chain_columns(
     return acc
 
 
+def _cached_a_operand(
+    a64: np.ndarray, mode: MXUMode, engine: str
+) -> tuple[np.ndarray | None, tuple | None, str | None]:
+    """Resolve the A operand through the split cache.
+
+    Returns ``(dense, lane fields, digest key)``. The FP32 vector path
+    caches the multiplier-lane fields (``dense`` stays ``None`` — the
+    whole-chain kernel never touches dense A); every other engine/mode
+    caches the quantised dense operand. A cache hit skips quantisation
+    and splitting entirely; both artefacts are keyed by the *raw*
+    operand's bytes, so pre- and post-quantised callers share entries.
+    """
+    fields_path = engine == "vector" and mode is MXUMode.FP32
+    key = operand_digest(
+        a64, mode.value, "fp32-fields" if fields_path else "bitlevel-dense"
+    )
+    hit = DEFAULT_SPLIT_CACHE.get(key)
+    if hit is not None:
+        if fields_path:
+            return None, hit, key
+        return hit, None, key
+    if mode is MXUMode.FP32C:
+        aq = quantize_complex(a64, FP32)
+    else:
+        aq = quantize(a64, FP32)
+    if fields_path:
+        fields = DEFAULT_SPLIT_CACHE.put(key, fp32_lane_fields(aq))
+        return None, fields, key
+    return DEFAULT_SPLIT_CACHE.put(key, aq), None, key
+
+
 def sharded_bitlevel_gemm(
     a: np.ndarray,
     b: np.ndarray,
@@ -132,16 +236,20 @@ def sharded_bitlevel_gemm(
 ) -> np.ndarray:
     """``A @ B + C`` through the bit-level datapath, sharded over columns.
 
-    Semantically identical — bit for bit, at every worker count — to
-    chaining :meth:`BitLevelMXU.mma <repro.mxu.vectorized.BitLevelMXU.mma>`
-    K-chunk by K-chunk over the whole matrices, because output columns
-    never interact inside the accumulation discipline.
+    Semantically identical — bit for bit, at every worker count, cached
+    or cold — to chaining :meth:`BitLevelMXU.mma
+    <repro.mxu.vectorized.BitLevelMXU.mma>` K-chunk by K-chunk over the
+    whole matrices, because output columns never interact inside the
+    accumulation discipline.
 
     Parameters
     ----------
     a, b, c:
         GEMM operands; quantised to FP32 registers on the way in exactly
         as the tiled driver does (idempotent for pre-quantised inputs).
+        A repeated A operand hits the split cache (and, in parallel
+        runs, the shared-memory arena) instead of being re-split and
+        re-shipped — see the module docstring.
     mode:
         :data:`~repro.mxu.modes.MXUMode.FP32` or ``FP32C``.
     engine:
@@ -169,20 +277,39 @@ def sharded_bitlevel_gemm(
         raise ValueError("k_chunk must be >= 1")
 
     if mode is MXUMode.FP32C:
-        aq = quantize_complex(np.asarray(a, dtype=np.complex128), FP32)
+        a64 = np.asarray(a, dtype=np.complex128)
         bq = quantize_complex(np.asarray(b, dtype=np.complex128), FP32)
         cq = quantize_complex(np.asarray(c, dtype=np.complex128), FP32)
     else:
-        aq = quantize(np.asarray(a, dtype=np.float64), FP32)
+        a64 = np.asarray(a, dtype=np.float64)
         bq = quantize(np.asarray(b, dtype=np.float64), FP32)
         cq = quantize(np.asarray(c, dtype=np.float64), FP32)
-    if aq.ndim != 2 or bq.ndim != 2:
-        raise ValueError(f"operands must be 2-D, got A{aq.shape} B{bq.shape}")
-    if bq.shape[0] != aq.shape[1]:
-        raise ValueError(f"K mismatch: A{aq.shape} @ B{bq.shape}")
+    if a64.ndim != 2 or bq.ndim != 2:
+        raise ValueError(f"operands must be 2-D, got A{a64.shape} B{bq.shape}")
+    if bq.shape[0] != a64.shape[1]:
+        raise ValueError(f"K mismatch: A{a64.shape} @ B{bq.shape}")
+
+    # Nested in-worker calls run the plain serial path without touching
+    # the cache or the arena (the worker's pool-lifetime state stays
+    # bounded by its own attach LRU, not by per-call splits).
+    use_cache = (
+        resolve_split_cache()
+        and not in_worker()
+        and a64.nbytes >= SPLIT_CACHE_MIN_BYTES
+    )
+    aq: np.ndarray | None = None
+    a_fields: tuple | None = None
+    a_key: str | None = None
+    if use_cache:
+        aq, a_fields, a_key = _cached_a_operand(a64, mode, engine_name)
+    else:
+        if mode is MXUMode.FP32C:
+            aq = quantize_complex(a64, FP32)
+        else:
+            aq = quantize(a64, FP32)
 
     n = bq.shape[1]
-    acc0 = np.broadcast_to(cq, (aq.shape[0], n))
+    acc0 = np.broadcast_to(cq, (a64.shape[0], n))
     if n == 0:
         return acc0.copy()
 
@@ -190,20 +317,41 @@ def sharded_bitlevel_gemm(
     # width to one chain so the kernel's internal cache blocking sets the
     # pace (bit-identical either way — columns never interact).
     blk = n if resolve_workers(workers) <= 1 else resolve_bitlevel_chunk(chunk)
-    tasks = [
-        (
-            aq,
-            np.ascontiguousarray(bq[:, j0 : j0 + blk]),
-            np.ascontiguousarray(acc0[:, j0 : j0 + blk]),
-            mode.value,
-            engine_name,
-            acc_width,
-            rmode.value,
-            step,
-        )
-        for j0 in range(0, n, blk)
-    ]
-    results = parallel_map(_chain_columns, tasks, workers=workers)
+
+    a_entry: Any
+    handle: ArenaHandle | None = None
+    if a_fields is not None:
+        a_entry = ("fields",) + tuple(a_fields)
+        if blk < n and a_key is not None:
+            handle = arena_publish(
+                a_key,
+                {"hi": a_fields[0], "lo": a_fields[1], "exp": a_fields[2]},
+            )
+    else:
+        a_entry = aq
+        if use_cache and blk < n and a_key is not None and aq is not None:
+            handle = arena_publish(a_key, {"dense": aq})
+    if handle is not None:
+        a_entry = handle
+        arena_pin(handle)
+    try:
+        tasks = [
+            (
+                a_entry,
+                np.ascontiguousarray(bq[:, j0 : j0 + blk]),
+                np.ascontiguousarray(acc0[:, j0 : j0 + blk]),
+                mode.value,
+                engine_name,
+                acc_width,
+                rmode.value,
+                step,
+            )
+            for j0 in range(0, n, blk)
+        ]
+        results = parallel_map(_chain_columns, tasks, workers=workers)
+    finally:
+        if handle is not None:
+            arena_unpin(handle)
     if len(results) == 1:
         return results[0]
     return np.concatenate(results, axis=1)

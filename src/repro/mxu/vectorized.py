@@ -76,6 +76,7 @@ __all__ = [
     "ProductFault",
     "product_slot_count",
     "PRODUCT_BITS",
+    "fp32_lane_fields",
     "vector_mma_fp32",
     "vector_mma_fp32c",
     "chained_vector_fp32",
@@ -290,35 +291,52 @@ def _signed_parts(
     )
 
 
+def fp32_lane_fields(
+    x: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One operand's multiplier-lane fields: ``(hi, lo, exp)``.
+
+    ``hi``/``lo`` are the pre-signed float32 12-bit slices
+    (:func:`_signed_parts`) and ``exp`` the int16 effective slice
+    exponent — everything :func:`_fill_lane_slots` needs, derived once.
+    This is the artefact the operand split cache stores for the vector
+    engine: the fields depend only on the operand's bytes, so a cached
+    copy is bit-identical to a fresh split by construction.
+    """
+    sign, biased, hi, lo = split_fp32_fields(x)
+    hi_signed, lo_signed = _signed_parts(sign, hi, lo)
+    return hi_signed, lo_signed, _effective_exp(biased).astype(np.int16)
+
+
 def _fill_lane_slots(
     sig: np.ndarray,
     lsb: np.ndarray,
-    a: np.ndarray,
-    b: np.ndarray,
+    a_fields: tuple[np.ndarray, np.ndarray, np.ndarray],
+    b_fields: tuple[np.ndarray, np.ndarray, np.ndarray],
     base: int,
     stride: int,
     negate: int = 0,
 ) -> None:
     """Write one (A, B) component pairing's multiplier lanes into the slot
     buffers at columns ``base + lane + k*stride`` (k-major, lane-minor —
-    the scalar loop's visit order).
+    the scalar loop's visit order). Operands arrive as precomputed
+    :func:`fp32_lane_fields`.
 
     Each 12x12-bit lane is a single broadcast float32 multiply
     ``(M, 1, K) x (1, N, K)`` evaluated directly into the strided column
     view — exact, since both slices carry at most 12 bits — with the
     product sign folded into the pre-signed slices (``negate`` flips the
-    B side, implementing the FP32C imag*imag subtraction); every lane's
-    product LSB sits at ``2^(Ea + Eb - 46 + shift)``.
+    B side, implementing the FP32C imag*imag subtraction; negating the
+    pre-signed slice is bit-identical to re-signing the raw slice, IEEE
+    multiply signs being XORs even for zeros); every lane's product LSB
+    sits at ``2^(Ea + Eb - 46 + shift)``.
     """
-    sa, ea, ah, al = split_fp32_fields(a)
-    sb, eb, bh, bl = split_fp32_fields(b)
-    a_parts = _signed_parts(sa, ah, al)
-    b_parts = _signed_parts(sb, bh, bl, negate=negate)
-    k = a.shape[1]
-    pair_exp = (
-        _effective_exp(ea).astype(np.int16)[:, None, :]
-        + _effective_exp(eb).astype(np.int16).T[None, :, :]
-    )
+    ah, al, ae = a_fields
+    bh, bl, be = b_fields
+    a_parts = (ah, al)
+    b_parts = (np.negative(bh), np.negative(bl)) if negate else (bh, bl)
+    k = ah.shape[1]
+    pair_exp = ae[:, None, :] + be.T[None, :, :]
     for lane, (ia, ib, shift) in enumerate(_LANE_SCHEDULE):
         col = slice(base + lane, base + stride * k, stride)
         np.multiply(
@@ -386,7 +404,10 @@ def vector_mma_fp32(
     m_dim, k_dim, n_dim = _require_tile(a, b)
     slots = _LANES_PER_PAIR * k_dim
     sig, lsb = _alloc_slots(m_dim, n_dim, slots + 1)
-    _fill_lane_slots(sig, lsb, a, b, base=0, stride=_LANES_PER_PAIR)
+    _fill_lane_slots(
+        sig, lsb, fp32_lane_fields(a), fp32_lane_fields(b),
+        base=0, stride=_LANES_PER_PAIR,
+    )
     if product_fault is not None:
         _check_fault(product_fault, slots, (m_dim, n_dim))
         _flip_product_bit(
@@ -464,7 +485,7 @@ def _chain_c_merge(
 
 
 def chained_vector_fp32(
-    a: np.ndarray,
+    a: np.ndarray | None,
     b: np.ndarray,
     c: np.ndarray | float = 0.0,
     *,
@@ -473,6 +494,7 @@ def chained_vector_fp32(
     rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
     block: int = 64,
     group: int = 2,
+    a_fields: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """A whole FP32 K-chain of MMAs with one batched product reduction.
 
@@ -489,14 +511,37 @@ def chained_vector_fp32(
     instead of re-reducing all ``4*k_chunk + 1`` slots. ``block`` and
     ``group`` are pure performance knobs; no setting changes a bit.
 
+    The operand split that feeds the multiplier lanes is derived *once*
+    per whole operand — A up front (or taken precomputed from
+    ``a_fields``, the split cache's artefact, in which case ``a`` may be
+    ``None``), B once per column block — and sliced per chunk group.
+    Splitting commutes with slicing elementwise, and a ragged tail's
+    zero-padding maps to field padding of ``hi = lo = 0``, ``exp =
+    -126`` — exactly what splitting a zero yields — so this is
+    bit-identical to splitting each group slice, which is what the
+    per-MMA path does.
+
     No fault hook: campaign runs inject into per-MMA calls, which is why
     the sharded driver only routes fault-free chains here.
     """
     if k_chunk < 1:
         raise ValueError("k_chunk must be >= 1")
-    a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
-    m_dim, k_total, n_dim = _require_tile(a, b)
+    if a_fields is None:
+        if a is None:
+            raise ValueError("chained_vector_fp32 needs a or a_fields")
+        a = np.asarray(a, dtype=np.float64)
+        m_dim, k_total, n_dim = _require_tile(a, b)
+        a_fields = fp32_lane_fields(a)
+    else:
+        if b.ndim != 2:
+            raise ValueError("bit-level MMA takes 2-D operand tiles")
+        m_dim, k_total = a_fields[0].shape
+        n_dim = b.shape[1]
+        if b.shape[0] != k_total:
+            raise ValueError(
+                f"K mismatch: A fields ({m_dim}, {k_total}) @ B{b.shape}"
+            )
     c_arr = np.broadcast_to(np.asarray(c, dtype=np.float64), (m_dim, n_dim))
     if k_total == 0 or n_dim == 0 or m_dim == 0:
         return c_arr.copy()
@@ -510,21 +555,31 @@ def chained_vector_fp32(
     anchor_p = np.empty((n_chunks, m_dim, n_dim), dtype=np.int64)
     for j0 in range(0, n_dim, block):
         j1 = min(n_dim, j0 + block)
-        b_cols = np.ascontiguousarray(b[:, j0:j1])
+        b_fields = fp32_lane_fields(np.ascontiguousarray(b[:, j0:j1]))
         for g0 in range(0, n_chunks, group):
             n_g = min(group, n_chunks - g0)
             kg0 = g0 * k_chunk
             kg1 = min(k_total, (g0 + n_g) * k_chunk)
-            a_g, b_g = a[:, kg0:kg1], b_cols[kg0:kg1, :]
+            af_g = tuple(f[:, kg0:kg1] for f in a_fields)
+            bf_g = tuple(f[kg0:kg1, :] for f in b_fields)
             if kg1 - kg0 < n_g * k_chunk:
                 # Ragged tail: zero-pad to a whole chunk. Zero products
                 # are non-events in the window discipline, so a padded
-                # chunk is bit-identical to the short one.
+                # chunk is bit-identical to the short one; a zero's
+                # fields are hi = lo = 0 with effective exponent -126.
                 pad = n_g * k_chunk - (kg1 - kg0)
-                a_g = np.pad(a_g, ((0, 0), (0, pad)))
-                b_g = np.pad(b_g, ((0, pad), (0, 0)))
+                af_g = (
+                    np.pad(af_g[0], ((0, 0), (0, pad))),
+                    np.pad(af_g[1], ((0, 0), (0, pad))),
+                    np.pad(af_g[2], ((0, 0), (0, pad)), constant_values=-126),
+                )
+                bf_g = (
+                    np.pad(bf_g[0], ((0, pad), (0, 0))),
+                    np.pad(bf_g[1], ((0, pad), (0, 0))),
+                    np.pad(bf_g[2], ((0, pad), (0, 0)), constant_values=-126),
+                )
             sig, lsb = _alloc_slots(m_dim, j1 - j0, n_g * spc)
-            _fill_lane_slots(sig, lsb, a_g, b_g, base=0, stride=_LANES_PER_PAIR)
+            _fill_lane_slots(sig, lsb, af_g, bf_g, base=0, stride=_LANES_PER_PAIR)
             vp, wp = _windowed_sum_packed(
                 sig.reshape(m_dim, j1 - j0, n_g, spc),
                 lsb.reshape(m_dim, j1 - j0, n_g, spc),
@@ -553,9 +608,17 @@ def _fp32c_component_slots(
     the scalar loop — written through strided views (stride 8, component
     base 0 or 4); the final column is left for the C operand.
     """
+    # Fields per component are derived once and shared by both pairings
+    # that consume them (each component feeds two of the four products).
     comps = {
-        "real": (np.ascontiguousarray(a.real), np.ascontiguousarray(b.real)),
-        "imag": (np.ascontiguousarray(a.imag), np.ascontiguousarray(b.imag)),
+        "real": (
+            fp32_lane_fields(np.ascontiguousarray(a.real)),
+            fp32_lane_fields(np.ascontiguousarray(b.real)),
+        ),
+        "imag": (
+            fp32_lane_fields(np.ascontiguousarray(a.imag)),
+            fp32_lane_fields(np.ascontiguousarray(b.imag)),
+        ),
     }
     m_dim, k_dim, n_dim = a.shape[0], a.shape[1], b.shape[1]
     stride = 2 * _LANES_PER_PAIR

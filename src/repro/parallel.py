@@ -68,7 +68,7 @@ import warnings
 from collections import deque
 from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -84,12 +84,24 @@ __all__ = [
     "WORKERS_ENV",
     "SHM_ENV",
     "SHM_MIN_BYTES",
+    "ARENA_ENV",
+    "ARENA_MAX_BYTES",
     "resolve_workers",
     "resolve_shm_threshold",
+    "resolve_arena_max_bytes",
     "split_ranges",
     "parallel_map",
     "shutdown",
     "pool_info",
+    "in_worker",
+    "ArenaHandle",
+    "arena_publish",
+    "arena_pin",
+    "arena_unpin",
+    "arena_fetch",
+    "arena_clear",
+    "arena_info",
+    "arena_worker_info",
     "ParallelTaskError",
     "TaskFailure",
 ]
@@ -102,6 +114,13 @@ SHM_ENV = "REPRO_SHM_MIN_BYTES"
 
 #: Default minimum ndarray payload (bytes) routed through shared memory.
 SHM_MIN_BYTES = 1 << 20
+
+#: Environment variable bounding the operand arena (bytes; ``<= 0`` disables).
+ARENA_ENV = "REPRO_ARENA_MAX_BYTES"
+
+#: Default operand-arena byte bound — parent registry and each worker's
+#: attach LRU alike. 256 MiB holds dozens of serving-sized split planes.
+ARENA_MAX_BYTES = 1 << 28
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -155,6 +174,31 @@ def resolve_shm_threshold(threshold: int | None = None) -> int:
             )
             return 0
     return max(0, threshold)
+
+
+def resolve_arena_max_bytes(limit: int | None = None) -> int:
+    """Effective operand-arena byte bound (``0`` disables the arena).
+
+    Explicit ``limit`` wins; otherwise ``REPRO_ARENA_MAX_BYTES`` is
+    consulted; otherwise :data:`ARENA_MAX_BYTES`. Negative values
+    disable the arena; an unparseable environment override warns and
+    falls back to the default, mirroring ``REPRO_WORKERS``.
+    """
+    if limit is None:
+        raw = os.environ.get(ARENA_ENV, "").strip()
+        if not raw:
+            return ARENA_MAX_BYTES
+        try:
+            limit = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"{ARENA_ENV}={raw!r} is not an integer; using the default "
+                f"({ARENA_MAX_BYTES} bytes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ARENA_MAX_BYTES
+    return max(0, int(limit))
 
 
 def split_ranges(n: int, parts: int) -> list[tuple[int, int]]:
@@ -221,6 +265,14 @@ def _mark_worker() -> None:
     _in_worker = True
 
 
+def in_worker() -> bool:
+    """True inside a pool worker process. Callers that would otherwise
+    fan out (and publish operands to the arena) collapse to the serial
+    in-process path there — nested parallelism never touches the pool or
+    the arena."""
+    return _in_worker
+
+
 def _get_pool(n_workers: int) -> ProcessPoolExecutor:
     """The shared executor, (re)created lazily.
 
@@ -237,6 +289,13 @@ def _get_pool(n_workers: int) -> ProcessPoolExecutor:
         _pool.shutdown(wait=True)
         _pool = None
     if _pool is None:
+        # Start the shared-memory resource tracker *before* forking the
+        # workers. Forked workers then inherit it, so a worker attaching
+        # a segment (per-call transport or arena) registers into the
+        # parent's tracker — a set-level no-op — instead of spawning a
+        # private tracker that would warn about (and try to reap)
+        # segments the parent still owns.
+        resource_tracker.ensure_running()
         _pool = ProcessPoolExecutor(max_workers=n_workers, initializer=_mark_worker)
         _pool_workers = n_workers
         _pool_pid = os.getpid()
@@ -245,15 +304,20 @@ def _get_pool(n_workers: int) -> ProcessPoolExecutor:
 
 
 def shutdown(wait: bool = True) -> None:
-    """Release the persistent pool (no-op when none is live).
+    """Release the persistent pool and the operand arena (no-op when
+    neither is live).
 
     Safe to call at any time; the next :func:`parallel_map` that needs an
-    executor simply creates a fresh one. Registered with ``atexit``.
+    executor simply creates a fresh one, and the next publisher repopulates
+    the arena. Every arena segment is unlinked — pinned or not — so a
+    clean shutdown leaks nothing into ``/dev/shm``. Registered with
+    ``atexit``.
     """
     global _pool
     if _pool is not None and _pool_pid == os.getpid():
         _pool.shutdown(wait=wait)
     _pool = None
+    arena_clear(force=True)
 
 
 atexit.register(shutdown)
@@ -284,6 +348,10 @@ def _terminate_pool() -> None:
             pass
     else:
         _pool = None
+    # Respawn boundary: retire unpinned arena segments. Pinned entries
+    # (an in-flight call's operands) survive so retried tasks can still
+    # attach by name from the fresh pool's workers.
+    arena_clear(force=False)
 
 
 def pool_info() -> dict[str, Any]:
@@ -300,6 +368,7 @@ def pool_info() -> dict[str, Any]:
         "timeout_events": _timeout_events,
         "task_retries": _task_retries,
         "failure_streak": _pool_failure_streak,
+        "arena": arena_info(),
     }
 
 
@@ -428,6 +497,303 @@ def _release(segments: list) -> None:
             seg.unlink()
         except FileNotFoundError:  # pragma: no cover - already reaped
             pass
+
+
+# ----------------------------------------------------------------------
+# Operand arena: content-addressed shared-memory segments
+# ----------------------------------------------------------------------
+# The per-call transport above copies every large operand into a fresh
+# segment per parallel_map invocation. The arena is the complement for
+# operands that *recur* — a serving weight matrix, the repeated A of a
+# batched sweep: the parent publishes the operand's pre-split planes
+# once under their content digest, task payloads carry a pickled
+# :class:`ArenaHandle` (a name plus a plane manifest) instead of arrays,
+# and each worker keeps a digest -> segment LRU so a repeated operand is
+# mapped once per worker, not copied once per task.
+#
+# Ownership is the transport's parent-creates/parent-unlinks discipline:
+# entries are refcounted (publishers pin around their parallel_map),
+# evicted only at refcount zero when the byte bound needs the room,
+# unlinked wholesale on :func:`shutdown` and (unpinned only) on a pool
+# respawn. Content addressing makes stale worker mappings harmless: the
+# same digest always names the same bytes, and a segment stays mapped
+# (POSIX keeps unlinked memory alive) until the worker LRU drops it.
+
+
+class ArenaHandle:
+    """Pickle-friendly content address of planes parked in the arena.
+
+    ``planes`` maps the segment layout: ``(name, shape, dtype str,
+    byte offset)`` per plane, offsets 64-byte aligned.
+    """
+
+    __slots__ = ("key", "name", "planes")
+
+    def __init__(
+        self,
+        key: str,
+        name: str,
+        planes: tuple[tuple[str, tuple[int, ...], str, int], ...],
+    ):
+        self.key = key
+        self.name = name
+        self.planes = planes
+
+    def __getstate__(self) -> tuple:
+        return (self.key, self.name, self.planes)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.key, self.name, self.planes = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArenaHandle({self.key!r}, {self.name!r}, {len(self.planes)} planes)"
+
+
+class _ArenaEntry:
+    __slots__ = ("seg", "handle", "nbytes", "refs")
+
+    def __init__(
+        self, seg: shared_memory.SharedMemory, handle: ArenaHandle, nbytes: int
+    ):
+        self.seg = seg
+        self.handle = handle
+        self.nbytes = nbytes
+        self.refs = 0
+
+
+# Parent-side registry (publisher process). Keyed by content digest;
+# insertion order is the LRU order.
+_arena: "dict[str, _ArenaEntry]" = {}
+_arena_pid: int = -1
+_arena_bytes: int = 0
+_arena_publishes: int = 0
+_arena_reuses: int = 0
+_arena_evictions: int = 0
+_arena_unlinks: int = 0
+
+# Worker-side attach LRU (per process).
+_worker_arena: "dict[str, tuple[shared_memory.SharedMemory, dict[str, np.ndarray], int]]" = {}
+_worker_arena_bytes: int = 0
+_worker_attaches: int = 0
+_worker_hits: int = 0
+_worker_evictions: int = 0
+
+
+def _arena_reset_if_forked() -> None:
+    """Drop a registry inherited across a fork without unlinking.
+
+    The segments belong to the forking parent — it unlinks them; the
+    child merely forgets its references and starts an arena of its own.
+    """
+    global _arena_pid, _arena_bytes  # repro: allow[FS304] fork-local reset by design
+    if _arena_pid != os.getpid():
+        _arena.clear()  # repro: allow[FS304] child forgets the parent's refs
+        _arena_bytes = 0
+        _arena_pid = os.getpid()
+
+
+def _arena_views(
+    seg: shared_memory.SharedMemory, handle: ArenaHandle
+) -> dict[str, np.ndarray]:
+    """Read-only ndarray views of one segment's planes."""
+    out: dict[str, np.ndarray] = {}
+    for name, shape, dtype_str, offset in handle.planes:
+        arr = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=seg.buf, offset=offset
+        )
+        arr.flags.writeable = False
+        out[name] = arr
+    return out
+
+
+def _arena_drop(key: str, unlink: bool) -> None:
+    global _arena_bytes, _arena_unlinks  # repro: allow[FS304] parent-side only
+    entry = _arena.pop(key)  # repro: allow[FS304] parent-side registry
+    _arena_bytes -= entry.nbytes
+    entry.seg.close()
+    if unlink:
+        try:
+            entry.seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+        _arena_unlinks += 1
+
+
+def arena_publish(key: str, planes: dict[str, np.ndarray]) -> ArenaHandle | None:
+    """Publish *planes* once under content address *key*.
+
+    Returns the (existing or new) :class:`ArenaHandle`, or ``None`` when
+    the arena is disabled (``REPRO_ARENA_MAX_BYTES <= 0``), the planes
+    exceed the whole byte bound, or the caller is a pool worker (nested
+    calls never touch the arena) — callers fall back to shipping arrays.
+    Publishing evicts least-recently-used unpinned entries as needed.
+    """
+    # repro: allow[FS304] worker-guarded: the _in_worker test below
+    # returns before any mutation when called from a pool worker.
+    global _arena_bytes, _arena_publishes, _arena_reuses, _arena_evictions
+    limit = resolve_arena_max_bytes()
+    if limit <= 0 or _in_worker:
+        return None
+    _arena_reset_if_forked()
+    entry = _arena.get(key)
+    if entry is not None:
+        # Re-insertion refreshes LRU position (parent-side only).
+        _arena.pop(key)  # repro: allow[FS304] worker-guarded
+        _arena[key] = entry  # repro: allow[FS304] worker-guarded
+        _arena_reuses += 1
+        return entry.handle
+
+    layout: list[tuple[str, np.ndarray, int]] = []
+    offset = 0
+    for name, arr in planes.items():
+        arr = np.ascontiguousarray(arr)
+        layout.append((name, arr, offset))
+        offset += -(-arr.nbytes // 64) * 64
+    total = max(offset, 1)
+    if total > limit:
+        return None
+    for old_key in [
+        k for k, e in _arena.items() if e.refs <= 0
+    ]:
+        if _arena_bytes + total <= limit:
+            break
+        _arena_drop(old_key, unlink=True)
+        _arena_evictions += 1
+    if _arena_bytes + total > limit:
+        # Pinned entries hold the remaining bytes: the bound is hard, so
+        # the caller falls back to shipping arrays for this dispatch.
+        return None
+    seg = shared_memory.SharedMemory(create=True, size=total)
+    for name, arr, off in layout:
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=off)[...] = arr
+    handle = ArenaHandle(
+        key, seg.name, tuple((n, a.shape, a.dtype.str, o) for n, a, o in layout)
+    )
+    _arena[key] = _ArenaEntry(seg, handle, total)  # repro: allow[FS304] worker-guarded
+    _arena_bytes += total
+    _arena_publishes += 1
+    return handle
+
+
+def arena_pin(handle: ArenaHandle) -> None:
+    """Guard *handle*'s segment against eviction (publisher-side).
+
+    Publishers pin around the ``parallel_map`` that ships the handle and
+    unpin in a ``finally`` — a pinned entry survives pool respawns and
+    byte-bound pressure, so retried tasks can always re-attach.
+    """
+    if _arena_pid == os.getpid():
+        entry = _arena.get(handle.key)
+        if entry is not None:
+            entry.refs += 1
+
+
+def arena_unpin(handle: ArenaHandle) -> None:
+    """Release one :func:`arena_pin` on *handle*."""
+    if _arena_pid == os.getpid():
+        entry = _arena.get(handle.key)
+        if entry is not None and entry.refs > 0:
+            entry.refs -= 1
+
+
+def arena_fetch(handle: ArenaHandle) -> dict[str, np.ndarray]:
+    """Resolve *handle* to read-only plane views of identical bytes.
+
+    In the publisher process this reads the registry directly (no extra
+    mapping); in a pool worker it attaches the named segment lazily and
+    caches the mapping in the per-process LRU, evicting older segments
+    past ``REPRO_ARENA_MAX_BYTES``. Raises ``KeyError`` for an unlinked
+    (stale) handle — the resilient path retries after a republish.
+    """
+    if _in_worker:
+        return _worker_fetch(handle)
+    _arena_reset_if_forked()
+    entry = _arena.get(handle.key)
+    if entry is None:
+        raise KeyError(f"arena entry {handle.key!r} is not published")
+    _arena.pop(handle.key)  # repro: allow[FS304] parent branch: LRU refresh
+    _arena[handle.key] = entry  # repro: allow[FS304] parent branch: LRU refresh
+    return _arena_views(entry.seg, handle)
+
+
+def _worker_fetch(handle: ArenaHandle) -> dict[str, np.ndarray]:
+    # repro: allow[FS304] per-worker attach LRU by design: a miss
+    # re-attaches the same published bytes, so every view is identical
+    # at every worker count — only the attach/hit counters diverge.
+    global _worker_arena_bytes, _worker_attaches, _worker_hits, _worker_evictions
+    hit = _worker_arena.get(handle.key)
+    if hit is not None:
+        _worker_arena.pop(handle.key)  # repro: allow[FS304] worker-local LRU
+        _worker_arena[handle.key] = hit  # repro: allow[FS304] worker-local LRU
+        _worker_hits += 1
+        return hit[1]
+    seg = _attach_readonly(handle.name)
+    views = _arena_views(seg, handle)
+    _worker_arena[handle.key] = (seg, views, seg.size)  # repro: allow[FS304] worker-local LRU
+    _worker_arena_bytes += seg.size
+    _worker_attaches += 1
+    limit = resolve_arena_max_bytes()
+    # Never evict the segment just fetched: its views are live for the
+    # duration of the current task, and closing a mapped segment would
+    # invalidate them mid-chain.
+    for key in [k for k in _worker_arena if k != handle.key]:
+        if _worker_arena_bytes <= limit:
+            break
+        old_seg, _, old_bytes = _worker_arena.pop(key)  # repro: allow[FS304] worker-local LRU
+        _worker_arena_bytes -= old_bytes
+        old_seg.close()
+        _worker_evictions += 1
+    return views
+
+
+def arena_clear(force: bool = False) -> None:
+    """Unlink arena segments (all of them with ``force``, else only the
+    unpinned). Worker-side mappings stay valid until their LRU drops
+    them — POSIX keeps unlinked segments alive while mapped."""
+    global _arena_bytes
+    if _arena_pid != os.getpid():
+        # Forked copy: the references are not ours to unlink.
+        _arena.clear()
+        _arena_bytes = 0
+        return
+    for key in list(_arena):
+        if force or _arena[key].refs <= 0:
+            _arena_drop(key, unlink=True)
+
+
+def arena_info() -> dict[str, Any]:
+    """Publisher-side arena introspection (also in ``pool_info()``)."""
+    live = _arena_pid == os.getpid()
+    return {
+        "entries": len(_arena) if live else 0,
+        "bytes": _arena_bytes if live else 0,
+        "pinned": sum(1 for e in _arena.values() if e.refs > 0) if live else 0,
+        "segments": sorted(e.handle.name for e in _arena.values()) if live else [],
+        "limit": resolve_arena_max_bytes(),
+        "publishes": _arena_publishes,
+        "reuses": _arena_reuses,
+        "evictions": _arena_evictions,
+        "unlinks": _arena_unlinks,
+    }
+
+
+def arena_worker_info() -> dict[str, Any]:
+    """This process's attach-side counters (meaningful inside workers;
+    ship it through ``parallel_map`` to probe the pool)."""
+    return {
+        "in_worker": _in_worker,
+        "entries": len(_worker_arena),
+        "bytes": _worker_arena_bytes,
+        "attaches": _worker_attaches,
+        "hits": _worker_hits,
+        "evictions": _worker_evictions,
+    }
+
+
+def _arena_probe(_item: Any) -> dict[str, Any]:
+    """Module-level (pickleable) task fn returning the executing
+    process's :func:`arena_worker_info` — test/benchmark support."""
+    return arena_worker_info()
 
 
 # ----------------------------------------------------------------------
@@ -681,6 +1047,7 @@ def parallel_map(
                 call, payload, n_workers, policy, on_result, return_failures
             )
         if fresh_pool:
+            resource_tracker.ensure_running()
             with ProcessPoolExecutor(
                 max_workers=n_workers, initializer=_mark_worker
             ) as pool:

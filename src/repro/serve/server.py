@@ -68,6 +68,7 @@ from ..gemm.batched import batched_mxu_cgemm, batched_mxu_sgemm
 from ..gemm.tiled import TiledGEMM
 from ..mxu.m3xu import M3XU
 from ..mxu.modes import MXUMode
+from ..mxu.split_cache import DEFAULT_SPLIT_CACHE
 from ..resilience.abft import AbftUncorrectedError, guarded_gemm, resolve_abft
 from ..resilience.failures import TaskFailure
 from ..types.formats import FP32
@@ -987,6 +988,7 @@ class GemmServer:
             "breaker": self.breaker.info(),
             "pool": parallel.pool_info(),
             "cache": self.cache.info(),
+            "split_cache": DEFAULT_SPLIT_CACHE.info(),
             "batcher": self.batcher.info(),
             "degrade_counts": {str(k): v for k, v in self.degrade_counts.items()},
             "summary": self.run_table.summary(),

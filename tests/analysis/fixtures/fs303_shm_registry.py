@@ -1,0 +1,31 @@
+"""Fixture: FS303 — keyed-registry ownership transfer variants."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+_REGISTRY: dict = {}
+
+
+class Entry:
+    def __init__(self, seg, nbytes: int) -> None:
+        self.seg = seg
+        self.nbytes = nbytes
+
+
+def leaky_lookalike(key: str, n: int) -> None:
+    seg = SharedMemory(create=True, size=n)  # line 15: FS303
+    _REGISTRY[key] = n  # stores the size, not the segment: still leaks
+
+
+def subscript_tracked(key: str, n: int) -> None:
+    seg = SharedMemory(create=True, size=n)
+    _REGISTRY[key] = seg  # ownership transferred to the registry
+
+
+def wrapped_tracked(key: str, n: int) -> None:
+    seg = SharedMemory(create=True, size=n)
+    _REGISTRY[key] = Entry(seg, n)  # wrapped in a record: still tracked
+
+
+def wrapped_kwarg_tracked(key: str, n: int) -> None:
+    seg = SharedMemory(create=True, size=n)
+    _REGISTRY[key] = Entry(nbytes=n, seg=seg)  # keyword arg counts too

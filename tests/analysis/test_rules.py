@@ -27,6 +27,7 @@ EXPECTED = {
     "fs301_lambda_task.py": [("FS301", 11), ("FS301", 16)],
     "fs302_global_mutation.py": [("FS302", 10), ("FS302", 11), ("FS302", 12)],
     "fs303_shm_leak.py": [("FS303", 7)],
+    "fs303_shm_registry.py": [("FS303", 15)],
     "fs304_transitive_mutation.py": [("FS304", 19)],
     "rh401_bare_except.py": [("RH401", 8)],
     "rh402_raw_pickle.py": [("RH402", 8), ("RH402", 12)],

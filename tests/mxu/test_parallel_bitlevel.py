@@ -91,10 +91,15 @@ class TestResolveChunk:
         monkeypatch.setenv(BITLEVEL_CHUNK_ENV, "17")
         assert resolve_bitlevel_chunk(5) == 5
 
-    def test_bad_env_raises(self, monkeypatch):
+    def test_bad_env_warns_and_falls_back(self, monkeypatch):
         monkeypatch.setenv(BITLEVEL_CHUNK_ENV, "many")
-        with pytest.raises(ValueError, match="many"):
-            resolve_bitlevel_chunk()
+        with pytest.warns(RuntimeWarning, match="many"):
+            assert resolve_bitlevel_chunk() == DEFAULT_BITLEVEL_CHUNK
+
+    def test_below_one_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BITLEVEL_CHUNK_ENV, "0")
+        with pytest.warns(RuntimeWarning, match="positive"):
+            assert resolve_bitlevel_chunk() == DEFAULT_BITLEVEL_CHUNK
 
     def test_below_one_rejected(self):
         with pytest.raises(ValueError):

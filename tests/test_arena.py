@@ -1,0 +1,323 @@
+"""The worker-pinned operand arena: publish/pin/fetch lifecycle, LRU
+bounds, unlink hygiene, and bit-identity of arena-routed sharded GEMMs.
+
+The arena's contract mirrors the split cache's: content-addressed
+segments only ever change *where* bytes live, never what any consumer
+computes — and no segment outlives ``shutdown()``.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.mxu.parallel_bitlevel import sharded_bitlevel_gemm
+from repro.mxu.split_cache import DEFAULT_SPLIT_CACHE, SPLIT_CACHE_ENV
+from repro.parallel import (
+    ARENA_ENV,
+    ARENA_MAX_BYTES,
+    arena_clear,
+    arena_fetch,
+    arena_info,
+    arena_pin,
+    arena_publish,
+    arena_unpin,
+    arena_worker_info,
+    pool_info,
+    resolve_arena_max_bytes,
+)
+from repro.types.formats import FP32
+from repro.types.quantize import quantize
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    for env in (ARENA_ENV, SPLIT_CACHE_ENV, "REPRO_WORKERS"):
+        os.environ.pop(env, None)
+    DEFAULT_SPLIT_CACHE.clear()
+    parallel.shutdown()
+    yield
+    for env in (ARENA_ENV, SPLIT_CACHE_ENV, "REPRO_WORKERS"):
+        os.environ.pop(env, None)
+    DEFAULT_SPLIT_CACHE.clear()
+    parallel.shutdown()
+    assert arena_info()["entries"] == 0
+
+
+def _planes(seed: int, n: int = 32) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "hi": rng.standard_normal((n, n)).astype(np.float32),
+        "lo": rng.standard_normal((n, n)).astype(np.float32),
+        "exp": rng.integers(-30, 30, size=(n, n)).astype(np.int16),
+    }
+
+
+class TestResolveArenaMaxBytes:
+    def test_default(self):
+        assert resolve_arena_max_bytes() == ARENA_MAX_BYTES
+
+    def test_env_wins(self):
+        os.environ[ARENA_ENV] = "4096"
+        assert resolve_arena_max_bytes() == 4096
+
+    def test_explicit_wins_over_env(self):
+        os.environ[ARENA_ENV] = "4096"
+        assert resolve_arena_max_bytes(128) == 128
+
+    def test_negative_disables(self):
+        os.environ[ARENA_ENV] = "-1"
+        assert resolve_arena_max_bytes() == 0
+        assert resolve_arena_max_bytes(-5) == 0
+
+    def test_malformed_env_warns_and_falls_back(self):
+        os.environ[ARENA_ENV] = "lots"
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert resolve_arena_max_bytes() == ARENA_MAX_BYTES
+
+
+class TestPublishFetch:
+    def test_roundtrip_bits_and_readonly(self):
+        planes = _planes(1)
+        handle = arena_publish("k1", planes)
+        assert handle is not None
+        views = arena_fetch(handle)
+        assert set(views) == set(planes)
+        for name in planes:
+            assert views[name].tobytes() == planes[name].tobytes()
+            assert views[name].dtype == planes[name].dtype
+            assert not views[name].flags.writeable
+
+    def test_republish_reuses_segment(self):
+        before = arena_info()
+        h1 = arena_publish("k1", _planes(1))
+        h2 = arena_publish("k1", _planes(1))
+        assert h1 is h2
+        after = arena_info()
+        assert after["publishes"] == before["publishes"] + 1
+        assert after["reuses"] == before["reuses"] + 1
+        assert after["entries"] == 1
+
+    def test_disabled_returns_none(self):
+        os.environ[ARENA_ENV] = "0"
+        assert arena_publish("k1", _planes(1)) is None
+
+    def test_oversized_returns_none(self):
+        os.environ[ARENA_ENV] = "1024"
+        assert arena_publish("k1", _planes(1)) is None
+        assert arena_info()["entries"] == 0
+
+    def test_fetch_unpublished_raises(self):
+        handle = arena_publish("k1", _planes(1))
+        assert handle is not None
+        arena_clear(force=True)
+        with pytest.raises(KeyError):
+            arena_fetch(handle)
+
+    def test_eviction_under_byte_pressure(self):
+        planes = _planes(1)
+        nbytes = sum(-(-p.nbytes // 64) * 64 for p in planes.values())
+        os.environ[ARENA_ENV] = str(int(nbytes * 1.5))
+        before = arena_info()
+        h1 = arena_publish("k1", planes)
+        h2 = arena_publish("k2", _planes(2))
+        assert h1 is not None and h2 is not None
+        info = arena_info()
+        assert info["entries"] == 1
+        assert info["evictions"] == before["evictions"] + 1
+        with pytest.raises(KeyError):
+            arena_fetch(h1)
+        assert arena_fetch(h2)["hi"].size
+
+
+class TestPinRefcount:
+    def test_pin_blocks_eviction_and_survives_respawn(self):
+        planes = _planes(1)
+        nbytes = sum(-(-p.nbytes // 64) * 64 for p in planes.values())
+        os.environ[ARENA_ENV] = str(int(nbytes * 1.5))
+        h1 = arena_publish("k1", planes)
+        assert h1 is not None
+        arena_pin(h1)
+        try:
+            assert arena_info()["pinned"] == 1
+            # Byte pressure cannot evict a pinned entry...
+            h2 = arena_publish("k2", _planes(2))
+            assert h2 is None  # no room: the only evictable set is empty
+            assert arena_fetch(h1)["hi"].size
+            # ...and neither does a forced pool respawn (retried tasks
+            # must be able to re-attach by name).
+            parallel._terminate_pool()
+            assert arena_fetch(h1)["hi"].size
+        finally:
+            arena_unpin(h1)
+        assert arena_info()["pinned"] == 0
+        # Unpinned, the respawn sweep reaps it.
+        parallel._terminate_pool()
+        assert arena_info()["entries"] == 0
+
+    def test_unpin_tolerates_unknown_handle(self):
+        handle = arena_publish("k1", _planes(1))
+        assert handle is not None
+        arena_clear(force=True)
+        arena_unpin(handle)  # no raise
+
+    def test_pool_info_carries_arena(self):
+        info = pool_info()
+        assert set(info["arena"]) >= {
+            "entries", "bytes", "pinned", "limit", "publishes", "reuses",
+            "evictions", "unlinks", "segments",
+        }
+
+
+class TestUnlinkHygiene:
+    def test_shutdown_unlinks_every_segment(self):
+        arena_publish("k1", _planes(1))
+        handle = arena_publish("k2", _planes(2))
+        assert handle is not None
+        names = arena_info()["segments"]
+        assert len(names) == 2
+        parallel.shutdown()
+        assert arena_info()["entries"] == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_terminate_pool_unlinks_unpinned(self):
+        arena_publish("k1", _planes(1))
+        names = arena_info()["segments"]
+        parallel._terminate_pool()
+        assert arena_info()["entries"] == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestWorkerAttachLRU:
+    """Worker-side fetch semantics, simulated deterministically by
+    flipping the in-worker flag in this process (the integration path —
+    real forked workers — is covered below and in the benchmarks)."""
+
+    @pytest.fixture()
+    def _as_worker(self):
+        handles = [arena_publish(f"k{i}", _planes(i)) for i in range(3)]
+        assert all(h is not None for h in handles)
+        baseline = arena_worker_info()
+        parallel._in_worker = True
+        try:
+            yield handles, baseline
+        finally:
+            parallel._in_worker = False
+            for seg, _views, _nbytes in parallel._worker_arena.values():
+                seg.close()
+            parallel._worker_arena.clear()
+            parallel._worker_arena_bytes = 0
+            # Forked workers inherit these module globals — reset them so
+            # the simulation never bleeds into later integration tests.
+            parallel._worker_attaches = baseline["attaches"]
+            parallel._worker_hits = baseline["hits"]
+            parallel._worker_evictions = baseline["evictions"]
+
+    def test_attach_hit_and_evict_counters(self, _as_worker):
+        handles, base = _as_worker
+        seg_bytes = max(
+            sum(-(-p.nbytes // 64) * 64 for p in _planes(0).values()), 1
+        )
+        os.environ[ARENA_ENV] = str(int(seg_bytes * 1.5))
+
+        views = arena_fetch(handles[0])  # cold attach
+        assert views["hi"].tobytes() == _planes(0)["hi"].tobytes()
+        assert not views["hi"].flags.writeable
+        info = arena_worker_info()
+        assert info["in_worker"] is True
+        assert info["attaches"] == base["attaches"] + 1
+        assert info["entries"] == 1
+
+        arena_fetch(handles[0])  # LRU hit, no new attach
+        info = arena_worker_info()
+        assert info["hits"] == base["hits"] + 1
+        assert info["attaches"] == base["attaches"] + 1
+
+        arena_fetch(handles[1])  # over budget: evicts segment 0
+        info = arena_worker_info()
+        assert info["attaches"] == base["attaches"] + 2
+        assert info["evictions"] == base["evictions"] + 1
+        assert info["entries"] == 1
+
+        # The evicted segment is still published — re-attach works.
+        arena_fetch(handles[0])
+        assert arena_worker_info()["attaches"] == base["attaches"] + 3
+
+    def test_never_evicts_the_just_fetched_segment(self, _as_worker):
+        handles, _ = _as_worker
+        os.environ[ARENA_ENV] = "1"  # below any one segment
+        views = arena_fetch(handles[2])
+        # Its own views stay alive even though the budget is busted.
+        assert arena_worker_info()["entries"] == 1
+        assert views["lo"].tobytes() == _planes(2)["lo"].tobytes()
+
+
+def _nested_sharded(payload) -> tuple[bytes, bool, int]:
+    """Task fn: run a sharded GEMM *inside* a pool worker."""
+    a, b = payload
+    out = sharded_bitlevel_gemm(a, b, engine="vector", workers=4, chunk=8)
+    info = arena_worker_info()
+    return out.tobytes(), info["in_worker"], info["attaches"]
+
+
+class TestShardedIntegration:
+    def _operands(self, n=48):
+        rng = np.random.default_rng(40)
+        return (
+            quantize(rng.standard_normal((n, n)), FP32),
+            quantize(rng.standard_normal((n, n)), FP32),
+        )
+
+    def test_bit_identity_cached_vs_fresh_across_worker_counts(self):
+        a, b = self._operands()
+        os.environ[SPLIT_CACHE_ENV] = "0"
+        reference = sharded_bitlevel_gemm(a, b, engine="vector", workers=0)
+        os.environ.pop(SPLIT_CACHE_ENV, None)
+        for workers in (0, 1, 2, 4):
+            DEFAULT_SPLIT_CACHE.clear()
+            cold = sharded_bitlevel_gemm(
+                a, b, engine="vector", workers=workers, chunk=16
+            )
+            warm = sharded_bitlevel_gemm(
+                a, b, engine="vector", workers=workers, chunk=16
+            )
+            assert cold.tobytes() == reference.tobytes(), f"workers={workers} cold"
+            assert warm.tobytes() == reference.tobytes(), f"workers={workers} warm"
+
+    def test_parallel_dispatch_publishes_and_workers_attach(self):
+        a, b = self._operands()
+        before = arena_info()
+        out1 = sharded_bitlevel_gemm(a, b, engine="vector", workers=2, chunk=16)
+        out2 = sharded_bitlevel_gemm(a, b, engine="vector", workers=2, chunk=16)
+        assert out1.tobytes() == out2.tobytes()
+        info = arena_info()
+        assert info["publishes"] == before["publishes"] + 1
+        assert info["reuses"] >= before["reuses"] + 1
+        probes = parallel.parallel_map(
+            parallel._arena_probe, [None, None], workers=2, chunk_size=1,
+            timeout=60.0,
+        )
+        assert all(p["in_worker"] for p in probes)
+        assert any(p["attaches"] >= 1 for p in probes)
+
+    def test_nested_in_worker_collapses_serial_without_arena(self):
+        a, b = self._operands(n=32)
+        serial = sharded_bitlevel_gemm(a, b, engine="vector", workers=0)
+        publishes_before = arena_info()["publishes"]
+        (got, in_wkr, attaches), = parallel.parallel_map(
+            _nested_sharded, [(a, b)], workers=2, timeout=120.0
+        )
+        assert got == serial.tobytes()
+        assert in_wkr is True
+        # The nested call ran serially: nothing was published for it and
+        # the worker never attached a segment on its behalf.
+        assert attaches == 0
+        assert arena_info()["publishes"] == publishes_before
